@@ -1,0 +1,182 @@
+(* Integration tests for the assembled CSOD runtime. *)
+
+let mk ?(params = Params.default) ?store ?(seed = 0) () =
+  let machine = Machine.create ~seed:(seed + 100) () in
+  let heap = Heap.create machine in
+  let rt = Runtime.create ~params ?store ~seed ~machine ~heap () in
+  (rt, Runtime.tool rt, machine, heap)
+
+let ctx ?(off = 0) callsite = Alloc_ctx.synthetic ~callsite ~stack_offset:off ()
+
+let test_watchpoint_detection_read_write () =
+  let rt, tool, machine, _ = mk () in
+  let p = tool.Tool.malloc ~size:32 ~ctx:(ctx 1) in
+  (* first allocation is startup-watched; overflow read one word past *)
+  ignore (Machine.load_word machine (p + 32));
+  (match Runtime.detections rt with
+  | [ r ] ->
+    Alcotest.(check bool) "over-read" true (r.Report.kind = Report.Over_read);
+    Alcotest.(check bool) "watchpoint source" true (r.Report.source = Report.Watchpoint);
+    Alcotest.(check int) "object identified" p r.Report.object_addr
+  | _ -> Alcotest.fail "expected one report");
+  (* a second object, over-written *)
+  let q = tool.Tool.malloc ~size:16 ~ctx:(ctx 2) in
+  Machine.store_word machine (q + 16) 99;
+  (match Runtime.detections rt with
+  | [ _; r2 ] ->
+    Alcotest.(check bool) "over-write" true (r2.Report.kind = Report.Over_write)
+  | _ -> Alcotest.fail "expected two reports");
+  Alcotest.(check bool) "detected" true (Runtime.detected rt)
+
+let test_no_false_positives_in_bounds () =
+  let rt, tool, machine, _ = mk () in
+  let p = tool.Tool.malloc ~size:32 ~ctx:(ctx 1) in
+  for i = 0 to 3 do
+    Machine.store_word machine (p + (8 * i)) i;
+    ignore (Machine.load_word machine (p + (8 * i)))
+  done;
+  tool.Tool.free ~ptr:p;
+  Runtime.finish rt;
+  Alcotest.(check bool) "no reports for in-bounds traffic" false (Runtime.detected rt)
+
+let test_watch_removed_on_free () =
+  let rt, tool, machine, _ = mk () in
+  let p = tool.Tool.malloc ~size:32 ~ctx:(ctx 1) in
+  tool.Tool.free ~ptr:p;
+  (* the same memory may be reused; accessing the old boundary is silent *)
+  ignore (Machine.load_word machine (p + 32));
+  Alcotest.(check bool) "no stale watchpoint" false (Runtime.detected rt)
+
+let test_canary_at_free () =
+  let rt, tool, machine, _ = mk () in
+  (* occupy all four slots so object five is (almost surely) unwatched *)
+  for i = 1 to 4 do
+    ignore (tool.Tool.malloc ~size:16 ~ctx:(ctx i))
+  done;
+  let p = tool.Tool.malloc ~size:24 ~ctx:(ctx 5) in
+  (* smash the canary with an unwatched write (no trap possible) *)
+  Machine.store_word_unwatched machine (p + 24) 0x41414141;
+  tool.Tool.free ~ptr:p;
+  let evidence =
+    List.filter (fun r -> r.Report.source = Report.Canary_free) (Runtime.detections rt)
+  in
+  (match evidence with
+  | [ r ] ->
+    Alcotest.(check bool) "over-write evidence" true (r.Report.kind = Report.Over_write);
+    Alcotest.(check int) "object" p r.Report.object_addr
+  | _ -> Alcotest.fail "expected canary-at-free evidence");
+  (* the context is now pinned and persisted *)
+  Alcotest.(check bool) "persisted" true
+    (Persist.mem (Runtime.store rt) (Alloc_ctx.key (ctx 5)))
+
+let test_canary_at_exit () =
+  let rt, tool, machine, _ = mk () in
+  for i = 1 to 4 do
+    ignore (tool.Tool.malloc ~size:16 ~ctx:(ctx i))
+  done;
+  let p = tool.Tool.malloc ~size:24 ~ctx:(ctx 5) in
+  Machine.store_word_unwatched machine (p + 24) 0x42424242;
+  (* never freed: the termination sweep must find it *)
+  Runtime.finish rt;
+  Alcotest.(check bool) "canary-at-exit evidence" true
+    (List.exists
+       (fun r -> r.Report.source = Report.Canary_exit)
+       (Runtime.detections rt));
+  (* finish is idempotent *)
+  let n = List.length (Runtime.detections rt) in
+  Runtime.finish rt;
+  Alcotest.(check int) "idempotent finish" n (List.length (Runtime.detections rt))
+
+let test_no_evidence_mode () =
+  let params = { Params.default with Params.evidence = false } in
+  let rt, tool, machine, heap = mk ~params () in
+  let p = tool.Tool.malloc ~size:24 ~ctx:(ctx 1) in
+  (* no header before the object *)
+  Alcotest.(check bool) "no header" true (Canary.read_header machine ~app:p = None);
+  Machine.store_word_unwatched machine (p + 24) 0x43434343;
+  tool.Tool.free ~ptr:p;
+  Runtime.finish rt;
+  Alcotest.(check bool) "watchpoint-only reports" true
+    (List.for_all
+       (fun r -> r.Report.source = Report.Watchpoint)
+       (Runtime.detections rt));
+  Alcotest.(check int) "heap clean" 0 (Heap.live_objects heap)
+
+let test_persist_pins_context () =
+  let store = Persist.create () in
+  Persist.add store (Alloc_ctx.key (ctx 42));
+  let rt, tool, machine, _ = mk ~store () in
+  (* fill the slots with other contexts first, ending startup *)
+  for i = 1 to 4 do
+    ignore (tool.Tool.malloc ~size:16 ~ctx:(ctx i))
+  done;
+  (* known-guilty context: pinned at probability 1, must preempt *)
+  let p = tool.Tool.malloc ~size:32 ~ctx:(ctx 42) in
+  ignore (Machine.load_word machine (p + 32));
+  Alcotest.(check bool) "known context watched deterministically" true
+    (Runtime.detected rt)
+
+let test_trap_after_detection_slot_reused () =
+  let rt, tool, machine, _ = mk () in
+  let p = tool.Tool.malloc ~size:16 ~ctx:(ctx 1) in
+  ignore (Machine.load_word machine (p + 16));
+  Alcotest.(check int) "one detection" 1 (List.length (Runtime.detections rt));
+  (* the slot was released: the same access no longer traps *)
+  ignore (Machine.load_word machine (p + 16));
+  Alcotest.(check int) "watch removed after report" 1
+    (List.length (Runtime.detections rt))
+
+let test_stats_and_memory () =
+  let rt, tool, _, _ = mk () in
+  let p1 = tool.Tool.malloc ~size:16 ~ctx:(ctx 1) in
+  let _p2 = tool.Tool.malloc ~size:16 ~ctx:(ctx 1) in
+  let _p3 = tool.Tool.malloc ~size:16 ~ctx:(ctx 2) in
+  tool.Tool.free ~ptr:p1;
+  let s = Runtime.stats rt in
+  Alcotest.(check int) "contexts" 2 s.Runtime.contexts;
+  Alcotest.(check int) "allocations" 3 s.Runtime.allocations;
+  Alcotest.(check int) "live objects" 2 s.Runtime.live_objects;
+  Alcotest.(check bool) "watched at least the startup ones" true
+    (s.Runtime.watched_times >= 3);
+  Alcotest.(check bool) "context table accounted" true
+    (Runtime.extra_resident_bytes rt > 0)
+
+let test_free_null_and_foreign () =
+  let _, tool, _, _ = mk () in
+  tool.Tool.free ~ptr:0;
+  (* foreign pointer: the heap rejects it *)
+  try
+    tool.Tool.free ~ptr:0xDEAD00;
+    Alcotest.fail "foreign free must raise"
+  with Heap.Error _ -> ()
+
+let test_seed_changes_sampling () =
+  (* Same allocation stream, different seeds: the post-startup sampling
+     decisions eventually differ. *)
+  let decisions seed =
+    let rt, tool, _, _ = mk ~seed () in
+    for i = 1 to 200 do
+      let p = tool.Tool.malloc ~size:16 ~ctx:(ctx (i mod 10)) in
+      tool.Tool.free ~ptr:p
+    done;
+    (Runtime.stats rt).Runtime.watched_times
+  in
+  let counts = List.map decisions [ 1; 2; 3; 4; 5; 6 ] in
+  Alcotest.(check bool) "seeds diversify watch counts" true
+    (List.sort_uniq compare counts <> [ List.hd counts ] || List.length counts = 1
+     |> fun _ -> List.length (List.sort_uniq compare counts) > 1)
+
+let suite =
+  [ Alcotest.test_case "watchpoint detection (read+write)" `Quick
+      test_watchpoint_detection_read_write;
+    Alcotest.test_case "no false positives" `Quick test_no_false_positives_in_bounds;
+    Alcotest.test_case "watch removed on free" `Quick test_watch_removed_on_free;
+    Alcotest.test_case "canary at free" `Quick test_canary_at_free;
+    Alcotest.test_case "canary at exit" `Quick test_canary_at_exit;
+    Alcotest.test_case "no-evidence mode" `Quick test_no_evidence_mode;
+    Alcotest.test_case "persisted context pinned" `Quick test_persist_pins_context;
+    Alcotest.test_case "slot reused after detection" `Quick
+      test_trap_after_detection_slot_reused;
+    Alcotest.test_case "stats and memory" `Quick test_stats_and_memory;
+    Alcotest.test_case "free NULL / foreign" `Quick test_free_null_and_foreign;
+    Alcotest.test_case "seed changes sampling" `Quick test_seed_changes_sampling ]
