@@ -1,0 +1,436 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section V), plus the ablation study and Bechamel timings of
+   the runtime's real hot paths.
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- table2 --runs 200
+     dune exec bench/main.exe -- fig7 micro
+
+   Commands: table1 table2 table3 table4 table5 fig6 fig7 evidence fleet
+   ablate syscalls micro.  `--runs N` controls the Table II / ablation execution
+   counts (default 1000 / 200, as in the paper). *)
+
+let progress fmt = Printf.ksprintf (fun s -> Printf.eprintf "  .. %s\n%!" s) fmt
+
+let section title = Printf.printf "\n==== %s ====\n\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+
+let table1 () =
+  section "Table I: applications used for effectiveness evaluation";
+  let t =
+    Table_fmt.create ~title:"TABLE I"
+      ~columns:[ ("Application", Table_fmt.Left); ("Vulnerability", Table_fmt.Left);
+                 ("Reference", Table_fmt.Left) ]
+  in
+  List.iter
+    (fun (r : Characteristics.table1_row) ->
+      Table_fmt.add_row t [ r.Characteristics.app; r.Characteristics.vulnerability;
+                            r.Characteristics.reference ])
+    (Characteristics.table1 ());
+  Table_fmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Table II                                                            *)
+
+(* Paper values for side-by-side comparison (out of 1,000). *)
+let paper_table2 =
+  [ ("Gzip", (1000, 1000, 1000)); ("Heartbleed", (0, 364, 396));
+    ("Libdwarf", (1000, 480, 459)); ("LibHX", (1000, 929, 885));
+    ("Libtiff", (1000, 1000, 1000)); ("Memcached", (0, 163, 183));
+    ("MySQL", (0, 161, 174)); ("Polymorph", (1000, 1000, 1000));
+    ("Zziplib", (0, 110, 102)) ]
+
+let table2 ~runs () =
+  section
+    (Printf.sprintf "Table II: detections out of %d executions per policy" runs);
+  let rows = Effectiveness.table2 ~runs ~progress:(progress "%s") () in
+  let t =
+    Table_fmt.create
+      ~title:"TABLE II (paper values, scaled to the run count, in brackets)"
+      ~columns:[ ("Application", Table_fmt.Left); ("Naive", Table_fmt.Right);
+                 ("Random", Table_fmt.Right); ("Near-FIFO", Table_fmt.Right) ]
+  in
+  List.iter
+    (fun (r : Effectiveness.row) ->
+      let pn, pr, pf =
+        match List.assoc_opt r.Effectiveness.app_name paper_table2 with
+        | Some (a, b, c) -> (a * runs / 1000, b * runs / 1000, c * runs / 1000)
+        | None -> (0, 0, 0)
+      in
+      Table_fmt.add_row t
+        [ r.Effectiveness.app_name;
+          Printf.sprintf "%d [%d]" r.Effectiveness.naive pn;
+          Printf.sprintf "%d [%d]" r.Effectiveness.random pr;
+          Printf.sprintf "%d [%d]" r.Effectiveness.near_fifo pf ])
+    rows;
+  Table_fmt.add_separator t;
+  let an, ar, af = Effectiveness.average_rate rows in
+  Table_fmt.add_row t
+    [ "Average rate"; Table_fmt.fmt_percent an; Table_fmt.fmt_percent ar;
+      Table_fmt.fmt_percent af ];
+  Table_fmt.print t;
+  Printf.printf
+    "Paper: random and near-FIFO detect between 10%% and 100%% per app, 58%% on average.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table III                                                           *)
+
+let paper_table3 =
+  [ ("Gzip", (1, 1, 1, 1)); ("Heartbleed", (307, 5403, 273, 5392));
+    ("Libdwarf", (26, 152, 24, 147)); ("LibHX", (4, 5, 1, 1));
+    ("Libtiff", (1, 1, 1, 1)); ("Memcached", (74, 442, 74, 442));
+    ("MySQL", (488, 57464, 445, 57356)); ("Polymorph", (1, 1, 1, 1));
+    ("Zziplib", (13, 17, 13, 17)) ]
+
+let table3 () =
+  section "Table III: allocation census of the buggy applications (oracle runs)";
+  let t =
+    Table_fmt.create ~title:"TABLE III (paper values in brackets)"
+      ~columns:[ ("Application", Table_fmt.Left);
+                 ("Contexts", Table_fmt.Right); ("Allocations", Table_fmt.Right);
+                 ("Ctx before", Table_fmt.Right); ("Allocs before", Table_fmt.Right);
+                 ("Class", Table_fmt.Left) ]
+  in
+  List.iter
+    (fun (r : Characteristics.table3_row) ->
+      let pc, pa, pbc, pba =
+        match List.assoc_opt r.Characteristics.app paper_table3 with
+        | Some v -> v
+        | None -> (0, 0, 0, 0)
+      in
+      Table_fmt.add_row t
+        [ r.Characteristics.app;
+          Printf.sprintf "%d [%d]" r.Characteristics.total_contexts pc;
+          Printf.sprintf "%s [%s]"
+            (Table_fmt.fmt_int r.Characteristics.total_allocations)
+            (Table_fmt.fmt_int pa);
+          Printf.sprintf "%d [%d]" r.Characteristics.before_contexts pbc;
+          Printf.sprintf "%s [%s]"
+            (Table_fmt.fmt_int r.Characteristics.before_allocations)
+            (Table_fmt.fmt_int pba);
+          r.Characteristics.detected_kind ])
+    (Characteristics.table3 ());
+  Table_fmt.print t;
+  Printf.printf
+    "Note: \"before\" columns count at the overflowed object's allocation\n\
+     (inclusive).  Libdwarf's paper row counts up to the overflow event\n\
+     instead; see EXPERIMENTS.md.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table IV                                                            *)
+
+let paper_wt =
+  [ ("Blackscholes", 4); ("Bodytrack", 325); ("Canneal", 79); ("Dedup", 182);
+    ("Facesim", 369); ("Ferret", 346); ("Fluidanimate", 5); ("Freqmine", 218);
+    ("Raytrace", 561); ("Streamcluster", 30); ("Swaptions", 370); ("Vips", 259);
+    ("X264", 37); ("Aget", 16); ("Apache", 27); ("Memcached", 79);
+    ("MySQL", 1362); ("Pbzip2", 58); ("Pfscan", 5) ]
+
+let table4 () =
+  section "Table IV: characteristics of the performance applications";
+  let t =
+    Table_fmt.create ~title:"TABLE IV (paper WT in brackets)"
+      ~columns:[ ("Application", Table_fmt.Left); ("LOC", Table_fmt.Right);
+                 ("CC", Table_fmt.Right); ("Allocations", Table_fmt.Right);
+                 ("WT", Table_fmt.Right); ("sim 1/", Table_fmt.Right) ]
+  in
+  List.iter
+    (fun (r : Characteristics.table4_row) ->
+      let pwt = Option.value ~default:0 (List.assoc_opt r.Characteristics.app paper_wt) in
+      Table_fmt.add_row t
+        [ r.Characteristics.app;
+          Table_fmt.fmt_int r.Characteristics.loc;
+          Table_fmt.fmt_int r.Characteristics.contexts;
+          Table_fmt.fmt_int r.Characteristics.allocations;
+          Printf.sprintf "%d [%d]" r.Characteristics.watched_times pwt;
+          string_of_int r.Characteristics.sim_scale ])
+    (Characteristics.table4 ~progress:(progress "%s") ());
+  Table_fmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Table V                                                             *)
+
+let paper_table5 =
+  [ ("Blackscholes", (613, 103, 110)); ("Bodytrack", (34, 151, 1079));
+    ("Canneal", (940, 144, 169)); ("Dedup", (1599, 111, 96));
+    ("Facesim", (2422, 102, 133)); ("Ferret", (68, 133, 610));
+    ("Fluidanimate", (408, 106, 120)); ("Freqmine", (1241, 102, 0));
+    ("Raytrace", (1135, 115, 222)); ("Streamcluster", (111, 115, 136));
+    ("Swaptions", (9, 289, 4178)); ("Vips", (59, 133, 570));
+    ("X264", (486, 104, 142)); ("Aget", (7, 359, 320)); ("Apache", (5, 523, 477));
+    ("Memcached", (7, 391, 359)); ("MySQL", (124, 117, 317));
+    ("Pbzip2", (128, 116, 322)); ("Pfscan", (4044, 91, 102)) ]
+
+let table5 () =
+  section "Table V: peak memory usage";
+  let rows = Overhead.table5 ~progress:(progress "%s") () in
+  let t =
+    Table_fmt.create ~title:"TABLE V (paper percentages in brackets)"
+      ~columns:[ ("Application", Table_fmt.Left); ("Original Kb", Table_fmt.Right);
+                 ("CSOD Kb", Table_fmt.Right); ("CSOD %", Table_fmt.Right);
+                 ("ASan Kb", Table_fmt.Right); ("ASan %", Table_fmt.Right) ]
+  in
+  let add (r : Overhead.table5_row) =
+    let _, pc, pa =
+      Option.value ~default:(0, 0, 0) (List.assoc_opt r.Overhead.app paper_table5)
+    in
+    Table_fmt.add_row t
+      [ r.Overhead.app;
+        Table_fmt.fmt_int r.Overhead.original_kb;
+        Table_fmt.fmt_int r.Overhead.csod_kb;
+        Printf.sprintf "%d [%d]" r.Overhead.csod_pct pc;
+        Table_fmt.fmt_int r.Overhead.asan_kb;
+        Printf.sprintf "%d [%d]" r.Overhead.asan_pct pa ]
+  in
+  List.iter add rows;
+  Table_fmt.add_separator t;
+  add (Overhead.table5_totals rows);
+  Table_fmt.print t;
+  Printf.printf "Paper totals: CSOD 105%%, ASan 143%%.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                            *)
+
+let fig6 () =
+  section "Figure 6: bug report for Heartbleed";
+  let app = Option.get (Buggy_app.by_name "Heartbleed") in
+  match
+    Execution.run_until_detected ~app ~config:Config.csod_default ~max_runs:64
+  with
+  | None -> Printf.printf "Heartbleed not detected within 64 executions (unexpected)\n"
+  | Some (n, o) ->
+    Printf.printf "(detected on execution %d)\n\n" n;
+    List.iter
+      (fun r -> print_endline (Report.format ~symbolize:(Execution.symbolizer app) r))
+      o.Execution.watchpoint_reports
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7                                                            *)
+
+let fig7 () =
+  section "Figure 7: performance overhead of CSOD vs ASan (normalized runtime)";
+  let rows = Overhead.fig7 ~progress:(progress "%s") () in
+  let t =
+    Table_fmt.create ~title:"FIGURE 7 (series as normalized runtime, 1.00 = baseline)"
+      ~columns:[ ("Application", Table_fmt.Left);
+                 ("CSOD w/o Evidence", Table_fmt.Right); ("CSOD", Table_fmt.Right);
+                 ("ASan min-rz", Table_fmt.Right); ("ASan", Table_fmt.Right) ]
+  in
+  List.iter
+    (fun (r : Overhead.fig7_row) ->
+      Table_fmt.add_row t
+        [ r.Overhead.app;
+          Table_fmt.fmt_float r.Overhead.csod_no_evidence;
+          Table_fmt.fmt_float r.Overhead.csod;
+          Table_fmt.fmt_float r.Overhead.asan_min;
+          Table_fmt.fmt_float r.Overhead.asan ])
+    rows;
+  Table_fmt.add_separator t;
+  let a, b, c, d = Overhead.fig7_averages rows in
+  Table_fmt.add_row t
+    [ "Average"; Table_fmt.fmt_float a; Table_fmt.fmt_float b; Table_fmt.fmt_float c;
+      Table_fmt.fmt_float d ];
+  Table_fmt.print t;
+  Printf.printf
+    "Paper: CSOD 6.7%% average (4.3%% without evidence); ASan ~39%% with minimal\n\
+     redzones; CSOD exceeds 10%% only on Canneal, Ferret and Raytrace.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Evidence (Section V-A2) and fleet detection                         *)
+
+let evidence () =
+  section "Section V-A2: evidence-based over-write detection across two executions";
+  let t =
+    Table_fmt.create ~title:"EVIDENCE (over-write apps)"
+      ~columns:[ ("Application", Table_fmt.Left); ("Run 1 watchpoint", Table_fmt.Left);
+                 ("Run 1 evidence", Table_fmt.Left); ("Run 2 watchpoint", Table_fmt.Left) ]
+  in
+  List.iter
+    (fun (r : Evidence.row) ->
+      let b v = if v then "yes" else "no" in
+      Table_fmt.add_row t
+        [ r.Evidence.app; b r.Evidence.first_run_watchpoint;
+          b r.Evidence.first_run_evidence; b r.Evidence.second_run_watchpoint ])
+    (Evidence.second_execution ());
+  Table_fmt.print t;
+  Printf.printf
+    "Paper: every over-write is detected by the second execution at the latest.\n"
+
+let fleet () =
+  section "Fleet simulation: executions needed until first detection (shared store)";
+  let t =
+    Table_fmt.create ~title:"FLEET (near-FIFO, evidence on, up to 64 users)"
+      ~columns:[ ("Application", Table_fmt.Left); ("Detected at run", Table_fmt.Right);
+                 ("Mechanism", Table_fmt.Left) ]
+  in
+  List.iter
+    (fun app ->
+      match Evidence.fleet ~app ~users:64 () with
+      | Some (n, src) ->
+        Table_fmt.add_row t
+          [ app.Buggy_app.name; string_of_int n; Report.source_name src ]
+      | None -> Table_fmt.add_row t [ app.Buggy_app.name; ">64"; "-" ])
+    (Buggy_app.all ());
+  Table_fmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Ablation                                                            *)
+
+let ablate ~runs () =
+  section (Printf.sprintf "Ablation: one mechanism disabled at a time (%d runs)" runs);
+  List.iter
+    (fun (v : Ablation.variant) ->
+      Printf.printf "  %-22s %s\n" v.Ablation.name v.Ablation.note)
+    (Ablation.variants ());
+  print_newline ();
+  let rows = Ablation.run ~runs ~progress:(progress "%s") () in
+  let apps = List.map (fun a -> a.Buggy_app.name) (Ablation.apps_under_test ()) in
+  let t =
+    Table_fmt.create ~title:"ABLATION (watchpoint detections)"
+      ~columns:
+        (("Variant", Table_fmt.Left)
+        :: List.map (fun a -> (a, Table_fmt.Right)) apps)
+  in
+  List.iter
+    (fun (r : Ablation.row) ->
+      Table_fmt.add_row t
+        (r.Ablation.variant
+        :: List.map
+             (fun a ->
+               string_of_int
+                 (Option.value ~default:0 (List.assoc_opt a r.Ablation.detections)))
+             apps))
+    rows;
+  Table_fmt.print t
+
+(* ------------------------------------------------------------------ *)
+(* Combined-syscall study (the paper's proposed OS optimization)       *)
+
+let syscalls () =
+  section
+    "Combined-syscall study: Section V-B's proposed single-syscall install";
+  let combined_params = { Params.default with Params.combined_syscall = true } in
+  let t =
+    Table_fmt.create
+      ~title:"WATCHPOINT SYSCALL TRAFFIC (CSOD, default vs combined syscall)"
+      ~columns:[ ("Application", Table_fmt.Left); ("WT", Table_fmt.Right);
+                 ("syscalls", Table_fmt.Right); ("combined", Table_fmt.Right);
+                 ("overhead", Table_fmt.Right); ("overhead'", Table_fmt.Right) ]
+  in
+  List.iter
+    (fun name ->
+      let p = Option.get (Perf_profile.by_name name) in
+      let base = Perf_driver.run ~profile:p ~config:Config.Baseline () in
+      let std = Perf_driver.run ~profile:p ~config:Config.csod_default () in
+      let comb = Perf_driver.run ~profile:p ~config:(Config.Csod combined_params) () in
+      Table_fmt.add_row t
+        [ p.Perf_profile.name;
+          Table_fmt.fmt_int std.Perf_driver.watched_times;
+          Table_fmt.fmt_int std.Perf_driver.syscalls;
+          Table_fmt.fmt_int comb.Perf_driver.syscalls;
+          Table_fmt.fmt_float (Perf_driver.overhead ~baseline:base std);
+          Table_fmt.fmt_float (Perf_driver.overhead ~baseline:base comb) ])
+    [ "Ferret"; "Vips"; "MySQL"; "Memcached"; "Bodytrack" ];
+  Table_fmt.print t;
+  Printf.printf
+    "The paper: \"eight system calls are used to install and remove a\n\
+     watchpoint for each thread.  We could further reduce the performance\n\
+     overhead by combining these system calls into one custom system call,\n\
+     but this requires modification of the underlying OS.\"\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the real hot paths                     *)
+
+let micro () =
+  section "Micro-benchmarks (Bechamel; real OCaml time of the runtime hot paths)";
+  let open Bechamel in
+  let mk_csod_env evidence =
+    let machine = Machine.create ~seed:5 () in
+    let heap = Heap.create machine in
+    let params = { Params.default with Params.evidence } in
+    let rt = Runtime.create ~params ~machine ~heap () in
+    (Runtime.tool rt, ref 0)
+  in
+  let alloc_free_test name tool counter =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           incr counter;
+           let ctx = Alloc_ctx.synthetic ~callsite:(0x40 + (!counter mod 64)) () in
+           let p = tool.Tool.malloc ~size:64 ~ctx in
+           tool.Tool.free ~ptr:p))
+  in
+  let baseline_tool, c0 =
+    let machine = Machine.create ~seed:5 () in
+    let heap = Heap.create machine in
+    (Tool.baseline heap, ref 0)
+  in
+  let csod_tool, c1 = mk_csod_env true in
+  let csod_ne_tool, c2 = mk_csod_env false in
+  let asan_tool, c3 =
+    let machine = Machine.create ~seed:5 () in
+    let heap = Heap.create machine in
+    let a = Asan.create ~machine ~heap () in
+    (Asan.tool a, ref 0)
+  in
+  let prng = Prng.create ~seed:99 in
+  let shadow = Shadow.create () in
+  Shadow.poison shadow ~addr:4096 ~len:64;
+  let tests =
+    Test.make_grouped ~name:"hot-paths"
+      [ alloc_free_test "baseline-malloc-free" baseline_tool c0;
+        alloc_free_test "csod-malloc-free" csod_tool c1;
+        alloc_free_test "csod-noevidence-malloc-free" csod_ne_tool c2;
+        alloc_free_test "asan-malloc-free" asan_tool c3;
+        Test.make ~name:"prng-draw" (Staged.stage (fun () -> ignore (Prng.float prng)));
+        Test.make ~name:"shadow-check"
+          (Staged.stage (fun () -> ignore (Shadow.is_poisoned shadow ~addr:4100 ~len:8))) ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, est) -> Printf.printf "  %-45s %10.1f ns/op\n" name est) rows
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args = List.filter (fun a -> a <> "--") args in
+  let rec extract_runs acc = function
+    | [] -> (None, List.rev acc)
+    | "--runs" :: n :: rest -> (int_of_string_opt n, List.rev_append acc rest)
+    | x :: rest -> extract_runs (x :: acc) rest
+  in
+  let runs_opt, cmds = extract_runs [] args in
+  let runs = Option.value ~default:1000 runs_opt in
+  let ablate_runs = Option.value ~default:200 runs_opt in
+  let all = cmds = [] in
+  let want c = all || List.mem c cmds in
+  if want "table1" then table1 ();
+  if want "table2" then table2 ~runs ();
+  if want "table3" then table3 ();
+  if want "table4" then table4 ();
+  if want "table5" then table5 ();
+  if want "fig6" then fig6 ();
+  if want "fig7" then fig7 ();
+  if want "evidence" then evidence ();
+  if want "fleet" then fleet ();
+  if want "ablate" then ablate ~runs:ablate_runs ();
+  if want "syscalls" then syscalls ();
+  if want "micro" then micro ();
+  Printf.printf "\nDone.\n"

@@ -1,0 +1,271 @@
+(* csod_run: command-line front end to the CSOD simulation.
+
+     csod_run list                         enumerate the bundled buggy apps
+     csod_run run heartbleed               one execution under CSOD
+     csod_run run mysql --policy random --seed 7 --runs 20
+     csod_run run libtiff --tool asan      compare against the ASan model
+     csod_run fleet zziplib --users 50     shared-store fleet simulation
+     csod_run exec prog.mc --input 3 --input 9
+                                           run your own MiniC program
+
+   The persistent store of overflowing contexts can be saved/loaded with
+   --store FILE, mirroring how the paper's runtime carries evidence across
+   executions. *)
+
+open Cmdliner
+
+let policy_conv =
+  let parse = function
+    | "naive" -> Ok Params.Naive
+    | "random" -> Ok Params.Random
+    | "near-fifo" | "nearfifo" | "fifo" -> Ok Params.Near_fifo
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %S (naive|random|near-fifo)" s))
+  in
+  let print ppf p = Fmt.string ppf (Params.policy_name p) in
+  Arg.conv (parse, print)
+
+let tool_conv =
+  let parse = function
+    | "csod" -> Ok `Csod
+    | "asan" -> Ok `Asan
+    | "none" | "baseline" -> Ok `None
+    | s -> Error (`Msg (Printf.sprintf "unknown tool %S (csod|asan|none)" s))
+  in
+  let print ppf t =
+    Fmt.string ppf (match t with `Csod -> "csod" | `Asan -> "asan" | `None -> "none")
+  in
+  Arg.conv (parse, print)
+
+(* Shared options *)
+let policy_arg =
+  Arg.(value & opt policy_conv Params.Near_fifo
+       & info [ "policy" ] ~docv:"POLICY" ~doc:"Watchpoint replacement policy.")
+
+let tool_arg =
+  Arg.(value & opt tool_conv `Csod
+       & info [ "tool" ] ~docv:"TOOL" ~doc:"Detection tool to run under.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Execution seed.")
+
+let runs_arg =
+  Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N" ~doc:"Number of executions.")
+
+let no_evidence_arg =
+  Arg.(value & flag & info [ "no-evidence" ] ~doc:"Disable the canary mechanism.")
+
+let benign_arg =
+  Arg.(value & flag & info [ "benign" ] ~doc:"Use the overflow-free input.")
+
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"FILE"
+           ~doc:"Load/save the persistent store of overflowing contexts.")
+
+let config_of ~tool ~policy ~no_evidence =
+  match tool with
+  | `Csod -> Config.csod_with_policy policy ~evidence:(not no_evidence)
+  | `Asan -> Config.asan_min_redzone
+  | `None -> Config.Baseline
+
+let load_store = function
+  | None -> Persist.create ()
+  | Some file -> Persist.load file
+
+let save_store store = function
+  | None -> ()
+  | Some file -> Persist.save store file
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (a : Buggy_app.t) ->
+        Printf.printf "%-12s %-10s %s\n" a.Buggy_app.name
+          (Report.kind_name a.Buggy_app.vuln)
+          a.Buggy_app.reference)
+      (Buggy_app.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled buggy applications.")
+    Term.(const run $ const ())
+
+(* ---- run ---- *)
+
+let print_outcome app (o : Execution.outcome) =
+  (match o.Execution.crashed with
+  | Some msg -> Printf.printf "! program fault: %s\n" msg
+  | None -> ());
+  if o.Execution.output <> "" then Printf.printf "--- program output ---\n%s" o.Execution.output;
+  if o.Execution.reports = [] && o.Execution.asan_detections = [] then
+    Printf.printf "no overflow detected in this execution\n"
+  else begin
+    List.iter
+      (fun r ->
+        Printf.printf "[%s]\n%s\n" (Report.source_name r.Report.source)
+          (Report.format ~symbolize:(Execution.symbolizer app) r))
+      o.Execution.reports;
+    List.iter
+      (fun (d : Asan.detection) ->
+        Printf.printf "[asan] heap-buffer-overflow %s at 0x%x (site %s)\n"
+          (match d.Asan.kind with Tool.Read -> "READ" | Tool.Write -> "WRITE")
+          d.Asan.addr
+          (Execution.symbolizer app d.Asan.site))
+      o.Execution.asan_detections
+  end;
+  match o.Execution.stats with
+  | Some s ->
+    Printf.printf
+      "stats: contexts=%d allocations=%d watched=%d traps=%d canary-checks=%d\n"
+      s.Runtime.contexts s.Runtime.allocations s.Runtime.watched_times
+      s.Runtime.traps s.Runtime.canary_checks
+  | None -> ()
+
+let run_cmd =
+  let app_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"APP" ~doc:"Application name (see $(b,list)).")
+  in
+  let run name tool policy no_evidence benign seed runs store_file =
+    match Buggy_app.by_name name with
+    | None ->
+      Printf.eprintf "unknown application %S; try 'csod_run list'\n" name;
+      exit 1
+    | Some app ->
+      let config = config_of ~tool ~policy ~no_evidence in
+      let store = load_store store_file in
+      let input = if benign then Execution.Benign else Execution.Buggy in
+      let detected = ref 0 in
+      for s = seed to seed + runs - 1 do
+        let o = Execution.run ~app ~config ~input ~seed:s ~store () in
+        if runs = 1 then print_outcome app o;
+        if o.Execution.detected then incr detected
+      done;
+      if runs > 1 then
+        Printf.printf "%s: detected in %d/%d executions (%s)\n" app.Buggy_app.name
+          !detected runs (Config.label config);
+      save_store store store_file
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a bundled buggy application under a detection tool.")
+    Term.(const run $ app_arg $ tool_arg $ policy_arg $ no_evidence_arg $ benign_arg
+          $ seed_arg $ runs_arg $ store_arg)
+
+(* ---- fleet ---- *)
+
+let fleet_cmd =
+  let app_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"APP" ~doc:"Application name.")
+  in
+  let users_arg =
+    Arg.(value & opt int 50 & info [ "users" ] ~docv:"N" ~doc:"Fleet size.")
+  in
+  let run name users policy =
+    match Buggy_app.by_name name with
+    | None ->
+      Printf.eprintf "unknown application %S\n" name;
+      exit 1
+    | Some app -> (
+      match Evidence.fleet ~app ~users ~policy () with
+      | Some (n, src) ->
+        Printf.printf "%s: first detected on execution %d via %s\n"
+          app.Buggy_app.name n (Report.source_name src)
+      | None ->
+        Printf.printf "%s: not detected within %d executions\n" app.Buggy_app.name users)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Crowdsourcing simulation: repeated executions sharing a store.")
+    Term.(const run $ app_arg $ users_arg $ policy_arg)
+
+(* ---- exec: user-supplied MiniC program ---- *)
+
+let exec_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"MiniC source file.")
+  in
+  let inputs_arg =
+    Arg.(value & opt_all int []
+         & info [ "input" ] ~docv:"N" ~doc:"Value for the input() builtin (repeatable).")
+  in
+  let module_arg =
+    Arg.(value & opt string "main"
+         & info [ "module" ] ~docv:"NAME" ~doc:"Module tag for the compilation unit.")
+  in
+  let dump_arg =
+    Arg.(value & flag
+         & info [ "dump" ] ~doc:"Pretty-print the checked program and exit.")
+  in
+  let run file inputs module_name tool policy no_evidence seed store_file dump =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    match Program.load [ { Program.file; module_name; source } ] with
+    | Error errs ->
+      List.iter (fun e -> Printf.eprintf "%s\n" (Format.asprintf "%a" Program.pp_error e)) errs;
+      exit 1
+    | Ok program when dump ->
+      print_endline (Pretty.program_to_string (Program.functions program))
+    | Ok program ->
+      let machine = Machine.create ~seed () in
+      let heap = Heap.create machine in
+      let store = load_store store_file in
+      let config = config_of ~tool ~policy ~no_evidence in
+      let inst = Config.instantiate config ~machine ~heap ~store ~seed () in
+      let crashed =
+        try
+          let r =
+            Interp.run ~machine ~tool:inst.Config.tool ~program
+              ~inputs:(Array.of_list inputs) ~app_seed:seed ()
+          in
+          print_string r.Interp.output;
+          None
+        with
+        | Interp.Runtime_error (msg, loc) ->
+          Some (Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg)
+        | Heap.Error msg -> Some msg
+      in
+      inst.Config.finish ();
+      (match crashed with
+      | Some msg -> Printf.printf "! program fault: %s\n" msg
+      | None -> ());
+      (match inst.Config.csod with
+      | Some rt ->
+        List.iter
+          (fun r ->
+            Printf.printf "[%s]\n%s\n" (Report.source_name r.Report.source)
+              (Report.format ~symbolize:(Program.symbolize program) r))
+          (Runtime.detections rt)
+      | None -> ());
+      (match inst.Config.asan with
+      | Some a ->
+        List.iter
+          (fun (d : Asan.detection) ->
+            Printf.printf "[asan] heap-buffer-overflow %s at 0x%x (site %s)\n"
+              (match d.Asan.kind with Tool.Read -> "READ" | Tool.Write -> "WRITE")
+              d.Asan.addr
+              (Program.symbolize program d.Asan.site))
+          (Asan.detections a)
+      | None -> ());
+      save_store store store_file;
+      if not (inst.Config.detected ()) then
+        Printf.printf "no overflow detected in this execution\n"
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Run a MiniC source file under a detection tool.")
+    Term.(const run $ file_arg $ inputs_arg $ module_arg $ tool_arg $ policy_arg
+          $ no_evidence_arg $ seed_arg $ store_arg $ dump_arg)
+
+let () =
+  (* --trace anywhere on the command line streams the runtime's sampling
+     decisions (watch/skip, replacements, traps, canaries) to stderr *)
+  if Array.exists (( = ) "--trace") Sys.argv then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Trace.src (Some Logs.Debug)
+  end;
+  let argv = Array.of_list (List.filter (( <> ) "--trace") (Array.to_list Sys.argv)) in
+  let info =
+    Cmd.info "csod_run" ~version:"1.0.0"
+      ~doc:"Context-Sensitive Overflow Detection (CGO 2019) — simulation CLI"
+  in
+  exit (Cmd.eval ~argv (Cmd.group info [ list_cmd; run_cmd; fleet_cmd; exec_cmd ]))

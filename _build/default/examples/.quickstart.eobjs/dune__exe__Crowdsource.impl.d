@@ -1,0 +1,1 @@
+examples/crowdsource.ml: Buggy_app Config Execution List Persist Printf Report

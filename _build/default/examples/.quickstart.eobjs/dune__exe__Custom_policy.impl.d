@@ -1,0 +1,1 @@
+examples/custom_policy.ml: Buggy_app Config Execution List Option Params Printf

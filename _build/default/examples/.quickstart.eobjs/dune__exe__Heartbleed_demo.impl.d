@@ -1,0 +1,1 @@
+examples/heartbleed_demo.ml: Asan Buggy_app Config Execution List Option Printf Report Tool

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Heap Interp List Machine Printf Program Report Runtime

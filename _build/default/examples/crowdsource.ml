@@ -1,0 +1,47 @@
+(* The crowdsourcing deployment story (paper, Sections I and IV-B).
+
+   CSOD is "particularly suitable for the crowdsourcing or cloud
+   environments, where a program will be executed repeatedly by a large
+   number of users".  This example simulates such a fleet for every
+   bundled buggy application: each user executes the program once with a
+   different seed; the runtime's persistent store of overflowing contexts
+   is shared (the crowd aggregates evidence).  Once any user's canary or
+   watchpoint catches the bug, every later execution pins the guilty
+   context at probability 1.0 and catches it deterministically.
+
+     dune exec examples/crowdsource.exe *)
+
+let () =
+  Printf.printf "%-12s %-10s %16s %14s  %s\n" "app" "class" "first detection"
+    "mechanism" "then";
+  List.iter
+    (fun (app : Buggy_app.t) ->
+      let store = Persist.create () in
+      let config = Config.csod_default in
+      (* Run users until first detection. *)
+      let rec first_user u =
+        if u > 200 then None
+        else
+          let o = Execution.run ~app ~config ~seed:u ~store () in
+          match o.Execution.reports with
+          | r :: _ -> Some (u, r.Report.source)
+          | [] -> first_user (u + 1)
+      in
+      match first_user 1 with
+      | None -> Printf.printf "%-12s not detected in 200 user executions\n" app.Buggy_app.name
+      | Some (u, src) ->
+        (* After the store knows the context, the next user must catch it
+           with a watchpoint (probability pinned to 1). *)
+        let o = Execution.run ~app ~config ~seed:(u + 1000) ~store () in
+        let confirmed =
+          List.exists
+            (fun r -> r.Report.source = Report.Watchpoint)
+            o.Execution.reports
+        in
+        Printf.printf "%-12s %-10s %16s %14s  %s\n" app.Buggy_app.name
+          (Report.kind_name app.Buggy_app.vuln)
+          (Printf.sprintf "user #%d" u)
+          (Report.source_name src)
+          (if confirmed then "every later user catches it (context pinned)"
+           else "later user missed it (unexpected)"))
+    (Buggy_app.all ())

@@ -1,0 +1,45 @@
+(* Tuning CSOD: parameters and policies through the public API.
+
+   CSOD's sampling constants are compile-time macros in the paper
+   ("which could be further adjusted based on the behavior of programs",
+   Section III-B2); this reproduction exposes them as a record.  The
+   example compares the three replacement policies and two parameter
+   variants on the Memcached model, over a few dozen executions each —
+   a miniature of the Table II experiment plus the ablation.
+
+     dune exec examples/custom_policy.exe *)
+
+let detection_rate ~app ~params ~runs =
+  let config = Config.Csod params in
+  let hits = ref 0 in
+  for seed = 1 to runs do
+    let o = Execution.run ~app ~config ~seed () in
+    if o.Execution.watchpoint_reports <> [] then incr hits
+  done;
+  float_of_int !hits /. float_of_int runs
+
+let () =
+  let app = Option.get (Buggy_app.by_name "Memcached") in
+  let runs = 40 in
+  let base = { Params.default with Params.evidence = false } in
+  let variants =
+    [ ("naive policy", { base with Params.policy = Params.Naive });
+      ("random policy", { base with Params.policy = Params.Random });
+      ("near-FIFO policy (paper)", base);
+      ( "pessimistic start (initial probability 1%)",
+        { base with Params.initial_prob = 0.01 } );
+      ( "aggressive degradation (halve to 1/8 per watch)",
+        { base with Params.watch_decay_factor = 0.125 } );
+      ( "slow watchpoint aging (60 s half-life)",
+        { base with Params.installed_halflife_sec = 60.0 } ) ]
+  in
+  Printf.printf "Memcached (CVE-2016-8706), %d executions per variant:\n\n" runs;
+  List.iter
+    (fun (name, params) ->
+      let rate = detection_rate ~app ~params ~runs in
+      Printf.printf "  %-48s %4.0f%%\n" name (rate *. 100.0))
+    variants;
+  Printf.printf
+    "\nThe paper's near-FIFO configuration detects this bug in ~18%% of\n\
+     executions (Table II); the naive policy never does, because the four\n\
+     watchpoints are pinned on long-lived start-up objects.\n"

@@ -1,0 +1,43 @@
+(* Heartbleed under three tools.
+
+   Runs the bundled Nginx+OpenSSL Heartbleed model (CVE-2014-0160) under
+   the baseline allocator, the ASan model, and CSOD, and shows what each
+   one sees.  CSOD's detection is probabilistic (one watchpoint must be
+   guarding the record buffer when the malicious heartbeat lands), so the
+   demo keeps executing until it fires, reporting the attempt count —
+   exactly the paper's production story: a bug missed in one execution is
+   caught in a later one.
+
+     dune exec examples/heartbleed_demo.exe *)
+
+let () =
+  let app = Option.get (Buggy_app.by_name "Heartbleed") in
+
+  Printf.printf "== baseline (no tool): the over-read goes unnoticed ==\n";
+  let o = Execution.run ~app ~config:Config.Baseline () in
+  Printf.printf "%s-> no detection mechanism, program %s\n\n" o.Execution.output
+    (match o.Execution.crashed with Some m -> "crashed: " ^ m | None -> "exits normally");
+
+  Printf.printf "== ASan (instrumented build): detects at the first execution ==\n";
+  let o = Execution.run ~app ~config:Config.asan_min_redzone () in
+  (match o.Execution.asan_detections with
+  | d :: _ ->
+    Printf.printf "heap-buffer-overflow %s at 0x%x\n  access compiled at %s\n\n"
+      (match d.Asan.kind with Tool.Read -> "READ" | Tool.Write -> "WRITE")
+      d.Asan.addr
+      (Execution.symbolizer app d.Asan.site)
+  | [] -> Printf.printf "(unexpected: ASan saw nothing)\n\n");
+
+  Printf.printf "== CSOD (no recompilation, 4 hardware watchpoints) ==\n";
+  (match Execution.run_until_detected ~app ~config:Config.csod_default ~max_runs:50 with
+  | Some (n, o) ->
+    Printf.printf "detected on execution %d:\n\n" n;
+    List.iter
+      (fun r ->
+        print_endline (Report.format ~symbolize:(Execution.symbolizer app) r))
+      o.Execution.watchpoint_reports
+  | None -> Printf.printf "not detected within 50 executions (very unlucky seeds)\n");
+
+  Printf.printf
+    "The paper measures a 36--40%% per-execution detection rate for this bug\n\
+     (Table II), at 6.7%% average overhead instead of ASan's ~39%%.\n"

@@ -1,0 +1,1 @@
+lib/alloc/alloc_ctx.mli:

@@ -1,0 +1,1 @@
+lib/alloc/heap.ml: Array Cost Hashtbl Machine Option Printf Size_class Sparse_mem

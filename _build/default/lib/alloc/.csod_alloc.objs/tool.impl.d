@@ -1,0 +1,1 @@
+lib/alloc/tool.ml: Alloc_ctx Heap

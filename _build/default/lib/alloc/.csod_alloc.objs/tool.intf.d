@@ -1,0 +1,1 @@
+lib/alloc/tool.mli: Alloc_ctx Heap

@@ -1,0 +1,75 @@
+(** The heap allocator substrate.
+
+    A segregated-free-list allocator over the simulated machine's address
+    space, standing in for the glibc allocator the paper interposes on.
+    Detection tools do not subclass it; they {e wrap} it, exactly as an
+    LD_PRELOAD interposer wraps [malloc]/[free] — requesting padded sizes
+    and offsetting the returned pointer (CSOD's 32-byte header + 8-byte
+    canary, ASan's redzones).
+
+    Adjacent blocks within a size class are contiguous, so a continuous
+    one-word overflow from a block whose requested size equals its block
+    size lands on its neighbour; smaller requests overflow into the block's
+    own padding first.  Both situations occur in the paper's nine bugs. *)
+
+type t
+
+exception Error of string
+(** Raised on heap misuse: double free, free of a non-heap pointer, or
+    realloc of an unknown pointer.  The message identifies the pointer. *)
+
+val create : Machine.t -> t
+(** An empty heap drawing address space from the machine via [sbrk]. *)
+
+val machine : t -> Machine.t
+
+(** {1 Allocation entry points} *)
+
+val malloc : t -> int -> int
+(** [malloc t size] reserves at least [size] bytes, 16-byte aligned.  Every
+    call advances the clock by {!Cost.malloc_base}. *)
+
+val free : t -> int -> unit
+(** Return a block.  Raises {!Error} on double free or unknown pointers. *)
+
+val calloc : t -> count:int -> size:int -> int
+(** Zeroing allocation. *)
+
+val realloc : t -> int -> int -> int
+(** [realloc t ptr size]; [ptr = 0] behaves as [malloc], [size = 0] frees
+    and returns 0.  Contents are copied up to the smaller size. *)
+
+val memalign : t -> alignment:int -> size:int -> int
+(** Power-of-two alignments up to 4096.  May over-allocate and return an
+    interior pointer; [free] accepts that pointer. *)
+
+(** {1 Introspection} *)
+
+val size_of : t -> int -> int option
+(** Requested size of a live object, by its exact base address. *)
+
+val is_live : t -> int -> bool
+
+val usable_size : t -> int -> int option
+(** Full block size backing a live object (the malloc_usable_size analogue);
+    the headroom between requested and usable size is where tools place
+    canaries. *)
+
+val iter_live : (addr:int -> size:int -> unit) -> t -> unit
+(** Walk every live object (address and requested size), in no particular
+    order.  CSOD's Termination Handling Unit uses this to verify the
+    canary of every still-allocated object at exit. *)
+
+val live_objects : t -> int
+val live_bytes : t -> int
+(** Sum of requested sizes of live objects. *)
+
+val peak_live_bytes : t -> int
+val total_allocs : t -> int
+val total_frees : t -> int
+
+val resident_bytes : t -> int
+(** Peak bytes of blocks simultaneously backing live objects, plus
+    allocator metadata — the substrate's contribution to Table V's
+    resident-memory accounting (free-list slack is reusable address
+    space, not resident pages). *)

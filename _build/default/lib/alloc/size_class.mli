@@ -1,0 +1,35 @@
+(** Segregated size classes for the heap allocator.
+
+    Classes advance in 16-byte steps up to {!max_class} (matching the
+    fine-grained small bins of production allocators); requests above
+    [max_class] are "large" and rounded to 16-byte granules.  The layout
+    matters to the reproduction twice over: object spacing determines
+    whether a one-word overflow lands on the adjacent object or on
+    padding (CSOD places the watchpoint and evidence canary immediately
+    past the {e requested} size, inside that padding), and per-object
+    padding waste feeds Table V's memory accounting. *)
+
+val min_class : int
+(** 16 bytes. *)
+
+val max_class : int
+(** 4096 bytes. *)
+
+val align : int
+(** Allocation granule, 16 bytes. *)
+
+type t =
+  | Small of int  (** 16-byte-stepped block size in [\[min_class, max_class\]] *)
+  | Large of int  (** 16-byte-rounded byte size above [max_class] *)
+
+val classify : int -> t
+(** [classify size] for a request of [size] bytes ([size >= 0]; a request of
+    0 is treated as 1, matching malloc). *)
+
+val block_size : t -> int
+(** Bytes actually reserved for an object of this class. *)
+
+val class_index : t -> int option
+(** Index of a [Small] class in the per-class table; [None] for [Large]. *)
+
+val num_small_classes : int

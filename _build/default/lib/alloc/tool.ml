@@ -1,0 +1,18 @@
+type access_kind = Read | Write
+
+type t = {
+  name : string;
+  malloc : size:int -> ctx:Alloc_ctx.t -> int;
+  free : ptr:int -> unit;
+  on_access : addr:int -> len:int -> kind:access_kind -> site:int -> unit;
+  at_exit : unit -> unit;
+  extra_resident_bytes : unit -> int;
+}
+
+let baseline heap =
+  { name = "baseline";
+    malloc = (fun ~size ~ctx:_ -> Heap.malloc heap size);
+    free = (fun ~ptr -> Heap.free heap ptr);
+    on_access = (fun ~addr:_ ~len:_ ~kind:_ ~site:_ -> ());
+    at_exit = (fun () -> ());
+    extra_resident_bytes = (fun () -> 0) }

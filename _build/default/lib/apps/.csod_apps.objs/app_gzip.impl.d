@@ -1,0 +1,1 @@
+lib/apps/app_gzip.ml: App_def Program Report

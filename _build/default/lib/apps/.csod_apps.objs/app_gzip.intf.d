@@ -1,0 +1,1 @@
+lib/apps/app_gzip.mli: App_def

@@ -1,0 +1,1 @@
+lib/apps/app_heartbleed.ml: App_def Program Report

@@ -1,0 +1,1 @@
+lib/apps/app_heartbleed.mli: App_def

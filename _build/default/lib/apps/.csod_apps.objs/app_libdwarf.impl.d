@@ -1,0 +1,1 @@
+lib/apps/app_libdwarf.ml: App_def Program Report

@@ -1,0 +1,1 @@
+lib/apps/app_libhx.ml: App_def Program Report

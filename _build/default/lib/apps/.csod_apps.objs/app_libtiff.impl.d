@@ -1,0 +1,1 @@
+lib/apps/app_libtiff.ml: App_def Program Report

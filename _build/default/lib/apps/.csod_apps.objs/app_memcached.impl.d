@@ -1,0 +1,1 @@
+lib/apps/app_memcached.ml: App_def Program Report

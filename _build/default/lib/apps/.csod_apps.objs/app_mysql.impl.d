@@ -1,0 +1,1 @@
+lib/apps/app_mysql.ml: App_def Program Report

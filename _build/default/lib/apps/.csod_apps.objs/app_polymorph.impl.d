@@ -1,0 +1,1 @@
+lib/apps/app_polymorph.ml: App_def Program Report

@@ -1,0 +1,1 @@
+lib/apps/app_polymorph.mli: App_def

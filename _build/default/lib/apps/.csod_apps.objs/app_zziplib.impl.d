@@ -1,0 +1,1 @@
+lib/apps/app_zziplib.ml: App_def Program Report

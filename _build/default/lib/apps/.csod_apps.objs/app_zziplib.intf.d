@@ -1,0 +1,1 @@
+lib/apps/app_zziplib.mli: App_def

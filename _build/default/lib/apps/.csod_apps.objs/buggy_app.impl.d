@@ -1,0 +1,1 @@
+lib/apps/buggy_app.ml: App_def App_gzip App_heartbleed App_libdwarf App_libhx App_libtiff App_memcached App_mysql App_polymorph App_zziplib Hashtbl List Program Report String

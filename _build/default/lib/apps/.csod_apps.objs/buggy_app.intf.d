@@ -1,0 +1,1 @@
+lib/apps/buggy_app.mli: App_def Program Report

@@ -1,0 +1,1 @@
+lib/apps/perf_profile.mli:

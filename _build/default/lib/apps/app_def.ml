@@ -1,0 +1,11 @@
+type t = {
+  name : string;
+  vuln : Report.kind;
+  reference : string;
+  units : Program.unit_src list;
+  buggy_inputs : int array;
+  benign_inputs : int array;
+  instrumented_modules : string list;
+  bug_in_library : bool;
+  expected_naive_detectable : bool;
+}

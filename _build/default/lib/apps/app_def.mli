@@ -1,0 +1,15 @@
+(** The record describing one buggy-application model.  Lives in its own
+    module so the per-application modules and the {!Buggy_app} registry can
+    both depend on it; see {!Buggy_app} for field documentation. *)
+
+type t = {
+  name : string;
+  vuln : Report.kind;
+  reference : string;
+  units : Program.unit_src list;
+  buggy_inputs : int array;
+  benign_inputs : int array;
+  instrumented_modules : string list;
+  bug_in_library : bool;
+  expected_naive_detectable : bool;
+}

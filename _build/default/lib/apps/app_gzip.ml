@@ -1,0 +1,39 @@
+(* Gzip-1.2.4 (BugBench): the classic filename-handling overflow.  gzip
+   copies the input file name into a fixed-size buffer without checking its
+   length; a long name overruns the buffer.  The model is minimal exactly
+   as the real trace is: one allocation calling context, one allocation
+   (Table III row "Gzip": 1/1/1/1), overflowed by a continuous byte copy.
+   input(0) is the name length: 48 overruns the 32-byte buffer, 16 fits. *)
+
+let source =
+  {|
+// gzip.c -- model of gzip-1.2.4 get_istat()/treat_file()
+fn copy_name(dst, len) {
+  var i = 0;
+  while (i < len) {
+    store8(dst, i, 97 + (i % 26)); // the attacker-controlled file name
+    i = i + 1;
+  }
+  return i;
+}
+
+fn main() {
+  var namelen = input(0);
+  var ifname = malloc(32);        // MAX_PATH_LEN in the model
+  copy_name(ifname, namelen);     // no bounds check: the bug
+  print("gzip: compressing", load8(ifname, 0));
+  free(ifname);
+  return 0;
+}
+|}
+
+let app =
+  { App_def.name = "Gzip";
+    vuln = Report.Over_write;
+    reference = "BugBench";
+    units = [ { Program.file = "gzip.c"; module_name = "gzip"; source } ];
+    buggy_inputs = [| 48 |];
+    benign_inputs = [| 16 |];
+    instrumented_modules = [ "gzip" ];
+    bug_in_library = false;
+    expected_naive_detectable = true }

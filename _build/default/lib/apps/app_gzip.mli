@@ -1,0 +1,6 @@
+(** Gzip-1.2.4 (BugBench): filename-copy heap over-write; Table III census 1 context / 1 allocation.
+
+    See the implementation header for the full model rationale; fields
+    are documented in {!Buggy_app}. *)
+
+val app : App_def.t

@@ -1,0 +1,190 @@
+(* Heartbleed (CVE-2014-0160): the OpenSSL TLS heartbeat over-read.
+   tls1_process_heartbeat trusts the attacker-declared payload length and
+   memcpy's that many bytes out of the received record buffer — reading
+   far past its end.  Following the paper (and HeapTherapy), the model is
+   Nginx-1.3.9 + OpenSSL-1.0.1f: nginx start-up pins four long-lived
+   configuration allocations (so the naive policy never has a free
+   watchpoint when the record buffer arrives: 0/1000), OpenSSL
+   initialization mints a few hundred one-shot allocation contexts through
+   its BN_CTX pool, and a stream of HTTPS requests churns the heap before
+   the malicious heartbeat lands.  Table III: 307 contexts, 5,403
+   allocations; the record buffer is allocated at the very end from a
+   fresh context, which is why the preempting policies catch the bug in
+   roughly 40% of executions.
+
+   input(0): declared heartbeat payload length — 4096 over-reads the
+   80-byte record (buggy), 16 is honest (benign). *)
+
+let nginx_main =
+  {|
+// nginx.c -- master process start-up (module nginx)
+fn main() {
+  var claimed = input(0);
+  var cfg = ngx_palloc(256);       // #1: configuration, lives forever
+  var cycle = ngx_palloc(192);     // #2: cycle structure, lives forever
+  var log = ngx_palloc(64);        // #3: logger, lives forever
+  var cert = ngx_palloc(128);      // #4: certificate store, lives forever
+  var sess = ngx_palloc(1280);     // session ticket cache, lives forever
+  cfg[0] = cycle;
+  cfg[1] = log;
+  cfg[2] = cert;
+  cfg[3] = sess;
+  ngx_ssl_init();
+  ngx_process_cycle(claimed, cfg);
+  print("nginx: worker exiting");
+  return 0;
+}
+
+fn ngx_process_cycle(claimed, cfg) {
+  var sess = cfg[3];
+  var r = 0;
+  while (r < 150) {
+    ngx_http_request(r, sess);
+    if (r % 5 == 0) { sleep_ms(300 + rand(300)); }
+    r = r + 1;
+  }
+  // the malicious heartbeat arrives last
+  var leaked = tls1_process_heartbeat(claimed);
+  print("heartbeat bytes echoed:", leaked);
+  return 0;
+}
+|}
+
+let nginx_request =
+  {|
+// ngx_http_request.c -- per-request processing (module nginx)
+fn conn_alloc(d, size) {
+  // connection pool: the accept path depth varies with the listener
+  if (d > 0) { return conn_alloc(d - 1, size); }
+  return ngx_palloc(size);
+}
+
+fn ngx_http_request(r, sess) {
+  var conn = conn_alloc(1 + (r % 8), 96);
+  var hdr = ngx_palloc(160);
+  var body = ngx_palloc(256);
+  var n = 29;
+  if (r == 17) { n = 25; }   // one short keep-alive session
+  var i = 0;
+  while (i < n) {
+    var b = ssl_buf(1 + (i % 6), 64);   // handshake + record buffers
+    b[0] = i;
+    free(b);
+    i = i + 1;
+  }
+  // the session ticket outlives the request: the ticket cache keeps the
+  // watchpoint slots occupied by live objects between requests
+  var ticket = ngx_palloc(48);
+  sess[r] = ticket;
+  var resp = ngx_palloc(192);
+  resp[0] = hdr[0] + body[0];
+  free(resp);
+  free(body);
+  free(hdr);
+  free(conn);
+  return 0;
+}
+|}
+
+let nginx_palloc =
+  {|
+// core/ngx_palloc.c -- nginx pool allocator: one call site shared by all
+// nginx allocations; stack offsets disambiguate contexts (module nginx)
+fn ngx_palloc(size) {
+  return malloc(size);
+}
+|}
+
+let openssl_mem =
+  {|
+// crypto/mem.c -- CRYPTO_malloc: every OpenSSL allocation funnels through
+// this one call site; calling contexts differ only by stack offset, which
+// is exactly the disambiguation the paper's context key relies on
+// (module openssl)
+fn crypto_malloc(size) {
+  return malloc(size);
+}
+|}
+
+let openssl_bn =
+  {|
+// crypto/bn_ctx.c -- BN_CTX pool: initialization walks the pool to many
+// depths, minting one allocation context per depth (module openssl)
+fn bn_ctx_get(d, size) {
+  if (d > 0) { return bn_ctx_get(d - 1, size); }
+  return crypto_malloc(size);
+}
+
+fn ngx_ssl_init() {
+  var d = 1;
+  while (d <= 284) {
+    var t = bn_ctx_get(d, 48);
+    t[0] = d;
+    free(t);
+    d = d + 1;
+  }
+  sleep_ms(400 + rand(200));
+  return 0;
+}
+|}
+
+let openssl_heartbeat =
+  {|
+// ssl/t1_lib.c -- tls1_process_heartbeat, the vulnerable routine
+// (module openssl)
+fn ssl_buf(d, size) {
+  if (d > 0) { return ssl_buf(d - 1, size); }
+  return crypto_malloc(size);
+}
+
+fn tls1_process_heartbeat(claimed) {
+  // the SSL3 record buffer holding the heartbeat request: 80 bytes, of
+  // which only 16 are attacker-supplied payload
+  var record = crypto_malloc(80);
+  var i = 0;
+  while (i < 16) {
+    store8(record, i, 77 + i);
+    i = i + 1;
+  }
+  sleep_ms(5 + rand(10));
+  // concurrent connections keep allocating between the request's arrival
+  // and the reply: these can steal the record buffer's watchpoint
+  var j = 0;
+  while (j < 16) {
+    var ob = ssl_buf(1 + (j % 6), 64);
+    ob[0] = j;
+    free(ob);
+    j = j + 1;
+  }
+  // response: 1 + 2 + claimed + 16 bytes of padding in the real code
+  var bp = crypto_malloc(claimed + 16);
+  // CVE-2014-0160: copies [claimed] bytes from a 80-byte buffer
+  memcpy(bp, record, claimed);
+  var echoed = load8(bp, 0);
+  free(bp);
+  free(record);
+  return echoed;
+}
+|}
+
+let app =
+  { App_def.name = "Heartbleed";
+    vuln = Report.Over_read;
+    reference = "CVE-2014-0160";
+    units =
+      [ { Program.file = "nginx/nginx.c"; module_name = "nginx"; source = nginx_main };
+        { Program.file = "nginx/ngx_http_request.c"; module_name = "nginx";
+          source = nginx_request };
+        { Program.file = "nginx/core/ngx_palloc.c"; module_name = "nginx";
+          source = nginx_palloc };
+        { Program.file = "openssl/crypto/mem.c"; module_name = "openssl";
+          source = openssl_mem };
+        { Program.file = "openssl/crypto/bn_ctx.c"; module_name = "openssl";
+          source = openssl_bn };
+        { Program.file = "openssl/ssl/t1_lib.c"; module_name = "openssl";
+          source = openssl_heartbeat } ];
+    buggy_inputs = [| 4096 |];
+    benign_inputs = [| 16 |];
+    instrumented_modules = [ "nginx"; "openssl" ];
+    bug_in_library = false;
+    expected_naive_detectable = false }

@@ -1,0 +1,6 @@
+(** Heartbleed (CVE-2014-0160): Nginx-1.3.9 + OpenSSL-1.0.1f heartbeat over-read; Table III census 307 contexts / 5,403 allocations.
+
+    See the implementation header for the full model rationale; fields
+    are documented in {!Buggy_app}. *)
+
+val app : App_def.t

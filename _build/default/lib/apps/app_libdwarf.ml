@@ -1,0 +1,149 @@
+(* Libdwarf-20161021 (CVE-2016-9276): heap over-read in
+   dwarf_get_aranges_list — a malformed .debug_aranges section drives the
+   cursor past the end of the aranges buffer.  Table III: 26 contexts and
+   152 allocations in total, 24 contexts / 147 allocations before the
+   overflowed object.  The model frees a section scratch buffer right
+   before allocating the aranges buffer, so a watchpoint slot is free at
+   that moment: the naive policy therefore holds the watch until the
+   over-read and scores 1000/1000, while preempting policies sometimes
+   hand the slot to one of the handful of later allocations first
+   (~46–48% detection in the paper).
+
+   input(0): declared length of the last aranges tuple set — 48 runs the
+   cursor past the 96-byte buffer (buggy); 24 stays inside (benign). *)
+
+let app_source =
+  {|
+// dwarfdump.c -- the dwarfdump-like driver (instrumented)
+fn main() {
+  var declared = input(0);
+  var dbg = dwarf_init();
+  dwarf_load_sections(dbg);
+  var count = dwarf_get_aranges(dbg, declared);
+  print("aranges:", count);
+  dwarf_finish(dbg);
+  return 0;
+}
+|}
+
+let lib_source =
+  {|
+// dwarf_init.c + dwarf_arange.c -- model of libdwarf (instrumented: the
+// paper reports ASan detects this one, so the library is built with it)
+fn alloc_de(d, size) {
+  // _dwarf_get_alloc look-alike: depth disambiguates allocation contexts
+  if (d > 0) { return alloc_de(d - 1, size); }
+  return malloc(size);
+}
+
+fn dwarf_init() {
+  var dbg = malloc(128);         // #1: the Dwarf_Debug handle, lives forever
+  var err_stack = malloc(64);    // #2: error frame pool, resized mid-run
+  var aranges = malloc(96);      // #3: .debug_aranges, loaded eagerly and
+                                 //     walked only at the very end
+  var names = malloc(96);        // #4: section-name table, rebuilt mid-run
+  dbg[1] = err_stack;
+  dbg[2] = names;
+  dbg[3] = aranges;
+  fill_section(aranges, 96);
+  sleep_ms(800 + rand(400));
+  return dbg;
+}
+
+fn dwarf_load_sections(dbg) {
+  // one compilation unit at a time; internal tables appear as parsing
+  // discovers them, and each CU keeps a small live working set whose
+  // watchpoint traffic can preempt the aranges buffer's watchpoint
+  var cu = 0;
+  while (cu < 25) {
+    if (cu < 14) {
+      var tab = alloc_de(1 + cu, 48);   // one-shot contexts, mostly early
+      tab[0] = cu;
+      free(tab);
+    }
+    if (cu < 2) {
+      var tab2 = alloc_de(15 + cu, 48);
+      tab2[0] = cu;
+      free(tab2);
+    }
+    var die = malloc(72);
+    var abbrev = malloc(56);
+    var line = malloc(64);
+    var n_str = 2;
+    if (cu == 5) { n_str = 4; }         // one CU with extra string data
+    var s2 = 0;
+    while (s2 < n_str) {
+      var str = malloc(24);
+      die[1] = str;
+      free(str);
+      s2 = s2 + 1;
+    }
+    die[0] = abbrev[0] + line[0];
+    sleep_ms(900 + rand(500));
+    free(line);
+    free(abbrev);
+    free(die);
+    if (cu == 12) { free(dbg[1]); dbg[1] = 0; }  // error pool resized away
+    if (cu == 17) { free(dbg[2]); dbg[2] = 0; }  // name table rebuilt
+    cu = cu + 1;
+  }
+  return 0;
+}
+
+fn dwarf_get_aranges(dbg, declared) {
+  var aranges = dbg[3];
+  // CVE-2016-9276: the declared tuple length drives the cursor past the
+  // end of the buffer and the walker reads one word beyond it
+  var off = 0;
+  var sum = 0;
+  while (off < 64 + declared) {
+    sum = sum + aranges[off / 8];
+    off = off + 8;
+  }
+  // post-walk bookkeeping: the few allocations after the overflow
+  var hdr = alloc_de(4, 32);
+  var s = 0;
+  var set_a = 0;
+  while (s < 3) {
+    set_a = malloc(24);
+    dbg[4 + s] = set_a;
+    s = s + 1;
+  }
+  var strtab = alloc_de(4, 56);  // same context as the header scratch
+  free(hdr);
+  free(dbg[4]);
+  free(dbg[5]);
+  free(dbg[6]);
+  free(strtab);
+  free(aranges);
+  dbg[3] = 0;
+  return sum & 0xFF;
+}
+
+fn fill_section(buf, n) {
+  var i = 0;
+  while (i < n) {
+    store8(buf, i, (i * 11) % 240);
+    i = i + 1;
+  }
+  return n;
+}
+
+fn dwarf_finish(dbg) {
+  free(dbg);
+  return 0;
+}
+|}
+
+let app =
+  { App_def.name = "Libdwarf";
+    vuln = Report.Over_read;
+    reference = "CVE-2016-9276";
+    units =
+      [ { Program.file = "dwarfdump.c"; module_name = "dwarfdump"; source = app_source };
+        { Program.file = "dwarf_arange.c"; module_name = "libdwarf"; source = lib_source } ];
+    buggy_inputs = [| 48 |];
+    benign_inputs = [| 24 |];
+    instrumented_modules = [ "dwarfdump"; "libdwarf" ];
+    bug_in_library = false;
+    expected_naive_detectable = true }

@@ -1,0 +1,6 @@
+(** Libdwarf-20161021 (CVE-2016-9276): aranges walker over-read of a long-lived early allocation; naive policy scores 1000/1000.
+
+    See the implementation header for the full model rationale; fields
+    are documented in {!Buggy_app}. *)
+
+val app : App_def.t

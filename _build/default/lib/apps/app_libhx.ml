@@ -1,0 +1,77 @@
+(* LibHX-3.4 (CVE-2010-2947): HX_split() under-counts delimiters and
+   allocates its result vector one slot short, then writes the extra
+   terminator slot past the end.  Table III: 4 contexts, 5 allocations; the
+   overflowing object is the very first allocation (vector first, field
+   strings after), so the no-preemption policy always holds its watchpoint
+   until the overflow — while preempting policies occasionally give the
+   slot away to a later field allocation during the parse (the paper
+   measures 885–929/1000).  The bug lives inside libHX.so: ASan misses it
+   when the library is not instrumented.
+
+   input(0): 1 = the miscounting input (buggy), 0 = a benign line. *)
+
+let app_source =
+  {|
+// fstab.c -- application using libHX (instrumented)
+fn main() {
+  var buggy = input(0);
+  var vec = hx_split(3, buggy);
+  print("fields:", vec[0]);
+  free(vec);
+  return 0;
+}
+|}
+
+let lib_source =
+  {|
+// string.c -- model of libHX's HX_split (prebuilt library, uninstrumented)
+fn hx_strdup_first(len) {
+  return malloc(len);
+}
+
+fn hx_strdup_rest(len) {
+  return malloc(len);
+}
+
+fn hx_split(nfields, buggy) {
+  // The miscount: the buggy input makes HX_split allocate one slot too few.
+  var slots = nfields + 1;
+  if (buggy == 1) { slots = nfields; }
+  var vec = malloc(slots * 8);      // the overflowed object: allocation #1
+  sleep_ms(2800 + rand(3100));      // tokenizing a large config line
+
+  var f0 = hx_strdup_first(16);     // allocation #2
+  vec[0] = f0;
+  sleep_ms(1300 + rand(1500));
+
+  var i = 1;
+  while (i < nfields) {             // allocations #3, #4 share one context
+    var f = hx_strdup_rest(16);
+    vec[i] = f;
+    sleep_ms(800 + rand(900));
+    i = i + 1;
+  }
+
+  // audit-log line for the parsed entry: allocation #5, a fresh context
+  // that can steal the vector's watchpoint right before the overflow
+  var logbuf = malloc(48);
+  logbuf[0] = nfields;
+
+  vec[nfields] = 0;                 // terminator: overflows when miscounted
+  free(logbuf);
+  return vec;
+}
+|}
+
+let app =
+  { App_def.name = "LibHX";
+    vuln = Report.Over_write;
+    reference = "CVE-2010-2947";
+    units =
+      [ { Program.file = "fstab.c"; module_name = "app"; source = app_source };
+        { Program.file = "string.c"; module_name = "libhx"; source = lib_source } ];
+    buggy_inputs = [| 1 |];
+    benign_inputs = [| 0 |];
+    instrumented_modules = [ "app" ];
+    bug_in_library = true;
+    expected_naive_detectable = true }

@@ -1,0 +1,6 @@
+(** LibHX-3.4 (CVE-2010-2947): HX_split under-counted vector over-write; the overflowed object is allocation #1.
+
+    See the implementation header for the full model rationale; fields
+    are documented in {!Buggy_app}. *)
+
+val app : App_def.t

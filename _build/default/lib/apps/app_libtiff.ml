@@ -1,0 +1,51 @@
+(* Libtiff-4.01 (CVE-2013-4243): heap overflow in gif2tiff's
+   readgifimage() — a GIF whose declared dimensions exceed the allocated
+   raster overruns the buffer.  Single context, single allocation
+   (Table III: 1/1/1/1).  Crucially, both the allocation and the
+   overflowing store execute inside the libtiff library unit: when the
+   library is not recompiled with ASan, ASan never checks the accesses and
+   misses the bug (paper, Section V-A1), while CSOD's watchpoints are
+   instrumentation-free.  input(0)/input(1) are the GIF width/height. *)
+
+let app_source =
+  {|
+// gif2tiff.c -- the tool's driver (instrumented application code)
+fn main() {
+  var raster = readgifimage(input(0), input(1));
+  print("gif2tiff: first pixel", load8(raster, 0));
+  free(raster);
+  return 0;
+}
+|}
+
+let lib_source =
+  {|
+// tif_gif.c -- model of libtiff's gif2tiff read path (prebuilt library)
+fn readraster(raster, count) {
+  var i = 0;
+  while (i < count) {
+    store8(raster, i, (i * 31) % 251);  // decoded GIF bytes
+    i = i + 1;
+  }
+  return count;
+}
+
+fn readgifimage(width, height) {
+  var raster = malloc(1024);            // sized for the declared 32x32
+  readraster(raster, width * height);   // actual dimensions can be larger
+  return raster;
+}
+|}
+
+let app =
+  { App_def.name = "Libtiff";
+    vuln = Report.Over_write;
+    reference = "CVE-2013-4243";
+    units =
+      [ { Program.file = "gif2tiff.c"; module_name = "gif2tiff"; source = app_source };
+        { Program.file = "tif_gif.c"; module_name = "libtiff"; source = lib_source } ];
+    buggy_inputs = [| 33; 32 |];
+    benign_inputs = [| 32; 32 |];
+    instrumented_modules = [ "gif2tiff" ];
+    bug_in_library = true;
+    expected_naive_detectable = true }

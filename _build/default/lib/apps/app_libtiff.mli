@@ -1,0 +1,6 @@
+(** Libtiff-4.01 (CVE-2013-4243): gif2tiff raster over-write inside the uninstrumented library; ASan misses it, CSOD does not.
+
+    See the implementation header for the full model rationale; fields
+    are documented in {!Buggy_app}. *)
+
+val app : App_def.t

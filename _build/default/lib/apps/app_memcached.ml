@@ -1,0 +1,155 @@
+(* Memcached-1.4.25 (CVE-2016-8706 / TALOS-2016-0221): heap over-write in
+   the SASL authentication handler — the copied authentication data length
+   is attacker-controlled and overruns the item buffer.  Table III: 74
+   contexts, 442 allocations, the overflow striking at the very end of the
+   run.  Start-up pins four long-lived structures (hash table, slab list,
+   stats, settings) so the naive policy never frees a watchpoint (0/1000);
+   four worker threads then churn items before the malicious SASL request
+   arrives.  The item-buffer context has been allocated and watched many
+   times by then, so the preempting policies detect the bug in roughly
+   16–18% of executions.
+
+   input(0): declared SASL data length — 96 overruns the 64-byte item
+   (buggy), 32 fits (benign). *)
+
+let main_source =
+  {|
+// memcached.c -- start-up and dispatch (module memcached)
+fn main() {
+  var claimed = input(0);
+  var hashtab = malloc(512);       // #1: primary hash table, lives forever
+  var slabs = malloc(256);         // #2: slab class list, lives forever
+  var stats = malloc(128);         // #3: global stats, lives forever
+  var settings = malloc(64);       // #4: settings struct, lives forever
+  hashtab[0] = slabs;
+  hashtab[1] = stats;
+  hashtab[2] = settings;
+  slabs_init();
+  sleep_ms(900 + rand(300));
+
+  var w = 0;
+  while (w < 4) {
+    spawn("worker_loop", w);
+    // ordinary clients authenticate between worker batches
+    var ok = sasl_auth(32);
+    hashtab[4 + w] = ok;
+    w = w + 1;
+  }
+
+  // reconnecting clients authenticate benignly before the attack
+  var okA = sasl_auth(32);
+  var okB = sasl_auth(32);
+  var okC = sasl_auth(32);
+  var okD = sasl_auth(32);
+  hashtab[3] = okA + okB + okC + okD;
+
+  // the malicious SASL authentication request arrives last
+  var rc = sasl_auth(claimed);
+  print("sasl:", rc);
+  return 0;
+}
+|}
+
+let slabs_source =
+  {|
+// slabs.c -- slab subsystem initialization (module memcached)
+fn slab_page(d, size) {
+  if (d > 0) { return slab_page(d - 1, size); }
+  return malloc(size);
+}
+
+fn slabs_init() {
+  // one page descriptor per slab class: 52 one-shot contexts
+  var d = 1;
+  while (d <= 52) {
+    var page = slab_page(d, 56);
+    page[0] = d;
+    free(page);
+    d = d + 1;
+  }
+  // spare pages for class 7: same allocation context as the sweep's
+  var x = 0;
+  while (x < 1) {
+    var page2 = slab_page(7, 56);
+    page2[0] = 7;
+    free(page2);
+    x = x + 1;
+  }
+  return 0;
+}
+|}
+
+let items_source =
+  {|
+// items.c + thread.c -- item management and worker threads
+// (module memcached)
+fn item_alloc(d, size) {
+  if (d > 0) { return item_alloc(d - 1, size); }
+  return malloc(size);
+}
+
+fn worker_loop(w) {
+  var conn = malloc(96);           // connection state, one per worker
+  var req = 0;
+  while (req < 42) {
+    // item buffers: the contexts the SASL buffer will later share
+    var it = item_alloc(1 + (req % 11), 64);
+    it[0] = w * 100 + req;
+    var resp = malloc(48);         // response buffer
+    resp[0] = it[0];
+    free(resp);
+    free(it);
+    if (req % 4 == 0) { sleep_ms(250 + rand(250)); }
+    req = req + 1;
+  }
+  free(conn);
+  return 0;
+}
+|}
+
+let sasl_source =
+  {|
+// sasl_defs.c -- the vulnerable authentication path (module memcached)
+fn sasl_auth(claimed) {
+  // the final request's working set occupies the free watchpoints first
+  var conn = malloc(96);
+  var hdr = malloc(24);
+  var key = malloc(32);
+  var val = malloc(40);
+  sleep_ms(40 + rand(40));
+
+  // the item holding the authentication data: same allocation context as
+  // the workers' item buffers, long since degraded
+  var it = item_alloc(3, 64);
+
+  // TALOS-2016-0221: copies [claimed] bytes into the 64-byte item
+  var i = 0;
+  while (i < claimed) {
+    store8(it, i, (i * 17) % 256);
+    i = i + 1;
+  }
+
+  var rc = load8(it, 0);
+  free(it);
+  free(val);
+  free(key);
+  free(hdr);
+  free(conn);
+  return rc;
+}
+|}
+
+let app =
+  { App_def.name = "Memcached";
+    vuln = Report.Over_write;
+    reference = "CVE-2016-8706";
+    units =
+      [ { Program.file = "memcached.c"; module_name = "memcached"; source = main_source };
+        { Program.file = "slabs.c"; module_name = "memcached"; source = slabs_source };
+        { Program.file = "items.c"; module_name = "memcached"; source = items_source };
+        { Program.file = "sasl_defs.c"; module_name = "memcached"; source = sasl_source } ];
+    buggy_inputs = [| 96 |];
+    benign_inputs = [| 32 |];
+    instrumented_modules = [ "memcached" ];
+    bug_in_library = false;
+    expected_naive_detectable = false }

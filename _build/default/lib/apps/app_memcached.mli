@@ -1,0 +1,6 @@
+(** Memcached-1.4.25 (CVE-2016-8706): SASL authentication over-write; Table III census 74 contexts / 442 allocations.
+
+    See the implementation header for the full model rationale; fields
+    are documented in {!Buggy_app}. *)
+
+val app : App_def.t

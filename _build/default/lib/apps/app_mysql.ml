@@ -1,0 +1,164 @@
+(* MySQL-5.5.19 (CVE-2012-5612): heap-based overrun triggered through a
+   crafted sequence of SQL statements (exploit-db 23076) — a format/sort
+   buffer in the server is written past its end.  This is the paper's
+   largest subject: Table III reports 488 allocation calling contexts and
+   57,464 allocations in one buggy run, with the overflowed object arriving
+   near the very end (445 contexts / 57,356 allocations before it).
+
+   The model reproduces that scale: server start-up pins long-lived
+   structures (so naive scores 0/1000), plugin and table-definition loading
+   mints ~400 one-shot contexts through the my_malloc depth trick, and
+   ~1,070 queries churn row buffers hard enough that the row-buffer context
+   trips the paper's allocation-burst throttle (>5,000 allocations inside a
+   10-second window).  The crafted statement's format buffer context has
+   been exercised a few times by earlier admin statements, so the
+   preempting policies land at roughly 16–17% detection.
+
+   input(0): key count written into the 256-byte format buffer — 40 words
+   (320 bytes) overflow it (buggy), 24 words fit (benign). *)
+
+let main_source =
+  {|
+// mysqld.cc -- server start-up and the client session (module mysql)
+fn main() {
+  var keys = input(0);
+  var tdc = malloc(512);           // #1: table definition cache, forever
+  var acl = malloc(256);           // #2: privilege cache, forever
+  var logbuf = malloc(128);        // #3: binlog buffer, forever
+  var charset = malloc(192);       // #4: charset registry, forever
+  tdc[0] = acl;
+  tdc[1] = logbuf;
+  tdc[2] = charset;
+  plugin_init();
+  sleep_ms(1200 + rand(400));
+
+  var q = 0;
+  while (q < 1075) {
+    execute_query(q);
+    if (q % 8 == 0) { sleep_ms(200 + rand(200)); }
+    if (q % 250 == 249) {
+      // occasional admin statement exercising the vulnerable path benignly
+      var rc = format_keys(24);
+      logbuf[0] = rc;
+    }
+    q = q + 1;
+  }
+
+  tdc_refresh();
+  sleep_ms(200 + rand(200));
+
+  // the crafted statement lands last
+  var rc2 = format_keys(keys);
+  print("mysqld: crafted statement returned", rc2);
+  return 0;
+}
+|}
+
+let mem_source =
+  {|
+// mysys/my_malloc.c -- the server-wide allocation wrapper (module mysql)
+fn my_malloc(d, size) {
+  if (d > 0) { return my_malloc(d - 1, size); }
+  return malloc(size);
+}
+|}
+
+let plugin_source =
+  {|
+// sql/sql_plugin.cc -- plugin + table-definition loading (module mysql)
+fn plugin_init() {
+  // one descriptor per plugin/table definition: 403 one-shot contexts
+  var d = 1;
+  while (d <= 403) {
+    var desc = my_malloc(d, 64);
+    desc[0] = d;
+    free(desc);
+    d = d + 1;
+  }
+  return 0;
+}
+
+fn tdc_refresh() {
+  // late cache refresh: 66 more one-shot contexts, minted after the bulk
+  // of the run so the context census keeps growing to the end
+  var d = 404;
+  while (d <= 468) {
+    var node = my_malloc(d, 40);
+    node[0] = d;
+    free(node);
+    d = d + 1;
+  }
+  return 0;
+}
+|}
+
+let query_source =
+  {|
+// sql/sql_parse.cc -- query execution (module mysql)
+fn execute_query(q) {
+  var thd_buf = my_malloc(1 + (q % 12), 160);  // per-statement THD arena
+  var parse = my_malloc(2, 96);                // parse tree root
+  // row buffers: one context, ~53,500 allocations across the run -- this
+  // is the context that triggers the burst throttle
+  var nrows = 50;
+  if (q == 500) { nrows = 42; }
+  var r = 0;
+  while (r < nrows) {
+    var row = my_malloc(3, 120);
+    row[0] = q + r;
+    free(row);
+    r = r + 1;
+  }
+  var net = my_malloc(4, 80);                  // network packet buffer
+  net[0] = parse[0];
+  free(net);
+  free(parse);
+  free(thd_buf);
+  return 0;
+}
+|}
+
+let item_source =
+  {|
+// sql/item_strfunc.cc -- the vulnerable format path (module mysql)
+fn format_keys(keys) {
+  // working set of the statement occupies free watchpoints first
+  var item_a = malloc(48);
+  var item_b = malloc(48);
+  var tmp_tab = malloc(96);
+  var sort_io = malloc(64);
+  sleep_ms(30 + rand(30));
+
+  // the 256-byte format buffer: CVE-2012-5612 writes [keys] words into it
+  var fmt = my_malloc(6, 256);
+  var k = 0;
+  while (k < keys) {
+    fmt[k] = k * 31;
+    k = k + 1;
+  }
+
+  var rc = fmt[0];
+  free(fmt);
+  free(sort_io);
+  free(tmp_tab);
+  free(item_b);
+  free(item_a);
+  return rc;
+}
+|}
+
+let app =
+  { App_def.name = "MySQL";
+    vuln = Report.Over_write;
+    reference = "CVE-2012-5612";
+    units =
+      [ { Program.file = "sql/mysqld.cc"; module_name = "mysql"; source = main_source };
+        { Program.file = "mysys/my_malloc.c"; module_name = "mysql"; source = mem_source };
+        { Program.file = "sql/sql_plugin.cc"; module_name = "mysql"; source = plugin_source };
+        { Program.file = "sql/sql_parse.cc"; module_name = "mysql"; source = query_source };
+        { Program.file = "sql/item_strfunc.cc"; module_name = "mysql"; source = item_source } ];
+    buggy_inputs = [| 40 |];
+    benign_inputs = [| 24 |];
+    instrumented_modules = [ "mysql" ];
+    bug_in_library = false;
+    expected_naive_detectable = false }

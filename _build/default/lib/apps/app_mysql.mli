@@ -1,0 +1,6 @@
+(** MySQL-5.5.19 (CVE-2012-5612): crafted-statement format-buffer over-write; Table III census 488 contexts / 57,464 allocations.
+
+    See the implementation header for the full model rationale; fields
+    are documented in {!Buggy_app}. *)
+
+val app : App_def.t

@@ -1,0 +1,45 @@
+(* Polymorph-0.4.0 (BugBench): converts Windows-style file names to Unix
+   style; the converted name is written into a fixed buffer with no length
+   check.  Like Gzip this is a single-context, single-allocation program
+   (Table III: 1/1/1/1) with a continuous over-write.
+   input(0) is the original name length: 300 overruns the 256-byte buffer. *)
+
+let source =
+  {|
+// polymorph.c -- model of polymorph-0.4.0 convert_fileName()
+fn lower(c) {
+  if (c >= 65 && c <= 90) { return c + 32; }
+  return c;
+}
+
+fn convert(dst, len) {
+  var i = 0;
+  while (i < len) {
+    var c = 65 + ((i * 7) % 58);
+    store8(dst, i, lower(c));    // writes the converted character
+    i = i + 1;
+  }
+  store8(dst, len, 0);           // NUL terminator can also overflow
+  return len;
+}
+
+fn main() {
+  var namelen = input(0);
+  var newname = malloc(256);     // fixed conversion buffer
+  convert(newname, namelen);
+  print("polymorph:", load8(newname, 0));
+  free(newname);
+  return 0;
+}
+|}
+
+let app =
+  { App_def.name = "Polymorph";
+    vuln = Report.Over_write;
+    reference = "BugBench";
+    units = [ { Program.file = "polymorph.c"; module_name = "polymorph"; source } ];
+    buggy_inputs = [| 300 |];
+    benign_inputs = [| 100 |];
+    instrumented_modules = [ "polymorph" ];
+    bug_in_library = false;
+    expected_naive_detectable = true }

@@ -1,0 +1,6 @@
+(** Polymorph-0.4.0 (BugBench): file-name conversion over-write; Table III census 1 context / 1 allocation.
+
+    See the implementation header for the full model rationale; fields
+    are documented in {!Buggy_app}. *)
+
+val app : App_def.t

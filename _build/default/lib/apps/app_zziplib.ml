@@ -1,0 +1,142 @@
+(* Zziplib-0.13.62 (CVE-2017-5974): heap over-read in __zzip_get32
+   (fetch.c) — a crafted ZIP's central-directory offsets make the parser
+   read a 32-bit word past the end of the directory buffer.  Table III:
+   13 contexts, 17 allocations, the over-read striking at the very end.
+   The first four allocations are long-lived handles that are never freed
+   before the bug, so the naive policy's four watchpoints are pinned on
+   them forever and it scores 0/1000; the preempting policies catch the
+   bug roughly 10% of the time because the directory buffer's context has
+   already been allocated and watched repeatedly by then.  The bug is
+   inside libzzip (uninstrumented for ASan).
+
+   input(0): bytes of slack after the last entry — 0 means the crafted
+   offset reads past the buffer end (buggy); 8 leaves room (benign). *)
+
+let app_source =
+  {|
+// unzzip.c -- the unzip-like driver (instrumented)
+fn main() {
+  var slack = input(0);
+  var zip = zzip_dir_open(slack);
+  print("entries listed:", zip[0]);
+  zzip_dir_close(zip);
+  return 0;
+}
+|}
+
+let lib_source =
+  {|
+// zip.c + fetch.c -- model of libzzip's directory parser (uninstrumented)
+fn zzip_get32(buf, offset) {
+  // fetch.c __zzip_get32: unchecked 4-byte little-endian load
+  var b0 = load8(buf, offset);
+  var b1 = load8(buf, offset + 1);
+  var b2 = load8(buf, offset + 2);
+  var b3 = load8(buf, offset + 3);
+  return b0 + (b1 << 8) + (b2 << 16) + (b3 << 24);
+}
+
+fn entry_buffer(size) {
+  return malloc(size);
+}
+
+fn zzip_dir_open(slack) {
+  // long-lived handles: allocations #1..#4, freed only at close
+  var dir = malloc(64);
+  var io = malloc(32);
+  var cache_a = malloc(48);
+  var cache_b = malloc(48);
+  dir[1] = io;
+  dir[2] = cache_a;
+  dir[3] = cache_b;
+  sleep_ms(13000 + rand(4000));       // reading the archive from disk
+
+  // per-entry parsing: one-off metadata allocations, distinct contexts
+  var names = parse_names(3);         // allocations #5..#7
+  var comment = malloc(24);           // #8
+  var extra = malloc(24);             // #9
+  var crc_tab = malloc(32);           // #10
+  var tmp_hdr = malloc(16);           // #11
+  var tmp_tail = malloc(16);          // #12
+  free(comment);
+  free(extra);
+  free(crc_tab);
+  free(tmp_hdr);
+  free(tmp_tail);
+  sleep_ms(2000 + rand(2000));
+
+  // entry data buffers: one context, allocated (and often watched)
+  // repeatedly; they stay live until after the directory walk, so the
+  // watchpoints they hold are not released before the over-read
+  var e = 0;
+  while (e < 4) {                     // allocations #13..#16
+    var ebuf = entry_buffer(40);
+    ebuf[0] = e;
+    cache_a[e] = ebuf;
+    sleep_ms(700 + rand(600));
+    e = e + 1;
+  }
+
+  sleep_ms(5000 + rand(3000));        // decompressing the large entries
+
+  // the central-directory buffer: allocation #17, same context family
+  var disk = entry_buffer(40);
+  fill_directory(disk, 40 - slack);
+  sleep_ms(500 + rand(500));
+
+  // the crafted offset points at the last entry header: with no slack the
+  // 4-byte fetch crosses the end of the buffer
+  var off = 40 - slack;
+  var sig = zzip_get32(disk, off);    // CVE-2017-5974: over-read
+  dir[0] = sig & 0xFF;
+  free(disk);
+  var f = 0;
+  while (f < 4) {
+    free(cache_a[f]);
+    f = f + 1;
+  }
+  free(names);
+  return dir;
+}
+
+fn fill_directory(disk, n) {
+  var i = 0;
+  while (i < n) {
+    store8(disk, i, (i * 13) % 250);
+    i = i + 1;
+  }
+  return n;
+}
+
+fn parse_names(k) {
+  var head = malloc(32);
+  var n1 = malloc(16);
+  var n2 = malloc(16);
+  head[0] = n1;
+  head[1] = n2;
+  free(n1);
+  free(n2);
+  return head;
+}
+
+fn zzip_dir_close(dir) {
+  free(dir[1]);
+  free(dir[2]);
+  free(dir[3]);
+  free(dir);
+  return 0;
+}
+|}
+
+let app =
+  { App_def.name = "Zziplib";
+    vuln = Report.Over_read;
+    reference = "CVE-2017-5974";
+    units =
+      [ { Program.file = "unzzip.c"; module_name = "unzzip"; source = app_source };
+        { Program.file = "zip.c"; module_name = "zziplib"; source = lib_source } ];
+    buggy_inputs = [| 0 |];
+    benign_inputs = [| 8 |];
+    instrumented_modules = [ "unzzip" ];
+    bug_in_library = true;
+    expected_naive_detectable = false }

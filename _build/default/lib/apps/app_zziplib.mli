@@ -1,0 +1,6 @@
+(** Zziplib-0.13.62 (CVE-2017-5974): central-directory over-read inside the uninstrumented library; naive policy scores 0/1000.
+
+    See the implementation header for the full model rationale; fields
+    are documented in {!Buggy_app}. *)
+
+val app : App_def.t

@@ -1,0 +1,39 @@
+type t = App_def.t = {
+  name : string;
+  vuln : Report.kind;
+  reference : string;
+  units : Program.unit_src list;
+  buggy_inputs : int array;
+  benign_inputs : int array;
+  instrumented_modules : string list;
+  bug_in_library : bool;
+  expected_naive_detectable : bool;
+}
+
+let programs : (string, Program.t) Hashtbl.t = Hashtbl.create 16
+
+let program t =
+  match Hashtbl.find_opt programs t.name with
+  | Some p -> p
+  | None ->
+    let p = Program.load_exn t.units in
+    Hashtbl.add programs t.name p;
+    p
+
+(* Table I order (alphabetical). *)
+let all () =
+  [ App_gzip.app;
+    App_heartbleed.app;
+    App_libdwarf.app;
+    App_libhx.app;
+    App_libtiff.app;
+    App_memcached.app;
+    App_mysql.app;
+    App_polymorph.app;
+    App_zziplib.app ]
+
+let by_name name =
+  let lname = String.lowercase_ascii name in
+  List.find_opt (fun a -> String.lowercase_ascii a.name = lname) (all ())
+
+let names () = List.map (fun a -> a.name) (all ())

@@ -1,0 +1,39 @@
+(** Registry of the nine buggy applications (paper, Table I).
+
+    Each application is a MiniC model of the real program's allocation and
+    access behaviour around its known heap overflow: the same vulnerability
+    class (over-read / over-write), the same calling-context and allocation
+    counts (Table III), the same position of the overflowing object within
+    the allocation stream, and the same instrumentation boundary (whether
+    the overflowing access lives inside a prebuilt library that ASan did
+    not instrument).  Sources are organized as multiple compilation units
+    with realistic file names so that symbolized reports read like the
+    paper's Figure 6. *)
+
+type t = App_def.t = {
+  name : string;
+  vuln : Report.kind;            (** expected class, per Table I *)
+  reference : string;            (** CVE id or BugBench, per Table I *)
+  units : Program.unit_src list;
+  buggy_inputs : int array;      (** inputs that trigger the overflow *)
+  benign_inputs : int array;     (** inputs for an overflow-free run *)
+  instrumented_modules : string list;
+      (** modules recompiled with ASan in the paper's comparison; accesses
+          from other modules bypass ASan's checks *)
+  bug_in_library : bool;
+      (** true when the overflowing access executes inside a module outside
+          [instrumented_modules] — the Libtiff / LibHX / Zziplib cases *)
+  expected_naive_detectable : bool;
+      (** Table II: does the no-preemption policy ever catch this bug? *)
+}
+
+val program : t -> Program.t
+(** Load (parse + check) the model; memoized per app. *)
+
+val all : unit -> t list
+(** The nine applications, in Table I's alphabetical order. *)
+
+val by_name : string -> t option
+(** Case-insensitive lookup. *)
+
+val names : unit -> string list

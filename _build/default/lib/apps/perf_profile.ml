@@ -1,0 +1,106 @@
+type t = {
+  name : string;
+  loc : int;
+  contexts : int;
+  allocations : int;
+  threads : int;
+  runtime_sec : float;
+  access_rate : float;
+  avg_obj_bytes : int;
+  baseline_kb : int;
+  hot_contexts : int;
+  description : string;
+}
+
+(* LOC, contexts, allocations and baseline footprints are Table IV / V's
+   published values.  Runtimes approximate native PARSEC full-input runs;
+   access rates encode each program's memory intensity (and how much of it
+   is visible to instrumentation): the levers behind Figure 7's shape. *)
+let all () =
+  [ { name = "Blackscholes"; loc = 479; contexts = 4; allocations = 4; threads = 16;
+      runtime_sec = 100.0; access_rate = 2.2e8; avg_obj_bytes = 131072;
+      baseline_kb = 613; hot_contexts = 4;
+      description = "option pricing; three giant input arrays, no churn" };
+    { name = "Bodytrack"; loc = 11_938; contexts = 81; allocations = 431_022; threads = 16;
+      runtime_sec = 45.0; access_rate = 3.1e8; avg_obj_bytes = 64;
+      baseline_kb = 34; hot_contexts = 10;
+      description = "vision tracker; steady small-vector churn" };
+    { name = "Canneal"; loc = 4_530; contexts = 10; allocations = 30_728_172; threads = 16;
+      runtime_sec = 38.0; access_rate = 9.8e8; avg_obj_bytes = 88;
+      baseline_kb = 940; hot_contexts = 3;
+      description = "simulated annealing; tens of millions of tiny nodes" };
+    { name = "Dedup"; loc = 37_307; contexts = 93; allocations = 4_074_135; threads = 16;
+      runtime_sec = 32.0; access_rate = 3.4e8; avg_obj_bytes = 256;
+      baseline_kb = 1_599; hot_contexts = 12;
+      description = "compression pipeline; chunk buffers per stage" };
+    { name = "Facesim"; loc = 45_748; contexts = 109; allocations = 4_746_070; threads = 16;
+      runtime_sec = 110.0; access_rate = 2.9e8; avg_obj_bytes = 2048;
+      baseline_kb = 2_422; hot_contexts = 14;
+      description = "physics simulation; mesh state per frame" };
+    { name = "Ferret"; loc = 40_997; contexts = 118; allocations = 139_246; threads = 16;
+      runtime_sec = 3.0; access_rate = 3.2e8; avg_obj_bytes = 128;
+      baseline_kb = 68; hot_contexts = 16;
+      description = "similarity search; runs under five seconds, so tool
+                     initialization dominates (paper, Section V-B)" };
+    { name = "Fluidanimate"; loc = 880; contexts = 2; allocations = 229_910; threads = 16;
+      runtime_sec = 35.0; access_rate = 2.6e8; avg_obj_bytes = 640;
+      baseline_kb = 408; hot_contexts = 2;
+      description = "particle simulation; two allocation sites only" };
+    { name = "Freqmine"; loc = 2_709; contexts = 125; allocations = 4_255; threads = 16;
+      runtime_sec = 28.0; access_rate = 3.8e8; avg_obj_bytes = 4096;
+      baseline_kb = 1_241; hot_contexts = 20;
+      description = "frequent itemset mining; few large arena allocations" };
+    { name = "Raytrace"; loc = 36_871; contexts = 63; allocations = 45_037_327; threads = 16;
+      runtime_sec = 62.0; access_rate = 4.4e8; avg_obj_bytes = 272;
+      baseline_kb = 1_135; hot_contexts = 6;
+      description = "ray tracer; tiny per-ray node churn at huge volume" };
+    { name = "Streamcluster"; loc = 2_043; contexts = 21; allocations = 8_861; threads = 16;
+      runtime_sec = 55.0; access_rate = 3.6e8; avg_obj_bytes = 272;
+      baseline_kb = 111; hot_contexts = 4;
+      description = "online clustering; block allocations up front" };
+    { name = "Swaptions"; loc = 1_631; contexts = 10; allocations = 48_001_795; threads = 16;
+      runtime_sec = 290.0; access_rate = 2.7e8; avg_obj_bytes = 16;
+      baseline_kb = 9; hot_contexts = 2;
+      description = "HJM pricing; the paper's burst-throttle example:
+                     one context allocates millions of times in seconds" };
+    { name = "Vips"; loc = 206_059; contexts = 400; allocations = 1_425_257; threads = 16;
+      runtime_sec = 30.0; access_rate = 3.0e8; avg_obj_bytes = 192;
+      baseline_kb = 59; hot_contexts = 30;
+      description = "image pipeline; very wide context census" };
+    { name = "X264"; loc = 33_817; contexts = 60; allocations = 35_753; threads = 16;
+      runtime_sec = 21.0; access_rate = 9.6e8; avg_obj_bytes = 2048;
+      baseline_kb = 486; hot_contexts = 8;
+      description = "video encoder; extremely access-intensive frames" };
+    { name = "Aget"; loc = 1_205; contexts = 14; allocations = 46; threads = 8;
+      runtime_sec = 30.0; access_rate = 2.0e7; avg_obj_bytes = 1024;
+      baseline_kb = 7; hot_contexts = 4;
+      description = "parallel downloader; I/O-bound, few allocations" };
+    { name = "Apache"; loc = 269_126; contexts = 56; allocations = 357; threads = 16;
+      runtime_sec = 30.0; access_rate = 1.4e8; avg_obj_bytes = 512;
+      baseline_kb = 5; hot_contexts = 8;
+      description = "httpd serving 100k requests; pool allocator hides
+                     most allocations from the interposer" };
+    { name = "Memcached"; loc = 14_748; contexts = 85; allocations = 468; threads = 8;
+      runtime_sec = 30.0; access_rate = 1.1e8; avg_obj_bytes = 256;
+      baseline_kb = 7; hot_contexts = 10;
+      description = "cache server under the python-memcached load script" };
+    { name = "MySQL"; loc = 1_290_401; contexts = 1_186; allocations = 1_565_311; threads = 16;
+      runtime_sec = 58.0; access_rate = 1.9e8; avg_obj_bytes = 224;
+      baseline_kb = 124; hot_contexts = 40;
+      description = "sysbench, 16 clients, 100k requests" };
+    { name = "Pbzip2"; loc = 12_108; contexts = 13; allocations = 57_746; threads = 16;
+      runtime_sec = 48.0; access_rate = 6.0e7; avg_obj_bytes = 65536;
+      baseline_kb = 128; hot_contexts = 4;
+      description = "parallel bzip2 of a 7 GB file; most time inside the
+                     uninstrumented libbz2, so ASan sees few accesses" };
+    { name = "Pfscan"; loc = 1_091; contexts = 6; allocations = 6; threads = 16;
+      runtime_sec = 75.0; access_rate = 2.5e7; avg_obj_bytes = 524288;
+      baseline_kb = 4_044; hot_contexts = 2;
+      description = "parallel grep over 4 GB; I/O-bound scan buffers" } ]
+
+let by_name name =
+  let l = String.lowercase_ascii name in
+  List.find_opt (fun p -> String.lowercase_ascii p.name = l) (all ())
+
+let live_target t =
+  max 1 (t.baseline_kb * 1024 * 3 / 4 / t.avg_obj_bytes)

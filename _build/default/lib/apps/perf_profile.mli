@@ -1,0 +1,41 @@
+(** Profiles of the nineteen performance-evaluation applications
+    (paper, Section V-B: thirteen PARSEC benchmarks plus six real
+    multithreaded applications).
+
+    The paper runs these natively on a two-socket Xeon; we cannot, so each
+    application is characterized by the observable quantities Table IV
+    reports (lines of code, allocation calling contexts, allocation count,
+    thread count) plus the drivers of its overhead profile under each tool:
+    virtual runtime, instrumented-access rate (what ASan pays per second),
+    resident footprint (Table V's "Original" column), and object-size /
+    lifetime shape.  {!Perf_driver} replays an allocation stream with these
+    characteristics against any tool and measures virtual cycles and
+    resident memory. *)
+
+type t = {
+  name : string;
+  loc : int;                 (** source lines, Table IV (reported verbatim) *)
+  contexts : int;            (** allocation calling contexts, Table IV *)
+  allocations : int;         (** allocations in the native run, Table IV *)
+  threads : int;             (** worker threads (PARSEC runs use 16) *)
+  runtime_sec : float;       (** virtual duration of the native run *)
+  access_rate : float;       (** instrumented memory accesses per second —
+                                 the load ASan's shadow checks ride on; low
+                                 for I/O-bound programs (Aget, Pfscan) and
+                                 for programs spending time in
+                                 uninstrumented libraries (Pbzip2) *)
+  avg_obj_bytes : int;       (** mean allocation size *)
+  baseline_kb : int;         (** native peak resident set, Table V "Original" *)
+  hot_contexts : int;        (** contexts responsible for ~90% of allocations *)
+  description : string;
+}
+
+val all : unit -> t list
+(** Table IV order: the thirteen PARSEC benchmarks, then Aget, Apache,
+    Memcached, MySQL, Pbzip2, Pfscan. *)
+
+val by_name : string -> t option
+
+val live_target : t -> int
+(** Steady-state live-object count implied by the footprint and mean
+    object size (at least 1). *)

@@ -1,0 +1,1 @@
+lib/asan/asan.ml: Clock Cost Hashtbl Heap List Machine Quarantine Shadow Tool

@@ -1,0 +1,1 @@
+lib/asan/asan.mli: Heap Machine Tool

@@ -1,0 +1,1 @@
+lib/asan/quarantine.ml: List Queue

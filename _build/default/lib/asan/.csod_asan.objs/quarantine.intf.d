@@ -1,0 +1,1 @@
+lib/asan/quarantine.mli:

@@ -1,0 +1,1 @@
+lib/asan/shadow.ml: Sparse_mem

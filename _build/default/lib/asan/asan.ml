@@ -1,0 +1,88 @@
+type detection = { kind : Tool.access_kind; addr : int; site : int; at_sec : float }
+
+type live = { base : int; size : int; request : int }
+
+type t = {
+  machine : Machine.t;
+  heap : Heap.t;
+  shadow : Shadow.t;
+  quarantine : Quarantine.t;
+  redzone : int;
+  instrumented : int -> bool;
+  registry : (int, live) Hashtbl.t; (* app ptr -> block info *)
+  mutable detections : detection list; (* newest first *)
+}
+
+let create ?(redzone = 16) ?(quarantine_budget = 98_304) ?(instrumented = fun _ -> true)
+    ~machine ~heap () =
+  if redzone < 16 || redzone mod 8 <> 0 then
+    invalid_arg "Asan.create: redzone must be a multiple of 8, at least 16";
+  { machine;
+    heap;
+    shadow = Shadow.create ();
+    quarantine = Quarantine.create ~budget_bytes:quarantine_budget;
+    redzone;
+    instrumented;
+    registry = Hashtbl.create 1024;
+    detections = [] }
+
+let rounded8 n = (n + 7) land lnot 7
+
+let asan_malloc t ~size ~ctx:_ =
+  (* poisoning cost grows with the redzone width: the default-redzone
+     configuration pays more per allocation than the minimal one *)
+  Machine.work t.machine (Cost.redzone_poison + (4 * t.redzone));
+  let request = t.redzone + rounded8 size + t.redzone in
+  let base = Heap.malloc t.heap request in
+  let app = base + t.redzone in
+  Shadow.poison t.shadow ~addr:base ~len:t.redzone;
+  Shadow.unpoison t.shadow ~addr:app ~len:size;
+  (* Right redzone starts at the first byte past the object, covering the
+     rounding slack plus the configured redzone. *)
+  Shadow.poison t.shadow ~addr:(app + size) ~len:(rounded8 size - size + t.redzone);
+  Hashtbl.replace t.registry app { base; size; request };
+  app
+
+let release t (b : Quarantine.block) =
+  (* Memory leaving quarantine becomes ordinary allocator memory again. *)
+  Shadow.unpoison t.shadow ~addr:b.Quarantine.base ~len:b.Quarantine.bytes;
+  Heap.free t.heap b.Quarantine.base
+
+let asan_free t ~ptr =
+  if ptr = 0 then Heap.free t.heap 0
+  else
+    match Hashtbl.find_opt t.registry ptr with
+    | None -> Heap.free t.heap ptr (* foreign pointer: let the heap diagnose *)
+    | Some l ->
+      Machine.work t.machine Cost.quarantine_op;
+      Hashtbl.remove t.registry ptr;
+      (* The whole block, object included, is poisoned while quarantined. *)
+      Shadow.poison t.shadow ~addr:l.base ~len:l.request;
+      let evicted = t.quarantine |> fun q -> Quarantine.push q { base = l.base; bytes = l.request } in
+      List.iter (release t) evicted
+
+let on_access t ~addr ~len ~kind ~site =
+  if t.instrumented site then begin
+    Machine.work t.machine Cost.shadow_check;
+    if Shadow.is_poisoned t.shadow ~addr ~len then
+      t.detections <-
+        { kind; addr; site; at_sec = Clock.seconds (Machine.clock t.machine) }
+        :: t.detections
+  end
+
+let extra_resident_bytes t =
+  (* real ASan's flat shadow costs 1/8 of the memory the application
+     touches, plus whatever the quarantine is holding back *)
+  (Heap.resident_bytes t.heap / 8) + Quarantine.held_bytes t.quarantine
+
+let tool t =
+  { Tool.name = (if t.redzone <= 16 then "asan-min-rz" else "asan");
+    malloc = (fun ~size ~ctx -> asan_malloc t ~size ~ctx);
+    free = (fun ~ptr -> asan_free t ~ptr);
+    on_access = (fun ~addr ~len ~kind ~site -> on_access t ~addr ~len ~kind ~site);
+    at_exit = (fun () -> ());
+    extra_resident_bytes = (fun () -> extra_resident_bytes t) }
+
+let detections t = List.rev t.detections
+let detected t = t.detections <> []
+let redzone t = t.redzone

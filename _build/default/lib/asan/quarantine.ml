@@ -1,0 +1,31 @@
+type block = { base : int; bytes : int }
+
+type t = {
+  budget : int;
+  q : block Queue.t;
+  mutable held : int;
+}
+
+let create ~budget_bytes =
+  if budget_bytes < 0 then invalid_arg "Quarantine.create: negative budget";
+  { budget = budget_bytes; q = Queue.create (); held = 0 }
+
+let push t b =
+  Queue.push b t.q;
+  t.held <- t.held + b.bytes;
+  let evicted = ref [] in
+  while t.held > t.budget && not (Queue.is_empty t.q) do
+    let old = Queue.pop t.q in
+    t.held <- t.held - old.bytes;
+    evicted := old :: !evicted
+  done;
+  List.rev !evicted
+
+let held_bytes t = t.held
+let held_blocks t = Queue.length t.q
+
+let drain t =
+  let all = List.of_seq (Queue.to_seq t.q) in
+  Queue.clear t.q;
+  t.held <- 0;
+  all

@@ -1,0 +1,23 @@
+(** ASan's deallocation quarantine.
+
+    Freed blocks are not returned to the allocator immediately; they sit in
+    a FIFO bounded by a byte budget, keeping their memory poisoned (the
+    mechanism behind ASan's use-after-free detection, and a large part of
+    its memory overhead in Table V).  When the budget is exceeded, the
+    oldest blocks are evicted and truly freed. *)
+
+type t
+
+type block = { base : int; bytes : int }
+
+val create : budget_bytes:int -> t
+
+val push : t -> block -> block list
+(** Enqueue a freed block; returns the blocks evicted to honor the budget
+    (oldest first), which the caller must release to the real heap. *)
+
+val held_bytes : t -> int
+val held_blocks : t -> int
+
+val drain : t -> block list
+(** Empty the quarantine, returning everything held. *)

@@ -1,0 +1,1 @@
+lib/core/canary.ml: Cost Machine Sparse_mem

@@ -1,0 +1,1 @@
+lib/core/context_table.ml: Alloc_ctx Chained_table Clock Cost Hashtbl List Machine Params Prng

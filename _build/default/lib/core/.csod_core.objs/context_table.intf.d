@@ -1,0 +1,1 @@
+lib/core/context_table.mli: Alloc_ctx Machine Params Prng

@@ -1,0 +1,1 @@
+lib/core/persist.ml: Alloc_ctx Fun Hashtbl List Printf String Sys

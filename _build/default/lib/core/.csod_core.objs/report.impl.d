@@ -1,0 +1,1 @@
+lib/core/report.ml: Alloc_ctx Buffer Format List Printf Threads

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Canary Clock Context_table Cost Heap Hw_breakpoint List Machine Params Persist Prng Report Threads Tool Trace Watch_table

@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Context_table Heap Machine Params Persist Report Tool Watch_table

@@ -1,0 +1,1 @@
+lib/core/trace.mli: Alloc_ctx Logs

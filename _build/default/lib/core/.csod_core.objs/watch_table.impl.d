@@ -1,0 +1,1 @@
+lib/core/watch_table.ml: Clock Context_table Hashtbl Hw_breakpoint List Machine Params Prng Ring Threads Trace

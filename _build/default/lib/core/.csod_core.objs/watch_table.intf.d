@@ -1,0 +1,1 @@
+lib/core/watch_table.mli: Context_table Hw_breakpoint Machine Params Prng Threads

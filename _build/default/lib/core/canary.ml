@@ -1,0 +1,39 @@
+let header_size = 32
+let canary_size = 8
+let identifier = 0x43534F44 (* "CSOD" *)
+
+let rounded size = (size + 7) land lnot 7
+
+let padded_request ~evidence size =
+  rounded size + canary_size + if evidence then header_size else 0
+
+let app_ptr ~evidence ~base = if evidence then base + header_size else base
+let base_ptr ~evidence ~app = if evidence then app - header_size else app
+
+let boundary_addr ~app ~size = app + rounded size
+
+let plant m ~base ~size ~ctx_id ~canary =
+  Machine.work m Cost.canary_plant;
+  let app = base + header_size in
+  let mem = Machine.mem m in
+  Sparse_mem.write_int mem base base; (* RealObjectPtr *)
+  Sparse_mem.write_int mem (base + 8) size; (* ObjectSize *)
+  Sparse_mem.write_int mem (base + 16) ctx_id; (* CallingContextPtr *)
+  Sparse_mem.write_int mem (base + 24) identifier;
+  Sparse_mem.write_u64 mem (boundary_addr ~app ~size) canary;
+  app
+
+let check m ~app ~size ~expected =
+  Machine.work m Cost.canary_check;
+  Sparse_mem.read_u64 (Machine.mem m) (boundary_addr ~app ~size) = expected
+
+let read_header m ~app =
+  let mem = Machine.mem m in
+  let base = app - header_size in
+  if base < 0 then None
+  else if Sparse_mem.read_int mem (base + 24) <> identifier then None
+  else
+    Some
+      ( Sparse_mem.read_int mem base,
+        Sparse_mem.read_int mem (base + 8),
+        Sparse_mem.read_int mem (base + 16) )

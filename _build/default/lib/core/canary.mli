@@ -1,0 +1,52 @@
+(** Object layout for CSOD allocations (paper, Figures 2 and 5).
+
+    Every CSOD allocation pads the raw heap block so that the word
+    immediately past the object belongs to the object itself — that word is
+    the watchpoint target (Figure 2), and under the evidence-based mode it
+    additionally holds a random canary verified at deallocation and at exit
+    (Figure 5).  With evidence enabled a 32-byte header precedes the
+    object:
+
+    {v RealObjectPtr | ObjectSize | CallingContextPtr | Identifier | Object | Canary v}
+
+    The header lets [free] recover the raw block pointer (supporting
+    memalign), the object size (locating the canary), and the allocation
+    context; the identifier marks CSOD-managed objects.  All header/canary
+    traffic uses unwatched accesses: the runtime must never trip the very
+    watchpoint it planted. *)
+
+val header_size : int
+(** 32 bytes. *)
+
+val canary_size : int
+(** 8 bytes. *)
+
+val identifier : int
+(** Header magic marking CSOD-managed objects. *)
+
+val rounded : int -> int
+(** Requested size rounded up to the 8-byte word the hardware watches. *)
+
+val padded_request : evidence:bool -> int -> int
+(** Bytes to request from the raw heap for a [size]-byte application
+    object: [rounded size + canary word], plus the header when [evidence]. *)
+
+val app_ptr : evidence:bool -> base:int -> int
+(** Application pointer within the raw block. *)
+
+val base_ptr : evidence:bool -> app:int -> int
+
+val boundary_addr : app:int -> size:int -> int
+(** Address of the first word past the object — the watchpoint target, and
+    the canary slot. *)
+
+val plant : Machine.t -> base:int -> size:int -> ctx_id:int -> canary:int64 -> int
+(** Write header and canary (evidence mode); returns the application
+    pointer.  Charges {!Cost.canary_plant}. *)
+
+val check : Machine.t -> app:int -> size:int -> expected:int64 -> bool
+(** Is the canary intact?  Charges {!Cost.canary_check}. *)
+
+val read_header : Machine.t -> app:int -> (int * int * int) option
+(** [(real_base, size, ctx_id)] if the identifier matches, [None] for a
+    foreign or corrupted header. *)

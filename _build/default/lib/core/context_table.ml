@@ -1,0 +1,129 @@
+type entry = {
+  id : int;
+  key : Alloc_ctx.key;
+  mutable prob : float;
+  mutable allocs : int;
+  mutable watches : int;
+  mutable window_start : float;
+  mutable window_count : int;
+  mutable burst_until : float;
+  mutable floor_since : float;
+  mutable pinned : bool;
+  mutable full_ctx : int list;
+}
+
+type t = {
+  params : Params.t;
+  machine : Machine.t;
+  rng : Prng.t;
+  table : (Alloc_ctx.key, entry) Chained_table.t;
+  by_id : (int, entry) Hashtbl.t;
+  mutable next_id : int;
+  mutable allocations : int;
+  mutable watches : int;
+}
+
+let create ~params ~machine ~rng =
+  { params;
+    machine;
+    rng;
+    table =
+      Chained_table.create ~buckets:2048 ~hash:Alloc_ctx.hash_key ~equal:Alloc_ctx.equal_key ();
+    by_id = Hashtbl.create 256;
+    next_id = 0;
+    allocations = 0;
+    watches = 0 }
+
+let now t = Clock.seconds (Machine.clock t.machine)
+
+let at_floor t e = e.prob <= t.params.Params.min_prob +. 1e-12
+
+let clamp_floor t e =
+  if e.prob < t.params.Params.min_prob then begin
+    e.prob <- t.params.Params.min_prob;
+    if e.floor_since = 0.0 then e.floor_since <- now t
+  end
+
+let fresh_entry t (ctx : Alloc_ctx.t) =
+  (* First sight of this context: the paper acquires the whole calling
+     context once, with the expensive backtrace walk. *)
+  let full = ctx.Alloc_ctx.backtrace () in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  { id;
+    key = Alloc_ctx.key ctx;
+    prob = t.params.Params.initial_prob;
+    allocs = 0;
+    watches = 0;
+    window_start = now t;
+    window_count = 0;
+    burst_until = 0.0;
+    floor_since = 0.0;
+    pinned = false;
+    full_ctx = full }
+
+let on_allocation t ctx =
+  Machine.work t.machine Cost.context_lookup;
+  let e =
+    Chained_table.find_or_add t.table (Alloc_ctx.key ctx) ~default:(fun () ->
+        let e = fresh_entry t ctx in
+        Hashtbl.replace t.by_id e.id e;
+        e)
+  in
+  t.allocations <- t.allocations + 1;
+  e.allocs <- e.allocs + 1;
+  Machine.work t.machine Cost.prob_update;
+  let tnow = now t in
+  (* Degradation on each allocation. *)
+  e.prob <- e.prob -. t.params.Params.degrade_per_alloc;
+  clamp_floor t e;
+  (* Burst bookkeeping: count allocations in the rolling window. *)
+  if tnow -. e.window_start > t.params.Params.burst_window_sec then begin
+    e.window_start <- tnow;
+    e.window_count <- 0;
+    (* An active throttle expires with its window: the probability is
+       "again increased to the lower bound". *)
+    if e.burst_until > 0.0 && tnow >= e.burst_until then e.burst_until <- 0.0
+  end;
+  e.window_count <- e.window_count + 1;
+  if e.window_count > t.params.Params.burst_threshold then
+    e.burst_until <- e.window_start +. t.params.Params.burst_window_sec;
+  (* Reviving: a floor-bound context may be boosted after a while. *)
+  if
+    (not e.pinned) && at_floor t e
+    && e.floor_since > 0.0
+    && tnow -. e.floor_since > t.params.Params.revive_period_sec
+    && Prng.below_percent t.rng 0.01
+  then begin
+    e.prob <- t.params.Params.revive_prob;
+    e.floor_since <- 0.0
+  end;
+  e
+
+let effective_prob t e =
+  if e.pinned then 1.0
+  else if e.burst_until > 0.0 && now t < e.burst_until then t.params.Params.burst_prob
+  else e.prob
+
+let note_watched t (e : entry) =
+  t.watches <- t.watches + 1;
+  e.watches <- e.watches + 1;
+  if not e.pinned then begin
+    e.prob <- e.prob *. t.params.Params.watch_decay_factor;
+    clamp_floor t e
+  end
+
+let pin _t e =
+  e.pinned <- true;
+  e.prob <- 1.0
+
+let find t key = Chained_table.find t.table key
+let find_by_id t id = Hashtbl.find_opt t.by_id id
+let num_contexts t = Chained_table.length t.table
+let total_allocations t = t.allocations
+let total_watches t = t.watches
+let iter f t = Chained_table.iter (fun _ e -> f e) t.table
+
+let memory_bytes t =
+  Chained_table.memory_bytes t.table
+  + Chained_table.fold (fun _ e acc -> acc + (10 * 8) + (8 * List.length e.full_ctx)) t.table 0

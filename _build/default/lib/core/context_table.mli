@@ -1,0 +1,69 @@
+(** The Sampling Management Unit (paper, Section III-B).
+
+    One global hash table maps each allocation calling context — keyed by
+    the cheap (first-level call site, stack offset) pair — to its sampling
+    state.  The probability of every context is adapted online:
+
+    - start at 50%;
+    - subtract 0.001% on every allocation from the context;
+    - halve after each time an object of the context is watched;
+    - never drop below the 0.001% floor;
+    - throttle to 0.0001% while the context allocates in bursts
+      (>5,000 allocations within 10 s), recovering to the floor when the
+      window elapses;
+    - occasionally revive floor-bound contexts to 0.01% (Section IV-A);
+    - pin to 100% when the evidence mechanism proves the context overflows
+      (Section IV-B). *)
+
+type entry = {
+  id : int;
+      (** dense per-runtime identifier; stored in object headers as the
+          CallingContextPtr of Figure 5 *)
+  key : Alloc_ctx.key;
+  mutable prob : float;
+  mutable allocs : int;          (** allocations seen from this context *)
+  mutable watches : int;         (** times an object of this context was watched *)
+  mutable window_start : float;  (** burst window start, virtual seconds *)
+  mutable window_count : int;    (** allocations inside the current window *)
+  mutable burst_until : float;   (** end of an active throttle, or 0. *)
+  mutable floor_since : float;   (** when the probability first hit the floor *)
+  mutable pinned : bool;         (** evidence-pinned at 100% *)
+  mutable full_ctx : int list;   (** full backtrace, captured on first sight *)
+}
+
+type t
+
+val create : params:Params.t -> machine:Machine.t -> rng:Prng.t -> t
+(** [rng] drives the reviving coin flips. *)
+
+val on_allocation : t -> Alloc_ctx.t -> entry
+(** The per-allocation hot path: look up (or create, capturing the full
+    backtrace once) the context entry, count the allocation, apply
+    degradation, burst bookkeeping, and the reviving rule.  Charges
+    {!Cost.context_lookup} and {!Cost.prob_update} (plus
+    {!Cost.backtrace_full} on first sight) to the machine clock. *)
+
+val effective_prob : t -> entry -> float
+(** The probability a sampling decision should use {e now}: 1.0 when
+    pinned, the burst throttle while bursting, otherwise the entry's
+    adapted probability. *)
+
+val note_watched : t -> entry -> unit
+(** Apply the after-watch degradation (halving) and bump the watch count. *)
+
+val pin : t -> entry -> unit
+(** Evidence boost to 100% "such that all following overflows sharing the
+    same allocation calling context can be detected from then on". *)
+
+val find : t -> Alloc_ctx.key -> entry option
+
+val find_by_id : t -> int -> entry option
+(** Resolve a header's CallingContextPtr back to its entry. *)
+
+val num_contexts : t -> int
+val total_allocations : t -> int
+val total_watches : t -> int
+val iter : (entry -> unit) -> t -> unit
+
+val memory_bytes : t -> int
+(** Resident cost of the table, for Table V accounting. *)

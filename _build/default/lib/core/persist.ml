@@ -1,0 +1,33 @@
+type t = (Alloc_ctx.key, unit) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+let mem t key = Hashtbl.mem t key
+let add t key = if not (Hashtbl.mem t key) then Hashtbl.add t key ()
+let count t = Hashtbl.length t
+let keys t = Hashtbl.fold (fun k () acc -> k :: acc) t [] |> List.sort compare
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter (fun (a, b) -> Printf.fprintf oc "%d %d\n" a b) (keys t))
+
+let load path =
+  let t = create () in
+  if Sys.file_exists path then begin
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then
+              match String.split_on_char ' ' (String.trim line) with
+              | [ a; b ] -> add t (int_of_string a, int_of_string b)
+              | _ -> failwith ("Persist.load: malformed line: " ^ line)
+          done
+        with End_of_file -> ())
+  end;
+  t

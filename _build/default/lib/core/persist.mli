@@ -1,0 +1,30 @@
+(** Persistent record of overflowing calling contexts (paper, Section IV-B).
+
+    "At the end of the execution, all allocation calling contexts observed
+    to have overflows are written to persistent storage ... in order to
+    detect buffer overflow in future executions."  A store holds the
+    context keys proven to overflow; a later execution passes the same
+    store to its runtime, which pins those contexts at probability 100%.
+    Context keys are stable across executions because code addresses are
+    assigned deterministically by the loader.
+
+    Stores live in memory (the fleet/crowdsourcing simulations share one
+    per simulated user) and can be saved to and loaded from a real file
+    (the CLI's behaviour, matching the paper's). *)
+
+type t
+
+val create : unit -> t
+val mem : t -> Alloc_ctx.key -> bool
+val add : t -> Alloc_ctx.key -> unit
+(** Idempotent. *)
+
+val count : t -> int
+val keys : t -> Alloc_ctx.key list
+(** Sorted, for deterministic output. *)
+
+val save : t -> string -> unit
+(** One ["callsite stack_offset"] line per context. *)
+
+val load : string -> t
+(** Missing file yields an empty store; malformed lines raise [Failure]. *)

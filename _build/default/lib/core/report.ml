@@ -1,0 +1,43 @@
+type kind = Over_read | Over_write
+
+type source = Watchpoint | Canary_free | Canary_exit
+
+type t = {
+  kind : kind;
+  source : source;
+  access_backtrace : int list;
+  alloc_backtrace : int list;
+  ctx_key : Alloc_ctx.key;
+  object_addr : int;
+  watch_addr : int;
+  tid : Threads.tid;
+  at_sec : float;
+}
+
+let kind_name = function Over_read -> "over-read" | Over_write -> "over-write"
+
+let source_name = function
+  | Watchpoint -> "watchpoint"
+  | Canary_free -> "canary-at-free"
+  | Canary_exit -> "canary-at-exit"
+
+let format ~symbolize t =
+  let buf = Buffer.create 256 in
+  let frames addrs =
+    List.iter (fun a -> Buffer.add_string buf ("  " ^ symbolize a ^ "\n")) addrs
+  in
+  (match t.source with
+  | Watchpoint ->
+    Buffer.add_string buf
+      (Printf.sprintf "A buffer %s problem is detected at:\n" (kind_name t.kind));
+    frames t.access_backtrace
+  | Canary_free | Canary_exit ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "A buffer over-write problem is evidenced by a corrupted canary (%s).\n"
+         (source_name t.source)));
+  Buffer.add_string buf "\nThis object is allocated at:\n";
+  frames t.alloc_backtrace;
+  Buffer.contents buf
+
+let pp ~symbolize ppf t = Format.pp_print_string ppf (format ~symbolize t)

@@ -1,0 +1,217 @@
+type stats = {
+  contexts : int;
+  allocations : int;
+  watched_times : int;
+  traps : int;
+  canary_checks : int;
+  live_objects : int;
+}
+
+type t = {
+  params : Params.t;
+  machine : Machine.t;
+  heap : Heap.t;
+  store : Persist.t;
+  contexts : Context_table.t;
+  watches : Watch_table.t;
+  rng : Prng.t; (* sampling decisions; per paper, per-thread generators *)
+  canary : int64; (* this run's random canary value (evidence mode) *)
+  mutable reports : Report.t list; (* newest first *)
+  mutable traps : int;
+  mutable canary_checks : int;
+  mutable finished : bool;
+}
+
+let now t = Clock.seconds (Machine.clock t.machine)
+
+let record_overflow t (entry : Context_table.entry) report =
+  t.reports <- report :: t.reports;
+  Context_table.pin t.contexts entry;
+  Persist.add t.store entry.Context_table.key
+
+let handle_trap t (info : Machine.trap_info) =
+  t.traps <- t.traps + 1;
+  match Watch_table.find_by_fd t.watches info.Machine.fd with
+  | None -> () (* stale descriptor: the watchpoint raced with removal *)
+  | Some wp ->
+    (* The paper reports the statement and full calling context of the
+       access (via backtrace in the handler) plus the allocation calling
+       context saved at install time. *)
+    Machine.work t.machine Cost.backtrace_full;
+    let access_bt = Machine.backtrace t.machine in
+    let kind =
+      match info.Machine.access_kind with
+      | Hw_breakpoint.Read -> Report.Over_read
+      | Hw_breakpoint.Write -> Report.Over_write
+    in
+    Trace.trap ~addr:info.Machine.access_addr ~kind:(Report.kind_name kind)
+      ~tid:info.Machine.tid;
+    let report =
+      { Report.kind;
+        source = Report.Watchpoint;
+        access_backtrace = access_bt;
+        alloc_backtrace = wp.Watch_table.alloc_backtrace;
+        ctx_key = wp.Watch_table.entry.Context_table.key;
+        object_addr = wp.Watch_table.obj_addr;
+        watch_addr = wp.Watch_table.watch_addr;
+        tid = info.Machine.tid;
+        at_sec = now t }
+    in
+    record_overflow t wp.Watch_table.entry report;
+    (* One report per object: release the slot so other objects can be
+       watched for the remainder of the execution. *)
+    Watch_table.remove t.watches wp
+
+let create ?(params = Params.default) ?store ?(seed = 0) ~machine ~heap () =
+  let root = Machine.rng machine in
+  (* Offset the streams by [seed] so distinct executions sample differently. *)
+  let mk () =
+    let g = Prng.split root in
+    for _ = 1 to seed land 0xff do
+      ignore (Prng.bits64 g)
+    done;
+    g
+  in
+  let rng = mk () in
+  let canary_rng = mk () in
+  let t =
+    { params;
+      machine;
+      heap;
+      store = (match store with Some s -> s | None -> Persist.create ());
+      contexts = Context_table.create ~params ~machine ~rng:(mk ());
+      watches = Watch_table.create ~params ~machine ~rng:(mk ());
+      rng;
+      canary = Prng.canary64 canary_rng;
+      reports = [];
+      traps = 0;
+      canary_checks = 0;
+      finished = false }
+  in
+  Machine.set_trap_handler machine (handle_trap t);
+  t
+
+let evidence t = t.params.Params.evidence
+
+(* Decide whether to watch the freshly allocated object, per Section III.
+   Returns true when a watchpoint now guards it. *)
+let consider_watch t (entry : Context_table.entry) ~app ~watch_addr =
+  if Watch_table.in_startup t.watches && Watch_table.has_free_slot t.watches then begin
+    (* "Installation due to availability": the first few objects are
+       watched regardless of probability (see {!Watch_table.in_startup}). *)
+    Watch_table.install t.watches ~obj_addr:app ~watch_addr ~entry;
+    true
+  end
+  else begin
+    Machine.work t.machine Cost.rng_draw;
+    let p = Context_table.effective_prob t.contexts entry in
+    if not (Prng.below_percent t.rng p) then false
+    else if Watch_table.has_free_slot t.watches then begin
+      Watch_table.install t.watches ~obj_addr:app ~watch_addr ~entry;
+      true
+    end
+    else Watch_table.try_replace t.watches ~obj_addr:app ~watch_addr ~entry ~new_prob:p
+  end
+
+let csod_malloc t ~size ~ctx =
+  let entry = Context_table.on_allocation t.contexts ctx in
+  if Persist.mem t.store entry.Context_table.key && not entry.Context_table.pinned then
+    Context_table.pin t.contexts entry;
+  let request = Canary.padded_request ~evidence:(evidence t) size in
+  let base = Heap.malloc t.heap request in
+  let app =
+    if evidence t then
+      Canary.plant t.machine ~base ~size ~ctx_id:entry.Context_table.id
+        ~canary:t.canary
+    else base
+  in
+  let watch_addr = Canary.boundary_addr ~app ~size in
+  let watched = consider_watch t entry ~app ~watch_addr in
+  if watched then Context_table.note_watched t.contexts entry;
+  Trace.decision ~watched
+    ~prob:(Context_table.effective_prob t.contexts entry)
+    ~key:entry.Context_table.key ~addr:app;
+  app
+
+(* Evidence mode: everything [free] needs is in the object header the
+   allocation path planted (Figure 5) — no side table exists. *)
+let check_canary t ~app ~size ~ctx_id ~source =
+  t.canary_checks <- t.canary_checks + 1;
+  if not (Canary.check t.machine ~app ~size ~expected:t.canary) then begin
+    Trace.canary ~addr:app
+      ~where:(if source = Report.Canary_free then "free" else "exit");
+    match Context_table.find_by_id t.contexts ctx_id with
+    | None -> () (* corrupted header: the canary itself already proves it *)
+    | Some entry ->
+      let report =
+        { Report.kind = Report.Over_write;
+          source;
+          access_backtrace = [];
+          alloc_backtrace = entry.Context_table.full_ctx;
+          ctx_key = entry.Context_table.key;
+          object_addr = app;
+          watch_addr = Canary.boundary_addr ~app ~size;
+          tid = Threads.current (Machine.threads t.machine);
+          at_sec = now t }
+      in
+      record_overflow t entry report
+  end
+
+let csod_free t ~ptr =
+  if ptr = 0 then Heap.free t.heap 0
+  else begin
+    if Watch_table.on_free t.watches ~obj_addr:ptr then
+      Trace.removed_on_free ~addr:ptr;
+    if evidence t then
+      match Canary.read_header t.machine ~app:ptr with
+      | Some (base, size, ctx_id) ->
+        check_canary t ~app:ptr ~size ~ctx_id ~source:Report.Canary_free;
+        Heap.free t.heap base
+      | None ->
+        (* No CSOD header: a foreign pointer; let the heap diagnose it. *)
+        Heap.free t.heap ptr
+    else Heap.free t.heap ptr
+  end
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    if evidence t then
+      Heap.iter_live
+        (fun ~addr ~size:_ ->
+          (* [addr] is the raw block; the application pointer sits past the
+             header.  Only blocks carrying the CSOD identifier are ours. *)
+          let app = Canary.app_ptr ~evidence:true ~base:addr in
+          match Canary.read_header t.machine ~app with
+          | Some (base, size, ctx_id) when base = addr ->
+            check_canary t ~app ~size ~ctx_id ~source:Report.Canary_exit
+          | _ -> ())
+        t.heap;
+    Machine.clear_trap_handler t.machine
+  end
+
+let tool t =
+  { Tool.name = "csod";
+    malloc = (fun ~size ~ctx -> csod_malloc t ~size ~ctx);
+    free = (fun ~ptr -> csod_free t ~ptr);
+    on_access = (fun ~addr:_ ~len:_ ~kind:_ ~site:_ -> ());
+    at_exit = (fun () -> finish t);
+    extra_resident_bytes = (fun () -> Context_table.memory_bytes t.contexts) }
+
+let params t = t.params
+let store t = t.store
+let detections t = List.rev t.reports
+let detected t = t.reports <> []
+
+let stats t =
+  { contexts = Context_table.num_contexts t.contexts;
+    allocations = Context_table.total_allocations t.contexts;
+    watched_times = Watch_table.installs t.watches;
+    traps = t.traps;
+    canary_checks = t.canary_checks;
+    live_objects = Heap.live_objects t.heap }
+
+let context_table t = t.contexts
+let watch_table t = t.watches
+
+let extra_resident_bytes t = Context_table.memory_bytes t.contexts

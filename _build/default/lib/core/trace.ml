@@ -1,0 +1,19 @@
+let src = Logs.Src.create "csod" ~doc:"CSOD runtime decision trace"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let decision ~watched ~prob ~key:(site, off) ~addr =
+  Log.debug (fun m ->
+      m "alloc 0x%x ctx=(0x%x,%d) p=%.5f -> %s" addr site off prob
+        (if watched then "WATCH" else "skip"))
+
+let replaced ~victim ~by =
+  Log.debug (fun m -> m "replace: evict watchpoint on 0x%x for 0x%x" victim by)
+
+let removed_on_free ~addr = Log.debug (fun m -> m "free 0x%x: watchpoint removed" addr)
+
+let trap ~addr ~kind ~tid =
+  Log.debug (fun m -> m "TRAP %s at 0x%x on thread %d" kind addr tid)
+
+let canary ~addr ~where =
+  Log.debug (fun m -> m "CANARY corrupted on 0x%x (at %s)" addr where)

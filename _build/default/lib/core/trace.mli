@@ -1,0 +1,24 @@
+(** Diagnostic trace of the runtime's sampling decisions.
+
+    Every decision the Sampling and Watchpoint Management Units take can
+    be streamed through a {!Logs} source named ["csod"], at [Debug]
+    level.  Disabled (the default) it costs one branch per decision; the
+    CLI's [--trace] flag enables it, which is the fastest way to see
+    {e why} a particular execution missed a bug — which coin flips
+    failed, which watchpoint was evicted when. *)
+
+val src : Logs.src
+
+val decision :
+  watched:bool -> prob:float -> key:Alloc_ctx.key -> addr:int -> unit
+(** One allocation-time sampling outcome. *)
+
+val replaced : victim:int -> by:int -> unit
+(** A policy preemption: watchpoint on [victim] handed to [by]. *)
+
+val removed_on_free : addr:int -> unit
+
+val trap : addr:int -> kind:string -> tid:int -> unit
+
+val canary : addr:int -> where:string -> unit
+(** A corrupted canary observed at [where] (["free"] or ["exit"]). *)

@@ -1,0 +1,167 @@
+type wp = {
+  obj_addr : int;
+  watch_addr : int;
+  entry : Context_table.entry;
+  alloc_backtrace : int list;
+  mutable fds : (Threads.tid * Hw_breakpoint.fd) list;
+  installed_at : float;
+  prob_at_install : float;
+}
+
+type t = {
+  params : Params.t;
+  machine : Machine.t;
+  rng : Prng.t;
+  ring : wp Ring.t; (* oldest-first; the near-FIFO circular buffer *)
+  by_fd : (Hw_breakpoint.fd, wp) Hashtbl.t;
+  by_obj : (int, wp) Hashtbl.t;
+  mutable installs : int;
+  mutable startup : bool;
+}
+
+let create ~params ~machine ~rng =
+  let t =
+    { params;
+      machine;
+      rng;
+      ring = Ring.create ~capacity:Hw_breakpoint.num_slots;
+      by_fd = Hashtbl.create 64;
+      by_obj = Hashtbl.create 64;
+      installs = 0;
+      startup = true }
+  in
+  let combined = params.Params.combined_syscall in
+  let threads = Machine.threads machine in
+  Threads.on_spawn threads (fun tid ->
+      (* A new thread must observe every installed watchpoint: there is no
+         way to know which thread will cause an overflow later. *)
+      Ring.iter
+        (fun wp ->
+          match Machine.install_watch ~combined machine ~addr:wp.watch_addr ~tid with
+          | Ok fd ->
+            wp.fds <- (tid, fd) :: wp.fds;
+            Hashtbl.replace t.by_fd fd wp
+          | Error `ENOSPC -> ())
+        t.ring);
+  Threads.on_exit threads (fun tid ->
+      Ring.iter
+        (fun wp ->
+          let mine, rest = List.partition (fun (t', _) -> t' = tid) wp.fds in
+          List.iter
+            (fun (_, fd) ->
+              Machine.remove_watch ~combined machine fd;
+              Hashtbl.remove t.by_fd fd)
+            mine;
+          wp.fds <- rest)
+        t.ring);
+  t
+
+let now t = Clock.seconds (Machine.clock t.machine)
+
+let has_free_slot t = not (Ring.is_full t.ring)
+
+let decayed_prob t wp =
+  (* The paper reduces an installed watchpoint's probability once it "has
+     been installed for a long period of time (e.g., 10 seconds)": a step
+     per elapsed half-life, so a freshly installed watchpoint is not
+     instantly outbid by an equal-probability newcomer. *)
+  let age = now t -. wp.installed_at in
+  let steps = int_of_float (age /. t.params.Params.installed_halflife_sec) in
+  wp.prob_at_install *. (0.5 ** float_of_int steps)
+
+let install t ~obj_addr ~watch_addr ~entry =
+  if Ring.is_full t.ring then failwith "Watch_table.install: no free slot";
+  let combined = t.params.Params.combined_syscall in
+  let fds =
+    List.filter_map
+      (fun tid ->
+        match Machine.install_watch ~combined t.machine ~addr:watch_addr ~tid with
+        | Ok fd -> Some (tid, fd)
+        | Error `ENOSPC -> None)
+      (Threads.alive (Machine.threads t.machine))
+  in
+  let wp =
+    { obj_addr;
+      watch_addr;
+      entry;
+      alloc_backtrace = entry.Context_table.full_ctx;
+      fds;
+      installed_at = now t;
+      prob_at_install = entry.Context_table.prob }
+  in
+  Ring.push t.ring wp;
+  List.iter (fun (_, fd) -> Hashtbl.replace t.by_fd fd wp) fds;
+  Hashtbl.replace t.by_obj obj_addr wp;
+  t.installs <- t.installs + 1;
+  if t.installs >= Hw_breakpoint.num_slots then t.startup <- false
+
+let remove t wp =
+  let combined = t.params.Params.combined_syscall in
+  List.iter
+    (fun (_, fd) ->
+      Machine.remove_watch ~combined t.machine fd;
+      Hashtbl.remove t.by_fd fd)
+    wp.fds;
+  wp.fds <- [];
+  Hashtbl.remove t.by_obj wp.obj_addr;
+  ignore (Ring.remove_where t.ring (fun w -> w == wp))
+
+let replace_victim t victim ~obj_addr ~watch_addr ~entry =
+  Trace.replaced ~victim:victim.obj_addr ~by:obj_addr;
+  remove t victim;
+  install t ~obj_addr ~watch_addr ~entry
+
+let try_replace t ~obj_addr ~watch_addr ~entry ~new_prob =
+  match t.params.Params.policy with
+  | Params.Naive -> false
+  | Params.Random ->
+    (* Pick a random victim; if it does not yield, scan onward from it,
+       giving up after one full cycle. *)
+    let slots = Ring.to_list t.ring in
+    let n = List.length slots in
+    if n = 0 then false
+    else begin
+      let start = Prng.int t.rng n in
+      let rec scan k =
+        if k >= n then false
+        else
+          let victim = List.nth slots ((start + k) mod n) in
+          if decayed_prob t victim < new_prob then begin
+            replace_victim t victim ~obj_addr ~watch_addr ~entry;
+            true
+          end
+          else scan (k + 1)
+      in
+      scan 0
+    end
+  | Params.Near_fifo ->
+    (* Oldest-first: replace the first watchpoint that yields.  The ring
+       pointer then naturally sits past the replaced position. *)
+    let rec scan k n =
+      if k >= n then false
+      else
+        match Ring.peek t.ring with
+        | None -> false
+        | Some victim ->
+          if decayed_prob t victim < new_prob then begin
+            replace_victim t victim ~obj_addr ~watch_addr ~entry;
+            true
+          end
+          else begin
+            Ring.advance t.ring;
+            scan (k + 1) n
+          end
+    in
+    scan 0 (Ring.length t.ring)
+
+let on_free t ~obj_addr =
+  match Hashtbl.find_opt t.by_obj obj_addr with
+  | None -> false
+  | Some wp ->
+    remove t wp;
+    true
+
+let in_startup t = t.startup
+let find_by_fd t fd = Hashtbl.find_opt t.by_fd fd
+let installs t = t.installs
+let live t = Ring.to_list t.ring

@@ -1,0 +1,73 @@
+(** The Watchpoint Management Unit (paper, Section III-C).
+
+    Owns the four hardware watchpoints: installation on every alive thread
+    (Figure 3), replacement under one of three policies, and removal on
+    deallocation (Figure 4).  An installed watchpoint's claim to its slot
+    weakens with age — its effective probability halves every
+    [installed_halflife_sec] — so that objects that have sat unwatched-by-
+    overflow for a long time yield to fresh candidates. *)
+
+type wp = {
+  obj_addr : int;                 (** application pointer of the watched object *)
+  watch_addr : int;               (** boundary word the hardware watches *)
+  entry : Context_table.entry;    (** allocation context of the object *)
+  alloc_backtrace : int list;     (** full allocation context, for reports *)
+  mutable fds : (Threads.tid * Hw_breakpoint.fd) list;
+  installed_at : float;           (** virtual seconds *)
+  prob_at_install : float;
+}
+
+type t
+
+val create : params:Params.t -> machine:Machine.t -> rng:Prng.t -> t
+(** Also subscribes to thread spawn/exit: new threads receive all installed
+    watchpoints; exiting threads have their descriptors closed. *)
+
+val has_free_slot : t -> bool
+
+val in_startup : t -> bool
+(** True until four installations have been performed.
+    During startup, a free watchpoint is used {e regardless of
+    probability} — the paper's "installation due to availability" rule,
+    which it motivates by "the first few objects, which are more likely to
+    be affected by input parameters".  After startup the probability gate
+    applies even when a slot is free: were it bypassed forever, every
+    deallocation of a watched object would hand the slot to the very next
+    allocation, installs would track the allocation rate (contradicting
+    Table IV's small watched-times counts), and the burst throttle of
+    Section III-B2 could never reduce installation overhead. *)
+
+val install : t -> obj_addr:int -> watch_addr:int -> entry:Context_table.entry -> unit
+(** Install on a free slot for every alive thread (6 syscalls each).
+    Raises [Failure] if no slot is free — callers must check or replace. *)
+
+val try_replace :
+  t -> obj_addr:int -> watch_addr:int -> entry:Context_table.entry ->
+  new_prob:float -> bool
+(** Attempt a policy-directed preemption: the victim must have a lower
+    {e decayed} probability than [new_prob].  Returns whether the new
+    object is now watched.  Under the naive policy this is always
+    [false]. *)
+
+val decayed_prob : t -> wp -> float
+(** [prob_at_install] halved once per {e fully elapsed}
+    [installed_halflife_sec] — a step function, so a young watchpoint keeps
+    its full installation probability. *)
+
+val on_free : t -> obj_addr:int -> bool
+(** Remove the watchpoint guarding a freed object, if any; returns whether
+    one was removed. *)
+
+val find_by_fd : t -> Hw_breakpoint.fd -> wp option
+(** Signal-handler lookup: which watchpoint fired?  Matches the paper's
+    one-by-one comparison of saved descriptors. *)
+
+val remove : t -> wp -> unit
+(** Full removal (disable + close on every thread). *)
+
+val installs : t -> int
+(** Total installations performed — the "WT" (watched times) column of
+    Table IV. *)
+
+val live : t -> wp list
+(** Currently installed watchpoints, oldest first. *)

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Buggy_app Config Execution List Params Printf

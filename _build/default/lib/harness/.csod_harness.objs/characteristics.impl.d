@@ -1,0 +1,1 @@
+lib/harness/characteristics.ml: Buggy_app Config Execution List Oracle Perf_driver Perf_profile Printf Report Tool

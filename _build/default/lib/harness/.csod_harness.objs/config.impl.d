@@ -1,0 +1,1 @@
+lib/harness/config.ml: Asan Cost Params Printf Runtime Tool

@@ -1,0 +1,1 @@
+lib/harness/effectiveness.ml: Buggy_app Config Execution List Params Printf Stats

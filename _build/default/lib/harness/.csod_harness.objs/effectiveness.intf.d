@@ -1,0 +1,1 @@
+lib/harness/effectiveness.mli: Buggy_app Params

@@ -1,0 +1,1 @@
+lib/harness/evidence.ml: Buggy_app Config Execution List Params Persist Report

@@ -1,0 +1,1 @@
+lib/harness/evidence.mli: Buggy_app Params Report

@@ -1,0 +1,1 @@
+lib/harness/execution.ml: Asan Buffer Buggy_app Clock Config Heap Interp List Machine Option Printf Program Report Runtime Srcloc

@@ -1,0 +1,1 @@
+lib/harness/execution.mli: Asan Buggy_app Config Persist Report Runtime

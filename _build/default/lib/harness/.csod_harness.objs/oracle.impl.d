@@ -1,0 +1,1 @@
+lib/harness/oracle.ml: Alloc_ctx Buggy_app Execution Hashtbl Heap Interp Machine Printf Srcloc Tool

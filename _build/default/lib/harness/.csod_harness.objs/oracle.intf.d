@@ -1,0 +1,1 @@
+lib/harness/oracle.mli: Alloc_ctx Buggy_app Execution Heap Machine Tool

@@ -1,0 +1,1 @@
+lib/harness/overhead.ml: Config List Perf_driver Perf_profile Printf Stats

@@ -1,0 +1,1 @@
+lib/harness/perf_driver.ml: Alloc_ctx Array Clock Config Cost Heap Machine Perf_profile Printf Prng Runtime Threads Tool

@@ -1,0 +1,1 @@
+lib/harness/perf_driver.mli: Config Perf_profile

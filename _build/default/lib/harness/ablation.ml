@@ -1,0 +1,51 @@
+type variant = { name : string; params : Params.t; note : string }
+
+let variants () =
+  let d = { Params.default with Params.evidence = false } in
+  [ { name = "paper"; params = d; note = "the paper's configuration (evidence off, as in Table II)" };
+    { name = "no-initial-optimism";
+      params = { d with Params.initial_prob = d.Params.min_prob };
+      note = "new contexts start at the floor instead of 50%" };
+    { name = "no-alloc-degradation";
+      params = { d with Params.degrade_per_alloc = 0.0 };
+      note = "probability no longer decays with allocation volume" };
+    { name = "no-watch-halving";
+      params = { d with Params.watch_decay_factor = 1.0 };
+      note = "being watched does not reduce a context's probability" };
+    { name = "no-floor";
+      params = { d with Params.min_prob = 0.0; revive_prob = 0.0 };
+      note = "probabilities may decay to zero and never recover" };
+    { name = "no-reviving";
+      params = { d with Params.revive_prob = d.Params.min_prob };
+      note = "Section IV-A's reviving mechanism disabled" };
+    { name = "no-burst-throttle";
+      params = { d with Params.burst_threshold = max_int };
+      note = "Section III-B2's burst rule disabled" };
+    { name = "naive-policy"; params = { d with Params.policy = Params.Naive };
+      note = "no preemption" };
+    { name = "random-policy"; params = { d with Params.policy = Params.Random };
+      note = "random victim scan" } ]
+
+type row = { variant : string; detections : (string * int) list; runs : int }
+
+let apps_under_test () =
+  List.filter_map Buggy_app.by_name [ "Gzip"; "Heartbleed"; "Memcached"; "Zziplib" ]
+
+let run ?(runs = 200) ?(progress = fun _ -> ()) () =
+  List.map
+    (fun v ->
+      let detections =
+        List.map
+          (fun app ->
+            let config = Config.Csod v.params in
+            let detected = ref 0 in
+            for seed = 1 to runs do
+              let o = Execution.run ~app ~config ~seed () in
+              if o.Execution.watchpoint_reports <> [] then incr detected
+            done;
+            progress (Printf.sprintf "%s / %s: %d/%d" v.name app.Buggy_app.name !detected runs);
+            (app.Buggy_app.name, !detected))
+          (apps_under_test ())
+      in
+      { variant = v.name; detections; runs })
+    (variants ())

@@ -1,0 +1,26 @@
+(** Ablation study over CSOD's design choices.
+
+    The paper fixes its sampling constants as compile-time macros and
+    asserts "these numbers generally work well" (Section III-B2) without
+    reporting the sensitivity; DESIGN.md calls that out as the natural
+    ablation.  Each variant perturbs exactly one mechanism and re-runs the
+    Table II detection experiment on a representative subset of
+    applications (one always-detected, one mid-band, two hard ones), so
+    the table shows what each rule contributes. *)
+
+type variant = { name : string; params : Params.t; note : string }
+
+val variants : unit -> variant list
+(** The paper configuration first, then: no initial optimism (start at the
+    floor), no per-allocation degradation, no halving after a watch, no
+    lower bound, no reviving, no burst throttle, naive replacement, random
+    replacement, and a no-evidence variant. *)
+
+type row = { variant : string; detections : (string * int) list; runs : int }
+
+val apps_under_test : unit -> Buggy_app.t list
+(** Gzip, Heartbleed, Memcached, Zziplib. *)
+
+val run : ?runs:int -> ?progress:(string -> unit) -> unit -> row list
+(** Default 200 runs per (variant, app) cell — the ablation trades the
+    paper's 1,000-run precision for breadth. *)

@@ -1,0 +1,57 @@
+type t =
+  | Baseline
+  | Csod of Params.t
+  | Asan of { redzone : int }
+
+let csod_default = Csod Params.default
+let csod_no_evidence = Csod { Params.default with Params.evidence = false }
+
+let csod_with_policy policy ~evidence =
+  Csod { Params.default with Params.policy; evidence }
+
+let asan_min_redzone = Asan { redzone = 16 }
+let asan_default = Asan { redzone = 128 }
+
+let label = function
+  | Baseline -> "baseline"
+  | Csod p ->
+    if p.Params.evidence then
+      Printf.sprintf "CSOD (%s)" (Params.policy_name p.Params.policy)
+    else Printf.sprintf "CSOD w/o evidence (%s)" (Params.policy_name p.Params.policy)
+  | Asan { redzone } ->
+    if redzone <= 16 then "ASan w/ minimal redzones" else "ASan"
+
+type instance = {
+  tool : Tool.t;
+  finish : unit -> unit;
+  detected : unit -> bool;
+  csod : Runtime.t option;
+  asan : Asan.t option;
+  startup_cycles : int;
+}
+
+let instantiate t ~machine ~heap ?(instrumented = fun _ -> true) ?store ?(seed = 0) () =
+  match t with
+  | Baseline ->
+    { tool = Tool.baseline heap;
+      finish = (fun () -> ());
+      detected = (fun () -> false);
+      csod = None;
+      asan = None;
+      startup_cycles = 0 }
+  | Csod params ->
+    let rt = Runtime.create ~params ?store ~seed ~machine ~heap () in
+    { tool = Runtime.tool rt;
+      finish = (fun () -> Runtime.finish rt);
+      detected = (fun () -> Runtime.detected rt);
+      csod = Some rt;
+      asan = None;
+      startup_cycles = Cost.csod_init }
+  | Asan { redzone } ->
+    let a = Asan.create ~redzone ~instrumented ~machine ~heap () in
+    { tool = Asan.tool a;
+      finish = (fun () -> ());
+      detected = (fun () -> Asan.detected a);
+      csod = None;
+      asan = Some a;
+      startup_cycles = Cost.asan_init }

@@ -1,0 +1,46 @@
+(** Tool configurations compared by the experiments.
+
+    Figure 7 compares four configurations against the uninstrumented
+    baseline: "CSOD w/o Evidence", "CSOD", "ASan w/ Minimal Size of
+    Redzones", and "ASan" (default redzones).  This module names them and
+    instantiates the right tool over a machine/heap pair. *)
+
+type t =
+  | Baseline
+  | Csod of Params.t
+  | Asan of { redzone : int }
+
+val csod_default : t
+(** Near-FIFO, evidence on — the paper's headline configuration. *)
+
+val csod_no_evidence : t
+val csod_with_policy : Params.policy -> evidence:bool -> t
+val asan_min_redzone : t  (* 16-byte redzones, as in the paper's Figure 7 *)
+val asan_default : t      (* 128-byte redzones *)
+
+val label : t -> string
+
+type instance = {
+  tool : Tool.t;
+  finish : unit -> unit;
+      (** end-of-execution hook (CSOD's Termination Handling Unit) *)
+  detected : unit -> bool;
+      (** any overflow detected so far, by whichever mechanism the tool has *)
+  csod : Runtime.t option;
+  asan : Asan.t option;
+  startup_cycles : int;
+      (** one-time initialization cost this configuration charges *)
+}
+
+val instantiate :
+  t ->
+  machine:Machine.t ->
+  heap:Heap.t ->
+  ?instrumented:(int -> bool) ->
+  ?store:Persist.t ->
+  ?seed:int ->
+  unit ->
+  instance
+(** Build the tool.  [instrumented] is consulted by ASan only (default:
+    everything is instrumented); [store] and [seed] are CSOD's persistence
+    and per-execution sampling offset. *)

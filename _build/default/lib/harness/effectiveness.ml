@@ -1,0 +1,38 @@
+type row = {
+  app_name : string;
+  naive : int;
+  random : int;
+  near_fifo : int;
+  runs : int;
+}
+
+let run_app ~app ~policy ~runs ?(from_seed = 1) () =
+  let config = Config.csod_with_policy policy ~evidence:false in
+  let detected = ref 0 in
+  for seed = from_seed to from_seed + runs - 1 do
+    let o = Execution.run ~app ~config ~seed () in
+    if o.Execution.watchpoint_reports <> [] then incr detected
+  done;
+  !detected
+
+let table2 ?(runs = 1000) ?(progress = fun _ -> ()) () =
+  List.map
+    (fun app ->
+      let cell policy =
+        let n = run_app ~app ~policy ~runs () in
+        progress
+          (Printf.sprintf "%s / %s: %d/%d" app.Buggy_app.name
+             (Params.policy_name policy) n runs);
+        n
+      in
+      let naive = cell Params.Naive in
+      let random = cell Params.Random in
+      let near_fifo = cell Params.Near_fifo in
+      { app_name = app.Buggy_app.name; naive; random; near_fifo; runs })
+    (Buggy_app.all ())
+
+let average_rate rows =
+  let avg f =
+    Stats.mean (List.map (fun r -> float_of_int (f r) /. float_of_int r.runs) rows)
+  in
+  (avg (fun r -> r.naive), avg (fun r -> r.random), avg (fun r -> r.near_fifo))

@@ -1,0 +1,30 @@
+(** The Table II experiment: detections out of N executions per
+    application per watchpoint replacement policy.
+
+    Each execution uses a fresh machine and a distinct seed (the paper's
+    1,000 runs differ in the PRNG the sampling decisions consume; seeds
+    also jitter the programs' virtual timing).  Detection follows the
+    paper's Table II semantics: a hardware watchpoint fired on the
+    overflow — the evidence-based canary mechanism is evaluated separately
+    (Section V-A2 / {!Evidence}), so these runs disable it. *)
+
+type row = {
+  app_name : string;
+  naive : int;
+  random : int;
+  near_fifo : int;
+  runs : int;
+}
+
+val run_app :
+  app:Buggy_app.t -> policy:Params.policy -> runs:int -> ?from_seed:int -> unit -> int
+(** Number of executions (seeds [from_seed..from_seed+runs-1], default from
+    1) in which a watchpoint caught the overflow. *)
+
+val table2 : ?runs:int -> ?progress:(string -> unit) -> unit -> row list
+(** The full experiment over all nine applications (default 1,000 runs,
+    matching the paper).  [progress] receives one message per
+    (app, policy) cell as it completes. *)
+
+val average_rate : row list -> float * float * float
+(** Mean detection rate (naive, random, near-FIFO) across apps. *)

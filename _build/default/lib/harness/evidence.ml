@@ -1,0 +1,41 @@
+type row = {
+  app : string;
+  vuln : string;
+  first_run_watchpoint : bool;
+  first_run_evidence : bool;
+  second_run_watchpoint : bool;
+}
+
+let is_write (a : Buggy_app.t) = a.Buggy_app.vuln = Report.Over_write
+
+let has_source reports src =
+  List.exists (fun r -> r.Report.source = src) reports
+
+let second_execution ?(seed = 1) () =
+  Buggy_app.all ()
+  |> List.filter is_write
+  |> List.map (fun app ->
+         let store = Persist.create () in
+         let config = Config.csod_default in
+         let o1 = Execution.run ~app ~config ~seed ~store () in
+         let o2 = Execution.run ~app ~config ~seed:(seed + 1) ~store () in
+         { app = app.Buggy_app.name;
+           vuln = "Over-write";
+           first_run_watchpoint = has_source o1.Execution.reports Report.Watchpoint;
+           first_run_evidence =
+             has_source o1.Execution.reports Report.Canary_free
+             || has_source o1.Execution.reports Report.Canary_exit;
+           second_run_watchpoint = has_source o2.Execution.reports Report.Watchpoint })
+
+let fleet ~app ~users ?(policy = Params.Near_fifo) () =
+  let store = Persist.create () in
+  let config = Config.csod_with_policy policy ~evidence:true in
+  let rec go user =
+    if user > users then None
+    else
+      let o = Execution.run ~app ~config ~seed:user ~store () in
+      match o.Execution.reports with
+      | r :: _ -> Some (user, r.Report.source)
+      | [] -> go (user + 1)
+  in
+  go 1

@@ -1,0 +1,69 @@
+type input_choice = Buggy | Benign
+
+type outcome = {
+  detected : bool;
+  reports : Report.t list;
+  watchpoint_reports : Report.t list;
+  asan_detections : Asan.detection list;
+  stats : Runtime.stats option;
+  cycles : int;
+  output : string;
+  crashed : string option;
+}
+
+let instrumented_pred (app : Buggy_app.t) program site =
+  match Program.module_of_addr program site with
+  | Some m -> List.mem m app.Buggy_app.instrumented_modules
+  | None -> false
+
+let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store () =
+  let program = Buggy_app.program app in
+  let machine = Machine.create ~seed () in
+  let heap = Heap.create machine in
+  let inst =
+    Config.instantiate config ~machine ~heap
+      ~instrumented:(instrumented_pred app program)
+      ?store ~seed ()
+  in
+  let inputs =
+    match input with Buggy -> app.Buggy_app.buggy_inputs | Benign -> app.Buggy_app.benign_inputs
+  in
+  let output = Buffer.create 64 in
+  let crashed =
+    try
+      let r =
+        Interp.run ~machine ~tool:inst.Config.tool ~program ~inputs ~app_seed:seed ()
+      in
+      Buffer.add_string output r.Interp.output;
+      None
+    with
+    | Interp.Runtime_error (msg, loc) ->
+      Some (Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg)
+    | Heap.Error msg -> Some msg
+  in
+  (* Termination handling runs regardless of how the program exited. *)
+  inst.Config.finish ();
+  let reports =
+    match inst.Config.csod with Some rt -> Runtime.detections rt | None -> []
+  in
+  { detected = inst.Config.detected ();
+    reports;
+    watchpoint_reports =
+      List.filter (fun r -> r.Report.source = Report.Watchpoint) reports;
+    asan_detections =
+      (match inst.Config.asan with Some a -> Asan.detections a | None -> []);
+    stats = Option.map Runtime.stats inst.Config.csod;
+    cycles = Clock.cycles (Machine.clock machine);
+    output = Buffer.contents output;
+    crashed }
+
+let run_until_detected ~app ~config ~max_runs =
+  let rec go seed =
+    if seed > max_runs then None
+    else
+      let o = run ~app ~config ~seed () in
+      if o.detected then Some (seed, o) else go (seed + 1)
+  in
+  go 1
+
+let symbolizer app = Program.symbolize (Buggy_app.program app)

@@ -1,0 +1,39 @@
+(** One execution of a buggy application under a tool configuration. *)
+
+type input_choice = Buggy | Benign
+
+type outcome = {
+  detected : bool;                 (** did the tool flag an overflow? *)
+  reports : Report.t list;         (** CSOD reports (empty for other tools) *)
+  watchpoint_reports : Report.t list;
+      (** the subset detected by a firing watchpoint — what Table II counts *)
+  asan_detections : Asan.detection list;
+  stats : Runtime.stats option;    (** CSOD runtime counters *)
+  cycles : int;                    (** virtual cycles of the execution *)
+  output : string;                 (** program stdout *)
+  crashed : string option;         (** runtime/heap fault, if any; the tool's
+                                       termination handling still ran *)
+}
+
+val run :
+  app:Buggy_app.t ->
+  config:Config.t ->
+  ?input:input_choice ->
+  ?seed:int ->
+  ?store:Persist.t ->
+  unit ->
+  outcome
+(** Execute the app once on a fresh machine.  [seed] (default 1) varies
+    both the machine RNG (CSOD's sampling draws) and the program-visible
+    [rand] (timing jitter), modeling distinct production executions.
+    [input] defaults to [Buggy].  The tool's termination handling always
+    runs, even after a crash — mirroring CSOD's interception of erroneous
+    exits (Section IV-B). *)
+
+val run_until_detected :
+  app:Buggy_app.t -> config:Config.t -> max_runs:int -> (int * outcome) option
+(** Repeat single executions with seeds 1, 2, ... until one detects the
+    overflow; returns (number of executions needed, that outcome). *)
+
+val symbolizer : Buggy_app.t -> int -> string
+(** Address symbolizer for the app's program, for report formatting. *)

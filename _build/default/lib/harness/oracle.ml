@@ -1,0 +1,131 @@
+type overflow = {
+  kind : Tool.access_kind;
+  object_addr : int;
+  object_size : int;
+  alloc_index : int;
+  contexts_before : int;
+  allocs_before : int;
+  access_site : int;
+  alloc_ctx_key : Alloc_ctx.key;
+}
+
+type obj = {
+  o_addr : int;
+  o_size : int;
+  o_index : int;
+  o_contexts : int;
+  o_allocs : int;
+  o_key : Alloc_ctx.key;
+}
+
+(* Bytes past each object's end that we register as tripwire territory.
+   Contiguous overflows strike within the first few words. *)
+let zone = 32
+
+type t = {
+  heap : Heap.t;
+  tripwires : (int, obj) Hashtbl.t; (* one entry per zone byte *)
+  contexts : (Alloc_ctx.key, unit) Hashtbl.t;
+  sizes : (int, int) Hashtbl.t; (* live object -> requested size *)
+  mutable allocs : int;
+  mutable first : overflow option;
+}
+
+let create _machine heap =
+  { heap;
+    tripwires = Hashtbl.create 4096;
+    contexts = Hashtbl.create 256;
+    sizes = Hashtbl.create 1024;
+    allocs = 0;
+    first = None }
+
+let register t (obj : obj) =
+  for i = 0 to zone - 1 do
+    Hashtbl.replace t.tripwires (obj.o_addr + obj.o_size + i) obj
+  done
+
+let unregister t addr size =
+  for i = 0 to zone - 1 do
+    Hashtbl.remove t.tripwires (addr + size + i)
+  done
+
+let oracle_malloc t ~size ~ctx =
+  (* Pad the block so the tripwire zone lies inside the object's own
+     allocation, exactly as detection tools pad theirs: a neighbour can
+     then never sit inside (or legitimately touch) the zone. *)
+  let addr = Heap.malloc t.heap (size + zone) in
+  Hashtbl.replace t.sizes addr size;
+  t.allocs <- t.allocs + 1;
+  if not (Hashtbl.mem t.contexts (Alloc_ctx.key ctx)) then
+    Hashtbl.add t.contexts (Alloc_ctx.key ctx) ();
+  let obj =
+    { o_addr = addr;
+      o_size = size;
+      o_index = t.allocs;
+      o_contexts = Hashtbl.length t.contexts;
+      o_allocs = t.allocs;
+      o_key = Alloc_ctx.key ctx }
+  in
+  register t obj;
+  addr
+
+let oracle_free t ~ptr =
+  (match Hashtbl.find_opt t.sizes ptr with
+  | Some size ->
+    unregister t ptr size;
+    Hashtbl.remove t.sizes ptr
+  | None -> ());
+  Heap.free t.heap ptr
+
+let on_access t ~addr ~len ~kind ~site =
+  if t.first = None then
+    let rec scan i =
+      if i >= len then ()
+      else
+        match Hashtbl.find_opt t.tripwires (addr + i) with
+        | Some obj ->
+          t.first <-
+            Some
+              { kind;
+                object_addr = obj.o_addr;
+                object_size = obj.o_size;
+                alloc_index = obj.o_index;
+                contexts_before = obj.o_contexts;
+                allocs_before = obj.o_allocs;
+                access_site = site;
+                alloc_ctx_key = obj.o_key }
+        | None -> scan (i + 1)
+    in
+    scan 0
+
+let tool t =
+  { Tool.name = "oracle";
+    malloc = (fun ~size ~ctx -> oracle_malloc t ~size ~ctx);
+    free = (fun ~ptr -> oracle_free t ~ptr);
+    on_access = (fun ~addr ~len ~kind ~site -> on_access t ~addr ~len ~kind ~site);
+    at_exit = (fun () -> ());
+    extra_resident_bytes = (fun () -> 0) }
+
+let first_overflow t = t.first
+let total_contexts t = Hashtbl.length t.contexts
+let total_allocations t = t.allocs
+
+let observe ~(app : Buggy_app.t) ~input =
+  let program = Buggy_app.program app in
+  let machine = Machine.create ~seed:1 () in
+  let heap = Heap.create machine in
+  let t = create machine heap in
+  let inputs =
+    match input with
+    | Execution.Buggy -> app.Buggy_app.buggy_inputs
+    | Execution.Benign -> app.Buggy_app.benign_inputs
+  in
+  try
+    let (_ : Interp.result) =
+      Interp.run ~machine ~tool:(tool t) ~program ~inputs ~app_seed:1 ()
+    in
+    Ok t
+  with
+  | Interp.Runtime_error (msg, loc) ->
+    Error (Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg)
+  | Heap.Error msg -> Error msg

@@ -1,0 +1,42 @@
+(** Ground-truth overflow oracle.
+
+    A harness-only tool that tracks the exact bounds of every live object
+    and inspects {e every} access (it instruments everything, unlike ASan,
+    and needs no watchpoints, unlike CSOD).  It never misses a contiguous
+    overflow, so one oracle run per application yields Table III's ground
+    truth: the total context/allocation census, the census {e at the moment
+    the overflowed object was allocated}, and the overflow class.
+
+    Like the detection tools, the oracle pads each allocation so its
+    tripwire zone lies inside the object's own block — a neighbouring
+    object can then neither clobber the zone nor touch it legitimately.
+
+    The oracle is an experimental instrument, not part of the reproduced
+    system — the paper's authors extracted the same numbers with separate
+    profiling runs. *)
+
+type overflow = {
+  kind : Tool.access_kind;
+  object_addr : int;
+  object_size : int;
+  alloc_index : int;      (** 1-based index of the object's allocation *)
+  contexts_before : int;  (** distinct contexts when it was allocated (inclusive) *)
+  allocs_before : int;    (** allocations when it was allocated (inclusive) *)
+  access_site : int;
+  alloc_ctx_key : Alloc_ctx.key;
+}
+
+type t
+
+val create : Machine.t -> Heap.t -> t
+val tool : t -> Tool.t
+
+val first_overflow : t -> overflow option
+val total_contexts : t -> int
+val total_allocations : t -> int
+
+val observe :
+  app:Buggy_app.t -> input:Execution.input_choice ->
+  (t, string) result
+(** Run the app once under the oracle (seed 1) and return it for
+    inspection; [Error] carries a crash message if the program faulted. *)

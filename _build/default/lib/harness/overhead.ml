@@ -1,0 +1,74 @@
+type fig7_row = {
+  app : string;
+  csod_no_evidence : float;
+  csod : float;
+  asan_min : float;
+  asan : float;
+}
+
+let fig7 ?(progress = fun _ -> ()) () =
+  List.map
+    (fun (p : Perf_profile.t) ->
+      let run config = Perf_driver.run ~profile:p ~config () in
+      let baseline = run Config.Baseline in
+      let ov config = Perf_driver.overhead ~baseline (run config) in
+      let row =
+        { app = p.Perf_profile.name;
+          csod_no_evidence = ov Config.csod_no_evidence;
+          csod = ov Config.csod_default;
+          asan_min = ov Config.asan_min_redzone;
+          asan = ov Config.asan_default }
+      in
+      progress
+        (Printf.sprintf "%s: csod %.3f, asan %.3f" row.app row.csod row.asan_min);
+      row)
+    (Perf_profile.all ())
+
+let fig7_averages rows =
+  let avg f = Stats.mean (List.map f rows) in
+  ( avg (fun r -> r.csod_no_evidence),
+    avg (fun r -> r.csod),
+    avg (fun r -> r.asan_min),
+    avg (fun r -> r.asan) )
+
+type table5_row = {
+  app : string;
+  original_kb : int;
+  csod_kb : int;
+  csod_pct : int;
+  asan_kb : int;
+  asan_pct : int;
+}
+
+let pct a b = if b = 0 then 0 else int_of_float (float_of_int a /. float_of_int b *. 100.0 +. 0.5)
+
+let table5 ?(progress = fun _ -> ()) () =
+  List.map
+    (fun (p : Perf_profile.t) ->
+      let run config = Perf_driver.run ~profile:p ~config () in
+      let original = (run Config.Baseline).Perf_driver.resident_kb in
+      let csod = (run Config.csod_default).Perf_driver.resident_kb in
+      let asan = (run Config.asan_min_redzone).Perf_driver.resident_kb in
+      let row =
+        { app = p.Perf_profile.name;
+          original_kb = original;
+          csod_kb = csod;
+          csod_pct = pct csod original;
+          asan_kb = asan;
+          asan_pct = pct asan original }
+      in
+      progress (Printf.sprintf "%s: %d -> csod %d, asan %d" row.app original csod asan);
+      row)
+    (Perf_profile.all ())
+
+let table5_totals rows =
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let original = sum (fun r -> r.original_kb) in
+  let csod = sum (fun r -> r.csod_kb) in
+  let asan = sum (fun r -> r.asan_kb) in
+  { app = "Total";
+    original_kb = original;
+    csod_kb = csod;
+    csod_pct = pct csod original;
+    asan_kb = asan;
+    asan_pct = pct asan original }

@@ -1,0 +1,37 @@
+(** Figure 7: normalized runtime overhead, and Table V: memory usage.
+
+    Each performance workload runs under five configurations — baseline,
+    CSOD without evidence, CSOD, ASan with minimal (16-byte) redzones, and
+    ASan with default (128-byte) redzones — and results are normalized to
+    the baseline, exactly as Figure 7 normalizes to "the default Linux
+    system".  Table V compares peak resident memory of the baseline, CSOD
+    (evidence enabled, as the paper collected it), and ASan with minimal
+    redzones. *)
+
+type fig7_row = {
+  app : string;
+  csod_no_evidence : float;  (** normalized runtime, 1.0 = baseline *)
+  csod : float;
+  asan_min : float;
+  asan : float;
+}
+
+val fig7 : ?progress:(string -> unit) -> unit -> fig7_row list
+
+val fig7_averages : fig7_row list -> float * float * float * float
+(** Arithmetic means across apps, in the same order as the row fields —
+    the paper's "6.7% on average" style summary. *)
+
+type table5_row = {
+  app : string;
+  original_kb : int;
+  csod_kb : int;
+  csod_pct : int;  (** CSOD / original, percent (Table V's "%" column) *)
+  asan_kb : int;
+  asan_pct : int;
+}
+
+val table5 : ?progress:(string -> unit) -> unit -> table5_row list
+
+val table5_totals : table5_row list -> table5_row
+(** The "Total" footer: sums and aggregate percentages. *)

@@ -1,0 +1,1 @@
+lib/machine/hw_breakpoint.ml: Hashtbl List Printf Threads

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Clock Cost Fun Hw_breakpoint Prng Sparse_mem Stats Threads

@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Clock Hw_breakpoint Prng Sparse_mem Stats Threads

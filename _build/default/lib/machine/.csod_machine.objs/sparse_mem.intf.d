@@ -1,0 +1,1 @@
+lib/machine/sparse_mem.mli:

@@ -1,0 +1,1 @@
+lib/machine/threads.ml: Hashtbl List Printf

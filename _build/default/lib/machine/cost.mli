@@ -1,0 +1,65 @@
+(** Cycle-cost constants for the simulated machine.
+
+    The paper evaluates on a 2-socket Xeon E5-2640; we cannot time that
+    hardware, so the reproduction's performance results (Figure 7) come from
+    a virtual cycle clock advanced by these constants.  The constants encode
+    well-known relative costs (a syscall is ~thousands of cycles, a shadow
+    check is a few cycles, a hash lookup tens of cycles); the Figure 7
+    harness documents how they combine.  Absolute wall-clock fidelity is out
+    of scope — only the {e shape} of the overhead comparison matters. *)
+
+val cycles_per_second : int
+(** Virtual clock rate (2.5 GHz, matching the Xeon E5-2640's base clock). *)
+
+val syscall : int
+(** One kernel crossing ([perf_event_open], [fcntl], [ioctl], [close]).
+    The paper counts eight such calls to install-plus-remove one watchpoint
+    per thread (Figure 3 uses six to install, Figure 4 two to remove). *)
+
+val memory_access : int
+(** One application load or store, as seen by the cost model. *)
+
+val shadow_check : int
+(** One ASan-style shadow-byte check inserted before an instrumented
+    access. *)
+
+val malloc_base : int
+(** Baseline allocator work for one [malloc]/[free] pair. *)
+
+val context_lookup : int
+(** CSOD per-allocation work: return-address read, stack-offset read, hash,
+    and chain probe of the Sampling Management Unit's table. *)
+
+val rng_draw : int
+(** One per-thread PRNG draw plus the probability comparison. *)
+
+val prob_update : int
+(** Degradation arithmetic on the context record. *)
+
+val backtrace_full : int
+(** One full [backtrace] walk (paper: only on first sight of a context). *)
+
+val canary_plant : int
+(** Writing the 32-byte header plus the 8-byte canary. *)
+
+val canary_check : int
+(** Verifying one canary at deallocation or exit. *)
+
+val redzone_poison : int
+(** ASan poisoning/unpoisoning of redzones around one allocation. *)
+
+val quarantine_op : int
+(** ASan quarantine bookkeeping at one deallocation. *)
+
+val trap_delivery : int
+(** Kernel signal delivery plus handler prologue for one watchpoint trap. *)
+
+val csod_init : int
+(** One-time CSOD runtime start-up (interposition setup, context-table
+    arena, signal-handler registration).  The paper attributes Ferret's
+    above-average overhead to exactly this: the program "runs for less than
+    five seconds, which exaggerates the proportion of CSOD's initialization
+    overhead". *)
+
+val asan_init : int
+(** One-time ASan start-up (shadow reservation, interceptors). *)

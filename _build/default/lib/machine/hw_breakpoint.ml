@@ -1,0 +1,76 @@
+type fd = int
+type access_kind = Read | Write
+
+let watch_len = 8
+let num_slots = 4
+
+type event = {
+  addr : int;
+  tid : Threads.tid;
+  mutable enabled : bool;
+  mutable configured : bool;
+}
+
+type t = {
+  events : (fd, event) Hashtbl.t;
+  mutable next_fd : fd;
+  mutable syscalls : int;
+}
+
+let create () = { events = Hashtbl.create 64; next_fd = 100; syscalls = 0 }
+
+let distinct_addrs t =
+  Hashtbl.fold (fun _ ev acc -> if List.mem ev.addr acc then acc else ev.addr :: acc)
+    t.events []
+
+let perf_event_open t ~addr ~tid =
+  t.syscalls <- t.syscalls + 1;
+  let addrs = distinct_addrs t in
+  if (not (List.mem addr addrs)) && List.length addrs >= num_slots then Error `ENOSPC
+  else begin
+    let fd = t.next_fd in
+    t.next_fd <- fd + 1;
+    Hashtbl.add t.events fd { addr; tid; enabled = false; configured = false };
+    Ok fd
+  end
+
+let event_exn t fd =
+  match Hashtbl.find_opt t.events fd with
+  | Some ev -> ev
+  | None -> invalid_arg (Printf.sprintf "Hw_breakpoint: bad fd %d" fd)
+
+let fcntl_setup t fd =
+  t.syscalls <- t.syscalls + 4;
+  (event_exn t fd).configured <- true
+
+let ioctl_enable t fd =
+  t.syscalls <- t.syscalls + 1;
+  (event_exn t fd).enabled <- true
+
+let ioctl_disable t fd =
+  t.syscalls <- t.syscalls + 1;
+  (event_exn t fd).enabled <- false
+
+let close t fd =
+  t.syscalls <- t.syscalls + 1;
+  ignore (event_exn t fd);
+  Hashtbl.remove t.events fd
+
+let ranges_overlap a1 l1 a2 l2 = a1 < a2 + l2 && a2 < a1 + l1
+
+let check_access t ~addr ~len ~kind:_ ~tid =
+  (* HW_BREAKPOINT_RW fires on both reads and writes, so [kind] does not
+     filter; it is carried for the trap report. *)
+  Hashtbl.fold
+    (fun fd ev best ->
+      match best with
+      | Some _ -> best
+      | None ->
+        if ev.enabled && ev.tid = tid && ranges_overlap addr len ev.addr watch_len
+        then Some fd
+        else None)
+    t.events None
+
+let watched_addrs t = distinct_addrs t
+let syscall_count t = t.syscalls
+let live_fd_count t = Hashtbl.length t.events

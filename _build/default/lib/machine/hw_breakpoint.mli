@@ -1,0 +1,72 @@
+(** Hardware debug registers and the perf-event installation API.
+
+    x86 exposes six debug registers of which four (DR0–DR3) can watch linear
+    addresses (paper, Section II-A).  The paper installs them from user space
+    through [perf_event_open], one event per (address, thread), configured
+    with [fcntl] to deliver an asynchronous SIGTRAP to the accessing thread,
+    and enabled/disabled with [ioctl].
+
+    This module reproduces both layers: the four-slot hardware constraint
+    (at most four {e distinct} watched addresses machine-wide), and the
+    file-descriptor-based perf API with its per-call syscall costs.  Each
+    API entry point mirrors one syscall from the paper's Figures 3 and 4, so
+    installing a watchpoint for a thread costs six syscalls and removing it
+    costs two — the "eight system calls ... for each thread" the paper
+    reports when explaining its overhead. *)
+
+type fd = int
+
+type access_kind = Read | Write
+
+type t
+
+val watch_len : int
+(** Bytes covered by one watchpoint (8, an x86 DR length). *)
+
+val num_slots : int
+(** Number of usable debug registers (4). *)
+
+val create : unit -> t
+
+(** {1 The perf-event syscall surface}
+
+    Every call below advances the syscall counter; the machine layer maps
+    that counter onto the virtual clock. *)
+
+val perf_event_open : t -> addr:int -> tid:Threads.tid -> (fd, [ `ENOSPC ]) result
+(** Create a breakpoint event watching [watch_len] bytes at [addr] for
+    thread [tid].  Fails with [`ENOSPC] when the event would require a fifth
+    distinct watched address — the hardware limit. The event starts
+    disabled, as in the paper's Figure 3 flow. *)
+
+val fcntl_setup : t -> fd -> unit
+(** Stand-in for the three [fcntl] calls ([O_ASYNC], [F_SETSIG SIGTRAP],
+    [F_SETOWN tid]) plus the initial [F_GETFL]; counted as four syscalls. *)
+
+val ioctl_enable : t -> fd -> unit
+(** [PERF_EVENT_IOC_ENABLE]. Raises [Invalid_argument] on a closed fd. *)
+
+val ioctl_disable : t -> fd -> unit
+(** [PERF_EVENT_IOC_DISABLE]. *)
+
+val close : t -> fd -> unit
+(** Release the event; the debug-register slot is freed once every event
+    watching its address is closed. *)
+
+(** {1 Hardware side} *)
+
+val check_access :
+  t -> addr:int -> len:int -> kind:access_kind -> tid:Threads.tid -> fd option
+(** [check_access t ~addr ~len ~kind ~tid] is the debug-unit comparator: if
+    the accessed range overlaps a watched address whose event for [tid] is
+    enabled, return that event's fd (the trap to deliver).  All four slots
+    are compared, as the hardware does, regardless of how many are armed. *)
+
+val watched_addrs : t -> int list
+(** Currently armed distinct addresses (at most [num_slots]). *)
+
+val syscall_count : t -> int
+(** Total syscalls issued through this module. *)
+
+val live_fd_count : t -> int
+(** Open event descriptors, for leak tests. *)

@@ -1,0 +1,154 @@
+
+
+
+type trap_info = {
+  fd : Hw_breakpoint.fd;
+  trap_addr : int;
+  access_addr : int;
+  access_kind : Hw_breakpoint.access_kind;
+  tid : Threads.tid;
+  pc : int;
+}
+
+type t = {
+  mem : Sparse_mem.t;
+  clock : Clock.t;
+  threads : Threads.t;
+  hw : Hw_breakpoint.t;
+  counters : Stats.Counter.t;
+  mutable n_accesses : int;
+  mutable n_syscalls : int;
+  mutable n_work_cycles : int;
+  rng : Prng.t;
+  mutable pc : int;
+  mutable brk : int;
+  mutable trap_handler : (trap_info -> unit) option;
+  mutable traps : int;
+  mutable in_trap : bool;
+  mutable backtrace_provider : (unit -> int list) option;
+}
+
+let heap_base = 0x1000_0000
+
+let create ?(seed = 42) () =
+  { mem = Sparse_mem.create ();
+    clock = Clock.create ();
+    threads = Threads.create ();
+    hw = Hw_breakpoint.create ();
+    counters = Stats.Counter.create ();
+    n_accesses = 0;
+    n_syscalls = 0;
+    n_work_cycles = 0;
+    rng = Prng.create ~seed;
+    pc = 0;
+    brk = heap_base;
+    trap_handler = None;
+    traps = 0;
+    in_trap = false;
+    backtrace_provider = None }
+
+let mem t = t.mem
+let clock t = t.clock
+let threads t = t.threads
+let hw t = t.hw
+let counters t = t.counters
+let rng t = t.rng
+let set_pc t pc = t.pc <- pc
+let pc t = t.pc
+
+let set_backtrace_provider t f = t.backtrace_provider <- Some f
+
+let backtrace t =
+  match t.backtrace_provider with None -> [ t.pc ] | Some f -> f ()
+
+let deliver_trap t ~fd ~access_addr ~kind =
+  t.traps <- t.traps + 1;
+  Stats.Counter.incr t.counters "traps";
+  Clock.advance t.clock Cost.trap_delivery;
+  match t.trap_handler with
+  | None -> Stats.Counter.incr t.counters "traps_unhandled"
+  | Some handler ->
+    (* The handler itself may touch memory; hardware would not re-trap on
+       the kernel's own accesses, so nested checking is suppressed. *)
+    if not t.in_trap then begin
+      t.in_trap <- true;
+      let info =
+        { fd;
+          trap_addr = access_addr;
+          access_addr;
+          access_kind = kind;
+          tid = Threads.current t.threads;
+          pc = t.pc }
+      in
+      Fun.protect ~finally:(fun () -> t.in_trap <- false) (fun () -> handler info)
+    end
+
+let checked_access t addr len kind =
+  t.n_accesses <- t.n_accesses + 1;
+  Clock.advance t.clock Cost.memory_access;
+  if not t.in_trap then
+    match
+      Hw_breakpoint.check_access t.hw ~addr ~len ~kind
+        ~tid:(Threads.current t.threads)
+    with
+    | None -> ()
+    | Some fd -> deliver_trap t ~fd ~access_addr:addr ~kind
+
+let load_word t addr =
+  let v = Sparse_mem.read_int t.mem addr in
+  checked_access t addr 8 Hw_breakpoint.Read;
+  v
+
+let store_word t addr v =
+  Sparse_mem.write_int t.mem addr v;
+  checked_access t addr 8 Hw_breakpoint.Write
+
+let load_byte t addr =
+  let v = Sparse_mem.read_u8 t.mem addr in
+  checked_access t addr 1 Hw_breakpoint.Read;
+  v
+
+let store_byte t addr v =
+  Sparse_mem.write_u8 t.mem addr v;
+  checked_access t addr 1 Hw_breakpoint.Write
+
+let load_word_unwatched t addr = Sparse_mem.read_int t.mem addr
+let store_word_unwatched t addr v = Sparse_mem.write_int t.mem addr v
+
+let work t cycles =
+  t.n_work_cycles <- t.n_work_cycles + cycles;
+  Clock.advance t.clock cycles
+
+let charge_syscalls t n =
+  t.n_syscalls <- t.n_syscalls + n;
+  Clock.advance t.clock (n * Cost.syscall)
+
+let sbrk t n =
+  if n < 0 then invalid_arg "Machine.sbrk: negative increment";
+  let aligned = (n + 15) land lnot 15 in
+  let old = t.brk in
+  t.brk <- t.brk + aligned;
+  old
+
+let set_trap_handler t h = t.trap_handler <- Some h
+let clear_trap_handler t = t.trap_handler <- None
+let trap_count t = t.traps
+let access_count t = t.n_accesses
+let syscall_count t = t.n_syscalls
+let work_cycles t = t.n_work_cycles
+
+let install_watch ?(combined = false) t ~addr ~tid =
+  match Hw_breakpoint.perf_event_open t.hw ~addr ~tid with
+  | Error _ as e ->
+    charge_syscalls t 1;
+    e
+  | Ok fd ->
+    Hw_breakpoint.fcntl_setup t.hw fd;
+    Hw_breakpoint.ioctl_enable t.hw fd;
+    charge_syscalls t (if combined then 1 else 6);
+    Ok fd
+
+let remove_watch ?(combined = false) t fd =
+  Hw_breakpoint.ioctl_disable t.hw fd;
+  Hw_breakpoint.close t.hw fd;
+  charge_syscalls t (if combined then 1 else 2)

@@ -1,0 +1,65 @@
+type addr = int
+
+let chunk_size = 65536
+
+type t = { chunks : (int, Bytes.t) Hashtbl.t }
+
+let create () = { chunks = Hashtbl.create 256 }
+
+let chunk_for t addr =
+  let idx = addr / chunk_size in
+  match Hashtbl.find_opt t.chunks idx with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make chunk_size '\000' in
+    Hashtbl.add t.chunks idx b;
+    b
+
+let check addr = if addr < 0 then invalid_arg "Sparse_mem: negative address"
+
+let read_u8 t addr =
+  check addr;
+  match Hashtbl.find_opt t.chunks (addr / chunk_size) with
+  | None -> 0
+  | Some b -> Char.code (Bytes.unsafe_get b (addr mod chunk_size))
+
+let write_u8 t addr v =
+  check addr;
+  let b = chunk_for t addr in
+  Bytes.unsafe_set b (addr mod chunk_size) (Char.unsafe_chr (v land 0xff))
+
+let read_u64 t addr =
+  check addr;
+  (* Fast path: the whole word lies inside one chunk. *)
+  let off = addr mod chunk_size in
+  if off <= chunk_size - 8 then
+    match Hashtbl.find_opt t.chunks (addr / chunk_size) with
+    | None -> 0L
+    | Some b -> Bytes.get_int64_le b off
+  else begin
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_u8 t (addr + i)))
+    done;
+    !v
+  end
+
+let write_u64 t addr v =
+  check addr;
+  let off = addr mod chunk_size in
+  if off <= chunk_size - 8 then Bytes.set_int64_le (chunk_for t addr) off v
+  else
+    for i = 0 to 7 do
+      write_u8 t (addr + i) (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+    done
+
+let read_int t addr = Int64.to_int (read_u64 t addr)
+let write_int t addr v = write_u64 t addr (Int64.of_int v)
+
+let fill t addr len v =
+  if len < 0 then invalid_arg "Sparse_mem.fill: negative length";
+  for i = 0 to len - 1 do
+    write_u8 t (addr + i) v
+  done
+
+let touched_bytes t = Hashtbl.length t.chunks * chunk_size

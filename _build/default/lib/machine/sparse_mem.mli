@@ -1,0 +1,41 @@
+(** Byte-addressable sparse memory.
+
+    Backs the simulated process address space.  Storage is allocated lazily
+    in fixed-size chunks, so a heap spanning gigabytes of virtual addresses
+    costs only what is actually touched — the same property [mmap]-backed
+    allocators rely on, and what lets Table V count resident (touched)
+    memory separately from reserved address space. *)
+
+type t
+
+type addr = int
+(** Virtual addresses are non-negative integers. *)
+
+val create : unit -> t
+
+val read_u8 : t -> addr -> int
+(** [read_u8 t a] reads one byte; untouched memory reads as 0. *)
+
+val write_u8 : t -> addr -> int -> unit
+(** [write_u8 t a v] stores the low 8 bits of [v]. *)
+
+val read_u64 : t -> addr -> int64
+(** Little-endian 8-byte load. *)
+
+val write_u64 : t -> addr -> int64 -> unit
+(** Little-endian 8-byte store. *)
+
+val read_int : t -> addr -> int
+(** [read_int t a] loads a 64-bit word as an OCaml [int] (truncating the top
+    bit); the MiniC interpreter's word type. *)
+
+val write_int : t -> addr -> int -> unit
+
+val fill : t -> addr -> int -> int -> unit
+(** [fill t a len v] sets [len] bytes starting at [a] to byte [v]. *)
+
+val touched_bytes : t -> int
+(** Resident set proxy: bytes of chunk storage materialized so far. *)
+
+val chunk_size : int
+(** Chunk granularity in bytes (a simulated page cluster). *)

@@ -1,0 +1,44 @@
+(** Simulated thread registry.
+
+    The simulation is cooperatively scheduled inside one OCaml runtime, but
+    thread identity matters to the reproduction in three ways that mirror
+    the paper: watchpoints are installed {e per alive thread} (Figure 3's
+    [FOR_EACH_THREAD] loop), the SIGTRAP must be delivered to the thread
+    that performed the access (Section III-C1), and install/remove cost
+    scales with the number of alive threads.  CSOD learns about threads by
+    interposing on [pthread_create]; here, tools subscribe to spawn/exit
+    notifications instead. *)
+
+type tid = int
+
+type t
+
+val create : unit -> t
+(** Fresh registry containing only the main thread (tid 0, named "main"),
+    which is also the current thread. *)
+
+val spawn : t -> name:string -> tid
+(** Register a new alive thread, firing spawn subscribers — the analogue of
+    an interposed [pthread_create]. *)
+
+val exit_thread : t -> tid -> unit
+(** Mark a thread dead, firing exit subscribers.  The main thread cannot
+    exit this way.  Raises [Invalid_argument] for unknown or dead tids. *)
+
+val alive : t -> tid list
+(** Alive tids in spawn order (the paper's [aliveThreads] list). *)
+
+val alive_count : t -> int
+
+val name : t -> tid -> string
+(** Raises [Not_found] for unknown tids. *)
+
+val current : t -> tid
+val set_current : t -> tid -> unit
+(** Switch the executing thread; accesses and traps are attributed to it. *)
+
+val on_spawn : t -> (tid -> unit) -> unit
+(** Subscribe to thread creation (tools use this to install their existing
+    watchpoints on the new thread). *)
+
+val on_exit : t -> (tid -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Alloc_ctx Array Ast Buffer Cost Fun List Machine Printf Prng Program Sparse_mem Srcloc String Threads Tool

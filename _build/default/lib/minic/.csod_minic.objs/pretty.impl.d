@@ -1,0 +1,1 @@
+lib/minic/pretty.ml: Ast Buffer Format List String

@@ -1,0 +1,1 @@
+lib/minic/program.ml: Ast Format Hashtbl Lexer List Option Parser Printf Sema Srcloc String

@@ -1,0 +1,1 @@
+lib/minic/program.mli: Ast Format Srcloc

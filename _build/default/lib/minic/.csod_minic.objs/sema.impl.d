@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Ast Builtins Hashtbl List Printf Srcloc

@@ -1,0 +1,92 @@
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | LAnd | LOr
+  | BAnd | BOr | BXor | Shl | Shr
+
+type expr = { e : expr_kind; eloc : Srcloc.t; eaddr : int }
+
+and expr_kind =
+  | Int of int
+  | Str of string
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Index of expr * expr
+
+type stmt = { s : stmt_kind; sloc : Srcloc.t; saddr : int }
+
+and stmt_kind =
+  | Decl of string * expr
+  | Assign of string * expr
+  | Store of expr * expr * expr
+  | If of expr * block * block
+  | While of expr * block
+  | For of stmt * expr * stmt * block
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr of expr
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  params : string list;
+  body : block;
+  floc : Srcloc.t;
+  fmodule : string;
+  faddr : int;
+}
+
+let rec iter_stmts f block = List.iter (iter_stmt f) block
+
+and iter_stmt f st =
+  f st;
+  match st.s with
+  | Decl _ | Assign _ | Store _ | Return _ | Break | Continue | Expr _ -> ()
+  | If (_, b1, b2) ->
+    iter_stmts f b1;
+    iter_stmts f b2
+  | While (_, b) -> iter_stmts f b
+  | For (init, _, step, b) ->
+    iter_stmt f init;
+    iter_stmt f step;
+    iter_stmts f b
+
+let rec iter_expr f e =
+  (match e.e with
+  | Int _ | Str _ | Var _ -> ()
+  | Unop (_, a) -> iter_expr f a
+  | Binop (_, a, b) ->
+    iter_expr f a;
+    iter_expr f b
+  | Call (_, args) -> List.iter (iter_expr f) args
+  | Index (a, b) ->
+    iter_expr f a;
+    iter_expr f b);
+  f e
+
+let iter_exprs f block =
+  iter_stmts
+    (fun st ->
+      match st.s with
+      | Decl (_, e) | Assign (_, e) -> iter_expr f e
+      | Store (a, b, c) ->
+        iter_expr f a;
+        iter_expr f b;
+        iter_expr f c
+      | If (c, _, _) | While (c, _) -> iter_expr f c
+      | For (_, c, _, _) -> iter_expr f c
+      | Return (Some e) -> iter_expr f e
+      | Return None | Break | Continue -> ()
+      | Expr e -> iter_expr f e)
+    block
+
+let count_decls block =
+  let n = ref 0 in
+  iter_stmts (fun st -> match st.s with Decl _ -> incr n | _ -> ()) block;
+  !n

@@ -1,0 +1,70 @@
+(** Abstract syntax of MiniC.
+
+    Every node carries a source location and a unique {e code address}
+    assigned by the parser from a program-wide counter.  Code addresses are
+    the simulation's stand-in for instruction addresses: the pair
+    (allocation call-site address, stack offset) keys the paper's context
+    table, and the symbolizer maps addresses back to [file:line (function)]
+    frames for Figure 6 style reports. *)
+
+type unop = Neg | Not
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | LAnd | LOr
+  | BAnd | BOr | BXor | Shl | Shr
+
+type expr = { e : expr_kind; eloc : Srcloc.t; eaddr : int }
+
+and expr_kind =
+  | Int of int
+  | Str of string
+      (** String literal; only legal as a [print] argument (checked by
+          {!Sema}). *)
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+      (** Function or builtin call; the node's address is the call site. *)
+  | Index of expr * expr
+      (** [p\[i\]]: word load from address [p + 8*i]. *)
+
+type stmt = { s : stmt_kind; sloc : Srcloc.t; saddr : int }
+
+and stmt_kind =
+  | Decl of string * expr          (** [var x = e;] *)
+  | Assign of string * expr        (** [x = e;] *)
+  | Store of expr * expr * expr    (** [p\[i\] = e;]: word store *)
+  | If of expr * block * block
+  | While of expr * block
+  | For of stmt * expr * stmt * block
+      (** [for (init; cond; step) body]; [init]/[step] are [Decl]/[Assign]
+          statements. *)
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr of expr                   (** expression statement (a call) *)
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  params : string list;
+  body : block;
+  floc : Srcloc.t;
+  fmodule : string;
+      (** Module (library) tag: decides whether ASan-style static
+          instrumentation covers this function's accesses. *)
+  faddr : int;  (** code address of the function entry *)
+}
+
+val count_decls : block -> int
+(** Number of [Decl] statements anywhere in a block — used to size stack
+    frames, which in turn determines the context-key stack offsets. *)
+
+val iter_exprs : (expr -> unit) -> block -> unit
+(** Visit every expression in a block, innermost last. *)
+
+val iter_stmts : (stmt -> unit) -> block -> unit
+(** Visit every statement, preorder. *)

@@ -1,0 +1,20 @@
+type arity = Exact of int | Between of int * int | At_least of int
+
+let all =
+  [ ("malloc", Exact 1);      (* malloc(bytes) -> ptr *)
+    ("calloc", Exact 2);      (* calloc(count, size) -> zeroed ptr *)
+    ("free", Exact 1);        (* free(ptr) *)
+    ("print", At_least 1);    (* print(args...) *)
+    ("input", Exact 1);       (* input(i) -> i-th driver-supplied int *)
+    ("input_len", Exact 0);
+    ("rand", Exact 1);        (* rand(n) -> uniform in [0, n) *)
+    ("memset", Exact 3);      (* memset(ptr, byte, len) *)
+    ("memcpy", Exact 3);      (* memcpy(dst, src, len) *)
+    ("load8", Exact 2);       (* load8(ptr, off) -> byte *)
+    ("store8", Exact 3);      (* store8(ptr, off, byte) *)
+    ("spawn", Between (1, 2)); (* spawn("fname" [, arg]) on a new thread *)
+    ("sleep_ms", Exact 1);    (* advance virtual time; models I/O or compute *)
+    ("work", Exact 1) ]       (* burn n virtual cycles of computation *)
+
+let arity name = List.assoc_opt name all
+let is_builtin name = arity name <> None

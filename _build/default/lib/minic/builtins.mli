@@ -1,0 +1,20 @@
+(** MiniC builtin functions, shared between the static checker and the
+    interpreter.
+
+    The runtime-facing builtins ([malloc], [free]) route through the active
+    detection tool; memory-touching builtins ([memset], [memcpy], byte and
+    word accesses) go through the machine so the hardware watchpoints see
+    them — which is how a [memcpy] over-read reproduces Heartbleed's trap. *)
+
+type arity =
+  | Exact of int
+  | Between of int * int  (** inclusive *)
+  | At_least of int
+
+val arity : string -> arity option
+(** [arity name] is [Some a] iff [name] is a builtin. *)
+
+val is_builtin : string -> bool
+
+val all : (string * arity) list
+(** Name/arity listing, for documentation and tests. *)

@@ -1,0 +1,42 @@
+(** The MiniC interpreter.
+
+    Executes a checked program against a machine, a detection tool, and a
+    driver-supplied input vector.  The interpreter is the simulation's
+    "application process":
+
+    - it maintains a simulated call stack (frame sizes from
+      {!Program.frame_size}), which defines the stack offsets used in
+      allocation context keys;
+    - it publishes a backtrace provider on the machine, so tools can walk
+      the live stack like glibc's [backtrace];
+    - every word/byte access goes through {!Machine} (hence through the
+      hardware watchpoints) and is also announced to the tool's
+      [on_access] (the static-instrumentation channel ASan uses);
+    - [malloc]/[free] route through the tool, exactly as LD_PRELOAD
+      interposition would. *)
+
+exception Runtime_error of string * Srcloc.t
+(** Dynamic faults: division by zero, calling an integer as a pointer with a
+    negative address, input index out of range, step-limit exhaustion, … *)
+
+type result = {
+  output : string;     (** everything printed by the program *)
+  return_value : int;  (** [main]'s return value (0 if none) *)
+  steps : int;         (** statements executed *)
+}
+
+val run :
+  machine:Machine.t ->
+  tool:Tool.t ->
+  program:Program.t ->
+  ?inputs:int array ->
+  ?app_seed:int ->
+  ?step_limit:int ->
+  unit ->
+  result
+(** Execute [main].  [inputs] feeds the [input(i)] builtin (default empty);
+    [app_seed] seeds the program-visible [rand] builtin (default 1; distinct
+    from the machine's tool-facing RNG); [step_limit] bounds execution
+    (default 50 million statements). The tool's [at_exit] is NOT invoked —
+    the harness owns end-of-execution handling so that it can also cover
+    erroneous exits, as CSOD's Termination Handling Unit does. *)

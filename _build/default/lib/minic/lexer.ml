@@ -1,0 +1,163 @@
+exception Lex_error of string * Srcloc.t
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let loc st = Srcloc.v ~file:st.file ~line:st.line ~col:st.col
+
+let error st msg = raise (Lex_error (msg, loc st))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "fn" -> Some Token.KW_FN
+  | "var" -> Some Token.KW_VAR
+  | "if" -> Some Token.KW_IF
+  | "else" -> Some Token.KW_ELSE
+  | "while" -> Some Token.KW_WHILE
+  | "for" -> Some Token.KW_FOR
+  | "return" -> Some Token.KW_RETURN
+  | "break" -> Some Token.KW_BREAK
+  | "continue" -> Some Token.KW_CONTINUE
+  | _ -> None
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do advance st done;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec go () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | None, _ -> error st "unterminated block comment"
+      | _ ->
+        advance st;
+        go ()
+    in
+    go ();
+    skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st;
+    advance st;
+    let hstart = st.pos in
+    while (match peek st with Some c -> is_hex c | None -> false) do advance st done;
+    if st.pos = hstart then error st "malformed hexadecimal literal";
+    int_of_string (String.sub st.src start (st.pos - start))
+  end
+  else begin
+    while (match peek st with Some c -> is_digit c | None -> false) do advance st done;
+    int_of_string (String.sub st.src start (st.pos - start))
+  end
+
+let lex_string st =
+  advance st; (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | Some 'n' -> Buffer.add_char buf '\n'; advance st
+      | Some 't' -> Buffer.add_char buf '\t'; advance st
+      | Some '\\' -> Buffer.add_char buf '\\'; advance st
+      | Some '"' -> Buffer.add_char buf '"'; advance st
+      | Some c -> error st (Printf.sprintf "unknown escape '\\%c'" c)
+      | None -> error st "unterminated escape");
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident c | None -> false) do advance st done;
+  String.sub st.src start (st.pos - start)
+
+let next_token st : Token.spanned =
+  skip_trivia st;
+  let l = loc st in
+  let simple tok = advance st; { Token.tok; loc = l } in
+  let two tok = advance st; advance st; { Token.tok; loc = l } in
+  match peek st with
+  | None -> { Token.tok = EOF; loc = l }
+  | Some c when is_digit c -> { Token.tok = INT (lex_number st); loc = l }
+  | Some c when is_ident_start c ->
+    let id = lex_ident st in
+    let tok = match keyword id with Some kw -> kw | None -> Token.IDENT id in
+    { Token.tok; loc = l }
+  | Some '"' -> { Token.tok = STRING (lex_string st); loc = l }
+  | Some '(' -> simple LPAREN
+  | Some ')' -> simple RPAREN
+  | Some '{' -> simple LBRACE
+  | Some '}' -> simple RBRACE
+  | Some '[' -> simple LBRACKET
+  | Some ']' -> simple RBRACKET
+  | Some ',' -> simple COMMA
+  | Some ';' -> simple SEMI
+  | Some '+' -> simple PLUS
+  | Some '-' -> simple MINUS
+  | Some '*' -> simple STAR
+  | Some '/' -> simple SLASH
+  | Some '%' -> simple PERCENT
+  | Some '^' -> simple CARET
+  | Some '=' -> if peek2 st = Some '=' then two EQ else simple ASSIGN
+  | Some '!' -> if peek2 st = Some '=' then two NE else simple NOT
+  | Some '<' ->
+    if peek2 st = Some '=' then two LE
+    else if peek2 st = Some '<' then two SHL
+    else simple LT
+  | Some '>' ->
+    if peek2 st = Some '=' then two GE
+    else if peek2 st = Some '>' then two SHR
+    else simple GT
+  | Some '&' -> if peek2 st = Some '&' then two AND else simple AMP
+  | Some '|' -> if peek2 st = Some '|' then two OR else simple PIPE
+  | Some c -> error st (Printf.sprintf "unexpected character '%c'" c)
+
+let tokenize ~file src =
+  let st = { src; file; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next_token st in
+    if t.Token.tok = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,14 @@
+(** Hand-rolled lexer for MiniC.
+
+    Supports decimal and hexadecimal ([0x...]) integer literals, double-
+    quoted strings with backslash escapes (n, t, backslash, quote), line
+    ([// ...]) and
+    block ([/* ... */]) comments, and the token set of {!Token}. *)
+
+exception Lex_error of string * Srcloc.t
+(** Unexpected character, unterminated string/comment, or malformed
+    literal. *)
+
+val tokenize : file:string -> string -> Token.spanned list
+(** [tokenize ~file src] lexes the entire source, ending with an [EOF]
+    token.  Raises {!Lex_error} on the first lexical fault. *)

@@ -1,0 +1,266 @@
+exception Parse_error of string * Srcloc.t
+
+type st = {
+  toks : Token.spanned array;
+  mutable pos : int;
+  counter : int ref;
+  file : string;
+  module_name : string;
+}
+
+let code_addr_stride = 4
+
+let fresh st =
+  let a = !(st.counter) in
+  st.counter := a + code_addr_stride;
+  a
+
+let cur st = st.toks.(st.pos)
+let cur_tok st = (cur st).Token.tok
+let cur_loc st = (cur st).Token.loc
+
+let error st msg = raise (Parse_error (msg, cur_loc st))
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let expect st tok =
+  if cur_tok st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected '%s', found '%s'" (Token.to_string tok)
+         (Token.to_string (cur_tok st)))
+
+let expect_ident st =
+  match cur_tok st with
+  | Token.IDENT id ->
+    advance st;
+    id
+  | t -> error st (Printf.sprintf "expected identifier, found '%s'" (Token.to_string t))
+
+(* Binary operator precedence, higher binds tighter. *)
+let binop_of_tok = function
+  | Token.OR -> Some (Ast.LOr, 1)
+  | Token.AND -> Some (Ast.LAnd, 2)
+  | Token.PIPE -> Some (Ast.BOr, 3)
+  | Token.CARET -> Some (Ast.BXor, 4)
+  | Token.AMP -> Some (Ast.BAnd, 5)
+  | Token.EQ -> Some (Ast.Eq, 6)
+  | Token.NE -> Some (Ast.Ne, 6)
+  | Token.LT -> Some (Ast.Lt, 7)
+  | Token.LE -> Some (Ast.Le, 7)
+  | Token.GT -> Some (Ast.Gt, 7)
+  | Token.GE -> Some (Ast.Ge, 7)
+  | Token.SHL -> Some (Ast.Shl, 8)
+  | Token.SHR -> Some (Ast.Shr, 8)
+  | Token.PLUS -> Some (Ast.Add, 9)
+  | Token.MINUS -> Some (Ast.Sub, 9)
+  | Token.STAR -> Some (Ast.Mul, 10)
+  | Token.SLASH -> Some (Ast.Div, 10)
+  | Token.PERCENT -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let mk_expr st loc e : Ast.expr = { e; eloc = loc; eaddr = fresh st }
+
+let rec parse_expr st = parse_binary st 1
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_tok (cur_tok st) with
+    | Some (op, prec) when prec >= min_prec ->
+      let loc = cur_loc st in
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      lhs := mk_expr st loc (Ast.Binop (op, !lhs, rhs))
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.MINUS ->
+    advance st;
+    mk_expr st loc (Ast.Unop (Ast.Neg, parse_unary st))
+  | Token.NOT ->
+    advance st;
+    mk_expr st loc (Ast.Unop (Ast.Not, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let base = parse_primary st in
+  let rec go e =
+    match cur_tok st with
+    | Token.LBRACKET ->
+      let loc = cur_loc st in
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      go (mk_expr st loc (Ast.Index (e, idx)))
+    | _ -> e
+  in
+  go base
+
+and parse_primary st =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.INT n ->
+    advance st;
+    mk_expr st loc (Ast.Int n)
+  | Token.STRING s ->
+    advance st;
+    mk_expr st loc (Ast.Str s)
+  | Token.IDENT id ->
+    advance st;
+    if cur_tok st = Token.LPAREN then begin
+      advance st;
+      let args = parse_args st in
+      expect st Token.RPAREN;
+      mk_expr st loc (Ast.Call (id, args))
+    end
+    else mk_expr st loc (Ast.Var id)
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  | t -> error st (Printf.sprintf "expected expression, found '%s'" (Token.to_string t))
+
+and parse_args st =
+  if cur_tok st = Token.RPAREN then []
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      if cur_tok st = Token.COMMA then begin
+        advance st;
+        go (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    go []
+
+let mk_stmt st loc s : Ast.stmt = { s; sloc = loc; saddr = fresh st }
+
+(* A "simple" statement: declaration, assignment, store, or expression. *)
+let parse_simple st =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.KW_VAR ->
+    advance st;
+    let name = expect_ident st in
+    expect st Token.ASSIGN;
+    let e = parse_expr st in
+    mk_stmt st loc (Ast.Decl (name, e))
+  | _ ->
+    let e = parse_expr st in
+    if cur_tok st = Token.ASSIGN then begin
+      advance st;
+      let rhs = parse_expr st in
+      match e.Ast.e with
+      | Ast.Var x -> mk_stmt st loc (Ast.Assign (x, rhs))
+      | Ast.Index (p, i) -> mk_stmt st loc (Ast.Store (p, i, rhs))
+      | _ -> error st "invalid assignment target"
+    end
+    else mk_stmt st loc (Ast.Expr e)
+
+let rec parse_stmt st =
+  let loc = cur_loc st in
+  match cur_tok st with
+  | Token.KW_IF ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr st in
+    expect st Token.RPAREN;
+    let then_b = parse_block st in
+    let else_b =
+      if cur_tok st = Token.KW_ELSE then begin
+        advance st;
+        if cur_tok st = Token.KW_IF then [ parse_stmt st ] else parse_block st
+      end
+      else []
+    in
+    mk_stmt st loc (Ast.If (cond, then_b, else_b))
+  | Token.KW_WHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let cond = parse_expr st in
+    expect st Token.RPAREN;
+    let body = parse_block st in
+    mk_stmt st loc (Ast.While (cond, body))
+  | Token.KW_FOR ->
+    advance st;
+    expect st Token.LPAREN;
+    let init = parse_simple st in
+    expect st Token.SEMI;
+    let cond = parse_expr st in
+    expect st Token.SEMI;
+    let step = parse_simple st in
+    expect st Token.RPAREN;
+    let body = parse_block st in
+    mk_stmt st loc (Ast.For (init, cond, step, body))
+  | Token.KW_RETURN ->
+    advance st;
+    if cur_tok st = Token.SEMI then begin
+      advance st;
+      mk_stmt st loc (Ast.Return None)
+    end
+    else begin
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      mk_stmt st loc (Ast.Return (Some e))
+    end
+  | Token.KW_BREAK ->
+    advance st;
+    expect st Token.SEMI;
+    mk_stmt st loc Ast.Break
+  | Token.KW_CONTINUE ->
+    advance st;
+    expect st Token.SEMI;
+    mk_stmt st loc Ast.Continue
+  | _ ->
+    let s = parse_simple st in
+    expect st Token.SEMI;
+    s
+
+and parse_block st =
+  expect st Token.LBRACE;
+  let rec go acc =
+    if cur_tok st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_fndef st : Ast.func =
+  let loc = cur_loc st in
+  expect st Token.KW_FN;
+  let faddr = fresh st in
+  let fname = expect_ident st in
+  expect st Token.LPAREN;
+  let params =
+    if cur_tok st = Token.RPAREN then []
+    else
+      let rec go acc =
+        let p = expect_ident st in
+        if cur_tok st = Token.COMMA then begin
+          advance st;
+          go (p :: acc)
+        end
+        else List.rev (p :: acc)
+      in
+      go []
+  in
+  expect st Token.RPAREN;
+  let body = parse_block st in
+  { fname; params; body; floc = loc; fmodule = st.module_name; faddr }
+
+let parse_unit ~counter ~file ~module_name src =
+  let toks = Array.of_list (Lexer.tokenize ~file src) in
+  let st = { toks; pos = 0; counter; file; module_name } in
+  let rec go acc =
+    if cur_tok st = Token.EOF then List.rev acc else go (parse_fndef st :: acc)
+  in
+  go []

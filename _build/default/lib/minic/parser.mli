@@ -1,0 +1,30 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar (lowest-precedence first for expressions):
+    {v
+      unit   ::= fndef*
+      fndef  ::= "fn" IDENT "(" [IDENT {"," IDENT}] ")" block
+      block  ::= "{" stmt* "}"
+      stmt   ::= "var" IDENT "=" expr ";"
+               | "if" "(" expr ")" block ["else" (block | if-stmt)]
+               | "while" "(" expr ")" block
+               | "for" "(" simple ";" expr ";" simple ")" block
+               | "return" [expr] ";" | "break" ";" | "continue" ";"
+               | simple ";"
+      simple ::= lvalue "=" expr | expr        (lvalue: IDENT or e "[" e "]")
+      expr   ::= "||" < "&&" < "|" < "^" < "&" < ("=="|"!=")
+               < ("<"|"<="|">"|">=") < ("<<"|">>") < ("+"|"-")
+               < ("*"|"/"|"%") < unary < postfix (call / index) < primary
+    v}
+
+    Every node is stamped with a code address drawn from the caller's
+    counter, so addresses are unique across all compilation units of one
+    program. *)
+
+exception Parse_error of string * Srcloc.t
+
+val parse_unit :
+  counter:int ref -> file:string -> module_name:string -> string -> Ast.func list
+(** [parse_unit ~counter ~file ~module_name src] parses one source file into
+    its function definitions.  [counter] supplies code addresses and is
+    advanced; pass the same reference for every unit of a program. *)

@@ -1,0 +1,88 @@
+type unit_src = { file : string; module_name : string; source : string }
+
+type error = { msg : string; loc : Srcloc.t }
+
+type frame_info = { floc : Srcloc.t; in_func : string; in_module : string }
+
+type t = {
+  funcs : (string, Ast.func) Hashtbl.t;
+  order : Ast.func list;
+  symtab : (int, frame_info) Hashtbl.t;
+  frame_sizes : (string, int) Hashtbl.t;
+  source_lines : int;
+}
+
+let pp_error ppf e = Format.fprintf ppf "%a: %s" Srcloc.pp e.loc e.msg
+
+let build_symtab funcs =
+  let tab = Hashtbl.create 1024 in
+  List.iter
+    (fun (f : Ast.func) ->
+      let record addr loc =
+        Hashtbl.replace tab addr { floc = loc; in_func = f.fname; in_module = f.fmodule }
+      in
+      record f.faddr f.floc;
+      Ast.iter_stmts (fun st -> record st.saddr st.sloc) f.body;
+      Ast.iter_exprs (fun e -> record e.eaddr e.eloc) f.body)
+    funcs;
+  tab
+
+let count_lines s = 1 + String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 s
+
+let load units =
+  try
+    let counter = ref 0x400000 in
+    let all_funcs =
+      List.concat_map
+        (fun u -> Parser.parse_unit ~counter ~file:u.file ~module_name:u.module_name u.source)
+        units
+    in
+    match Sema.check all_funcs with
+    | (_ :: _) as errs ->
+      Error (List.map (fun (msg, loc) -> { msg; loc }) errs)
+    | [] ->
+      let funcs = Hashtbl.create 64 in
+      List.iter (fun (f : Ast.func) -> Hashtbl.replace funcs f.fname f) all_funcs;
+      let frame_sizes = Hashtbl.create 64 in
+      List.iter
+        (fun (f : Ast.func) ->
+          let slots = List.length f.params + Ast.count_decls f.body in
+          Hashtbl.replace frame_sizes f.fname (32 + (8 * slots)))
+        all_funcs;
+      Ok
+        { funcs;
+          order = all_funcs;
+          symtab = build_symtab all_funcs;
+          frame_sizes;
+          source_lines =
+            List.fold_left (fun acc u -> acc + count_lines u.source) 0 units }
+  with
+  | Lexer.Lex_error (msg, loc) -> Error [ { msg = "lexical error: " ^ msg; loc } ]
+  | Parser.Parse_error (msg, loc) -> Error [ { msg = "parse error: " ^ msg; loc } ]
+
+let load_exn units =
+  match load units with
+  | Ok t -> t
+  | Error errs ->
+    let msgs = List.map (fun e -> Format.asprintf "%a" pp_error e) errs in
+    failwith ("Program.load: " ^ String.concat "; " msgs)
+
+let func t name = Hashtbl.find_opt t.funcs name
+let functions t = t.order
+
+let frame_size t name =
+  match Hashtbl.find_opt t.frame_sizes name with
+  | Some n -> n
+  | None -> invalid_arg ("Program.frame_size: unknown function " ^ name)
+
+let frame_of_addr t addr = Hashtbl.find_opt t.symtab addr
+
+let symbolize t addr =
+  match frame_of_addr t addr with
+  | Some fi -> Printf.sprintf "%s:%d (%s)" fi.floc.Srcloc.file fi.floc.Srcloc.line fi.in_func
+  | None -> Printf.sprintf "0x%x" addr
+
+let module_of_addr t addr =
+  Option.map (fun fi -> fi.in_module) (frame_of_addr t addr)
+
+let total_source_lines t = t.source_lines

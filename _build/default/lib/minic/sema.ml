@@ -1,0 +1,124 @@
+let check funcs =
+  let errors = ref [] in
+  let err loc fmt = Printf.ksprintf (fun msg -> errors := (msg, loc) :: !errors) fmt in
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem by_name f.fname then
+        err f.floc "duplicate function definition '%s'" f.fname
+      else Hashtbl.add by_name f.fname f)
+    funcs;
+  (match Hashtbl.find_opt by_name "main" with
+  | None -> err Srcloc.dummy "no 'main' function defined"
+  | Some f ->
+    if f.params <> [] then err f.floc "'main' must take no parameters");
+  let arity_ok (a : Builtins.arity) n =
+    match a with
+    | Builtins.Exact k -> n = k
+    | Builtins.Between (lo, hi) -> n >= lo && n <= hi
+    | Builtins.At_least k -> n >= k
+  in
+  let check_call loc name nargs =
+    match Builtins.arity name with
+    | Some a ->
+      if not (arity_ok a nargs) then
+        err loc "builtin '%s' called with %d argument(s)" name nargs
+    | None -> (
+      match Hashtbl.find_opt by_name name with
+      | None -> err loc "call to undefined function '%s'" name
+      | Some f ->
+        let expected = List.length f.params in
+        if nargs <> expected then
+          err loc "function '%s' expects %d argument(s), got %d" name expected nargs)
+  in
+  let check_spawn loc (args : Ast.expr list) =
+    match args with
+    | { e = Ast.Str target; _ } :: rest -> (
+      match Hashtbl.find_opt by_name target with
+      | None -> err loc "spawn of undefined function '%s'" target
+      | Some f ->
+        if List.length f.params <> List.length rest then
+          err loc "spawn target '%s' expects %d argument(s), got %d" target
+            (List.length f.params) (List.length rest))
+    | _ -> err loc "first argument of spawn must be a function-name string"
+  in
+  (* Scoped variable environment: a stack of scopes per function body. *)
+  let check_func (f : Ast.func) =
+    let scopes = ref [ Hashtbl.create 16 ] in
+    List.iter
+      (fun p ->
+        if Hashtbl.mem (List.hd !scopes) p then
+          err f.floc "duplicate parameter '%s' in function '%s'" p f.fname
+        else Hashtbl.add (List.hd !scopes) p ())
+      f.params;
+    let declared name = List.exists (fun sc -> Hashtbl.mem sc name) !scopes in
+    let declare loc name =
+      if Hashtbl.mem (List.hd !scopes) name then
+        err loc "duplicate declaration of '%s' in the same scope" name
+      else Hashtbl.add (List.hd !scopes) name ()
+    in
+    let push () = scopes := Hashtbl.create 8 :: !scopes in
+    let pop () = scopes := List.tl !scopes in
+    let rec expr ?(string_ok = false) (e : Ast.expr) =
+      match e.e with
+      | Ast.Int _ -> ()
+      | Ast.Str _ -> if not string_ok then err e.eloc "string literal outside print/spawn"
+      | Ast.Var x -> if not (declared x) then err e.eloc "use of undeclared variable '%s'" x
+      | Ast.Unop (_, a) -> expr a
+      | Ast.Binop (_, a, b) ->
+        expr a;
+        expr b
+      | Ast.Index (a, b) ->
+        expr a;
+        expr b
+      | Ast.Call ("print", args) ->
+        check_call e.eloc "print" (List.length args);
+        List.iter (expr ~string_ok:true) args
+      | Ast.Call ("spawn", args) ->
+        check_call e.eloc "spawn" (List.length args);
+        check_spawn e.eloc args;
+        List.iteri (fun i a -> if i > 0 then expr a) args
+      | Ast.Call (name, args) ->
+        check_call e.eloc name (List.length args);
+        List.iter expr args
+    in
+    let rec stmt ~in_loop (st : Ast.stmt) =
+      match st.s with
+      | Ast.Decl (x, e) ->
+        expr e;
+        declare st.sloc x
+      | Ast.Assign (x, e) ->
+        if not (declared x) then err st.sloc "assignment to undeclared variable '%s'" x;
+        expr e
+      | Ast.Store (p, i, v) ->
+        expr p;
+        expr i;
+        expr v
+      | Ast.If (c, b1, b2) ->
+        expr c;
+        block ~in_loop b1;
+        block ~in_loop b2
+      | Ast.While (c, b) ->
+        expr c;
+        block ~in_loop:true b
+      | Ast.For (init, c, step, b) ->
+        push ();
+        stmt ~in_loop init;
+        expr c;
+        block ~in_loop:true b;
+        stmt ~in_loop:true step;
+        pop ()
+      | Ast.Return None -> ()
+      | Ast.Return (Some e) -> expr e
+      | Ast.Break -> if not in_loop then err st.sloc "'break' outside a loop"
+      | Ast.Continue -> if not in_loop then err st.sloc "'continue' outside a loop"
+      | Ast.Expr e -> expr e
+    and block ~in_loop stmts =
+      push ();
+      List.iter (stmt ~in_loop) stmts;
+      pop ()
+    in
+    block ~in_loop:false f.body
+  in
+  List.iter check_func funcs;
+  List.rev !errors

@@ -1,0 +1,16 @@
+(** Static semantic checks for MiniC programs.
+
+    Runs after parsing and before interpretation.  Rejects:
+    - duplicate function definitions;
+    - a missing or parameterized [main];
+    - calls to unknown functions, and arity mismatches (both user functions
+      and builtins);
+    - use or assignment of undeclared variables; duplicate declarations in
+      the same scope;
+    - [break]/[continue] outside a loop;
+    - string literals anywhere but as [print] arguments or a [spawn]
+      target;
+    - [spawn] of an unknown function or with an argument-count mismatch. *)
+
+val check : Ast.func list -> (string * Srcloc.t) list
+(** All violations found, in source order; empty means well-formed. *)

@@ -1,0 +1,6 @@
+type t = { file : string; line : int; col : int }
+
+let v ~file ~line ~col = { file; line; col }
+let dummy = { file = "<none>"; line = 0; col = 0 }
+let pp ppf t = Format.fprintf ppf "%s:%d" t.file t.line
+let to_string t = Format.asprintf "%a" pp t

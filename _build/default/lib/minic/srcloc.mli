@@ -1,0 +1,15 @@
+(** Source locations for MiniC programs.
+
+    Buggy applications are authored in MiniC (see {!Buggy_apps} in
+    [csod_apps]); their overflow reports must name file and line exactly as
+    the paper's Figure 6 report names [ssl/t1_lib.c:2588].  A location is
+    therefore file + line (+ column for diagnostics). *)
+
+type t = { file : string; line : int; col : int }
+
+val v : file:string -> line:int -> col:int -> t
+val dummy : t
+val pp : Format.formatter -> t -> unit
+(** Renders as ["file:line"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/util/chained_table.mli:

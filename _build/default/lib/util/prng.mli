@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random number generation.
+
+    The paper ports OpenBSD's {e arc4random} into the allocator runtime but
+    converts it to a {e per-thread} generator so that the hot allocation path
+    never takes the global lock that both OpenBSD's generator and glibc's
+    [rand] require (paper, Section III-A1).  This module is the OCaml
+    equivalent: a small, fast, splittable generator ([xoshiro256**]) intended
+    to be instantiated once per simulated thread. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed.  Two generators
+    created from the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t].  Used to give
+    each simulated thread its own stream, mirroring the paper's per-thread
+    generators. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val bits64 : t -> int64
+(** [bits64 t] returns 64 uniformly distributed bits. *)
+
+val int : t -> int -> int
+(** [int t bound] returns a uniform integer in [\[0, bound)].  [bound] must be
+    positive.  Uses rejection sampling, so the result is unbiased. *)
+
+val float : t -> float
+(** [float t] returns a uniform float in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** [bool t] returns a uniform boolean. *)
+
+val below_percent : t -> float -> bool
+(** [below_percent t p] performs the paper's sampling test: true with
+    probability [p] where [p] is expressed as a fraction in [\[0, 1\]].
+    The paper phrases this as "a random number modulo 100 is less than 10"
+    for a 10% probability; we use the full-precision equivalent. *)
+
+val canary64 : t -> int64
+(** [canary64 t] returns a random canary value, guaranteed non-zero so that
+    freshly zeroed memory can never masquerade as an intact canary. *)

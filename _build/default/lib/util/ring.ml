@@ -1,0 +1,65 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int; (* index of oldest element *)
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; head = 0; len = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = Array.length t.slots
+
+let push t x =
+  if is_full t then failwith "Ring.push: full";
+  let tail = (t.head + t.len) mod capacity t in
+  t.slots.(tail) <- Some x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let x = t.slots.(t.head) in
+    t.slots.(t.head) <- None;
+    t.head <- (t.head + 1) mod capacity t;
+    t.len <- t.len - 1;
+    x
+  end
+
+let peek t = if t.len = 0 then None else t.slots.(t.head)
+
+let advance t =
+  if t.len > 1 then begin
+    match pop t with
+    | Some x -> push t x
+    | None -> ()
+  end
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else
+    match t.slots.((t.head + i) mod capacity t) with
+    | Some x -> go (i - 1) (x :: acc)
+    | None -> go (i - 1) acc
+  in
+  go (t.len - 1) []
+
+let remove_where t p =
+  let elems = to_list t in
+  let rec split acc = function
+    | [] -> None
+    | x :: rest when p x -> Some (x, List.rev_append acc rest)
+    | x :: rest -> split (x :: acc) rest
+  in
+  match split [] elems with
+  | None -> None
+  | Some (hit, remaining) ->
+    Array.fill t.slots 0 (capacity t) None;
+    t.head <- 0;
+    t.len <- 0;
+    List.iter (push t) remaining;
+    Some hit
+
+let iter f t = List.iter f (to_list t)

@@ -1,0 +1,89 @@
+type align = Left | Right
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : [ `Row of string list | `Sep ] list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table_fmt.add_row: arity mismatch";
+  t.rows <- `Row cells :: t.rows
+
+let add_separator t = t.rows <- `Sep :: t.rows
+
+let render t =
+  let headers = List.map fst t.columns in
+  let aligns = List.map snd t.columns in
+  let data_rows =
+    List.rev_map (function `Row r -> Some r | `Sep -> None) t.rows
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row ->
+            match row with
+            | Some cells -> max w (String.length (List.nth cells i))
+            | None -> w)
+          (String.length h) data_rows)
+      headers
+  in
+  let pad align w s =
+    let fill = w - String.length s in
+    if fill <= 0 then s
+    else match align with
+      | Left -> s ^ String.make fill ' '
+      | Right -> String.make fill ' ' ^ s
+  in
+  let render_cells cells =
+    let padded = List.mapi (fun i c -> pad (List.nth aligns i) (List.nth widths i) c) cells in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_cells headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | `Row cells ->
+        Buffer.add_string buf (render_cells cells);
+        Buffer.add_char buf '\n'
+      | `Sep ->
+        Buffer.add_string buf rule;
+        Buffer.add_char buf '\n')
+    (List.rev t.rows);
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ();
+  print_newline ()
+
+let fmt_float ?(decimals = 2) f = Printf.sprintf "%.*f" decimals f
+
+let fmt_percent ?(decimals = 1) f = Printf.sprintf "%.*f%%" decimals (f *. 100.0)
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + len / 3 + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

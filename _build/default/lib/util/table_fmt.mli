@@ -1,0 +1,35 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The bench executable reproduces the paper's tables as aligned text; this
+    module owns the layout so every table renders consistently. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : title:string -> columns:(string * align) list -> t
+(** [create ~title ~columns] starts a table with a caption and a header row.
+    The number of cells in every subsequent row must match [columns]. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.  Raises [Invalid_argument] on arity mismatch. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (e.g. before an "Average" footer row). *)
+
+val render : t -> string
+(** Render with padded columns, a caption line, and box rules. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper ([decimals] defaults to 2). *)
+
+val fmt_percent : ?decimals:int -> float -> string
+(** [fmt_percent 0.067] is ["6.7%"] (with default 1 decimal). *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. ["57,464"], matching the paper's
+    tables. *)

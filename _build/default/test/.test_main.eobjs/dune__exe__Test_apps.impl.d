@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Buggy_app Config Execution List Option Oracle Params Printf Report String Tool

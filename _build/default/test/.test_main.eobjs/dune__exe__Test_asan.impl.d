@@ -1,0 +1,1 @@
+test/test_asan.ml: Alcotest Alloc_ctx Asan Clock Cost Fun Hashtbl Heap List Machine QCheck QCheck_alcotest Quarantine Shadow Test Tool

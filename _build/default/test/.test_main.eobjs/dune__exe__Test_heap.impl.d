@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Clock Cost Heap List Machine Option Printf QCheck QCheck_alcotest Size_class Sparse_mem

@@ -1,0 +1,1 @@
+test/test_limitations.ml: Alcotest Alloc_ctx Asan Cost Heap List Machine Params QCheck QCheck_alcotest Report Runtime Tool Watch_table

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Clock Cost Hw_breakpoint List Machine Printf QCheck QCheck_alcotest Sparse_mem Threads

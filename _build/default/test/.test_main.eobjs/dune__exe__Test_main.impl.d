@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_apps Test_asan Test_core Test_harness Test_heap Test_limitations Test_machine Test_minic Test_misc Test_pretty Test_prng Test_util

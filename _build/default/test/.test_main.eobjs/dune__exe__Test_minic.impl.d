@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Heap Interp Lexer List Machine Option Parser Printf Program Sema Srcloc String Threads Token Tool

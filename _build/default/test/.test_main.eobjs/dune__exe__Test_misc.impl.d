@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Alloc_ctx Builtins Cost Heap Interp Lexer List Machine Option Params Perf_profile Printf Program QCheck QCheck_alcotest Srcloc String Token Tool

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Buggy_app List Parser Pretty Printf Program QCheck QCheck_alcotest Srcloc

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Chained_table Hashtbl Int List QCheck QCheck_alcotest Queue Ring Stats String Table_fmt Test

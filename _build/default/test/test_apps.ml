@@ -1,0 +1,193 @@
+(* Integration tests for the nine buggy application models: census fidelity
+   against Table III, vulnerability classes against Table I, detection
+   sanity per policy, the ASan instrumentation-boundary behaviour, and
+   benign-input cleanliness. *)
+
+let oracle_of app =
+  match Oracle.observe ~app ~input:Execution.Buggy with
+  | Ok t -> t
+  | Error e -> Alcotest.fail (Printf.sprintf "%s crashed: %s" app.Buggy_app.name e)
+
+let test_registry () =
+  Alcotest.(check int) "nine applications" 9 (List.length (Buggy_app.all ()));
+  Alcotest.(check (list string)) "Table I order"
+    [ "Gzip"; "Heartbleed"; "Libdwarf"; "LibHX"; "Libtiff"; "Memcached"; "MySQL";
+      "Polymorph"; "Zziplib" ]
+    (Buggy_app.names ());
+  Alcotest.(check bool) "case-insensitive lookup" true
+    (Option.is_some (Buggy_app.by_name "heartBLEED"));
+  Alcotest.(check bool) "unknown app" true (Buggy_app.by_name "nginx" = None)
+
+let test_programs_load () =
+  List.iter
+    (fun app -> ignore (Buggy_app.program app))
+    (Buggy_app.all ())
+
+(* Census fidelity: exact Table III totals for every application. *)
+let census_cases =
+  [ ("Gzip", 1, 1); ("Heartbleed", 307, 5403); ("Libdwarf", 26, 152);
+    ("LibHX", 4, 5); ("Libtiff", 1, 1); ("Memcached", 74, 442);
+    ("MySQL", 488, 57464); ("Polymorph", 1, 1); ("Zziplib", 13, 17) ]
+
+let test_census name ctxs allocs () =
+  let app = Option.get (Buggy_app.by_name name) in
+  let t = oracle_of app in
+  Alcotest.(check int) "contexts" ctxs (Oracle.total_contexts t);
+  Alcotest.(check int) "allocations" allocs (Oracle.total_allocations t)
+
+let test_vuln_classes () =
+  List.iter
+    (fun app ->
+      let t = oracle_of app in
+      match Oracle.first_overflow t with
+      | None -> Alcotest.fail (app.Buggy_app.name ^ ": no overflow observed")
+      | Some o ->
+        let expected =
+          match app.Buggy_app.vuln with
+          | Report.Over_read -> Tool.Read
+          | Report.Over_write -> Tool.Write
+        in
+        Alcotest.(check bool)
+          (app.Buggy_app.name ^ " class matches Table I")
+          true
+          (o.Oracle.kind = expected))
+    (Buggy_app.all ())
+
+let test_benign_runs_clean () =
+  List.iter
+    (fun app ->
+      match Oracle.observe ~app ~input:Execution.Benign with
+      | Error e -> Alcotest.fail (app.Buggy_app.name ^ " benign crashed: " ^ e)
+      | Ok t ->
+        Alcotest.(check bool)
+          (app.Buggy_app.name ^ " benign input has no overflow")
+          true
+          (Oracle.first_overflow t = None))
+    (Buggy_app.all ())
+
+let test_benign_no_csod_false_positive () =
+  (* CSOD must never report anything on a benign run: the no-false-alarms
+     property of watchpoints plus intact canaries. *)
+  List.iter
+    (fun app ->
+      let o =
+        Execution.run ~app ~config:Config.csod_default ~input:Execution.Benign
+          ~seed:3 ()
+      in
+      Alcotest.(check bool) (app.Buggy_app.name ^ " benign: silent") false
+        o.Execution.detected;
+      Alcotest.(check (option string)) (app.Buggy_app.name ^ " benign: no crash") None
+        o.Execution.crashed)
+    (Buggy_app.all ())
+
+let test_naive_policy_split () =
+  (* Table II's naive column: always-detected vs never-detected apps. *)
+  List.iter
+    (fun app ->
+      let detected = ref 0 in
+      for seed = 1 to 5 do
+        let o =
+          Execution.run ~app ~config:(Config.csod_with_policy Params.Naive ~evidence:false)
+            ~seed ()
+        in
+        if o.Execution.watchpoint_reports <> [] then incr detected
+      done;
+      if app.Buggy_app.expected_naive_detectable then
+        Alcotest.(check int) (app.Buggy_app.name ^ ": naive always detects") 5 !detected
+      else
+        Alcotest.(check int) (app.Buggy_app.name ^ ": naive never detects") 0 !detected)
+    (Buggy_app.all ())
+
+let test_simple_apps_always_detected () =
+  List.iter
+    (fun name ->
+      let app = Option.get (Buggy_app.by_name name) in
+      for seed = 1 to 5 do
+        let o =
+          Execution.run ~app
+            ~config:(Config.csod_with_policy Params.Near_fifo ~evidence:false)
+            ~seed ()
+        in
+        Alcotest.(check bool) (name ^ " near-FIFO always detects") true
+          (o.Execution.watchpoint_reports <> [])
+      done)
+    [ "Gzip"; "Libtiff"; "Polymorph" ]
+
+let test_asan_boundary_misses () =
+  (* The paper: ASan misses Libtiff, LibHX and Zziplib when the buggy
+     library is not instrumented, and detects the others. *)
+  List.iter
+    (fun app ->
+      let o = Execution.run ~app ~config:Config.asan_min_redzone ~seed:1 () in
+      if app.Buggy_app.bug_in_library then
+        Alcotest.(check bool) (app.Buggy_app.name ^ ": ASan misses library bug") true
+          (o.Execution.asan_detections = [])
+      else
+        Alcotest.(check bool) (app.Buggy_app.name ^ ": ASan detects") true
+          (o.Execution.asan_detections <> []))
+    (Buggy_app.all ())
+
+let test_csod_catches_asan_misses () =
+  (* The three ASan-missed bugs are detectable by CSOD within a few runs. *)
+  List.iter
+    (fun name ->
+      let app = Option.get (Buggy_app.by_name name) in
+      match Execution.run_until_detected ~app ~config:Config.csod_default ~max_runs:60 with
+      | Some _ -> ()
+      | None -> Alcotest.fail (name ^ ": CSOD did not detect within 60 runs"))
+    [ "Libtiff"; "LibHX"; "Zziplib" ]
+
+let test_report_symbolization () =
+  (* The Heartbleed report must read like Figure 6: t1_lib.c access frames,
+     crypto/mem.c allocation frame. *)
+  let app = Option.get (Buggy_app.by_name "Heartbleed") in
+  match Execution.run_until_detected ~app ~config:Config.csod_default ~max_runs:60 with
+  | None -> Alcotest.fail "Heartbleed undetected in 60 runs"
+  | Some (_, o) ->
+    let r = List.hd o.Execution.watchpoint_reports in
+    Alcotest.(check bool) "over-read" true (r.Report.kind = Report.Over_read);
+    let text = Report.format ~symbolize:(Execution.symbolizer app) r in
+    let contains needle =
+      let nl = String.length needle and hl = String.length text in
+      let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "access in t1_lib.c" true (contains "openssl/ssl/t1_lib.c");
+    Alcotest.(check bool) "allocation via crypto/mem.c" true
+      (contains "openssl/crypto/mem.c");
+    Alcotest.(check bool) "nginx frames present" true (contains "nginx/nginx.c")
+
+let test_overflow_positions () =
+  (* the overflowed object's census position, per Table III's "before"
+     columns (inclusive of the object itself) *)
+  let check name ctx_before allocs_before =
+    let app = Option.get (Buggy_app.by_name name) in
+    let t = oracle_of app in
+    let o = Option.get (Oracle.first_overflow t) in
+    Alcotest.(check int) (name ^ " ctx before") ctx_before o.Oracle.contexts_before;
+    Alcotest.(check int) (name ^ " allocs before") allocs_before o.Oracle.allocs_before
+  in
+  check "LibHX" 1 1;
+  check "Zziplib" 13 17;
+  check "Memcached" 74 442
+
+let suite =
+  [ Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "all programs load" `Quick test_programs_load ]
+  @ List.map
+      (fun (name, c, a) ->
+        Alcotest.test_case (Printf.sprintf "census: %s = %d/%d" name c a)
+          (if a > 10000 then `Slow else `Quick)
+          (test_census name c a))
+      census_cases
+  @ [ Alcotest.test_case "vulnerability classes" `Slow test_vuln_classes;
+      Alcotest.test_case "benign runs clean (oracle)" `Slow test_benign_runs_clean;
+      Alcotest.test_case "benign runs clean (CSOD)" `Slow
+        test_benign_no_csod_false_positive;
+      Alcotest.test_case "naive policy split" `Slow test_naive_policy_split;
+      Alcotest.test_case "simple apps always detected" `Quick
+        test_simple_apps_always_detected;
+      Alcotest.test_case "ASan instrumentation boundary" `Slow test_asan_boundary_misses;
+      Alcotest.test_case "CSOD catches ASan's misses" `Slow test_csod_catches_asan_misses;
+      Alcotest.test_case "Figure 6 symbolization" `Quick test_report_symbolization;
+      Alcotest.test_case "overflow positions" `Slow test_overflow_positions ]

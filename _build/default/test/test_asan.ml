@@ -1,0 +1,187 @@
+(* Tests for the ASan baseline: shadow memory, quarantine, and the tool. *)
+
+(* ---------- Shadow ---------- *)
+
+let test_shadow_basic () =
+  let s = Shadow.create () in
+  Alcotest.(check bool) "clean by default" false (Shadow.is_poisoned s ~addr:64 ~len:8);
+  Shadow.poison s ~addr:64 ~len:16;
+  Alcotest.(check bool) "poisoned" true (Shadow.is_poisoned s ~addr:64 ~len:8);
+  Alcotest.(check bool) "edge byte" true (Shadow.is_poisoned s ~addr:79 ~len:1);
+  Alcotest.(check bool) "past region clean" false (Shadow.is_poisoned s ~addr:80 ~len:8);
+  Shadow.unpoison s ~addr:64 ~len:16;
+  Alcotest.(check bool) "unpoisoned" false (Shadow.is_poisoned s ~addr:64 ~len:16)
+
+let test_shadow_partial_granule () =
+  let s = Shadow.create () in
+  (* poison bytes 13..15 of a granule starting at 8 (i.e. a 13-byte object
+     at addr 8 with its rounding slack poisoned) *)
+  Shadow.poison s ~addr:21 ~len:3;
+  Alcotest.(check bool) "object bytes clean" false (Shadow.is_poisoned s ~addr:8 ~len:13);
+  Alcotest.(check bool) "slack poisoned" true (Shadow.is_poisoned s ~addr:21 ~len:1);
+  Alcotest.(check bool) "access spanning slack" true (Shadow.is_poisoned s ~addr:20 ~len:2)
+
+let test_shadow_len_edges () =
+  let s = Shadow.create () in
+  Shadow.poison s ~addr:100 ~len:1;
+  Alcotest.(check bool) "len 0 never poisoned" false (Shadow.is_poisoned s ~addr:100 ~len:0);
+  Alcotest.(check bool) "single byte" true (Shadow.is_poisoned s ~addr:100 ~len:1);
+  Alcotest.check_raises "negative poison" (Invalid_argument "Shadow: negative length")
+    (fun () -> Shadow.poison s ~addr:0 ~len:(-1))
+
+let prop_shadow_model =
+  (* byte-set model *)
+  let open QCheck in
+  Test.make ~name:"shadow matches a byte-set model" ~count:150
+    (list (triple bool (int_range 0 256) (int_range 0 40)))
+    (fun ops ->
+      let s = Shadow.create () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (poison, addr, len) ->
+          if poison then begin
+            Shadow.poison s ~addr ~len;
+            for i = addr to addr + len - 1 do
+              Hashtbl.replace model i ()
+            done
+          end
+          else begin
+            Shadow.unpoison s ~addr ~len;
+            for i = addr to addr + len - 1 do
+              Hashtbl.remove model i
+            done
+          end)
+        ops;
+      List.for_all
+        (fun addr ->
+          Shadow.is_poisoned s ~addr ~len:1 = Hashtbl.mem model addr)
+        (List.init 300 Fun.id))
+
+(* ---------- Quarantine ---------- *)
+
+let test_quarantine_fifo_budget () =
+  let q = Quarantine.create ~budget_bytes:100 in
+  Alcotest.(check (list (pair int int))) "no eviction under budget" []
+    (List.map
+       (fun (b : Quarantine.block) -> (b.Quarantine.base, b.Quarantine.bytes))
+       (Quarantine.push q { Quarantine.base = 1; bytes = 60 }));
+  let evicted = Quarantine.push q { Quarantine.base = 2; bytes = 60 } in
+  Alcotest.(check (list int)) "oldest evicted when over budget" [ 1 ]
+    (List.map (fun (b : Quarantine.block) -> b.Quarantine.base) evicted);
+  Alcotest.(check int) "held bytes" 60 (Quarantine.held_bytes q);
+  Alcotest.(check int) "held blocks" 1 (Quarantine.held_blocks q);
+  let all = Quarantine.drain q in
+  Alcotest.(check int) "drain returns the rest" 1 (List.length all);
+  Alcotest.(check int) "empty after drain" 0 (Quarantine.held_bytes q)
+
+let test_quarantine_giant_block () =
+  let q = Quarantine.create ~budget_bytes:10 in
+  let evicted = Quarantine.push q { Quarantine.base = 7; bytes = 50 } in
+  Alcotest.(check (list int)) "over-budget block evicted immediately" [ 7 ]
+    (List.map (fun (b : Quarantine.block) -> b.Quarantine.base) evicted)
+
+(* ---------- Asan tool ---------- *)
+
+let mk_asan ?redzone ?instrumented () =
+  let machine = Machine.create ~seed:3 () in
+  let heap = Heap.create machine in
+  let a = Asan.create ?redzone ?instrumented ~machine ~heap () in
+  (a, Asan.tool a, heap)
+
+let ctx = Alloc_ctx.synthetic ~callsite:1 ()
+
+let test_asan_detects_overflow_in_redzone () =
+  let a, tool, _ = mk_asan () in
+  let p = tool.Tool.malloc ~size:24 ~ctx in
+  (* in-bounds accesses are clean *)
+  tool.Tool.on_access ~addr:p ~len:8 ~kind:Tool.Read ~site:1;
+  tool.Tool.on_access ~addr:(p + 16) ~len:8 ~kind:Tool.Write ~site:1;
+  Alcotest.(check bool) "no false positive" false (Asan.detected a);
+  (* one-past-the-end write lands in the right redzone *)
+  tool.Tool.on_access ~addr:(p + 24) ~len:8 ~kind:Tool.Write ~site:1;
+  Alcotest.(check bool) "overflow detected" true (Asan.detected a);
+  (* underflow hits the left redzone *)
+  tool.Tool.on_access ~addr:(p - 1) ~len:1 ~kind:Tool.Read ~site:1;
+  Alcotest.(check int) "two detections" 2 (List.length (Asan.detections a))
+
+let test_asan_misses_beyond_redzone () =
+  let a, tool, _ = mk_asan ~redzone:16 () in
+  let p = tool.Tool.malloc ~size:32 ~ctx in
+  (* a stride that skips the 16-byte redzone entirely *)
+  tool.Tool.on_access ~addr:(p + 32 + 16) ~len:8 ~kind:Tool.Read ~site:1;
+  Alcotest.(check bool) "beyond the redzone: missed (the paper's caveat)" false
+    (Asan.detected a)
+
+let test_asan_instrumentation_boundary () =
+  let a, tool, _ =
+    mk_asan ~instrumented:(fun site -> site < 100) ()
+  in
+  let p = tool.Tool.malloc ~size:16 ~ctx in
+  (* overflowing access compiled inside an uninstrumented library *)
+  tool.Tool.on_access ~addr:(p + 16) ~len:8 ~kind:Tool.Write ~site:500;
+  Alcotest.(check bool) "library access unchecked" false (Asan.detected a);
+  tool.Tool.on_access ~addr:(p + 16) ~len:8 ~kind:Tool.Write ~site:50;
+  Alcotest.(check bool) "instrumented access checked" true (Asan.detected a)
+
+let test_asan_use_after_free () =
+  let a, tool, _ = mk_asan () in
+  let p = tool.Tool.malloc ~size:32 ~ctx in
+  tool.Tool.free ~ptr:p;
+  tool.Tool.on_access ~addr:p ~len:8 ~kind:Tool.Read ~site:1;
+  Alcotest.(check bool) "use-after-free caught while quarantined" true (Asan.detected a)
+
+let test_asan_quarantine_delays_reuse () =
+  let _, tool, heap = mk_asan () in
+  let p = tool.Tool.malloc ~size:64 ~ctx in
+  tool.Tool.free ~ptr:p;
+  let q = tool.Tool.malloc ~size:64 ~ctx in
+  Alcotest.(check bool) "freed block not immediately recycled" true (q <> p);
+  Alcotest.(check bool) "heap still holds the quarantined block" true
+    (Heap.live_objects heap >= 1)
+
+let test_asan_redzone_validation () =
+  let machine = Machine.create () in
+  let heap = Heap.create machine in
+  Alcotest.check_raises "redzone must be >= 16 and 8-aligned"
+    (Invalid_argument "Asan.create: redzone must be a multiple of 8, at least 16")
+    (fun () -> ignore (Asan.create ~redzone:8 ~machine ~heap ()))
+
+let test_asan_charges_shadow_cost () =
+  let machine = Machine.create () in
+  let heap = Heap.create machine in
+  let a = Asan.create ~machine ~heap () in
+  let tool = Asan.tool a in
+  let p = tool.Tool.malloc ~size:8 ~ctx in
+  let before = Clock.cycles (Machine.clock machine) in
+  tool.Tool.on_access ~addr:p ~len:8 ~kind:Tool.Read ~site:1;
+  Alcotest.(check int) "shadow check cost charged" (before + Cost.shadow_check)
+    (Clock.cycles (Machine.clock machine))
+
+let test_asan_memory_accounting () =
+  let a, tool, _ = mk_asan () in
+  let before = Asan.extra_resident_bytes a in
+  let p = tool.Tool.malloc ~size:1024 ~ctx in
+  Alcotest.(check bool) "shadow grows with allocations" true
+    (Asan.extra_resident_bytes a > before);
+  tool.Tool.free ~ptr:p;
+  Alcotest.(check bool) "quarantine holds freed bytes" true
+    (Asan.extra_resident_bytes a > before)
+
+let suite =
+  [ Alcotest.test_case "shadow basics" `Quick test_shadow_basic;
+    Alcotest.test_case "shadow partial granule" `Quick test_shadow_partial_granule;
+    Alcotest.test_case "shadow length edges" `Quick test_shadow_len_edges;
+    QCheck_alcotest.to_alcotest prop_shadow_model;
+    Alcotest.test_case "quarantine FIFO + budget" `Quick test_quarantine_fifo_budget;
+    Alcotest.test_case "quarantine giant block" `Quick test_quarantine_giant_block;
+    Alcotest.test_case "asan detects redzone overflow" `Quick
+      test_asan_detects_overflow_in_redzone;
+    Alcotest.test_case "asan misses beyond redzone" `Quick test_asan_misses_beyond_redzone;
+    Alcotest.test_case "asan instrumentation boundary" `Quick
+      test_asan_instrumentation_boundary;
+    Alcotest.test_case "asan use-after-free" `Quick test_asan_use_after_free;
+    Alcotest.test_case "asan quarantine delays reuse" `Quick
+      test_asan_quarantine_delays_reuse;
+    Alcotest.test_case "asan redzone validation" `Quick test_asan_redzone_validation;
+    Alcotest.test_case "asan shadow cost" `Quick test_asan_charges_shadow_cost;
+    Alcotest.test_case "asan memory accounting" `Quick test_asan_memory_accounting ]

@@ -1,0 +1,467 @@
+(* Tests for the CSOD core: sampling unit, watchpoint unit, canary layout,
+   persistence, and reports. *)
+
+let sec s = s * Cost.cycles_per_second
+
+let mk_ct ?(params = Params.default) () =
+  let machine = Machine.create ~seed:9 () in
+  let rng = Prng.create ~seed:1 in
+  (Context_table.create ~params ~machine ~rng, machine)
+
+let ctx ?(off = 0) callsite = Alloc_ctx.synthetic ~callsite ~stack_offset:off ()
+
+let feq = Alcotest.float 1e-9
+
+(* ---------- Context_table ---------- *)
+
+let test_ct_initial_prob () =
+  let ct, _ = mk_ct () in
+  let e = Context_table.on_allocation ct (ctx 1) in
+  Alcotest.check feq "0.5 minus one degradation"
+    (0.5 -. Params.default.Params.degrade_per_alloc) e.Context_table.prob;
+  Alcotest.(check int) "alloc counted" 1 e.Context_table.allocs;
+  Alcotest.(check int) "one context" 1 (Context_table.num_contexts ct)
+
+let test_ct_key_identity () =
+  let ct, _ = mk_ct () in
+  let e1 = Context_table.on_allocation ct (ctx ~off:0 1) in
+  let e2 = Context_table.on_allocation ct (ctx ~off:0 1) in
+  let e3 = Context_table.on_allocation ct (ctx ~off:8 1) in
+  let e4 = Context_table.on_allocation ct (ctx ~off:0 2) in
+  Alcotest.(check bool) "same site+offset: same entry" true (e1 == e2);
+  Alcotest.(check bool) "different offset: new entry" true (e1 != e3);
+  Alcotest.(check bool) "different site: new entry" true (e1 != e4);
+  Alcotest.(check int) "three contexts" 3 (Context_table.num_contexts ct);
+  Alcotest.(check int) "four allocations" 4 (Context_table.total_allocations ct)
+
+let test_ct_ids_dense () =
+  let ct, _ = mk_ct () in
+  let e1 = Context_table.on_allocation ct (ctx 1) in
+  let e2 = Context_table.on_allocation ct (ctx 2) in
+  Alcotest.(check int) "first id" 0 e1.Context_table.id;
+  Alcotest.(check int) "second id" 1 e2.Context_table.id;
+  Alcotest.(check bool) "find_by_id" true
+    (Context_table.find_by_id ct 0 = Some e1 && Context_table.find_by_id ct 1 = Some e2);
+  Alcotest.(check (option bool)) "find by key" (Some true)
+    (Option.map (fun e -> e == e1) (Context_table.find ct (Alloc_ctx.key (ctx 1))))
+
+let test_ct_degradation_accumulates () =
+  let ct, _ = mk_ct () in
+  for _ = 1 to 1000 do
+    ignore (Context_table.on_allocation ct (ctx 5))
+  done;
+  let e = Option.get (Context_table.find ct (Alloc_ctx.key (ctx 5))) in
+  Alcotest.check (Alcotest.float 1e-6) "1000 degradations"
+    (0.5 -. (1000.0 *. 1e-5)) e.Context_table.prob
+
+let test_ct_watch_halving_and_floor () =
+  let ct, _ = mk_ct () in
+  let e = Context_table.on_allocation ct (ctx 7) in
+  let p0 = e.Context_table.prob in
+  Context_table.note_watched ct e;
+  Alcotest.check feq "halved" (p0 /. 2.0) e.Context_table.prob;
+  for _ = 1 to 40 do
+    Context_table.note_watched ct e
+  done;
+  Alcotest.check feq "clamped at the floor" Params.default.Params.min_prob
+    e.Context_table.prob;
+  Alcotest.(check int) "watch count" 41 e.Context_table.watches
+
+let test_ct_burst_throttle () =
+  let ct, machine = mk_ct () in
+  let e = ref (Context_table.on_allocation ct (ctx 3)) in
+  for _ = 1 to Params.default.Params.burst_threshold + 10 do
+    e := Context_table.on_allocation ct (ctx 3)
+  done;
+  Alcotest.check feq "throttled to burst probability"
+    Params.default.Params.burst_prob
+    (Context_table.effective_prob ct !e);
+  (* Once the window elapses, the throttle expires. *)
+  Machine.work machine (sec 11);
+  let e = Context_table.on_allocation ct (ctx 3) in
+  Alcotest.(check bool) "recovers after the window" true
+    (Context_table.effective_prob ct e > Params.default.Params.burst_prob)
+
+let test_ct_no_burst_when_slow () =
+  let ct, machine = mk_ct () in
+  (* Allocations spread beyond the window never trip the threshold rate
+     test because the window counter resets. *)
+  for _ = 1 to 10 do
+    ignore (Context_table.on_allocation ct (ctx 4));
+    Machine.work machine (sec 2)
+  done;
+  let e = Option.get (Context_table.find ct (Alloc_ctx.key (ctx 4))) in
+  Alcotest.(check bool) "no throttle" true
+    (Context_table.effective_prob ct e > Params.default.Params.burst_prob)
+
+let test_ct_pin () =
+  let ct, _ = mk_ct () in
+  let e = Context_table.on_allocation ct (ctx 8) in
+  Context_table.pin ct e;
+  Alcotest.check feq "pinned at 1" 1.0 (Context_table.effective_prob ct e);
+  Context_table.note_watched ct e;
+  Alcotest.check feq "watching does not unpin" 1.0 (Context_table.effective_prob ct e)
+
+let test_ct_revive () =
+  let params = { Params.default with Params.revive_period_sec = 1.0 } in
+  let ct, machine = mk_ct ~params () in
+  let e = Context_table.on_allocation ct (ctx 6) in
+  for _ = 1 to 60 do
+    Context_table.note_watched ct e
+  done;
+  Alcotest.check feq "at floor" params.Params.min_prob e.Context_table.prob;
+  Machine.work machine (sec 5);
+  (* Reviving is a low-probability coin per allocation; hammer it. *)
+  let revived = ref false in
+  let n = ref 0 in
+  while (not !revived) && !n < 2_000_000 do
+    incr n;
+    let e = Context_table.on_allocation ct (ctx 6) in
+    if e.Context_table.prob >= params.Params.revive_prob -. 1e-9 then revived := true
+  done;
+  Alcotest.(check bool) "eventually revived to 0.01%" true !revived
+
+let prop_ct_prob_bounds =
+  QCheck.Test.make ~name:"probability stays within [min_prob, initial]" ~count:60
+    QCheck.(list (pair (int_range 0 5) bool))
+    (fun ops ->
+      let ct, _ = mk_ct () in
+      List.for_all
+        (fun (site, watch) ->
+          let e = Context_table.on_allocation ct (ctx site) in
+          if watch then Context_table.note_watched ct e;
+          e.Context_table.prob >= Params.default.Params.min_prob -. 1e-12
+          && e.Context_table.prob <= Params.default.Params.initial_prob +. 1e-12)
+        ops)
+
+(* ---------- Watch_table ---------- *)
+
+let mk_wt ?(policy = Params.Near_fifo) () =
+  let params = { Params.default with Params.policy } in
+  let machine = Machine.create ~seed:4 () in
+  let rng = Prng.create ~seed:2 in
+  let wt = Watch_table.create ~params ~machine ~rng in
+  let ct = Context_table.create ~params ~machine ~rng:(Prng.create ~seed:3) in
+  (wt, ct, machine)
+
+let entry_for ct site = Context_table.on_allocation ct (ctx site)
+
+let test_wt_install_and_free () =
+  let wt, ct, machine = mk_wt () in
+  Alcotest.(check bool) "starts in startup" true (Watch_table.in_startup wt);
+  let e = entry_for ct 1 in
+  Watch_table.install wt ~obj_addr:0x100 ~watch_addr:0x140 ~entry:e;
+  Alcotest.(check int) "one install" 1 (Watch_table.installs wt);
+  Alcotest.(check int) "one live wp" 1 (List.length (Watch_table.live wt));
+  Alcotest.(check bool) "slots remain" true (Watch_table.has_free_slot wt);
+  Alcotest.(check bool) "still startup until full" true (Watch_table.in_startup wt);
+  (* the hardware actually watches the address *)
+  let fired = ref 0 in
+  Machine.set_trap_handler machine (fun _ -> incr fired);
+  ignore (Machine.load_word machine 0x140);
+  Alcotest.(check int) "hardware armed" 1 !fired;
+  Alcotest.(check bool) "removed on free" true (Watch_table.on_free wt ~obj_addr:0x100);
+  Alcotest.(check bool) "second free is a no-op" false
+    (Watch_table.on_free wt ~obj_addr:0x100);
+  ignore (Machine.load_word machine 0x140);
+  Alcotest.(check int) "hardware disarmed" 1 !fired;
+  Alcotest.(check int) "no fd leak" 0 (Hw_breakpoint.live_fd_count (Machine.hw machine))
+
+let fill_four wt ct =
+  List.iter
+    (fun i ->
+      Watch_table.install wt ~obj_addr:(0x1000 * i) ~watch_addr:((0x1000 * i) + 0x40)
+        ~entry:(entry_for ct i))
+    [ 1; 2; 3; 4 ]
+
+let test_wt_startup_ends_when_full () =
+  let wt, ct, _ = mk_wt () in
+  fill_four wt ct;
+  Alcotest.(check bool) "full" true (not (Watch_table.has_free_slot wt));
+  Alcotest.(check bool) "startup over" false (Watch_table.in_startup wt);
+  ignore (Watch_table.on_free wt ~obj_addr:0x1000);
+  Alcotest.(check bool) "startup stays over after frees" false (Watch_table.in_startup wt)
+
+let test_wt_install_full_fails () =
+  let wt, ct, _ = mk_wt () in
+  fill_four wt ct;
+  Alcotest.check_raises "install on full table"
+    (Failure "Watch_table.install: no free slot") (fun () ->
+      Watch_table.install wt ~obj_addr:0x9000 ~watch_addr:0x9040 ~entry:(entry_for ct 9))
+
+let test_wt_naive_never_replaces () =
+  let wt, ct, machine = mk_wt ~policy:Params.Naive () in
+  fill_four wt ct;
+  Machine.work machine (sec 100); (* victims fully decayed *)
+  Alcotest.(check bool) "naive refuses" false
+    (Watch_table.try_replace wt ~obj_addr:0x9000 ~watch_addr:0x9040
+       ~entry:(entry_for ct 9) ~new_prob:1.0)
+
+let test_wt_near_fifo_replaces_oldest_yielding () =
+  let wt, ct, machine = mk_wt ~policy:Params.Near_fifo () in
+  fill_four wt ct;
+  Machine.work machine (sec 15); (* one half-life: decayed to ~0.25 *)
+  let ok =
+    Watch_table.try_replace wt ~obj_addr:0x9000 ~watch_addr:0x9040
+      ~entry:(entry_for ct 9) ~new_prob:0.4
+  in
+  Alcotest.(check bool) "replacement happened" true ok;
+  let objs = List.map (fun w -> w.Watch_table.obj_addr) (Watch_table.live wt) in
+  Alcotest.(check bool) "oldest (obj 1) evicted" false (List.mem 0x1000 objs);
+  Alcotest.(check bool) "newcomer present" true (List.mem 0x9000 objs)
+
+let test_wt_young_victims_protected () =
+  let wt, ct, _ = mk_wt ~policy:Params.Near_fifo () in
+  fill_four wt ct;
+  (* no time has passed: all victims hold their full installation
+     probability (~0.5), so an equal-probability newcomer is refused *)
+  Alcotest.(check bool) "no victim yields" false
+    (Watch_table.try_replace wt ~obj_addr:0x9000 ~watch_addr:0x9040
+       ~entry:(entry_for ct 9) ~new_prob:0.499)
+
+let test_wt_random_replaces_some_yielding () =
+  let wt, ct, machine = mk_wt ~policy:Params.Random () in
+  fill_four wt ct;
+  Machine.work machine (sec 15);
+  let ok =
+    Watch_table.try_replace wt ~obj_addr:0x9000 ~watch_addr:0x9040
+      ~entry:(entry_for ct 9) ~new_prob:0.4
+  in
+  Alcotest.(check bool) "random policy replaced one" true ok;
+  Alcotest.(check int) "still four watchpoints" 4 (List.length (Watch_table.live wt))
+
+let test_wt_decay_steps () =
+  let wt, ct, machine = mk_wt () in
+  let e = entry_for ct 1 in
+  Watch_table.install wt ~obj_addr:0x100 ~watch_addr:0x140 ~entry:e;
+  let wp = List.hd (Watch_table.live wt) in
+  let p0 = Watch_table.decayed_prob wt wp in
+  Machine.work machine (sec 9);
+  Alcotest.check feq "no decay before a full half-life" p0
+    (Watch_table.decayed_prob wt wp);
+  Machine.work machine (sec 2);
+  Alcotest.check feq "one step after 10s" (p0 /. 2.0) (Watch_table.decayed_prob wt wp);
+  Machine.work machine (sec 10);
+  Alcotest.check feq "two steps after 20s" (p0 /. 4.0) (Watch_table.decayed_prob wt wp)
+
+let test_wt_thread_propagation () =
+  let wt, ct, machine = mk_wt () in
+  let e = entry_for ct 1 in
+  Watch_table.install wt ~obj_addr:0x100 ~watch_addr:0x140 ~entry:e;
+  let threads = Machine.threads machine in
+  let worker = Threads.spawn threads ~name:"w" in
+  (* new thread inherits the installed watchpoint *)
+  let fired = ref [] in
+  Machine.set_trap_handler machine (fun i -> fired := i.Machine.tid :: !fired);
+  Threads.set_current threads worker;
+  ignore (Machine.load_word machine 0x140);
+  Alcotest.(check (list int)) "trap on the new thread" [ worker ] !fired;
+  Threads.set_current threads 0;
+  Threads.exit_thread threads worker;
+  ignore (Machine.load_word machine 0x140);
+  Alcotest.(check int) "main still watched" 2 (List.length !fired);
+  ignore (Watch_table.on_free wt ~obj_addr:0x100);
+  Alcotest.(check int) "all descriptors closed" 0
+    (Hw_breakpoint.live_fd_count (Machine.hw machine))
+
+let test_wt_find_by_fd () =
+  let wt, ct, machine = mk_wt () in
+  Watch_table.install wt ~obj_addr:0x100 ~watch_addr:0x140 ~entry:(entry_for ct 1);
+  let hit = ref None in
+  Machine.set_trap_handler machine (fun i -> hit := Some i.Machine.fd);
+  ignore (Machine.load_word machine 0x141);
+  match !hit with
+  | None -> Alcotest.fail "no trap"
+  | Some fd -> (
+    match Watch_table.find_by_fd wt fd with
+    | Some wp -> Alcotest.(check int) "fd maps to watchpoint" 0x100 wp.Watch_table.obj_addr
+    | None -> Alcotest.fail "find_by_fd missed")
+
+(* ---------- Canary ---------- *)
+
+let test_canary_layout () =
+  Alcotest.(check int) "rounding" 40 (Canary.rounded 33);
+  Alcotest.(check int) "rounding exact" 32 (Canary.rounded 32);
+  Alcotest.(check int) "padded with evidence" (32 + 40 + 8)
+    (Canary.padded_request ~evidence:true 33);
+  Alcotest.(check int) "padded without evidence" (40 + 8)
+    (Canary.padded_request ~evidence:false 33);
+  Alcotest.(check int) "app ptr offset" 132 (Canary.app_ptr ~evidence:true ~base:100);
+  Alcotest.(check int) "app ptr without header" 100
+    (Canary.app_ptr ~evidence:false ~base:100);
+  Alcotest.(check int) "base ptr inverse" 100 (Canary.base_ptr ~evidence:true ~app:132);
+  Alcotest.(check int) "boundary" (132 + 40) (Canary.boundary_addr ~app:132 ~size:33)
+
+let test_canary_plant_check () =
+  let m = Machine.create () in
+  let base = Machine.sbrk m 128 in
+  let app = Canary.plant m ~base ~size:24 ~ctx_id:77 ~canary:0xDEADBEEFL in
+  Alcotest.(check int) "app past header" (base + Canary.header_size) app;
+  Alcotest.(check bool) "intact" true (Canary.check m ~app ~size:24 ~expected:0xDEADBEEFL);
+  Alcotest.(check (option (triple int int int))) "header readable"
+    (Some (base, 24, 77))
+    (Canary.read_header m ~app);
+  (* corrupt one canary byte *)
+  Sparse_mem.write_u8 (Machine.mem m) (Canary.boundary_addr ~app ~size:24) 0x00;
+  Alcotest.(check bool) "corruption detected" false
+    (Canary.check m ~app ~size:24 ~expected:0xDEADBEEFL)
+
+let test_canary_foreign_header () =
+  let m = Machine.create () in
+  let base = Machine.sbrk m 128 in
+  Alcotest.(check (option (triple int int int))) "no identifier: not ours" None
+    (Canary.read_header m ~app:(base + 32));
+  Alcotest.(check (option (triple int int int))) "negative base" None
+    (Canary.read_header m ~app:8)
+
+(* ---------- Persist ---------- *)
+
+let test_persist_roundtrip () =
+  let s = Persist.create () in
+  Persist.add s (1, 2);
+  Persist.add s (3, 4);
+  Persist.add s (1, 2);
+  Alcotest.(check int) "idempotent add" 2 (Persist.count s);
+  Alcotest.(check bool) "mem" true (Persist.mem s (1, 2));
+  Alcotest.(check bool) "not mem" false (Persist.mem s (9, 9));
+  let file = Filename.temp_file "csod_store" ".txt" in
+  Persist.save s file;
+  let s2 = Persist.load file in
+  Alcotest.(check int) "loaded count" 2 (Persist.count s2);
+  Alcotest.(check bool) "loaded keys" true
+    (Persist.keys s2 = [ (1, 2); (3, 4) ]);
+  Sys.remove file;
+  let s3 = Persist.load file in
+  Alcotest.(check int) "missing file: empty store" 0 (Persist.count s3)
+
+(* ---------- Report ---------- *)
+
+let test_report_format () =
+  let r =
+    { Report.kind = Report.Over_read;
+      source = Report.Watchpoint;
+      access_backtrace = [ 10; 20 ];
+      alloc_backtrace = [ 30 ];
+      ctx_key = (30, 0);
+      object_addr = 0x100;
+      watch_addr = 0x140;
+      tid = 0;
+      at_sec = 1.0 }
+  in
+  let symbolize = function
+    | 10 -> "lib.c:5 (read_chunk)"
+    | 20 -> "main.c:2 (main)"
+    | 30 -> "lib.c:1 (alloc_chunk)"
+    | _ -> "?"
+  in
+  let s = Report.format ~symbolize r in
+  let contains needle =
+    let nl = String.length needle and hl = String.length s in
+    let rec go i = i + nl <= hl && (String.sub s i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions over-read" true
+    (contains "A buffer over-read problem is detected at:");
+  Alcotest.(check bool) "access frames" true (contains "  lib.c:5 (read_chunk)");
+  Alcotest.(check bool) "allocation section" true
+    (contains "This object is allocated at:");
+  Alcotest.(check bool) "alloc frames" true (contains "  lib.c:1 (alloc_chunk)");
+  Alcotest.(check string) "kind name" "over-read" (Report.kind_name r.Report.kind);
+  let canary_report = { r with Report.source = Report.Canary_exit; access_backtrace = [] } in
+  let s2 = Report.format ~symbolize canary_report in
+  Alcotest.(check bool) "canary wording" true
+    (String.length s2 > 0
+    && String.sub s2 0 46 = "A buffer over-write problem is evidenced by a ")
+
+let suite =
+  [ Alcotest.test_case "ct: initial probability" `Quick test_ct_initial_prob;
+    Alcotest.test_case "ct: key identity" `Quick test_ct_key_identity;
+    Alcotest.test_case "ct: dense ids" `Quick test_ct_ids_dense;
+    Alcotest.test_case "ct: degradation" `Quick test_ct_degradation_accumulates;
+    Alcotest.test_case "ct: watch halving + floor" `Quick test_ct_watch_halving_and_floor;
+    Alcotest.test_case "ct: burst throttle" `Quick test_ct_burst_throttle;
+    Alcotest.test_case "ct: no burst when slow" `Quick test_ct_no_burst_when_slow;
+    Alcotest.test_case "ct: pin" `Quick test_ct_pin;
+    Alcotest.test_case "ct: reviving" `Slow test_ct_revive;
+    QCheck_alcotest.to_alcotest prop_ct_prob_bounds;
+    Alcotest.test_case "wt: install and free" `Quick test_wt_install_and_free;
+    Alcotest.test_case "wt: startup ends when full" `Quick test_wt_startup_ends_when_full;
+    Alcotest.test_case "wt: install on full fails" `Quick test_wt_install_full_fails;
+    Alcotest.test_case "wt: naive never replaces" `Quick test_wt_naive_never_replaces;
+    Alcotest.test_case "wt: near-FIFO oldest victim" `Quick
+      test_wt_near_fifo_replaces_oldest_yielding;
+    Alcotest.test_case "wt: young victims protected" `Quick test_wt_young_victims_protected;
+    Alcotest.test_case "wt: random policy" `Quick test_wt_random_replaces_some_yielding;
+    Alcotest.test_case "wt: step decay" `Quick test_wt_decay_steps;
+    Alcotest.test_case "wt: thread propagation" `Quick test_wt_thread_propagation;
+    Alcotest.test_case "wt: find by fd" `Quick test_wt_find_by_fd;
+    Alcotest.test_case "canary: layout" `Quick test_canary_layout;
+    Alcotest.test_case "canary: plant/check" `Quick test_canary_plant_check;
+    Alcotest.test_case "canary: foreign header" `Quick test_canary_foreign_header;
+    Alcotest.test_case "persist: roundtrip" `Quick test_persist_roundtrip;
+    Alcotest.test_case "report: formatting" `Quick test_report_format ]
+
+(* Combined-syscall extension (paper, Section V-B): same hardware
+   behaviour, 2 kernel crossings per install+remove instead of 8. *)
+let test_combined_syscall_cost () =
+  let count combined_syscall =
+    let params = { Params.default with Params.combined_syscall } in
+    let machine = Machine.create ~seed:4 () in
+    let rng = Prng.create ~seed:2 in
+    let wt = Watch_table.create ~params ~machine ~rng in
+    let ct = Context_table.create ~params ~machine ~rng:(Prng.create ~seed:3) in
+    let e = Context_table.on_allocation ct (ctx 1) in
+    Watch_table.install wt ~obj_addr:0x100 ~watch_addr:0x140 ~entry:e;
+    ignore (Watch_table.on_free wt ~obj_addr:0x100);
+    Machine.syscall_count machine
+  in
+  Alcotest.(check int) "standard path: 8 syscalls" 8 (count false);
+  Alcotest.(check int) "combined path: 2 syscalls" 2 (count true)
+
+let test_combined_syscall_same_detection () =
+  let params = { Params.default with Params.combined_syscall = true } in
+  let machine = Machine.create ~seed:4 () in
+  let heap = Heap.create machine in
+  let rt = Runtime.create ~params ~machine ~heap () in
+  let tool = Runtime.tool rt in
+  let p = tool.Tool.malloc ~size:16 ~ctx:(ctx 1) in
+  ignore (Machine.load_word machine (p + 16));
+  Alcotest.(check bool) "detection unchanged" true (Runtime.detected rt)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "combined syscall: cost" `Quick test_combined_syscall_cost;
+      Alcotest.test_case "combined syscall: detection" `Quick
+        test_combined_syscall_same_detection ]
+
+(* Property: under arbitrary install/free/replace sequences the watchpoint
+   table never exceeds the four hardware slots and never leaks an event
+   descriptor. *)
+let prop_wt_invariants =
+  QCheck.Test.make ~name:"watch table: <=4 slots, no fd leaks" ~count:100
+    QCheck.(list (pair (int_range 0 2) (int_range 1 12)))
+    (fun ops ->
+      let wt, ct, machine = mk_wt () in
+      List.iter
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+            if Watch_table.has_free_slot wt then
+              Watch_table.install wt ~obj_addr:(k * 0x100)
+                ~watch_addr:((k * 0x100) + 0x40) ~entry:(entry_for ct k)
+          | 1 -> ignore (Watch_table.on_free wt ~obj_addr:(k * 0x100))
+          | _ ->
+            Machine.work machine (sec 11);
+            ignore
+              (Watch_table.try_replace wt ~obj_addr:(k * 0x100 + 8)
+                 ~watch_addr:((k * 0x100) + 0x48) ~entry:(entry_for ct (k + 20))
+                 ~new_prob:0.49))
+        ops;
+      let live = Watch_table.live wt in
+      List.length live <= 4
+      && Hw_breakpoint.live_fd_count (Machine.hw machine)
+         = List.fold_left (fun acc wp -> acc + List.length wp.Watch_table.fds) 0 live
+      && List.length (Hw_breakpoint.watched_addrs (Machine.hw machine))
+         <= Hw_breakpoint.num_slots)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_wt_invariants ]

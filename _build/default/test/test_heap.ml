@@ -1,0 +1,223 @@
+(* Tests for the allocator substrate: size classes and the heap. *)
+
+let test_size_classes () =
+  Alcotest.(check int) "min request" 16 (Size_class.block_size (Size_class.classify 1));
+  Alcotest.(check int) "zero treated as one" 16
+    (Size_class.block_size (Size_class.classify 0));
+  Alcotest.(check int) "exact class" 64 (Size_class.block_size (Size_class.classify 64));
+  Alcotest.(check int) "rounds to 16-byte step" 80
+    (Size_class.block_size (Size_class.classify 65));
+  Alcotest.(check int) "largest small" 4096
+    (Size_class.block_size (Size_class.classify 4096));
+  (match Size_class.classify 4097 with
+  | Size_class.Large n -> Alcotest.(check int) "large rounded" 4112 n
+  | Size_class.Small _ -> Alcotest.fail "4097 must be large");
+  Alcotest.check_raises "negative" (Invalid_argument "Size_class.classify: negative size")
+    (fun () -> ignore (Size_class.classify (-1)))
+
+let test_size_class_index () =
+  Alcotest.(check (option int)) "first index" (Some 0)
+    (Size_class.class_index (Size_class.classify 16));
+  Alcotest.(check (option int)) "last index" (Some (Size_class.num_small_classes - 1))
+    (Size_class.class_index (Size_class.classify 4096));
+  Alcotest.(check (option int)) "large has none" None
+    (Size_class.class_index (Size_class.classify 10000))
+
+let prop_block_covers_request =
+  QCheck.Test.make ~name:"block_size >= request, 16-aligned" ~count:500
+    QCheck.(int_range 0 100_000)
+    (fun size ->
+      let b = Size_class.block_size (Size_class.classify size) in
+      b >= max 1 size && b mod 16 = 0)
+
+let mk_heap () =
+  let m = Machine.create () in
+  Heap.create m
+
+let test_heap_basic () =
+  let h = mk_heap () in
+  let a = Heap.malloc h 100 in
+  Alcotest.(check bool) "live" true (Heap.is_live h a);
+  Alcotest.(check (option int)) "size recorded" (Some 100) (Heap.size_of h a);
+  Alcotest.(check bool) "usable >= requested" true
+    (Option.get (Heap.usable_size h a) >= 100);
+  Alcotest.(check int) "one live object" 1 (Heap.live_objects h);
+  Alcotest.(check int) "live bytes" 100 (Heap.live_bytes h);
+  Heap.free h a;
+  Alcotest.(check bool) "freed" false (Heap.is_live h a);
+  Alcotest.(check int) "none live" 0 (Heap.live_objects h)
+
+let test_heap_alignment () =
+  let h = mk_heap () in
+  for _ = 1 to 20 do
+    let p = Heap.malloc h 33 in
+    Alcotest.(check int) "16-aligned" 0 (p mod 16)
+  done
+
+let test_heap_reuse () =
+  let h = mk_heap () in
+  let a = Heap.malloc h 64 in
+  Heap.free h a;
+  let b = Heap.malloc h 64 in
+  Alcotest.(check int) "freed block reused (LIFO)" a b
+
+let test_heap_double_free () =
+  let h = mk_heap () in
+  let a = Heap.malloc h 10 in
+  Heap.free h a;
+  (try
+     Heap.free h a;
+     Alcotest.fail "double free must raise"
+   with Heap.Error _ -> ());
+  (try
+     Heap.free h 0xDEAD000;
+     Alcotest.fail "foreign free must raise"
+   with Heap.Error _ -> ());
+  Heap.free h 0 (* free(NULL) is a no-op *)
+
+let test_heap_calloc () =
+  let h = mk_heap () in
+  let mem = Machine.mem (Heap.machine h) in
+  (* dirty a block, free it, then calloc over the reused memory *)
+  let a = Heap.malloc h 64 in
+  Sparse_mem.fill mem a 64 0xFF;
+  Heap.free h a;
+  let b = Heap.calloc h ~count:8 ~size:8 in
+  Alcotest.(check int) "same block" a b;
+  for i = 0 to 63 do
+    Alcotest.(check int) "zeroed" 0 (Sparse_mem.read_u8 mem (b + i))
+  done
+
+let test_heap_realloc () =
+  let h = mk_heap () in
+  let mem = Machine.mem (Heap.machine h) in
+  let a = Heap.malloc h 32 in
+  for i = 0 to 31 do
+    Sparse_mem.write_u8 mem (a + i) (i + 1)
+  done;
+  (* growth beyond the block copies content *)
+  let b = Heap.realloc h a 512 in
+  Alcotest.(check bool) "moved" true (b <> a);
+  for i = 0 to 31 do
+    Alcotest.(check int) "content copied" (i + 1) (Sparse_mem.read_u8 mem (b + i))
+  done;
+  Alcotest.(check bool) "old block dead" false (Heap.is_live h a);
+  (* shrink stays in place *)
+  let c = Heap.realloc h b 64 in
+  Alcotest.(check int) "shrink in place" b c;
+  Alcotest.(check (option int)) "size updated" (Some 64) (Heap.size_of h c);
+  (* realloc of null behaves as malloc; size 0 frees *)
+  let d = Heap.realloc h 0 16 in
+  Alcotest.(check bool) "realloc(NULL)" true (Heap.is_live h d);
+  Alcotest.(check int) "realloc to 0 frees" 0 (Heap.realloc h d 0);
+  Alcotest.(check bool) "gone" false (Heap.is_live h d);
+  (try
+     ignore (Heap.realloc h 0xBAD 8);
+     Alcotest.fail "realloc of foreign pointer must raise"
+   with Heap.Error _ -> ())
+
+let test_heap_memalign () =
+  let h = mk_heap () in
+  List.iter
+    (fun alignment ->
+      let p = Heap.memalign h ~alignment ~size:100 in
+      Alcotest.(check int) (Printf.sprintf "aligned to %d" alignment) 0 (p mod alignment);
+      Alcotest.(check (option int)) "size recorded" (Some 100) (Heap.size_of h p);
+      Heap.free h p)
+    [ 16; 64; 256; 1024; 4096 ];
+  (try
+     ignore (Heap.memalign h ~alignment:24 ~size:8);
+     Alcotest.fail "non-power-of-two alignment must raise"
+   with Heap.Error _ -> ())
+
+let test_heap_peak_tracking () =
+  let h = mk_heap () in
+  let a = Heap.malloc h 1000 in
+  let b = Heap.malloc h 2000 in
+  Heap.free h a;
+  Alcotest.(check int) "peak survives frees" 3000 (Heap.peak_live_bytes h);
+  Alcotest.(check int) "live is current" 2000 (Heap.live_bytes h);
+  Alcotest.(check int) "counts" 2 (Heap.total_allocs h);
+  Alcotest.(check int) "frees" 1 (Heap.total_frees h);
+  Heap.free h b
+
+let test_heap_iter_live () =
+  let h = mk_heap () in
+  let a = Heap.malloc h 24 in
+  let b = Heap.malloc h 48 in
+  let c = Heap.malloc h 72 in
+  Heap.free h b;
+  let seen = ref [] in
+  Heap.iter_live (fun ~addr ~size -> seen := (addr, size) :: !seen) h;
+  let sorted = List.sort compare !seen in
+  Alcotest.(check (list (pair int int))) "live walk"
+    (List.sort compare [ (a, 24); (c, 72) ])
+    sorted
+
+let test_heap_malloc_charges_clock () =
+  let h = mk_heap () in
+  let m = Heap.machine h in
+  let before = Clock.cycles (Machine.clock m) in
+  ignore (Heap.malloc h 8);
+  Alcotest.(check int) "malloc_base charged" (before + Cost.malloc_base)
+    (Clock.cycles (Machine.clock m))
+
+(* Property: random malloc/free interleavings keep live objects disjoint
+   and within their blocks. *)
+let prop_no_overlap =
+  QCheck.Test.make ~name:"live objects never overlap" ~count:60
+    QCheck.(list (pair bool (int_range 1 300)))
+    (fun ops ->
+      let h = mk_heap () in
+      let live = ref [] in
+      List.iter
+        (fun (is_alloc, size) ->
+          if is_alloc || !live = [] then begin
+            let p = Heap.malloc h size in
+            live := (p, size) :: !live
+          end
+          else begin
+            match !live with
+            | (p, _) :: rest ->
+              Heap.free h p;
+              live := rest
+            | [] -> ()
+          end)
+        ops;
+      (* check pairwise disjointness of [p, p + usable) *)
+      let ranges =
+        List.map (fun (p, _) -> (p, p + Option.get (Heap.usable_size h p))) !live
+      in
+      let rec pairwise = function
+        | [] -> true
+        | (s1, e1) :: rest ->
+          List.for_all (fun (s2, e2) -> e1 <= s2 || e2 <= s1) rest && pairwise rest
+      in
+      pairwise ranges)
+
+let prop_free_then_size_none =
+  QCheck.Test.make ~name:"size_of reflects liveness" ~count:100
+    QCheck.(int_range 1 5000)
+    (fun size ->
+      let h = mk_heap () in
+      let p = Heap.malloc h size in
+      let before = Heap.size_of h p = Some size in
+      Heap.free h p;
+      before && Heap.size_of h p = None)
+
+let suite =
+  [ Alcotest.test_case "size classes" `Quick test_size_classes;
+    Alcotest.test_case "size class indexing" `Quick test_size_class_index;
+    QCheck_alcotest.to_alcotest prop_block_covers_request;
+    Alcotest.test_case "heap basics" `Quick test_heap_basic;
+    Alcotest.test_case "heap alignment" `Quick test_heap_alignment;
+    Alcotest.test_case "heap block reuse" `Quick test_heap_reuse;
+    Alcotest.test_case "heap double/foreign free" `Quick test_heap_double_free;
+    Alcotest.test_case "heap calloc zeroes" `Quick test_heap_calloc;
+    Alcotest.test_case "heap realloc" `Quick test_heap_realloc;
+    Alcotest.test_case "heap memalign" `Quick test_heap_memalign;
+    Alcotest.test_case "heap peak tracking" `Quick test_heap_peak_tracking;
+    Alcotest.test_case "heap live walk" `Quick test_heap_iter_live;
+    Alcotest.test_case "heap clock charge" `Quick test_heap_malloc_charges_clock;
+    QCheck_alcotest.to_alcotest prop_no_overlap;
+    QCheck_alcotest.to_alcotest prop_free_then_size_none ]

@@ -1,0 +1,169 @@
+(* The paper's Limitations section (VI), as executable facts.  These tests
+   assert that the reproduction has the same blind spots as the real
+   system — a reproduction that detected more than CSOD would be wrong. *)
+
+let mk ?(params = Params.default) () =
+  let machine = Machine.create ~seed:77 () in
+  let heap = Heap.create machine in
+  let rt = Runtime.create ~params ~machine ~heap () in
+  (rt, Runtime.tool rt, machine)
+
+let ctx ?(off = 0) callsite = Alloc_ctx.synthetic ~callsite ~stack_offset:off ()
+
+(* "CSOD may not be able to detect non-continuous overflows that skip the
+   addresses of installed watchpoints." *)
+let test_noncontinuous_overflow_missed () =
+  let rt, tool, machine = mk () in
+  let p = tool.Tool.malloc ~size:32 ~ctx:(ctx 1) in
+  (* watched (startup); a strided overflow that jumps the boundary word *)
+  Machine.store_word machine (p + 32 + 16) 0xBAD;
+  Alcotest.(check bool) "skipping the watch word evades detection" false
+    (Runtime.detected rt);
+  (* the continuous version of the same bug IS caught *)
+  Machine.store_word machine (p + 32) 0xBAD;
+  Alcotest.(check bool) "the contiguous overflow is caught" true (Runtime.detected rt)
+
+(* The canary word is 8 bytes past the rounded size: a strided write that
+   skips it also survives the evidence check. *)
+let test_noncontinuous_evades_canary () =
+  let rt, tool, machine = mk () in
+  for i = 1 to 4 do
+    ignore (tool.Tool.malloc ~size:16 ~ctx:(ctx i))
+  done;
+  let p = tool.Tool.malloc ~size:32 ~ctx:(ctx 5) in
+  Machine.store_word_unwatched machine (p + 32 + 16) 0xBAD;
+  tool.Tool.free ~ptr:p;
+  Runtime.finish rt;
+  Alcotest.(check bool) "canary intact despite the (strided) overflow" false
+    (Runtime.detected rt)
+
+(* "DoubleTake and iReplayer only detect buffer over-writes ... leaving
+   over-reads undetectable": CSOD's evidence mechanism shares that limit —
+   reading past the end corrupts nothing, so only a live watchpoint can
+   see it. *)
+let test_overread_invisible_to_canary () =
+  let params = { Params.default with Params.evidence = true } in
+  let rt, tool, machine = mk ~params () in
+  for i = 1 to 4 do
+    ignore (tool.Tool.malloc ~size:16 ~ctx:(ctx i))
+  done;
+  (* unwatched object (slots are taken, fresh context loses the coin with
+     seed 77's stream) *)
+  let p = tool.Tool.malloc ~size:24 ~ctx:(ctx 5) in
+  let was_watched = Runtime.detected rt in
+  ignore was_watched;
+  (* over-read via an unwatched path; then free + exit sweep *)
+  ignore (Machine.load_word_unwatched machine (p + 24));
+  tool.Tool.free ~ptr:p;
+  Runtime.finish rt;
+  Alcotest.(check bool) "no evidence of an over-read" false (Runtime.detected rt)
+
+(* "Some objects are overflowed after a long period of time following
+   their allocation.  Due to the algorithms employed, the watchpoint may
+   be preempted prior to the overflow occurring." *)
+let test_watchpoint_preempted_before_overflow () =
+  let rt, tool, machine = mk () in
+  let victim = tool.Tool.malloc ~size:32 ~ctx:(ctx 1) in
+  for i = 2 to 4 do
+    ignore (tool.Tool.malloc ~size:16 ~ctx:(ctx i))
+  done;
+  (* long quiet period: the victim's claim decays *)
+  Machine.work machine (25 * Cost.cycles_per_second);
+  (* a fresh context preempts it (probability 0.5; hammer until it wins) *)
+  let stolen = ref false in
+  let i = ref 0 in
+  while (not !stolen) && !i < 200 do
+    incr i;
+    let p = tool.Tool.malloc ~size:16 ~ctx:(ctx (100 + !i)) in
+    if
+      not
+        (List.exists
+           (fun wp -> wp.Watch_table.obj_addr = victim)
+           (Watch_table.live (Runtime.watch_table rt)))
+    then stolen := true
+    else tool.Tool.free ~ptr:p
+  done;
+  Alcotest.(check bool) "the old watchpoint was eventually preempted" true !stolen;
+  (* the late overflow now goes unseen by the hardware *)
+  Machine.store_word machine (victim + 32) 0xBAD;
+  Alcotest.(check bool) "late over-write not trapped" true
+    (List.for_all
+       (fun r -> r.Report.source <> Report.Watchpoint)
+       (Runtime.detections rt));
+  (* ...but the evidence mechanism assuredly reports it at free *)
+  tool.Tool.free ~ptr:victim;
+  Alcotest.(check bool) "canary still convicts the over-write" true
+    (List.exists
+       (fun r -> r.Report.source = Report.Canary_free)
+       (Runtime.detections rt))
+
+(* ASan's corresponding limitation, quoted by the paper: "ASan cannot
+   detect non-continuous overflows beyond the redzones."  Inside the
+   redzone it beats CSOD on strides; beyond it, both are blind. *)
+let test_asan_stride_comparison () =
+  let machine = Machine.create () in
+  let heap = Heap.create machine in
+  let a = Asan.create ~redzone:16 ~machine ~heap () in
+  let tool = Asan.tool a in
+  let p = tool.Tool.malloc ~size:32 ~ctx:(ctx 9) in
+  (* stride of 8 past the end: within the redzone, ASan catches it *)
+  tool.Tool.on_access ~addr:(p + 32 + 8) ~len:8 ~kind:Tool.Write ~site:1;
+  Alcotest.(check bool) "in-redzone stride caught by ASan" true (Asan.detected a);
+  (* far stride beyond the redzone: missed *)
+  let before = List.length (Asan.detections a) in
+  tool.Tool.on_access ~addr:(p + 32 + 512) ~len:8 ~kind:Tool.Write ~site:1;
+  Alcotest.(check int) "beyond-redzone stride missed by ASan" before
+    (List.length (Asan.detections a))
+
+let suite =
+  [ Alcotest.test_case "non-continuous overflow missed (paper VI.2)" `Quick
+      test_noncontinuous_overflow_missed;
+    Alcotest.test_case "strided write evades the canary" `Quick
+      test_noncontinuous_evades_canary;
+    Alcotest.test_case "over-read invisible to evidence" `Quick
+      test_overread_invisible_to_canary;
+    Alcotest.test_case "preemption loses late overflows (paper VI.1)" `Quick
+      test_watchpoint_preempted_before_overflow;
+    Alcotest.test_case "ASan stride comparison (paper VI)" `Quick
+      test_asan_stride_comparison ]
+
+(* The flip side of the limitations: the no-false-alarms guarantee.
+   "A watchpoint is only fired when the watched address is accessed ...
+   it will never report false alarms."  Randomized in-bounds workloads
+   must never produce a report, under any policy, evidence on or off. *)
+let prop_no_false_alarms =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 12) (pair (int_range 1 64) (int_range 0 7)))
+  in
+  QCheck.Test.make ~name:"randomized in-bounds programs are never reported" ~count:60
+    (QCheck.make gen)
+    (fun spec ->
+      List.for_all
+        (fun policy ->
+          let params =
+            { Params.default with Params.policy; evidence = true }
+          in
+          let machine = Machine.create ~seed:13 () in
+          let heap = Heap.create machine in
+          let rt = Runtime.create ~params ~machine ~heap () in
+          let tool = Runtime.tool rt in
+          let live =
+            List.map
+              (fun (size, k) ->
+                let size = size * 8 in
+                let p =
+                  tool.Tool.malloc ~size ~ctx:(Alloc_ctx.synthetic ~callsite:k ())
+                in
+                (* touch first, last and a middle word: all in bounds *)
+                Machine.store_word machine p 1;
+                Machine.store_word machine (p + size - 8) 2;
+                ignore (Machine.load_word machine (p + (size / 2 / 8 * 8)));
+                p)
+              spec
+          in
+          List.iter (fun p -> tool.Tool.free ~ptr:p) live;
+          Runtime.finish rt;
+          not (Runtime.detected rt))
+        [ Params.Naive; Params.Random; Params.Near_fifo ])
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_no_false_alarms ]

@@ -1,0 +1,20 @@
+(* Aggregated test entry point: `dune runtest`.
+
+   Suites mirror the library structure: utilities, machine substrate,
+   allocator, MiniC language, CSOD core, ASan baseline, application
+   models, and the experiment harness. *)
+
+let () =
+  Alcotest.run "csod"
+    [ ("prng", Test_prng.suite);
+      ("util", Test_util.suite);
+      ("machine", Test_machine.suite);
+      ("heap", Test_heap.suite);
+      ("minic", Test_minic.suite);
+      ("pretty", Test_pretty.suite);
+      ("core", Test_core.suite);
+      ("asan", Test_asan.suite);
+      ("apps", Test_apps.suite);
+      ("harness", Test_harness.suite);
+      ("misc", Test_misc.suite);
+      ("limitations", Test_limitations.suite) ]

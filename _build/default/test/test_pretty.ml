@@ -1,0 +1,152 @@
+(* The pretty-printer round-trip law: printing a checked program and
+   reparsing it yields a structurally identical AST (code addresses and
+   source locations aside).  The nine buggy application models double as
+   the corpus of realistic programs. *)
+
+let rec eq_expr (a : Ast.expr) (b : Ast.expr) =
+  match (a.Ast.e, b.Ast.e) with
+  | Ast.Int x, Ast.Int y -> x = y
+  | Ast.Str x, Ast.Str y -> x = y
+  | Ast.Var x, Ast.Var y -> x = y
+  | Ast.Unop (o1, x), Ast.Unop (o2, y) -> o1 = o2 && eq_expr x y
+  | Ast.Binop (o1, x1, y1), Ast.Binop (o2, x2, y2) ->
+    o1 = o2 && eq_expr x1 x2 && eq_expr y1 y2
+  | Ast.Call (f1, a1), Ast.Call (f2, a2) ->
+    f1 = f2 && List.length a1 = List.length a2 && List.for_all2 eq_expr a1 a2
+  | Ast.Index (p1, i1), Ast.Index (p2, i2) -> eq_expr p1 p2 && eq_expr i1 i2
+  | _ -> false
+
+let rec eq_stmt (a : Ast.stmt) (b : Ast.stmt) =
+  match (a.Ast.s, b.Ast.s) with
+  | Ast.Decl (x1, e1), Ast.Decl (x2, e2) -> x1 = x2 && eq_expr e1 e2
+  | Ast.Assign (x1, e1), Ast.Assign (x2, e2) -> x1 = x2 && eq_expr e1 e2
+  | Ast.Store (p1, i1, v1), Ast.Store (p2, i2, v2) ->
+    eq_expr p1 p2 && eq_expr i1 i2 && eq_expr v1 v2
+  | Ast.If (c1, t1, e1), Ast.If (c2, t2, e2) ->
+    eq_expr c1 c2 && eq_block t1 t2 && eq_block e1 e2
+  | Ast.While (c1, b1), Ast.While (c2, b2) -> eq_expr c1 c2 && eq_block b1 b2
+  | Ast.For (i1, c1, s1, b1), Ast.For (i2, c2, s2, b2) ->
+    eq_stmt i1 i2 && eq_expr c1 c2 && eq_stmt s1 s2 && eq_block b1 b2
+  | Ast.Return None, Ast.Return None -> true
+  | Ast.Return (Some e1), Ast.Return (Some e2) -> eq_expr e1 e2
+  | Ast.Break, Ast.Break | Ast.Continue, Ast.Continue -> true
+  | Ast.Expr e1, Ast.Expr e2 -> eq_expr e1 e2
+  | _ -> false
+
+and eq_block b1 b2 = List.length b1 = List.length b2 && List.for_all2 eq_stmt b1 b2
+
+let eq_func (f1 : Ast.func) (f2 : Ast.func) =
+  f1.Ast.fname = f2.Ast.fname && f1.Ast.params = f2.Ast.params
+  && eq_block f1.Ast.body f2.Ast.body
+
+let parse src =
+  Parser.parse_unit ~counter:(ref 0) ~file:"rt.mc" ~module_name:"rt" src
+
+let roundtrips src =
+  let ast1 = parse src in
+  let printed = Pretty.program_to_string ast1 in
+  let ast2 =
+    try parse printed
+    with Parser.Parse_error (m, l) ->
+      Alcotest.fail
+        (Printf.sprintf "reparse failed at %s: %s\nprinted:\n%s" (Srcloc.to_string l) m
+           printed)
+  in
+  List.length ast1 = List.length ast2 && List.for_all2 eq_func ast1 ast2
+
+let test_roundtrip_features () =
+  let src =
+    "fn helper(a, b) {\n\
+     var x = a + b * 2 - (a - b) * 3;\n\
+     var y = a < b && b <= 10 || !(a == 0);\n\
+     var z = (a | b) & (a ^ 255) << 2 >> 1;\n\
+     var p = malloc(64);\n\
+     p[0] = x;\n\
+     p[x % 4] = p[0] + 1;\n\
+     if (y) { x = 0 - x; } else if (z > 5) { x = z; } else { x = 1; }\n\
+     while (x > 0) { x = x - 1; if (x == 2) { break; } continue; }\n\
+     for (var i = 0; i < 4; i = i + 1) { z = z + p[i]; }\n\
+     print(\"x:\\n\", x, \"tab\\t\", z);\n\
+     free(p);\n\
+     return x;\n\
+     }\n\
+     fn main() { return helper(3, 4); }"
+  in
+  Alcotest.(check bool) "feature-complete program round-trips" true (roundtrips src)
+
+let test_roundtrip_buggy_apps () =
+  List.iter
+    (fun (app : Buggy_app.t) ->
+      List.iter
+        (fun (u : Program.unit_src) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s round-trips" app.Buggy_app.name u.Program.file)
+            true
+            (roundtrips u.Program.source))
+        app.Buggy_app.units)
+    (Buggy_app.all ())
+
+let test_minimal_parens () =
+  let check_str expected src =
+    match parse (Printf.sprintf "fn main() { return %s; }" src) with
+    | [ { Ast.body = [ { Ast.s = Ast.Return (Some e); _ } ]; _ } ] ->
+      Alcotest.(check string) src expected (Pretty.expr_to_string e)
+    | _ -> Alcotest.fail "unexpected parse"
+  in
+  check_str "1 + 2 * 3" "1 + (2 * 3)";
+  check_str "(1 + 2) * 3" "(1 + 2) * 3";
+  check_str "1 - (2 - 3)" "1 - (2 - 3)";
+  check_str "1 - 2 - 3" "(1 - 2) - 3";
+  check_str "a && b || c" "(a && b) || c";
+  check_str "a && (b || c)" "a && (b || c)";
+  check_str "-x * y" "(-x) * y";
+  check_str "f(a, b)[2]" "f(a, b)[2]"
+
+(* Generated-expression round-trip: print, reparse, compare. *)
+let gen_ast =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun n -> Ast.Int (abs n)) small_int;
+        oneofl [ Ast.Var "a"; Ast.Var "b"; Ast.Var "c" ] ]
+  in
+  let ops =
+    [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Lt; Ast.Le; Ast.Eq; Ast.Ne;
+      Ast.LAnd; Ast.LOr; Ast.BAnd; Ast.BOr; Ast.BXor; Ast.Shl; Ast.Shr ]
+  in
+  let mk e = { Ast.e; eloc = Srcloc.dummy; eaddr = 0 } in
+  fix
+    (fun self depth ->
+      if depth = 0 then map mk leaf
+      else
+        frequency
+          [ (1, map mk leaf);
+            ( 3,
+              map3
+                (fun op a b -> mk (Ast.Binop (op, a, b)))
+                (oneofl ops) (self (depth - 1)) (self (depth - 1)) );
+            (1, map (fun a -> mk (Ast.Unop (Ast.Neg, a))) (self (depth - 1)));
+            (1, map (fun a -> mk (Ast.Unop (Ast.Not, a))) (self (depth - 1)));
+            ( 1,
+              map2 (fun p i -> mk (Ast.Index (p, i))) (self (depth - 1))
+                (self (depth - 1)) ) ])
+    4
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"print/reparse preserves expression structure" ~count:300
+    (QCheck.make gen_ast)
+    (fun ast ->
+      let printed = Pretty.expr_to_string ast in
+      let src = Printf.sprintf "fn main() { var a = 1; var b = 2; var c = 3; return %s; }" printed in
+      match parse src with
+      | [ { Ast.body; _ } ] -> (
+        match List.rev body with
+        | { Ast.s = Ast.Return (Some e); _ } :: _ -> eq_expr ast e
+        | _ -> false)
+      | _ -> false)
+
+let suite =
+  [ Alcotest.test_case "feature round-trip" `Quick test_roundtrip_features;
+    Alcotest.test_case "buggy apps round-trip" `Quick test_roundtrip_buggy_apps;
+    Alcotest.test_case "minimal parentheses" `Quick test_minimal_parens;
+    QCheck_alcotest.to_alcotest prop_expr_roundtrip ]

@@ -1,0 +1,101 @@
+(* Unit and property tests for the per-thread PRNG. *)
+
+let test_determinism () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.create ~seed:8 in
+  Alcotest.(check bool) "different seeds differ" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_copy_preserves () =
+  let a = Prng.create ~seed:3 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_split_diverges () =
+  let a = Prng.create ~seed:3 in
+  let b = Prng.split a in
+  let xs = List.init 20 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Prng.bits64 b) in
+  Alcotest.(check bool) "split stream differs" true (xs <> ys)
+
+let test_int_bound_edge () =
+  let g = Prng.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "bound 1 is always 0" 0 (Prng.int g 1)
+  done
+
+let test_int_rejects_nonpositive () =
+  let g = Prng.create ~seed:1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_below_percent_extremes () =
+  let g = Prng.create ~seed:1 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0 never passes" false (Prng.below_percent g 0.0);
+    Alcotest.(check bool) "p=1 always passes" true (Prng.below_percent g 1.0);
+    Alcotest.(check bool) "negative never passes" false (Prng.below_percent g (-0.5))
+  done
+
+let test_below_percent_rate () =
+  let g = Prng.create ~seed:42 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.below_percent g 0.25 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate %.3f within 0.02 of 0.25" rate)
+    true
+    (abs_float (rate -. 0.25) < 0.02)
+
+let test_float_range () =
+  let g = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let f = Prng.float g in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_bool_balance () =
+  let g = Prng.create ~seed:17 in
+  let t = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bool g then incr t
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!t > 4_500 && !t < 5_500)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Prng.int stays in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Prng.create ~seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let prop_canary_nonzero =
+  QCheck.Test.make ~name:"canary64 never zero" ~count:300 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create ~seed in
+      List.for_all (fun _ -> Prng.canary64 g <> 0L) (List.init 10 Fun.id))
+
+let suite =
+  [ Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy preserves state" `Quick test_copy_preserves;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "int bound 1" `Quick test_int_bound_edge;
+    Alcotest.test_case "int rejects bound 0" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "below_percent extremes" `Quick test_below_percent_extremes;
+    Alcotest.test_case "below_percent rate" `Quick test_below_percent_rate;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "bool balance" `Quick test_bool_balance;
+    QCheck_alcotest.to_alcotest prop_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_canary_nonzero ]

@@ -1,0 +1,253 @@
+(* Tests for Chained_table, Ring, Stats and Table_fmt. *)
+
+(* ---------- Chained_table: model-based against Hashtbl ---------- *)
+
+let mk_table ?(buckets = 64) () =
+  Chained_table.create ~buckets ~hash:Hashtbl.hash ~equal:Int.equal ()
+
+let test_table_basic () =
+  let t = mk_table () in
+  Alcotest.(check int) "empty" 0 (Chained_table.length t);
+  Chained_table.replace t 1 "a";
+  Chained_table.replace t 2 "b";
+  Alcotest.(check (option string)) "find 1" (Some "a") (Chained_table.find t 1);
+  Alcotest.(check (option string)) "find 2" (Some "b") (Chained_table.find t 2);
+  Alcotest.(check (option string)) "miss" None (Chained_table.find t 3);
+  Chained_table.replace t 1 "a2";
+  Alcotest.(check (option string)) "overwrite" (Some "a2") (Chained_table.find t 1);
+  Alcotest.(check int) "length" 2 (Chained_table.length t);
+  Chained_table.remove t 1;
+  Alcotest.(check (option string)) "removed" None (Chained_table.find t 1);
+  Alcotest.(check int) "length after remove" 1 (Chained_table.length t);
+  Chained_table.remove t 99 (* removing a missing key is a no-op *);
+  Alcotest.(check int) "length unchanged" 1 (Chained_table.length t)
+
+let test_table_find_or_add () =
+  let t = mk_table () in
+  let calls = ref 0 in
+  let v1 = Chained_table.find_or_add t 5 ~default:(fun () -> incr calls; "x") in
+  let v2 = Chained_table.find_or_add t 5 ~default:(fun () -> incr calls; "y") in
+  Alcotest.(check string) "first insert" "x" v1;
+  Alcotest.(check string) "second returns existing" "x" v2;
+  Alcotest.(check int) "default called once" 1 !calls
+
+let test_table_collisions () =
+  (* One bucket: everything chains. *)
+  let t = Chained_table.create ~buckets:1 ~hash:(fun _ -> 0) ~equal:Int.equal () in
+  for i = 1 to 50 do
+    Chained_table.replace t i (i * 10)
+  done;
+  Alcotest.(check int) "all present despite collisions" 50 (Chained_table.length t);
+  Alcotest.(check int) "max chain" 50 (Chained_table.max_chain_length t);
+  for i = 1 to 50 do
+    Alcotest.(check (option int)) "chained find" (Some (i * 10)) (Chained_table.find t i)
+  done;
+  (* Remove from the middle of the chain. *)
+  Chained_table.remove t 25;
+  Alcotest.(check (option int)) "removed mid-chain" None (Chained_table.find t 25);
+  Alcotest.(check (option int)) "neighbours intact" (Some 240) (Chained_table.find t 24)
+
+let test_table_iter_fold () =
+  let t = mk_table () in
+  List.iter (fun i -> Chained_table.replace t i i) [ 1; 2; 3; 4 ];
+  let sum = Chained_table.fold (fun _ v acc -> acc + v) t 0 in
+  Alcotest.(check int) "fold sums" 10 sum;
+  let n = ref 0 in
+  Chained_table.iter (fun _ _ -> incr n) t;
+  Alcotest.(check int) "iter visits all" 4 !n
+
+let test_table_lock_accounting () =
+  let t = mk_table () in
+  let before = Chained_table.lock_acquisitions t in
+  ignore (Chained_table.find t 1);
+  Chained_table.replace t 1 "v";
+  Chained_table.remove t 1;
+  Alcotest.(check int) "three lock acquisitions" (before + 3)
+    (Chained_table.lock_acquisitions t)
+
+let prop_table_model =
+  (* Random op sequences agree with Hashtbl. *)
+  let open QCheck in
+  Test.make ~name:"Chained_table matches Hashtbl model" ~count:200
+    (list (pair (int_range 0 2) (int_range 0 20)))
+    (fun ops ->
+      let t = mk_table ~buckets:4 () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+            Chained_table.replace t k k;
+            Hashtbl.replace h k k
+          | 1 ->
+            Chained_table.remove t k;
+            Hashtbl.remove h k
+          | _ -> ())
+        ops;
+      Hashtbl.fold (fun k v acc -> acc && Chained_table.find t k = Some v) h true
+      && Chained_table.length t = Hashtbl.length h)
+
+(* ---------- Ring ---------- *)
+
+let test_ring_fifo () =
+  let r = Ring.create ~capacity:3 in
+  Alcotest.(check bool) "empty" true (Ring.is_empty r);
+  Ring.push r 1;
+  Ring.push r 2;
+  Ring.push r 3;
+  Alcotest.(check bool) "full" true (Ring.is_full r);
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (Ring.to_list r);
+  Alcotest.(check (option int)) "peek oldest" (Some 1) (Ring.peek r);
+  Alcotest.(check (option int)) "pop oldest" (Some 1) (Ring.pop r);
+  Ring.push r 4;
+  Alcotest.(check (list int)) "wraps" [ 2; 3; 4 ] (Ring.to_list r)
+
+let test_ring_push_full () =
+  let r = Ring.create ~capacity:1 in
+  Ring.push r 1;
+  Alcotest.check_raises "push on full" (Failure "Ring.push: full") (fun () ->
+      Ring.push r 2)
+
+let test_ring_advance () =
+  let r = Ring.create ~capacity:4 in
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  Ring.advance r;
+  Alcotest.(check (list int)) "rotated" [ 2; 3; 1 ] (Ring.to_list r);
+  let single = Ring.create ~capacity:4 in
+  Ring.push single 9;
+  Ring.advance single;
+  Alcotest.(check (list int)) "single element unchanged" [ 9 ] (Ring.to_list single)
+
+let test_ring_remove_where () =
+  let r = Ring.create ~capacity:4 in
+  List.iter (Ring.push r) [ 10; 20; 30; 40 ];
+  let removed = Ring.remove_where r (fun x -> x = 30) in
+  Alcotest.(check (option int)) "removed element" (Some 30) removed;
+  Alcotest.(check (list int)) "order preserved" [ 10; 20; 40 ] (Ring.to_list r);
+  Alcotest.(check (option int)) "miss" None (Ring.remove_where r (fun x -> x = 99));
+  Ring.push r 50;
+  Alcotest.(check (list int)) "reusable after removal" [ 10; 20; 40; 50 ] (Ring.to_list r)
+
+let prop_ring_model =
+  let open QCheck in
+  Test.make ~name:"Ring matches Queue model" ~count:200
+    (list (int_range 0 2))
+    (fun ops ->
+      let r = Ring.create ~capacity:8 in
+      let q = Queue.create () in
+      let counter = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+            if not (Ring.is_full r) then begin
+              incr counter;
+              Ring.push r !counter;
+              Queue.push !counter q
+            end
+          | 1 ->
+            let a = Ring.pop r in
+            let b = if Queue.is_empty q then None else Some (Queue.pop q) in
+            assert (a = b)
+          | _ ->
+            Ring.advance r;
+            if Queue.length q > 1 then Queue.push (Queue.pop q) q)
+        ops;
+      Ring.to_list r = List.of_seq (Queue.to_seq q))
+
+(* ---------- Stats ---------- *)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_mean () =
+  Alcotest.check feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.check feq "empty mean" 0.0 (Stats.mean [])
+
+let test_stats_geomean () =
+  Alcotest.check feq "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check feq "with nonpositive" 0.0 (Stats.geomean [ 1.0; 0.0 ])
+
+let test_stats_percentile () =
+  let xs = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  Alcotest.check feq "median" 3.0 (Stats.percentile 50.0 xs);
+  Alcotest.check feq "max" 5.0 (Stats.percentile 100.0 xs);
+  Alcotest.check feq "min-ish" 1.0 (Stats.percentile 1.0 xs);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty list")
+    (fun () -> ignore (Stats.percentile 50.0 []))
+
+let test_stats_stddev () =
+  Alcotest.check feq "constant" 0.0 (Stats.stddev [ 2.0; 2.0; 2.0 ]);
+  Alcotest.check feq "single" 0.0 (Stats.stddev [ 42.0 ]);
+  Alcotest.check (Alcotest.float 1e-6) "known" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_clamp_ratio () =
+  Alcotest.check feq "clamp low" 0.0 (Stats.clamp ~lo:0.0 ~hi:1.0 (-5.0));
+  Alcotest.check feq "clamp high" 1.0 (Stats.clamp ~lo:0.0 ~hi:1.0 5.0);
+  Alcotest.check feq "clamp pass" 0.5 (Stats.clamp ~lo:0.0 ~hi:1.0 0.5);
+  Alcotest.check feq "ratio" 0.5 (Stats.ratio 1 2);
+  Alcotest.check feq "ratio by zero" 0.0 (Stats.ratio 1 0)
+
+let test_counter () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c "a";
+  Stats.Counter.add c "a" 4;
+  Stats.Counter.incr c "b";
+  Alcotest.(check int) "a" 5 (Stats.Counter.get c "a");
+  Alcotest.(check int) "b" 1 (Stats.Counter.get c "b");
+  Alcotest.(check int) "missing" 0 (Stats.Counter.get c "zz");
+  Alcotest.(check (list (pair string int))) "sorted listing"
+    [ ("a", 5); ("b", 1) ] (Stats.Counter.to_list c)
+
+(* ---------- Table_fmt ---------- *)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_table_fmt_render () =
+  let t =
+    Table_fmt.create ~title:"T"
+      ~columns:[ ("name", Table_fmt.Left); ("n", Table_fmt.Right) ]
+  in
+  Table_fmt.add_row t [ "alpha"; "1" ];
+  Table_fmt.add_separator t;
+  Table_fmt.add_row t [ "b"; "100" ];
+  let s = Table_fmt.render t in
+  Alcotest.(check bool) "contains title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  Alcotest.(check bool) "right-aligns numbers" true (contains ~needle:"|   1 |" s)
+
+let test_table_fmt_arity () =
+  let t = Table_fmt.create ~title:"T" ~columns:[ ("a", Table_fmt.Left) ] in
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Table_fmt.add_row: arity mismatch") (fun () ->
+      Table_fmt.add_row t [ "x"; "y" ])
+
+let test_table_fmt_numbers () =
+  Alcotest.(check string) "thousands" "57,464" (Table_fmt.fmt_int 57464);
+  Alcotest.(check string) "small" "9" (Table_fmt.fmt_int 9);
+  Alcotest.(check string) "negative" "-1,234" (Table_fmt.fmt_int (-1234));
+  Alcotest.(check string) "percent" "6.7%" (Table_fmt.fmt_percent 0.067);
+  Alcotest.(check string) "float" "1.07" (Table_fmt.fmt_float 1.067)
+
+let suite =
+  [ Alcotest.test_case "chained table basics" `Quick test_table_basic;
+    Alcotest.test_case "find_or_add" `Quick test_table_find_or_add;
+    Alcotest.test_case "collision chains" `Quick test_table_collisions;
+    Alcotest.test_case "iter and fold" `Quick test_table_iter_fold;
+    Alcotest.test_case "lock accounting" `Quick test_table_lock_accounting;
+    QCheck_alcotest.to_alcotest prop_table_model;
+    Alcotest.test_case "ring FIFO order" `Quick test_ring_fifo;
+    Alcotest.test_case "ring push on full" `Quick test_ring_push_full;
+    Alcotest.test_case "ring advance" `Quick test_ring_advance;
+    Alcotest.test_case "ring remove_where" `Quick test_ring_remove_where;
+    QCheck_alcotest.to_alcotest prop_ring_model;
+    Alcotest.test_case "stats mean" `Quick test_stats_mean;
+    Alcotest.test_case "stats geomean" `Quick test_stats_geomean;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
+    Alcotest.test_case "stats clamp/ratio" `Quick test_stats_clamp_ratio;
+    Alcotest.test_case "counters" `Quick test_counter;
+    Alcotest.test_case "table render" `Quick test_table_fmt_render;
+    Alcotest.test_case "table arity" `Quick test_table_fmt_arity;
+    Alcotest.test_case "number formatting" `Quick test_table_fmt_numbers ]
