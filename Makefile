@@ -1,0 +1,29 @@
+# Convenience targets around dune.
+
+.PHONY: all build test check bench metrics clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 gate plus a telemetry smoke run: build, full test suite, and one
+# interpreted program under CSOD with metrics on (must detect and print
+# the METRICS / CYCLE ATTRIBUTION tables).
+check:
+	dune build
+	dune runtest
+	dune exec bin/csod_run.exe -- exec examples/demo.mc --input 12 --tool csod --metrics
+
+bench:
+	dune exec bench/main.exe
+
+# Machine-readable JSONL telemetry for every workload (stdout only).
+metrics:
+	dune exec bench/main.exe -- metrics
+
+clean:
+	dune clean

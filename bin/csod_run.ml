@@ -62,6 +62,70 @@ let store_arg =
        & info [ "store" ] ~docv:"FILE"
            ~doc:"Load/save the persistent store of overflowing contexts.")
 
+(* Telemetry options *)
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the metrics registry and per-phase cycle attribution \
+                 after the run.")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Print the per-phase cycle-attribution table after the run.")
+
+let metrics_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-json" ] ~docv:"FILE"
+           ~doc:"Write the full telemetry dump (counters, gauges, histograms, \
+                 per-phase cycles) as JSON to $(docv) ($(b,-) for stdout).")
+
+let events_arg =
+  Arg.(value & opt (some string) None
+       & info [ "events" ] ~docv:"FILE"
+           ~doc:"Stream structured JSONL events (sampling decisions, \
+                 replacements, traps, canaries, periodic snapshots) to $(docv) \
+                 ($(b,-) for stdout).")
+
+let snapshot_arg =
+  Arg.(value & opt (some float) None
+       & info [ "snapshot-sec" ] ~docv:"SECS"
+           ~doc:"Emit a telemetry snapshot event every $(docv) of virtual time \
+                 (requires $(b,--events)).")
+
+let snapshot_cycles_of = function
+  | None -> 0
+  | Some sec ->
+    if sec <= 0.0 then 0
+    else int_of_float (sec *. float_of_int Cost.cycles_per_second)
+
+(* Run [f] with a JSONL event sink streaming to [file], if one was asked
+   for. *)
+let with_events file f =
+  match file with
+  | None -> f ()
+  | Some "-" ->
+    Event_sink.install (Event_sink.to_channel stdout);
+    Fun.protect
+      ~finally:(fun () -> Event_sink.uninstall (); flush stdout)
+      f
+  | Some file ->
+    Out_channel.with_open_text file (fun oc ->
+        Event_sink.install (Event_sink.to_channel oc);
+        Fun.protect ~finally:Event_sink.uninstall f)
+
+let emit_telemetry ~metrics ~profile ~metrics_json tele ~cycles =
+  if metrics then print_string (Telemetry.summary tele ~total_cycles:cycles)
+  else if profile then print_string (Telemetry.profile_table tele ~total_cycles:cycles);
+  if metrics || profile then print_newline ();
+  match metrics_json with
+  | None -> ()
+  | Some "-" -> print_endline (Telemetry.json_string tele ~total_cycles:cycles)
+  | Some file ->
+    Out_channel.with_open_text file (fun oc ->
+        output_string oc (Telemetry.json_string tele ~total_cycles:cycles);
+        output_char oc '\n')
+
 let config_of ~tool ~policy ~no_evidence =
   match tool with
   | `Csod -> Config.csod_with_policy policy ~evidence:(not no_evidence)
@@ -126,7 +190,8 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"APP" ~doc:"Application name (see $(b,list)).")
   in
-  let run name tool policy no_evidence benign seed runs store_file =
+  let run name tool policy no_evidence benign seed runs store_file metrics profile
+      metrics_json events snapshot_sec =
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S; try 'csod_run list'\n" name;
@@ -135,21 +200,37 @@ let run_cmd =
       let config = config_of ~tool ~policy ~no_evidence in
       let store = load_store store_file in
       let input = if benign then Execution.Benign else Execution.Buggy in
+      let snapshot_cycles = snapshot_cycles_of snapshot_sec in
       let detected = ref 0 in
-      for s = seed to seed + runs - 1 do
-        let o = Execution.run ~app ~config ~input ~seed:s ~store () in
-        if runs = 1 then print_outcome app o;
-        if o.Execution.detected then incr detected
-      done;
+      let last = ref None in
+      with_events events (fun () ->
+          for s = seed to seed + runs - 1 do
+            let o = Execution.run ~app ~config ~input ~seed:s ~store ~snapshot_cycles () in
+            if runs = 1 then print_outcome app o;
+            if o.Execution.detected then incr detected;
+            last := Some o
+          done);
       if runs > 1 then
         Printf.printf "%s: detected in %d/%d executions (%s)\n" app.Buggy_app.name
           !detected runs (Config.label config);
+      (match !last with
+      | Some o ->
+        (* With --runs > 1 the telemetry shown is the final execution's:
+           each execution runs on a fresh machine, so registries are not
+           carried across runs. *)
+        if (metrics || profile) && runs > 1 then
+          Printf.printf "(telemetry of the final execution, seed %d)\n"
+            (seed + runs - 1);
+        emit_telemetry ~metrics ~profile ~metrics_json o.Execution.telemetry
+          ~cycles:o.Execution.cycles
+      | None -> ());
       save_store store store_file
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a bundled buggy application under a detection tool.")
     Term.(const run $ app_arg $ tool_arg $ policy_arg $ no_evidence_arg $ benign_arg
-          $ seed_arg $ runs_arg $ store_arg)
+          $ seed_arg $ runs_arg $ store_arg $ metrics_arg $ profile_arg
+          $ metrics_json_arg $ events_arg $ snapshot_arg)
 
 (* ---- fleet ---- *)
 
@@ -198,7 +279,8 @@ let exec_cmd =
     Arg.(value & flag
          & info [ "dump" ] ~doc:"Pretty-print the checked program and exit.")
   in
-  let run file inputs module_name tool policy no_evidence seed store_file dump =
+  let run file inputs module_name tool policy no_evidence seed store_file dump
+      metrics profile metrics_json events snapshot_sec =
     let source = In_channel.with_open_text file In_channel.input_all in
     match Program.load [ { Program.file; module_name; source } ] with
     | Error errs ->
@@ -208,24 +290,34 @@ let exec_cmd =
       print_endline (Pretty.program_to_string (Program.functions program))
     | Ok program ->
       let machine = Machine.create ~seed () in
+      let snapshot_cycles = snapshot_cycles_of snapshot_sec in
+      if snapshot_cycles > 0 then
+        Telemetry.set_snapshot_interval (Machine.telemetry machine)
+          ~cycles:snapshot_cycles;
       let heap = Heap.create machine in
       let store = load_store store_file in
       let config = config_of ~tool ~policy ~no_evidence in
       let inst = Config.instantiate config ~machine ~heap ~store ~seed () in
       let crashed =
-        try
-          let r =
-            Interp.run ~machine ~tool:inst.Config.tool ~program
-              ~inputs:(Array.of_list inputs) ~app_seed:seed ()
-          in
-          print_string r.Interp.output;
-          None
-        with
-        | Interp.Runtime_error (msg, loc) ->
-          Some (Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg)
-        | Heap.Error msg -> Some msg
+        with_events events (fun () ->
+            let crashed =
+              try
+                let r =
+                  Interp.run ~machine ~tool:inst.Config.tool ~program
+                    ~inputs:(Array.of_list inputs) ~app_seed:seed ()
+                in
+                print_string r.Interp.output;
+                None
+              with
+              | Interp.Runtime_error (msg, loc) ->
+                Some (Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg)
+              | Heap.Error msg -> Some msg
+            in
+            (* Termination handling inside the sink's scope: the canary
+               sweep at exit emits events too. *)
+            inst.Config.finish ();
+            crashed)
       in
-      inst.Config.finish ();
       (match crashed with
       | Some msg -> Printf.printf "! program fault: %s\n" msg
       | None -> ());
@@ -249,12 +341,15 @@ let exec_cmd =
       | None -> ());
       save_store store store_file;
       if not (inst.Config.detected ()) then
-        Printf.printf "no overflow detected in this execution\n"
+        Printf.printf "no overflow detected in this execution\n";
+      emit_telemetry ~metrics ~profile ~metrics_json (Machine.telemetry machine)
+        ~cycles:(Clock.cycles (Machine.clock machine))
   in
   Cmd.v
     (Cmd.info "exec" ~doc:"Run a MiniC source file under a detection tool.")
     Term.(const run $ file_arg $ inputs_arg $ module_arg $ tool_arg $ policy_arg
-          $ no_evidence_arg $ seed_arg $ store_arg $ dump_arg)
+          $ no_evidence_arg $ seed_arg $ store_arg $ dump_arg $ metrics_arg
+          $ profile_arg $ metrics_json_arg $ events_arg $ snapshot_arg)
 
 let () =
   (* --trace anywhere on the command line streams the runtime's sampling

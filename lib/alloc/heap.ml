@@ -15,6 +15,10 @@ type t = {
   small_free : int list array;           (* per-class free lists *)
   large_free : (int, int list) Hashtbl.t; (* block size -> free addrs *)
   objects : (int, obj) Hashtbl.t;        (* live objects by address *)
+  c_mallocs : Metrics.counter;
+  c_frees : Metrics.counter;
+  g_live_bytes : Metrics.gauge;
+  h_alloc_bytes : Metrics.histogram;
   mutable carved : int;                  (* bytes ever taken from sbrk *)
   mutable live_bytes : int;
   mutable peak_live : int;
@@ -25,10 +29,15 @@ type t = {
 }
 
 let create m =
+  let reg = Machine.registry m in
   { m;
     small_free = Array.make Size_class.num_small_classes [];
     large_free = Hashtbl.create 32;
     objects = Hashtbl.create 4096;
+    c_mallocs = Metrics.counter reg "heap.mallocs";
+    c_frees = Metrics.counter reg "heap.frees";
+    g_live_bytes = Metrics.gauge reg "heap.live_bytes";
+    h_alloc_bytes = Metrics.histogram reg "heap.alloc_bytes";
     carved = 0;
     live_bytes = 0;
     peak_live = 0;
@@ -86,22 +95,25 @@ let register t ~addr ~base ~req_size ~cls =
   let block = Size_class.block_size cls in
   Hashtbl.replace t.objects addr { req_size; block; base; cls };
   t.allocs <- t.allocs + 1;
+  Metrics.incr t.c_mallocs;
+  Metrics.observe t.h_alloc_bytes req_size;
   t.live_bytes <- t.live_bytes + req_size;
   if t.live_bytes > t.peak_live then t.peak_live <- t.live_bytes;
+  Metrics.set t.g_live_bytes t.live_bytes;
   t.live_block_bytes <- t.live_block_bytes + block;
   if t.live_block_bytes > t.peak_block_bytes then
     t.peak_block_bytes <- t.live_block_bytes
 
 let malloc t size =
   if size < 0 then raise (Error "malloc: negative size");
-  Machine.work t.m Cost.malloc_base;
+  Machine.work_as t.m Profiler.Alloc_fast Cost.malloc_base;
   let cls = Size_class.classify size in
   let addr = take_block t cls in
   register t ~addr ~base:addr ~req_size:size ~cls;
   addr
 
 let free t addr =
-  Machine.work t.m Cost.malloc_base;
+  Machine.work_as t.m Profiler.Alloc_fast Cost.malloc_base;
   match Hashtbl.find_opt t.objects addr with
   | None ->
     if addr = 0 then () (* free(NULL) is a no-op *)
@@ -109,7 +121,9 @@ let free t addr =
   | Some obj ->
     Hashtbl.remove t.objects addr;
     t.frees <- t.frees + 1;
+    Metrics.incr t.c_frees;
     t.live_bytes <- t.live_bytes - obj.req_size;
+    Metrics.set t.g_live_bytes t.live_bytes;
     t.live_block_bytes <- t.live_block_bytes - obj.block;
     return_block t obj.cls obj.base
 
@@ -134,6 +148,7 @@ let realloc t ptr size =
         (* Shrink or grow within the existing block: update bookkeeping. *)
         t.live_bytes <- t.live_bytes - obj.req_size + size;
         if t.live_bytes > t.peak_live then t.peak_live <- t.live_bytes;
+        Metrics.set t.g_live_bytes t.live_bytes;
         Hashtbl.replace t.objects ptr { obj with req_size = size };
         ptr
       end
@@ -154,7 +169,7 @@ let memalign t ~alignment ~size =
   if alignment > 4096 then raise (Error "memalign: alignment too large");
   if alignment <= Size_class.align then malloc t size
   else begin
-    Machine.work t.m Cost.malloc_base;
+    Machine.work_as t.m Profiler.Alloc_fast Cost.malloc_base;
     let cls = Size_class.classify (size + alignment) in
     let base = take_block t cls in
     let addr = (base + alignment - 1) / alignment * alignment in

@@ -10,6 +10,9 @@ type t = {
   redzone : int;
   instrumented : int -> bool;
   registry : (int, live) Hashtbl.t; (* app ptr -> block info *)
+  c_shadow_checks : Metrics.counter;
+  c_detections : Metrics.counter;
+  c_quarantine_ops : Metrics.counter;
   mutable detections : detection list; (* newest first *)
 }
 
@@ -17,6 +20,7 @@ let create ?(redzone = 16) ?(quarantine_budget = 98_304) ?(instrumented = fun _ 
     ~machine ~heap () =
   if redzone < 16 || redzone mod 8 <> 0 then
     invalid_arg "Asan.create: redzone must be a multiple of 8, at least 16";
+  let reg = Machine.registry machine in
   { machine;
     heap;
     shadow = Shadow.create ();
@@ -24,6 +28,9 @@ let create ?(redzone = 16) ?(quarantine_budget = 98_304) ?(instrumented = fun _ 
     redzone;
     instrumented;
     registry = Hashtbl.create 1024;
+    c_shadow_checks = Metrics.counter reg "asan.shadow_checks";
+    c_detections = Metrics.counter reg "asan.detections";
+    c_quarantine_ops = Metrics.counter reg "asan.quarantine_ops";
     detections = [] }
 
 let rounded8 n = (n + 7) land lnot 7
@@ -31,7 +38,7 @@ let rounded8 n = (n + 7) land lnot 7
 let asan_malloc t ~size ~ctx:_ =
   (* poisoning cost grows with the redzone width: the default-redzone
      configuration pays more per allocation than the minimal one *)
-  Machine.work t.machine (Cost.redzone_poison + (4 * t.redzone));
+  Machine.work_as t.machine Profiler.Asan_poison (Cost.redzone_poison + (4 * t.redzone));
   let request = t.redzone + rounded8 size + t.redzone in
   let base = Heap.malloc t.heap request in
   let app = base + t.redzone in
@@ -54,7 +61,8 @@ let asan_free t ~ptr =
     match Hashtbl.find_opt t.registry ptr with
     | None -> Heap.free t.heap ptr (* foreign pointer: let the heap diagnose *)
     | Some l ->
-      Machine.work t.machine Cost.quarantine_op;
+      Metrics.incr t.c_quarantine_ops;
+      Machine.work_as t.machine Profiler.Asan_poison Cost.quarantine_op;
       Hashtbl.remove t.registry ptr;
       (* The whole block, object included, is poisoned while quarantined. *)
       Shadow.poison t.shadow ~addr:l.base ~len:l.request;
@@ -63,11 +71,14 @@ let asan_free t ~ptr =
 
 let on_access t ~addr ~len ~kind ~site =
   if t.instrumented site then begin
-    Machine.work t.machine Cost.shadow_check;
-    if Shadow.is_poisoned t.shadow ~addr ~len then
+    Metrics.incr t.c_shadow_checks;
+    Machine.work_as t.machine Profiler.Asan_shadow Cost.shadow_check;
+    if Shadow.is_poisoned t.shadow ~addr ~len then begin
+      Metrics.incr t.c_detections;
       t.detections <-
         { kind; addr; site; at_sec = Clock.seconds (Machine.clock t.machine) }
         :: t.detections
+    end
   end
 
 let extra_resident_bytes t =

@@ -13,7 +13,8 @@ let base_ptr ~evidence ~app = if evidence then app - header_size else app
 let boundary_addr ~app ~size = app + rounded size
 
 let plant m ~base ~size ~ctx_id ~canary =
-  Machine.work m Cost.canary_plant;
+  Metrics.incr (Metrics.counter (Machine.registry m) "canary.plants");
+  Machine.work_as m Profiler.Canary_plant Cost.canary_plant;
   let app = base + header_size in
   let mem = Machine.mem m in
   Sparse_mem.write_int mem base base; (* RealObjectPtr *)
@@ -24,7 +25,8 @@ let plant m ~base ~size ~ctx_id ~canary =
   app
 
 let check m ~app ~size ~expected =
-  Machine.work m Cost.canary_check;
+  Metrics.incr (Metrics.counter (Machine.registry m) "canary.checks");
+  Machine.work_as m Profiler.Canary_check Cost.canary_check;
   Sparse_mem.read_u64 (Machine.mem m) (boundary_addr ~app ~size) = expected
 
 let read_header m ~app =

@@ -18,18 +18,27 @@ type t = {
   rng : Prng.t;
   table : (Alloc_ctx.key, entry) Chained_table.t;
   by_id : (int, entry) Hashtbl.t;
+  c_allocations : Metrics.counter;
+  c_bursts : Metrics.counter;
+  c_revivals : Metrics.counter;
+  g_contexts : Metrics.gauge;
   mutable next_id : int;
   mutable allocations : int;
   mutable watches : int;
 }
 
 let create ~params ~machine ~rng =
+  let reg = Machine.registry machine in
   { params;
     machine;
     rng;
     table =
       Chained_table.create ~buckets:2048 ~hash:Alloc_ctx.hash_key ~equal:Alloc_ctx.equal_key ();
     by_id = Hashtbl.create 256;
+    c_allocations = Metrics.counter reg "smu.allocations";
+    c_bursts = Metrics.counter reg "smu.burst_throttles";
+    c_revivals = Metrics.counter reg "smu.revivals";
+    g_contexts = Metrics.gauge reg "smu.contexts";
     next_id = 0;
     allocations = 0;
     watches = 0 }
@@ -63,16 +72,18 @@ let fresh_entry t (ctx : Alloc_ctx.t) =
     full_ctx = full }
 
 let on_allocation t ctx =
-  Machine.work t.machine Cost.context_lookup;
+  Machine.work_as t.machine Profiler.Smu_lookup Cost.context_lookup;
   let e =
     Chained_table.find_or_add t.table (Alloc_ctx.key ctx) ~default:(fun () ->
         let e = fresh_entry t ctx in
         Hashtbl.replace t.by_id e.id e;
         e)
   in
+  if e.allocs = 0 then Metrics.set t.g_contexts (Chained_table.length t.table);
   t.allocations <- t.allocations + 1;
+  Metrics.incr t.c_allocations;
   e.allocs <- e.allocs + 1;
-  Machine.work t.machine Cost.prob_update;
+  Machine.work_as t.machine Profiler.Smu_lookup Cost.prob_update;
   let tnow = now t in
   (* Degradation on each allocation. *)
   e.prob <- e.prob -. t.params.Params.degrade_per_alloc;
@@ -86,8 +97,10 @@ let on_allocation t ctx =
     if e.burst_until > 0.0 && tnow >= e.burst_until then e.burst_until <- 0.0
   end;
   e.window_count <- e.window_count + 1;
-  if e.window_count > t.params.Params.burst_threshold then
-    e.burst_until <- e.window_start +. t.params.Params.burst_window_sec;
+  if e.window_count > t.params.Params.burst_threshold then begin
+    if e.burst_until = 0.0 then Metrics.incr t.c_bursts;
+    e.burst_until <- e.window_start +. t.params.Params.burst_window_sec
+  end;
   (* Reviving: a floor-bound context may be boosted after a while. *)
   if
     (not e.pinned) && at_floor t e
@@ -95,6 +108,7 @@ let on_allocation t ctx =
     && tnow -. e.floor_since > t.params.Params.revive_period_sec
     && Prng.below_percent t.rng 0.01
   then begin
+    Metrics.incr t.c_revivals;
     e.prob <- t.params.Params.revive_prob;
     e.floor_since <- 0.0
   end;

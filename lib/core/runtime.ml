@@ -16,6 +16,10 @@ type t = {
   watches : Watch_table.t;
   rng : Prng.t; (* sampling decisions; per paper, per-thread generators *)
   canary : int64; (* this run's random canary value (evidence mode) *)
+  c_decisions : Metrics.counter;
+  c_watched : Metrics.counter;
+  c_reports : Metrics.counter;
+  c_corruptions : Metrics.counter;
   mutable reports : Report.t list; (* newest first *)
   mutable traps : int;
   mutable canary_checks : int;
@@ -26,6 +30,7 @@ let now t = Clock.seconds (Machine.clock t.machine)
 
 let record_overflow t (entry : Context_table.entry) report =
   t.reports <- report :: t.reports;
+  Metrics.incr t.c_reports;
   Context_table.pin t.contexts entry;
   Persist.add t.store entry.Context_table.key
 
@@ -74,6 +79,7 @@ let create ?(params = Params.default) ?store ?(seed = 0) ~machine ~heap () =
   in
   let rng = mk () in
   let canary_rng = mk () in
+  let reg = Machine.registry machine in
   let t =
     { params;
       machine;
@@ -83,6 +89,10 @@ let create ?(params = Params.default) ?store ?(seed = 0) ~machine ~heap () =
       watches = Watch_table.create ~params ~machine ~rng:(mk ());
       rng;
       canary = Prng.canary64 canary_rng;
+      c_decisions = Metrics.counter reg "smu.decisions";
+      c_watched = Metrics.counter reg "smu.watched";
+      c_reports = Metrics.counter reg "report.count";
+      c_corruptions = Metrics.counter reg "canary.corruptions";
       reports = [];
       traps = 0;
       canary_checks = 0;
@@ -96,6 +106,7 @@ let evidence t = t.params.Params.evidence
 (* Decide whether to watch the freshly allocated object, per Section III.
    Returns true when a watchpoint now guards it. *)
 let consider_watch t (entry : Context_table.entry) ~app ~watch_addr =
+  Metrics.incr t.c_decisions;
   if Watch_table.in_startup t.watches && Watch_table.has_free_slot t.watches then begin
     (* "Installation due to availability": the first few objects are
        watched regardless of probability (see {!Watch_table.in_startup}). *)
@@ -103,7 +114,7 @@ let consider_watch t (entry : Context_table.entry) ~app ~watch_addr =
     true
   end
   else begin
-    Machine.work t.machine Cost.rng_draw;
+    Machine.work_as t.machine Profiler.Smu_decision Cost.rng_draw;
     let p = Context_table.effective_prob t.contexts entry in
     if not (Prng.below_percent t.rng p) then false
     else if Watch_table.has_free_slot t.watches then begin
@@ -127,7 +138,10 @@ let csod_malloc t ~size ~ctx =
   in
   let watch_addr = Canary.boundary_addr ~app ~size in
   let watched = consider_watch t entry ~app ~watch_addr in
-  if watched then Context_table.note_watched t.contexts entry;
+  if watched then begin
+    Metrics.incr t.c_watched;
+    Context_table.note_watched t.contexts entry
+  end;
   Trace.decision ~watched
     ~prob:(Context_table.effective_prob t.contexts entry)
     ~key:entry.Context_table.key ~addr:app;
@@ -138,6 +152,7 @@ let csod_malloc t ~size ~ctx =
 let check_canary t ~app ~size ~ctx_id ~source =
   t.canary_checks <- t.canary_checks + 1;
   if not (Canary.check t.machine ~app ~size ~expected:t.canary) then begin
+    Metrics.incr t.c_corruptions;
     Trace.canary ~addr:app
       ~where:(if source = Report.Canary_free then "free" else "exit");
     match Context_table.find_by_id t.contexts ctx_id with

@@ -2,12 +2,20 @@
 
     Every decision the Sampling and Watchpoint Management Units take can
     be streamed through a {!Logs} source named ["csod"], at [Debug]
-    level.  Disabled (the default) it costs one branch per decision; the
-    CLI's [--trace] flag enables it, which is the fastest way to see
-    {e why} a particular execution missed a bug — which coin flips
-    failed, which watchpoint was evicted when. *)
+    level, and — when an {!Event_sink} is installed — as structured JSONL
+    events (["smu.decision"], ["wmu.replace"], ["wmu.free_removal"],
+    ["trap"], ["canary.corrupt"]).  Disabled (the default) each trace
+    point costs one branch, checked {e before} any argument formatting;
+    the CLI's [--trace] flag enables the log stream and [--events FILE]
+    the JSONL stream — the fastest way to see {e why} a particular
+    execution missed a bug — which coin flips failed, which watchpoint
+    was evicted when. *)
 
 val src : Logs.src
+
+val on : unit -> bool
+(** True when either delivery path (Logs at [Debug], or an installed
+    event sink) would observe an event. *)
 
 val decision :
   watched:bool -> prob:float -> key:Alloc_ctx.key -> addr:int -> unit

@@ -15,11 +15,16 @@ type t = {
   ring : wp Ring.t; (* oldest-first; the near-FIFO circular buffer *)
   by_fd : (Hw_breakpoint.fd, wp) Hashtbl.t;
   by_obj : (int, wp) Hashtbl.t;
+  c_installs : Metrics.counter;
+  c_evictions : Metrics.counter;
+  c_replacements : Metrics.counter;
+  c_free_removals : Metrics.counter;
   mutable installs : int;
   mutable startup : bool;
 }
 
 let create ~params ~machine ~rng =
+  let reg = Machine.registry machine in
   let t =
     { params;
       machine;
@@ -27,6 +32,10 @@ let create ~params ~machine ~rng =
       ring = Ring.create ~capacity:Hw_breakpoint.num_slots;
       by_fd = Hashtbl.create 64;
       by_obj = Hashtbl.create 64;
+      c_installs = Metrics.counter reg "wmu.installs";
+      c_evictions = Metrics.counter reg "wmu.evictions";
+      c_replacements = Metrics.counter reg "wmu.replacements";
+      c_free_removals = Metrics.counter reg "wmu.free_removals";
       installs = 0;
       startup = true }
   in
@@ -71,6 +80,7 @@ let decayed_prob t wp =
 
 let install t ~obj_addr ~watch_addr ~entry =
   if Ring.is_full t.ring then failwith "Watch_table.install: no free slot";
+  Machine.in_phase t.machine Profiler.Wmu_install @@ fun () ->
   let combined = t.params.Params.combined_syscall in
   let fds =
     List.filter_map
@@ -93,9 +103,11 @@ let install t ~obj_addr ~watch_addr ~entry =
   List.iter (fun (_, fd) -> Hashtbl.replace t.by_fd fd wp) fds;
   Hashtbl.replace t.by_obj obj_addr wp;
   t.installs <- t.installs + 1;
+  Metrics.incr t.c_installs;
   if t.installs >= Hw_breakpoint.num_slots then t.startup <- false
 
 let remove t wp =
+  Machine.in_phase t.machine Profiler.Wmu_evict @@ fun () ->
   let combined = t.params.Params.combined_syscall in
   List.iter
     (fun (_, fd) ->
@@ -104,12 +116,15 @@ let remove t wp =
     wp.fds;
   wp.fds <- [];
   Hashtbl.remove t.by_obj wp.obj_addr;
-  ignore (Ring.remove_where t.ring (fun w -> w == wp))
+  ignore (Ring.remove_where t.ring (fun w -> w == wp));
+  Metrics.incr t.c_evictions
 
 let replace_victim t victim ~obj_addr ~watch_addr ~entry =
   Trace.replaced ~victim:victim.obj_addr ~by:obj_addr;
-  remove t victim;
-  install t ~obj_addr ~watch_addr ~entry
+  Metrics.incr t.c_replacements;
+  Machine.in_phase t.machine Profiler.Wmu_replace (fun () ->
+      remove t victim;
+      install t ~obj_addr ~watch_addr ~entry)
 
 let try_replace t ~obj_addr ~watch_addr ~entry ~new_prob =
   match t.params.Params.policy with
@@ -159,6 +174,7 @@ let on_free t ~obj_addr =
   | None -> false
   | Some wp ->
     remove t wp;
+    Metrics.incr t.c_free_removals;
     true
 
 let in_startup t = t.startup

@@ -9,6 +9,7 @@ type outcome = {
   cycles : int;
   output : string;
   crashed : string option;
+  telemetry : Telemetry.t;
 }
 
 let instrumented_pred (app : Buggy_app.t) program site =
@@ -16,9 +17,13 @@ let instrumented_pred (app : Buggy_app.t) program site =
   | Some m -> List.mem m app.Buggy_app.instrumented_modules
   | None -> false
 
-let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store () =
+let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store
+    ?(snapshot_cycles = 0) () =
   let program = Buggy_app.program app in
   let machine = Machine.create ~seed () in
+  if snapshot_cycles > 0 then
+    Telemetry.set_snapshot_interval (Machine.telemetry machine)
+      ~cycles:snapshot_cycles;
   let heap = Heap.create machine in
   let inst =
     Config.instantiate config ~machine ~heap
@@ -55,7 +60,8 @@ let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store () =
     stats = Option.map Runtime.stats inst.Config.csod;
     cycles = Clock.cycles (Machine.clock machine);
     output = Buffer.contents output;
-    crashed }
+    crashed;
+    telemetry = Machine.telemetry machine }
 
 let run_until_detected ~app ~config ~max_runs =
   let rec go seed =

@@ -13,6 +13,8 @@ type outcome = {
   output : string;                 (** program stdout *)
   crashed : string option;         (** runtime/heap fault, if any; the tool's
                                        termination handling still ran *)
+  telemetry : Telemetry.t;         (** the machine's metrics registry and
+                                       cycle-attribution profile for this run *)
 }
 
 val run :
@@ -21,14 +23,16 @@ val run :
   ?input:input_choice ->
   ?seed:int ->
   ?store:Persist.t ->
+  ?snapshot_cycles:int ->
   unit ->
   outcome
 (** Execute the app once on a fresh machine.  [seed] (default 1) varies
     both the machine RNG (CSOD's sampling draws) and the program-visible
     [rand] (timing jitter), modeling distinct production executions.
-    [input] defaults to [Buggy].  The tool's termination handling always
-    runs, even after a crash — mirroring CSOD's interception of erroneous
-    exits (Section IV-B). *)
+    [input] defaults to [Buggy].  [snapshot_cycles] (default 0 = off)
+    enables periodic telemetry snapshots at that virtual-cycle interval.
+    The tool's termination handling always runs, even after a crash —
+    mirroring CSOD's interception of erroneous exits (Section IV-B). *)
 
 val run_until_detected :
   app:Buggy_app.t -> config:Config.t -> max_runs:int -> (int * outcome) option

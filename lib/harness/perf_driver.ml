@@ -10,6 +10,7 @@ type result = {
   resident_kb : int;
   syscalls : int;
   detected : bool;
+  telemetry : Telemetry.t;
 }
 
 (* Code-address bases for the synthetic context census: one-shot "cold"
@@ -27,7 +28,7 @@ let run ~(profile : Perf_profile.t) ~config ?(seed = 11) () =
   for w = 2 to profile.Perf_profile.threads do
     ignore (Threads.spawn (Machine.threads machine) ~name:(Printf.sprintf "worker%d" w))
   done;
-  Machine.work machine inst.Config.startup_cycles;
+  Machine.work_as machine Profiler.Init inst.Config.startup_cycles;
   let n = profile.Perf_profile.allocations in
   let scale = max 1 ((n + max_sim_allocations - 1) / max_sim_allocations) in
   let nsim = max 1 (n / scale) in
@@ -102,6 +103,7 @@ let run ~(profile : Perf_profile.t) ~config ?(seed = 11) () =
     contexts_seen;
     resident_kb = resident_bytes / 1024;
     syscalls = Machine.syscall_count machine;
-    detected = inst.Config.detected () }
+    detected = inst.Config.detected ();
+    telemetry = Machine.telemetry machine }
 
 let overhead ~baseline r = float_of_int r.cycles /. float_of_int baseline.cycles

@@ -35,6 +35,8 @@ type result = {
   resident_kb : int;       (** peak resident set: heap + tool side tables *)
   syscalls : int;          (** kernel crossings charged (watchpoint traffic) *)
   detected : bool;         (** must stay false: these workloads are bug-free *)
+  telemetry : Telemetry.t; (** metrics + per-phase cycle attribution (not
+                               extrapolated: raw simulated-stream figures) *)
 }
 
 val run : profile:Perf_profile.t -> config:Config.t -> ?seed:int -> unit -> result

@@ -16,6 +16,11 @@ type t = {
   threads : Threads.t;
   hw : Hw_breakpoint.t;
   counters : Stats.Counter.t;
+  telemetry : Telemetry.t;
+  c_traps : Metrics.counter;
+  c_syscalls : Metrics.counter;
+  c_accesses : Metrics.counter;
+  mutable phase : Profiler.phase;
   mutable n_accesses : int;
   mutable n_syscalls : int;
   mutable n_work_cycles : int;
@@ -31,11 +36,18 @@ type t = {
 let heap_base = 0x1000_0000
 
 let create ?(seed = 42) () =
+  let telemetry = Telemetry.create () in
+  let reg = Telemetry.metrics telemetry in
   { mem = Sparse_mem.create ();
     clock = Clock.create ();
     threads = Threads.create ();
     hw = Hw_breakpoint.create ();
     counters = Stats.Counter.create ();
+    telemetry;
+    c_traps = Metrics.counter reg "trap.count";
+    c_syscalls = Metrics.counter reg "machine.syscalls";
+    c_accesses = Metrics.counter reg "machine.accesses";
+    phase = Profiler.App;
     n_accesses = 0;
     n_syscalls = 0;
     n_work_cycles = 0;
@@ -56,6 +68,28 @@ let rng t = t.rng
 let set_pc t pc = t.pc <- pc
 let pc t = t.pc
 
+let telemetry t = t.telemetry
+let registry t = Telemetry.metrics t.telemetry
+
+(* Every cycle the machine advances goes through [charge], which attributes
+   it to the current phase — so the profiler's per-phase totals sum exactly
+   to the clock, by construction. *)
+let charge t n =
+  Clock.advance t.clock n;
+  Profiler.charge (Telemetry.profiler t.telemetry) t.phase n;
+  Telemetry.tick t.telemetry ~now:(Clock.cycles t.clock)
+
+(* Outermost phase wins: work nested inside an explicitly attributed phase
+   (e.g. the WMU removing a watchpoint from inside the trap handler) stays
+   charged to the enclosing phase, matching how the paper's Figure 7 buckets
+   whole mechanisms rather than their inner helpers. *)
+let in_phase t phase f =
+  if t.phase <> Profiler.App then f ()
+  else begin
+    t.phase <- phase;
+    Fun.protect ~finally:(fun () -> t.phase <- Profiler.App) f
+  end
+
 let set_backtrace_provider t f = t.backtrace_provider <- Some f
 
 let backtrace t =
@@ -64,28 +98,31 @@ let backtrace t =
 let deliver_trap t ~fd ~access_addr ~kind =
   t.traps <- t.traps + 1;
   Stats.Counter.incr t.counters "traps";
-  Clock.advance t.clock Cost.trap_delivery;
-  match t.trap_handler with
-  | None -> Stats.Counter.incr t.counters "traps_unhandled"
-  | Some handler ->
-    (* The handler itself may touch memory; hardware would not re-trap on
-       the kernel's own accesses, so nested checking is suppressed. *)
-    if not t.in_trap then begin
-      t.in_trap <- true;
-      let info =
-        { fd;
-          trap_addr = access_addr;
-          access_addr;
-          access_kind = kind;
-          tid = Threads.current t.threads;
-          pc = t.pc }
-      in
-      Fun.protect ~finally:(fun () -> t.in_trap <- false) (fun () -> handler info)
-    end
+  Metrics.incr t.c_traps;
+  in_phase t Profiler.Trap_dispatch (fun () ->
+      charge t Cost.trap_delivery;
+      match t.trap_handler with
+      | None -> Stats.Counter.incr t.counters "traps_unhandled"
+      | Some handler ->
+        (* The handler itself may touch memory; hardware would not re-trap on
+           the kernel's own accesses, so nested checking is suppressed. *)
+        if not t.in_trap then begin
+          t.in_trap <- true;
+          let info =
+            { fd;
+              trap_addr = access_addr;
+              access_addr;
+              access_kind = kind;
+              tid = Threads.current t.threads;
+              pc = t.pc }
+          in
+          Fun.protect ~finally:(fun () -> t.in_trap <- false) (fun () -> handler info)
+        end)
 
 let checked_access t addr len kind =
   t.n_accesses <- t.n_accesses + 1;
-  Clock.advance t.clock Cost.memory_access;
+  Metrics.incr t.c_accesses;
+  charge t Cost.memory_access;
   if not t.in_trap then
     match
       Hw_breakpoint.check_access t.hw ~addr ~len ~kind
@@ -117,11 +154,15 @@ let store_word_unwatched t addr v = Sparse_mem.write_int t.mem addr v
 
 let work t cycles =
   t.n_work_cycles <- t.n_work_cycles + cycles;
-  Clock.advance t.clock cycles
+  charge t cycles
+
+let work_as t phase cycles =
+  in_phase t phase (fun () -> work t cycles)
 
 let charge_syscalls t n =
   t.n_syscalls <- t.n_syscalls + n;
-  Clock.advance t.clock (n * Cost.syscall)
+  Metrics.add t.c_syscalls n;
+  charge t (n * Cost.syscall)
 
 let sbrk t n =
   if n < 0 then invalid_arg "Machine.sbrk: negative increment";

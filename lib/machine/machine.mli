@@ -33,6 +33,14 @@ val counters : t -> Stats.Counter.t
 val rng : t -> Prng.t
 (** The machine's root generator; tools split per-thread generators off it. *)
 
+val telemetry : t -> Telemetry.t
+(** This machine's telemetry bundle.  The allocator and the detection tools
+    register their counters/histograms here and the profiler receives every
+    cycle the machine charges. *)
+
+val registry : t -> Metrics.t
+(** Shorthand for [Telemetry.metrics (telemetry t)]. *)
+
 (** {1 Execution context} *)
 
 val set_pc : t -> int -> unit
@@ -71,7 +79,18 @@ val store_word_unwatched : t -> int -> int -> unit
 (** {1 Work and syscall accounting} *)
 
 val work : t -> int -> unit
-(** [work t cycles] models application compute: advances the clock. *)
+(** [work t cycles] models application compute: advances the clock.  The
+    cycles are attributed to the current profiler phase ({!Profiler.App}
+    unless a tool set one via {!in_phase}/{!work_as}). *)
+
+val work_as : t -> Profiler.phase -> int -> unit
+(** [work t cycles], attributed to [phase] — unless an enclosing
+    {!in_phase} already set one, which wins. *)
+
+val in_phase : t -> Profiler.phase -> (unit -> 'a) -> 'a
+(** Attribute every cycle charged inside the callback to [phase].  The
+    outermost phase wins: nesting does not re-attribute (the trap handler's
+    inner WMU work stays charged to trap dispatch). *)
 
 val charge_syscalls : t -> int -> unit
 (** Advance the clock by [n] syscall costs (perf-API wrappers call this). *)

@@ -1,0 +1,31 @@
+type t = { write : string -> unit; mutable events : int }
+
+let make write = { write; events = 0 }
+
+let to_channel oc = make (fun line -> output_string oc line; output_char oc '\n')
+
+let to_buffer buf = make (fun line -> Buffer.add_string buf line; Buffer.add_char buf '\n')
+
+let events t = t.events
+
+(* The installed sink is process-global: trace points are module-level
+   functions with no handle to thread a sink through (mirroring how the
+   paper's runtime logs from signal handlers).  [active] is the one-branch
+   guard every instrumentation site checks before building fields. *)
+let current : t option ref = ref None
+
+let install t = current := Some t
+let uninstall () = current := None
+let active () = !current <> None
+
+let emit name fields =
+  match !current with
+  | None -> ()
+  | Some t ->
+    t.events <- t.events + 1;
+    t.write (Obs_json.to_string (`Assoc (("event", `String name) :: fields)))
+
+let with_sink t f =
+  let prev = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := prev) f

@@ -1,0 +1,36 @@
+(** Structured JSONL event sink.
+
+    One JSON object per line, first field ["event"] naming the kind.  The
+    runtime's trace points ({!Trace} in [csod_core]) and the telemetry
+    snapshotter both emit here when a sink is installed; with none
+    installed every emission site costs exactly one branch ({!active}).
+
+    Events carry no wall-clock timestamps — callers include virtual-clock
+    fields ([at_sec], [cycles]) instead, so two runs with the same seed
+    produce byte-identical streams. *)
+
+type t
+
+val to_channel : out_channel -> t
+(** Lines are written (and flushed only by the channel's own buffering) to
+    [oc]; the caller owns and closes the channel. *)
+
+val to_buffer : Buffer.t -> t
+
+val events : t -> int
+(** Number of events written through this sink. *)
+
+(** {1 The process-global sink} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val active : unit -> bool
+
+val emit : string -> (string * Obs_json.t) list -> unit
+(** [emit name fields] writes [{"event": name, ...fields}] to the installed
+    sink; a no-op when none is installed.  Callers on hot paths should
+    check {!active} first so field lists are never built needlessly. *)
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Install [t] for the duration of the callback, restoring the previous
+    sink afterwards (used by tests). *)

@@ -1,0 +1,146 @@
+type counter = { c_name : string; mutable count : int }
+
+type gauge = { g_name : string; mutable level : int; mutable high : int }
+
+type histogram = {
+  h_name : string;
+  bounds : int array; (* strictly increasing upper bounds *)
+  buckets : int array; (* length bounds + 1; last is the overflow bucket *)
+  mutable observations : int;
+  mutable sum : int;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  { counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16 }
+
+(* ---- counters ---- *)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace t.counters name c;
+    c
+
+let incr c = c.count <- c.count + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotonic";
+  c.count <- c.count + n
+
+let count c = c.count
+let counter_name c = c.c_name
+
+(* ---- gauges ---- *)
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; level = 0; high = 0 } in
+    Hashtbl.replace t.gauges name g;
+    g
+
+let set g v =
+  g.level <- v;
+  if v > g.high then g.high <- v
+
+let level g = g.level
+let high_watermark g = g.high
+let gauge_name g = g.g_name
+
+(* ---- histograms ---- *)
+
+let default_bounds = [| 16; 32; 64; 128; 256; 512; 1024; 4096; 16384; 65536 |]
+
+let histogram t ?(bounds = default_bounds) name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= bounds.(i - 1) then
+          invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+      bounds;
+    let h =
+      { h_name = name;
+        bounds = Array.copy bounds;
+        buckets = Array.make (Array.length bounds + 1) 0;
+        observations = 0;
+        sum = 0 }
+    in
+    Hashtbl.replace t.histograms name h;
+    h
+
+(* A value lands in the first bucket whose upper bound is >= the value;
+   values above every bound land in the final overflow bucket. *)
+let bucket_index h v =
+  let n = Array.length h.bounds in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= h.bounds.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let observe h v =
+  h.observations <- h.observations + 1;
+  h.sum <- h.sum + v;
+  let i = bucket_index h v in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let observations h = h.observations
+let hist_sum h = h.sum
+let bucket_counts h = Array.copy h.buckets
+let bucket_bounds h = Array.copy h.bounds
+let histogram_name h = h.h_name
+
+(* ---- export ---- *)
+
+let sorted_by_name name tbl =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun a b -> String.compare (name a) (name b))
+
+let counters_list t =
+  List.map (fun c -> (c.c_name, c.count)) (sorted_by_name counter_name t.counters)
+
+let gauges_list t =
+  List.map (fun g -> (g.g_name, g.level, g.high)) (sorted_by_name gauge_name t.gauges)
+
+let histograms_list t = sorted_by_name histogram_name t.histograms
+
+let to_json t : Obs_json.t =
+  let hist_json h =
+    let cells = ref [] in
+    Array.iteri
+      (fun i n ->
+        let label =
+          if i < Array.length h.bounds then Printf.sprintf "le_%d" h.bounds.(i)
+          else "inf"
+        in
+        cells := (label, `Int n) :: !cells)
+      h.buckets;
+    `Assoc
+      [ ("observations", `Int h.observations); ("sum", `Int h.sum);
+        ("buckets", `Assoc (List.rev !cells)) ]
+  in
+  `Assoc
+    [ ("counters", `Assoc (List.map (fun (k, v) -> (k, `Int v)) (counters_list t)));
+      ("gauges",
+       `Assoc
+         (List.map
+            (fun (k, level, high) ->
+              (k, `Assoc [ ("value", `Int level); ("high", `Int high) ]))
+            (gauges_list t)));
+      ("histograms",
+       `Assoc (List.map (fun h -> (h.h_name, hist_json h)) (histograms_list t))) ]

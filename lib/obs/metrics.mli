@@ -1,0 +1,71 @@
+(** Metrics registry: named monotonic counters, gauges and fixed-bucket
+    histograms.
+
+    Instrumented subsystems look their instruments up {e once} (at
+    construction time) and then increment through the returned handle — a
+    single mutable-field update, no hashing on the hot path.  The registry
+    never touches the PRNG or the virtual clock, so enabling or exporting
+    telemetry cannot perturb a simulated execution. *)
+
+type t
+(** A registry.  Each {!Machine.t} owns one (via its telemetry bundle), so
+    concurrent simulations in one process never share instruments. *)
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Find-or-create by name. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** Raises [Invalid_argument] on negative increments: counters are
+    monotonic. *)
+
+val count : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> int -> unit
+val level : gauge -> int
+val high_watermark : gauge -> int
+(** Largest value ever set. *)
+
+(** {1 Histograms} *)
+
+type histogram
+
+val default_bounds : int array
+(** Powers-of-two-ish byte sizes, 16 .. 65536. *)
+
+val histogram : t -> ?bounds:int array -> string -> histogram
+(** Fixed upper-bound buckets plus a final overflow bucket.  [bounds] must
+    be strictly increasing; it is only consulted on first creation. *)
+
+val observe : histogram -> int -> unit
+(** A value [v] lands in the first bucket with bound [>= v]. *)
+
+val observations : histogram -> int
+val hist_sum : histogram -> int
+val bucket_counts : histogram -> int array
+(** Length [Array.length bounds + 1]. *)
+
+val bucket_bounds : histogram -> int array
+
+(** {1 Export} *)
+
+val counters_list : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges_list : t -> (string * int * int) list
+(** [(name, value, high-watermark)], sorted by name. *)
+
+val histograms_list : t -> histogram list
+
+val to_json : t -> Obs_json.t

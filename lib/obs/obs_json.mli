@@ -1,0 +1,18 @@
+(** Minimal JSON document type and printer for the telemetry exporters.
+
+    Yojson-compatible constructors, but zero dependencies: the metrics
+    registry, the JSONL event sink and the bench harness all need to emit
+    machine-readable output without pulling a JSON library into the build. *)
+
+type t =
+  [ `Null
+  | `Bool of bool
+  | `Int of int
+  | `Float of float
+  | `String of string
+  | `List of t list
+  | `Assoc of (string * t) list ]
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Non-finite floats print as [null] so
+    the output is always valid JSON. *)

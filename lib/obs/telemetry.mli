@@ -1,0 +1,42 @@
+(** Per-machine telemetry bundle: a metrics registry, a cycle-attribution
+    profiler, and periodic snapshot scheduling over the virtual clock.
+
+    Every {!Machine.t} owns one bundle; the allocator, the CSOD runtime
+    units and the ASan baseline all reach it through the machine they
+    already hold.  Telemetry never draws randomness and never advances the
+    clock, so its presence cannot change a simulated execution. *)
+
+type t
+
+val create : unit -> t
+val metrics : t -> Metrics.t
+val profiler : t -> Profiler.t
+
+(** {1 Periodic snapshots} *)
+
+val set_snapshot_interval : t -> cycles:int -> unit
+(** Emit a ["snapshot"] event to the installed {!Event_sink} every
+    [cycles] of virtual time; [0] (the default) disables snapshots.  With
+    snapshots disabled each clock advance costs one comparison. *)
+
+val tick : t -> now:int -> unit
+(** Called by the machine after every clock advance with the new cycle
+    count; emits any snapshot whose interval boundary has been crossed. *)
+
+val snapshot_count : t -> int
+
+(** {1 Export} *)
+
+val to_json : t -> total_cycles:int -> Obs_json.t
+(** Full dump: counters, gauges, histograms and the per-phase cycle
+    decomposition, plus [total_cycles] for cross-checking coverage. *)
+
+val json_string : t -> total_cycles:int -> string
+
+val profile_table : t -> total_cycles:int -> string
+(** Rendered {!Table_fmt} table of nonzero phases with their share of the
+    charged cycles. *)
+
+val metrics_table : t -> string
+val summary : t -> total_cycles:int -> string
+(** [metrics_table] followed by [profile_table]. *)

@@ -12,6 +12,7 @@ let () =
       ("heap", Test_heap.suite);
       ("minic", Test_minic.suite);
       ("pretty", Test_pretty.suite);
+      ("obs", Test_obs.suite);
       ("core", Test_core.suite);
       ("asan", Test_asan.suite);
       ("apps", Test_apps.suite);

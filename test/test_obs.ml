@@ -1,0 +1,308 @@
+(* Tests for the telemetry subsystem: metrics registry, cycle-attribution
+   profiler, JSONL event sink, snapshot scheduling — and the guarantee
+   that none of it changes a simulated execution. *)
+
+(* ---------- Counters ---------- *)
+
+let test_counter_basics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "x" in
+  Alcotest.(check int) "starts at 0" 0 (Metrics.count c);
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Metrics.count c);
+  let c' = Metrics.counter reg "x" in
+  Metrics.incr c';
+  Alcotest.(check int) "find-or-create shares the cell" 43 (Metrics.count c);
+  Metrics.add c 0;
+  Alcotest.(check int) "add 0 is a no-op" 43 (Metrics.count c)
+
+let test_counter_monotonic () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "x" in
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Metrics.add: counters are monotonic") (fun () ->
+      Metrics.add c (-1));
+  Alcotest.(check int) "unchanged after rejection" 0 (Metrics.count c)
+
+let test_gauge () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "g" in
+  Metrics.set g 7;
+  Metrics.set g 3;
+  Alcotest.(check int) "level follows last set" 3 (Metrics.level g);
+  Alcotest.(check int) "high watermark sticks" 7 (Metrics.high_watermark g)
+
+(* ---------- Histogram bucket boundaries ---------- *)
+
+let test_histogram_boundaries () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~bounds:[| 10; 20; 30 |] "h" in
+  (* A value lands in the first bucket with bound >= v: exact bounds stay
+     in their own bucket, bound+1 spills into the next. *)
+  List.iter (Metrics.observe h) [ 0; 10; 11; 20; 21; 30; 31; 1000 ];
+  Alcotest.(check (array int)) "bucket boundaries" [| 2; 2; 2; 2 |]
+    (Metrics.bucket_counts h);
+  Alcotest.(check int) "observations" 8 (Metrics.observations h);
+  Alcotest.(check int) "sum" (0 + 10 + 11 + 20 + 21 + 30 + 31 + 1000)
+    (Metrics.hist_sum h);
+  Alcotest.(check int) "bucket counts sum to observations"
+    (Metrics.observations h)
+    (Array.fold_left ( + ) 0 (Metrics.bucket_counts h))
+
+let test_histogram_default_bounds () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "sizes" in
+  Alcotest.(check (array int)) "default bounds" Metrics.default_bounds
+    (Metrics.bucket_bounds h);
+  Alcotest.(check int) "overflow bucket exists"
+    (Array.length Metrics.default_bounds + 1)
+    (Array.length (Metrics.bucket_counts h))
+
+(* ---------- Profiler ---------- *)
+
+let test_profiler () =
+  let p = Profiler.create () in
+  Profiler.charge p Profiler.App 100;
+  Profiler.charge p Profiler.Wmu_install 40;
+  Profiler.charge p Profiler.Wmu_install 2;
+  Alcotest.(check int) "per-phase" 42 (Profiler.cycles p Profiler.Wmu_install);
+  Alcotest.(check int) "total" 142 (Profiler.total p);
+  Alcotest.(check int) "tool total excludes app" 42 (Profiler.tool_total p);
+  Alcotest.check_raises "negative charge rejected"
+    (Invalid_argument "Profiler.charge: negative cycles") (fun () ->
+      Profiler.charge p Profiler.App (-1));
+  Alcotest.(check (list string)) "phase names are unique and dotted"
+    (List.sort_uniq compare (List.map Profiler.name Profiler.all))
+    (List.sort compare (List.map Profiler.name Profiler.all));
+  Profiler.reset p;
+  Alcotest.(check int) "reset" 0 (Profiler.total p)
+
+(* Registry totals equal the sum of per-phase profiler charges for a
+   random operation stream (the ISSUE's cross-check property): every op
+   both charges the profiler and bumps a per-phase counter. *)
+let prop_profiler_registry_agree =
+  let phases = Array.of_list Profiler.all in
+  QCheck.Test.make ~name:"profiler charges == registry totals" ~count:200
+    QCheck.(list (pair (int_range 0 (Array.length phases - 1)) (int_range 0 5000)))
+    (fun ops ->
+      let reg = Metrics.create () in
+      let p = Profiler.create () in
+      List.iter
+        (fun (i, n) ->
+          Profiler.charge p phases.(i) n;
+          Metrics.add (Metrics.counter reg (Profiler.name phases.(i))) n)
+        ops;
+      let counter_total =
+        List.fold_left (fun acc (_, n) -> acc + n) 0 (Metrics.counters_list reg)
+      in
+      Profiler.total p = counter_total
+      && Profiler.total p = List.fold_left (fun acc (_, n) -> acc + n) 0 ops
+      && List.for_all
+           (fun ph ->
+             Profiler.cycles p ph
+             = Metrics.count (Metrics.counter reg (Profiler.name ph)))
+           Profiler.all)
+
+(* Machine-level attribution: everything the clock advances is charged to
+   exactly one phase, so the per-phase sum equals the clock reading. *)
+let prop_machine_attribution =
+  let phases = Array.of_list Profiler.all in
+  QCheck.Test.make ~name:"machine: phase totals == clock cycles" ~count:100
+    QCheck.(list (pair (int_range 0 (Array.length phases - 1)) (int_range 0 1000)))
+    (fun ops ->
+      let m = Machine.create ~seed:11 () in
+      List.iter (fun (i, n) -> Machine.work_as m phases.(i) n) ops;
+      let p = Telemetry.profiler (Machine.telemetry m) in
+      Profiler.total p = Clock.cycles (Machine.clock m))
+
+let test_in_phase_outermost_wins () =
+  let m = Machine.create ~seed:1 () in
+  Machine.in_phase m Profiler.Trap_dispatch (fun () ->
+      Machine.work_as m Profiler.Wmu_evict 50);
+  let p = Telemetry.profiler (Machine.telemetry m) in
+  Alcotest.(check int) "inner work charged to outer phase" 50
+    (Profiler.cycles p Profiler.Trap_dispatch);
+  Alcotest.(check int) "nothing leaked to the inner phase" 0
+    (Profiler.cycles p Profiler.Wmu_evict)
+
+(* ---------- Event sink ---------- *)
+
+let test_event_sink () =
+  Alcotest.(check bool) "inactive by default" false (Event_sink.active ());
+  let b = Buffer.create 64 in
+  let sink = Event_sink.to_buffer b in
+  Event_sink.emit "dropped" [];
+  Event_sink.with_sink sink (fun () ->
+      Alcotest.(check bool) "active inside" true (Event_sink.active ());
+      Event_sink.emit "hello" [ ("n", `Int 1) ]);
+  Alcotest.(check bool) "restored" false (Event_sink.active ());
+  Alcotest.(check int) "one event counted" 1 (Event_sink.events sink);
+  Alcotest.(check string) "JSONL line, event field first"
+    "{\"event\":\"hello\",\"n\":1}\n" (Buffer.contents b)
+
+(* ---------- Snapshots under the virtual clock ---------- *)
+
+let snapshot_stream seed =
+  let b = Buffer.create 256 in
+  let m = Machine.create ~seed () in
+  Telemetry.set_snapshot_interval (Machine.telemetry m) ~cycles:1_000;
+  Event_sink.with_sink (Event_sink.to_buffer b) (fun () ->
+      List.iter (Machine.work m) [ 400; 400; 400; 2_600; 100 ]);
+  (Telemetry.snapshot_count (Machine.telemetry m), Buffer.contents b)
+
+let test_snapshot_determinism () =
+  let n1, s1 = snapshot_stream 3 in
+  let n2, s2 = snapshot_stream 3 in
+  (* 3,900 cycles at a 1,000-cycle interval: boundaries 1000, 2000, 3000. *)
+  Alcotest.(check int) "snapshot per crossed boundary" 3 n1;
+  Alcotest.(check int) "deterministic count" n1 n2;
+  Alcotest.(check string) "byte-identical streams" s1 s2;
+  String.split_on_char '\n' s1
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun l ->
+         Alcotest.(check bool) "every line is a snapshot event" true
+           (String.length l > 20
+           && String.sub l 0 20 = "{\"event\":\"snapshot\","))
+
+(* ---------- Integration: Heartbleed under CSOD with metrics ---------- *)
+
+let heartbleed_outcome = lazy (
+  let app = Option.get (Buggy_app.by_name "Heartbleed") in
+  match
+    Execution.run_until_detected ~app ~config:Config.csod_default ~max_runs:64
+  with
+  | None -> Alcotest.fail "Heartbleed not detected within 64 executions"
+  | Some (_, o) -> o)
+
+let test_heartbleed_metrics () =
+  let o = Lazy.force heartbleed_outcome in
+  let reg = Telemetry.metrics o.Execution.telemetry in
+  let count name = Metrics.count (Metrics.counter reg name) in
+  Alcotest.(check bool) "smu.decisions nonzero" true (count "smu.decisions" > 0);
+  Alcotest.(check bool) "installs bounded by allocations" true
+    (count "wmu.installs" <= count "smu.allocations");
+  Alcotest.(check bool) "at least one trap on the detecting seed" true
+    (count "trap.count" >= 1);
+  Alcotest.(check bool) "a report was recorded" true (count "report.count" >= 1);
+  (* The registry agrees with the runtime's own stats. *)
+  match o.Execution.stats with
+  | None -> Alcotest.fail "csod run must have stats"
+  | Some s ->
+    Alcotest.(check int) "registry allocations == runtime stats"
+      s.Runtime.allocations (count "smu.allocations");
+    Alcotest.(check int) "registry contexts == runtime stats"
+      s.Runtime.contexts
+      (let _, v, _ =
+         List.find (fun (n, _, _) -> n = "smu.contexts") (Metrics.gauges_list reg)
+       in
+       v)
+
+let test_heartbleed_profile_coverage () =
+  let o = Lazy.force heartbleed_outcome in
+  let p = Telemetry.profiler o.Execution.telemetry in
+  (* Acceptance bound: per-phase totals within 1% of the clock total.  The
+     attribution is exact by construction, so check equality. *)
+  Alcotest.(check int) "phase sum covers every charged cycle"
+    o.Execution.cycles (Profiler.total p);
+  Alcotest.(check bool) "tool overhead is a strict subset" true
+    (Profiler.tool_total p > 0 && Profiler.tool_total p < Profiler.total p)
+
+(* Enabling telemetry export must not change the execution: same seed with
+   an event sink + snapshots vs. bare produces identical results. *)
+let test_metrics_do_not_perturb () =
+  let app = Option.get (Buggy_app.by_name "Heartbleed") in
+  let bare seed = Execution.run ~app ~config:Config.csod_default ~seed () in
+  let observed seed =
+    let b = Buffer.create 4096 in
+    Event_sink.with_sink (Event_sink.to_buffer b) (fun () ->
+        Execution.run ~app ~config:Config.csod_default ~seed
+          ~snapshot_cycles:50_000_000 ())
+  in
+  List.iter
+    (fun seed ->
+      let a = bare seed and b = observed seed in
+      Alcotest.(check bool) "same detection" a.Execution.detected
+        b.Execution.detected;
+      Alcotest.(check int) "same cycles" a.Execution.cycles b.Execution.cycles;
+      Alcotest.(check int) "same report count"
+        (List.length a.Execution.reports) (List.length b.Execution.reports);
+      Alcotest.(check string) "same program output" a.Execution.output
+        b.Execution.output)
+    [ 1; 2; 3 ]
+
+(* The trace points route through the sink: a detecting run emits the
+   structured decision/trap events. *)
+let test_trace_events_routed () =
+  let app = Option.get (Buggy_app.by_name "Heartbleed") in
+  let b = Buffer.create 4096 in
+  let detecting_seed =
+    match
+      Execution.run_until_detected ~app ~config:Config.csod_default ~max_runs:64
+    with
+    | Some (seed, _) -> seed
+    | None -> Alcotest.fail "no detecting seed"
+  in
+  ignore
+    (Event_sink.with_sink (Event_sink.to_buffer b) (fun () ->
+         Execution.run ~app ~config:Config.csod_default ~seed:detecting_seed ()));
+  let has kind =
+    let needle = Printf.sprintf "{\"event\":\"%s\"" kind in
+    let s = Buffer.contents b in
+    let nl = String.length needle in
+    let rec go i =
+      i + nl <= String.length s && (String.sub s i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "smu.decision events" true (has "smu.decision");
+  Alcotest.(check bool) "trap event" true (has "trap")
+
+(* ---------- JSON export ---------- *)
+
+let test_obs_json () =
+  Alcotest.(check string) "escaping and nesting"
+    "{\"s\":\"a\\\"b\\n\",\"l\":[1,true,null],\"f\":0.5}"
+    (Obs_json.to_string
+       (`Assoc
+         [ ("s", `String "a\"b\n"); ("l", `List [ `Int 1; `Bool true; `Null ]);
+           ("f", `Float 0.5) ]));
+  Alcotest.(check string) "non-finite floats become null" "[null,null]"
+    (Obs_json.to_string (`List [ `Float nan; `Float infinity ]))
+
+let test_telemetry_json () =
+  let m = Machine.create ~seed:1 () in
+  Machine.work_as m Profiler.Wmu_install 120;
+  Metrics.incr (Metrics.counter (Machine.registry m) "wmu.installs");
+  let s =
+    Telemetry.json_string (Machine.telemetry m)
+      ~total_cycles:(Clock.cycles (Machine.clock m))
+  in
+  List.iter
+    (fun needle ->
+      let nl = String.length needle in
+      let rec go i =
+        i + nl <= String.length s && (String.sub s i nl = needle || go (i + 1))
+      in
+      Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true (go 0))
+    [ "\"total_cycles\":120"; "\"wmu.installs\":1"; "\"wmu.install\":120" ]
+
+let suite =
+  [ Alcotest.test_case "counter basics" `Quick test_counter_basics;
+    Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
+    Alcotest.test_case "gauge high watermark" `Quick test_gauge;
+    Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_boundaries;
+    Alcotest.test_case "histogram default bounds" `Quick test_histogram_default_bounds;
+    Alcotest.test_case "profiler charges" `Quick test_profiler;
+    QCheck_alcotest.to_alcotest prop_profiler_registry_agree;
+    QCheck_alcotest.to_alcotest prop_machine_attribution;
+    Alcotest.test_case "in_phase: outermost wins" `Quick test_in_phase_outermost_wins;
+    Alcotest.test_case "event sink install/restore" `Quick test_event_sink;
+    Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
+    Alcotest.test_case "heartbleed metrics" `Quick test_heartbleed_metrics;
+    Alcotest.test_case "heartbleed profile coverage" `Quick
+      test_heartbleed_profile_coverage;
+    Alcotest.test_case "telemetry does not perturb" `Quick test_metrics_do_not_perturb;
+    Alcotest.test_case "trace events routed to sink" `Quick test_trace_events_routed;
+    Alcotest.test_case "json encoder" `Quick test_obs_json;
+    Alcotest.test_case "telemetry json export" `Quick test_telemetry_json ]
