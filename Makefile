@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test check bench metrics clean
+.PHONY: all build test check bench metrics validate clean
 
 all: build
 
@@ -24,6 +24,12 @@ bench:
 # Machine-readable JSONL telemetry for every workload (stdout only).
 metrics:
 	dune exec bench/main.exe -- metrics
+
+# Event-stream hygiene: the JSONL emitted by --events must be one JSON
+# object per line, never a torn line.
+validate:
+	dune exec bin/csod_run.exe -- run heartbleed --seed 3 --events /tmp/csod_events.jsonl > /dev/null
+	tools/validate_jsonl.sh /tmp/csod_events.jsonl
 
 clean:
 	dune clean

@@ -13,7 +13,7 @@
    `metrics` is an extra, explicit-only target (not part of the default
    everything run): it prints one JSONL record per workload with the run's
    metrics registry and cycle attribution — machine-readable counterparts
-   of the tables above.  Schema: csod.bench.metrics/1. *)
+   of the tables above.  Schema: csod.bench.metrics/2. *)
 
 let progress fmt = Printf.ksprintf (fun s -> Printf.eprintf "  .. %s\n%!" s) fmt
 
@@ -352,7 +352,7 @@ let syscalls () =
    stderr so the stream can be piped straight into jq.  The schema is
    versioned: additive changes keep /1, field renames or removals bump it. *)
 
-let metrics_schema = "csod.bench.metrics/1"
+let metrics_schema = "csod.bench.metrics/2"
 
 let metrics_record ~kind ~app ~config ~seed ~detected ~cycles ?tele_cycles tele =
   (* [cycles] is the workload's reported (possibly extrapolated) runtime;

@@ -99,6 +99,48 @@ let snapshot_cycles_of = function
     if sec <= 0.0 then 0
     else int_of_float (sec *. float_of_int Cost.cycles_per_second)
 
+(* Flight recorder options *)
+let flight_arg =
+  Arg.(value
+       & opt ~vopt:(Some Flight_recorder.default_capacity) (some int) None
+       & info [ "flight-recorder" ] ~docv:"N"
+           ~doc:"Record the last $(docv) lifecycle events (allocations, \
+                 sampling decisions, watchpoint installs/evictions, traps, \
+                 canary checks, probability changes) in an in-memory ring; \
+                 defaults to 65536 records when $(docv) is omitted.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the recorded execution as Chrome trace-event JSON to \
+                 $(docv) ($(b,-) for stdout) — open it in chrome://tracing or \
+                 ui.perfetto.dev.  Implies $(b,--flight-recorder).")
+
+let recorder_capacity ~flight ~trace_out =
+  match (flight, trace_out) with
+  | Some n, _ -> Some n
+  | None, Some _ -> Some Flight_recorder.default_capacity
+  | None, None -> None
+
+let write_trace file records =
+  let s =
+    Trace_export.to_string ~cycles_per_second:Cost.cycles_per_second records
+  in
+  match file with
+  | "-" ->
+    print_string s;
+    print_newline ()
+  | file ->
+    Out_channel.with_open_text file (fun oc ->
+        output_string oc s;
+        output_char oc '\n');
+    Printf.printf "trace written to %s\n" file
+
+let print_recorder_summary r =
+  Printf.printf "flight recorder: %d records kept (%d emitted, %d overwritten)\n"
+    (Flight_recorder.recorded r - Flight_recorder.dropped r)
+    (Flight_recorder.recorded r) (Flight_recorder.dropped r)
+
 (* Run [f] with a JSONL event sink streaming to [file], if one was asked
    for. *)
 let with_events file f =
@@ -191,7 +233,7 @@ let run_cmd =
          & info [] ~docv:"APP" ~doc:"Application name (see $(b,list)).")
   in
   let run name tool policy no_evidence benign seed runs store_file metrics profile
-      metrics_json events snapshot_sec =
+      metrics_json events snapshot_sec flight trace_out =
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S; try 'csod_run list'\n" name;
@@ -201,11 +243,25 @@ let run_cmd =
       let store = load_store store_file in
       let input = if benign then Execution.Benign else Execution.Buggy in
       let snapshot_cycles = snapshot_cycles_of snapshot_sec in
+      let cap = recorder_capacity ~flight ~trace_out in
       let detected = ref 0 in
       let last = ref None in
+      let last_rec = ref None in
       with_events events (fun () ->
           for s = seed to seed + runs - 1 do
-            let o = Execution.run ~app ~config ~input ~seed:s ~store ~snapshot_cycles () in
+            let execute () =
+              Execution.run ~app ~config ~input ~seed:s ~store ~snapshot_cycles ()
+            in
+            let o =
+              match cap with
+              | None -> execute ()
+              | Some capacity ->
+                (* A fresh recorder per execution so the kept recording is
+                   one coherent run, not a splice. *)
+                let r = Flight_recorder.create ~capacity () in
+                last_rec := Some r;
+                Flight_recorder.with_recorder r execute
+            in
             if runs = 1 then print_outcome app o;
             if o.Execution.detected then incr detected;
             last := Some o
@@ -224,13 +280,72 @@ let run_cmd =
         emit_telemetry ~metrics ~profile ~metrics_json o.Execution.telemetry
           ~cycles:o.Execution.cycles
       | None -> ());
+      (match !last_rec with
+      | Some r ->
+        if runs > 1 then
+          Printf.printf "(flight recording of the final execution, seed %d)\n"
+            (seed + runs - 1);
+        print_recorder_summary r;
+        (match trace_out with
+        | Some file -> write_trace file (Flight_recorder.records r)
+        | None -> ())
+      | None -> ());
       save_store store store_file
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a bundled buggy application under a detection tool.")
     Term.(const run $ app_arg $ tool_arg $ policy_arg $ no_evidence_arg $ benign_arg
           $ seed_arg $ runs_arg $ store_arg $ metrics_arg $ profile_arg
-          $ metrics_json_arg $ events_arg $ snapshot_arg)
+          $ metrics_json_arg $ events_arg $ snapshot_arg $ flight_arg
+          $ trace_out_arg)
+
+(* ---- explain: post-mortem diagnosis ---- *)
+
+let explain_cmd =
+  let app_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"APP" ~doc:"Application name (see $(b,list)).")
+  in
+  let run name policy no_evidence benign seed runs flight trace_out =
+    match Buggy_app.by_name name with
+    | None ->
+      Printf.eprintf "unknown application %S; try 'csod_run list'\n" name;
+      exit 1
+    | Some app ->
+      let config = Config.csod_with_policy policy ~evidence:(not no_evidence) in
+      let input = if benign then Execution.Benign else Execution.Buggy in
+      let capacity =
+        Option.value flight ~default:Flight_recorder.default_capacity
+      in
+      let a = Postmortem.analyze ~app ~config ~input ~seed ~capacity () in
+      Printf.printf "%s, %s, seed %d\n" app.Buggy_app.name (Config.label config)
+        seed;
+      print_string (Postmortem.render ~symbolize:(Execution.symbolizer app) a);
+      (match trace_out with
+      | Some file -> write_trace file a.Postmortem.records
+      | None -> ());
+      if runs > 1 then begin
+        Printf.printf "\n=== miss attribution over %d runs (seeds %d..%d) ===\n"
+          runs seed (seed + runs - 1);
+        let tally =
+          Effectiveness.miss_attribution ~app ~config ~runs ~from_seed:seed ()
+        in
+        List.iter
+          (fun (label, n) ->
+            Printf.printf "  %-24s %5d  (%.1f%%)\n" label n
+              (100.0 *. float_of_int n /. float_of_int runs))
+          tally
+      end
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Post-mortem diagnosis: run an app under CSOD with a flight \
+             recorder plus the ground-truth oracle, and explain why the bug \
+             was detected or missed (failed coin flips, lost watchpoints, \
+             probability timeline).  With $(b,--runs) N, also tally the \
+             verdicts across N seeds.")
+    Term.(const run $ app_arg $ policy_arg $ no_evidence_arg $ benign_arg
+          $ seed_arg $ runs_arg $ flight_arg $ trace_out_arg)
 
 (* ---- fleet ---- *)
 
@@ -280,7 +395,7 @@ let exec_cmd =
          & info [ "dump" ] ~doc:"Pretty-print the checked program and exit.")
   in
   let run file inputs module_name tool policy no_evidence seed store_file dump
-      metrics profile metrics_json events snapshot_sec =
+      metrics profile metrics_json events snapshot_sec flight trace_out =
     let source = In_channel.with_open_text file In_channel.input_all in
     match Program.load [ { Program.file; module_name; source } ] with
     | Error errs ->
@@ -298,25 +413,36 @@ let exec_cmd =
       let store = load_store store_file in
       let config = config_of ~tool ~policy ~no_evidence in
       let inst = Config.instantiate config ~machine ~heap ~store ~seed () in
+      let recorder =
+        Option.map
+          (fun capacity -> Flight_recorder.create ~capacity ())
+          (recorder_capacity ~flight ~trace_out)
+      in
+      let with_rec f =
+        match recorder with
+        | None -> f ()
+        | Some r -> Flight_recorder.with_recorder r f
+      in
       let crashed =
         with_events events (fun () ->
-            let crashed =
-              try
-                let r =
-                  Interp.run ~machine ~tool:inst.Config.tool ~program
-                    ~inputs:(Array.of_list inputs) ~app_seed:seed ()
+            with_rec (fun () ->
+                let crashed =
+                  try
+                    let r =
+                      Interp.run ~machine ~tool:inst.Config.tool ~program
+                        ~inputs:(Array.of_list inputs) ~app_seed:seed ()
+                    in
+                    print_string r.Interp.output;
+                    None
+                  with
+                  | Interp.Runtime_error (msg, loc) ->
+                    Some (Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg)
+                  | Heap.Error msg -> Some msg
                 in
-                print_string r.Interp.output;
-                None
-              with
-              | Interp.Runtime_error (msg, loc) ->
-                Some (Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg)
-              | Heap.Error msg -> Some msg
-            in
-            (* Termination handling inside the sink's scope: the canary
-               sweep at exit emits events too. *)
-            inst.Config.finish ();
-            crashed)
+                (* Termination handling inside the sink's and recorder's
+                   scope: the canary sweep at exit emits events too. *)
+                inst.Config.finish ();
+                crashed))
       in
       (match crashed with
       | Some msg -> Printf.printf "! program fault: %s\n" msg
@@ -343,13 +469,21 @@ let exec_cmd =
       if not (inst.Config.detected ()) then
         Printf.printf "no overflow detected in this execution\n";
       emit_telemetry ~metrics ~profile ~metrics_json (Machine.telemetry machine)
-        ~cycles:(Clock.cycles (Machine.clock machine))
+        ~cycles:(Clock.cycles (Machine.clock machine));
+      (match recorder with
+      | Some r ->
+        print_recorder_summary r;
+        (match trace_out with
+        | Some out -> write_trace out (Flight_recorder.records r)
+        | None -> ())
+      | None -> ())
   in
   Cmd.v
     (Cmd.info "exec" ~doc:"Run a MiniC source file under a detection tool.")
     Term.(const run $ file_arg $ inputs_arg $ module_arg $ tool_arg $ policy_arg
           $ no_evidence_arg $ seed_arg $ store_arg $ dump_arg $ metrics_arg
-          $ profile_arg $ metrics_json_arg $ events_arg $ snapshot_arg)
+          $ profile_arg $ metrics_json_arg $ events_arg $ snapshot_arg
+          $ flight_arg $ trace_out_arg)
 
 let () =
   (* --trace anywhere on the command line streams the runtime's sampling
@@ -363,4 +497,6 @@ let () =
     Cmd.info "csod_run" ~version:"1.0.0"
       ~doc:"Context-Sensitive Overflow Detection (CGO 2019) — simulation CLI"
   in
-  exit (Cmd.eval ~argv (Cmd.group info [ list_cmd; run_cmd; fleet_cmd; exec_cmd ]))
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group info [ list_cmd; run_cmd; explain_cmd; fleet_cmd; exec_cmd ]))

@@ -27,7 +27,9 @@ let plant m ~base ~size ~ctx_id ~canary =
 let check m ~app ~size ~expected =
   Metrics.incr (Metrics.counter (Machine.registry m) "canary.checks");
   Machine.work_as m Profiler.Canary_check Cost.canary_check;
-  Sparse_mem.read_u64 (Machine.mem m) (boundary_addr ~app ~size) = expected
+  let ok = Sparse_mem.read_u64 (Machine.mem m) (boundary_addr ~app ~size) = expected in
+  Flight_recorder.canary_check ~at:(Clock.cycles (Machine.clock m)) ~addr:app ~ok;
+  ok
 
 let read_header m ~app =
   let mem = Machine.mem m in

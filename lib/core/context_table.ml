@@ -44,6 +44,13 @@ let create ~params ~machine ~rng =
     watches = 0 }
 
 let now t = Clock.seconds (Machine.clock t.machine)
+let cycles t = Clock.cycles (Machine.clock t.machine)
+
+(* Flight-recorder hook for one probability transition; skipped entirely
+   (and the no-change case suppressed) when no recorder is installed. *)
+let note_prob t (e : entry) cause ~from_p =
+  if from_p <> e.prob then
+    Flight_recorder.prob ~at:(cycles t) ~ctx:e.id ~cause ~from_p ~to_p:e.prob
 
 let at_floor t e = e.prob <= t.params.Params.min_prob +. 1e-12
 
@@ -85,9 +92,12 @@ let on_allocation t ctx =
   e.allocs <- e.allocs + 1;
   Machine.work_as t.machine Profiler.Smu_lookup Cost.prob_update;
   let tnow = now t in
+  let recording = Flight_recorder.active () in
   (* Degradation on each allocation. *)
+  let before_decay = e.prob in
   e.prob <- e.prob -. t.params.Params.degrade_per_alloc;
   clamp_floor t e;
+  if recording then note_prob t e Flight_recorder.Decay ~from_p:before_decay;
   (* Burst bookkeeping: count allocations in the rolling window. *)
   if tnow -. e.window_start > t.params.Params.burst_window_sec then begin
     e.window_start <- tnow;
@@ -98,7 +108,13 @@ let on_allocation t ctx =
   end;
   e.window_count <- e.window_count + 1;
   if e.window_count > t.params.Params.burst_threshold then begin
-    if e.burst_until = 0.0 then Metrics.incr t.c_bursts;
+    if e.burst_until = 0.0 then begin
+      Metrics.incr t.c_bursts;
+      if recording then
+        Flight_recorder.prob ~at:(cycles t) ~ctx:e.id
+          ~cause:Flight_recorder.Throttle ~from_p:e.prob
+          ~to_p:t.params.Params.burst_prob
+    end;
     e.burst_until <- e.window_start +. t.params.Params.burst_window_sec
   end;
   (* Reviving: a floor-bound context may be boosted after a while. *)
@@ -109,8 +125,10 @@ let on_allocation t ctx =
     && Prng.below_percent t.rng 0.01
   then begin
     Metrics.incr t.c_revivals;
+    let before = e.prob in
     e.prob <- t.params.Params.revive_prob;
-    e.floor_since <- 0.0
+    e.floor_since <- 0.0;
+    if recording then note_prob t e Flight_recorder.Revive ~from_p:before
   end;
   e
 
@@ -123,13 +141,19 @@ let note_watched t (e : entry) =
   t.watches <- t.watches + 1;
   e.watches <- e.watches + 1;
   if not e.pinned then begin
+    let before = e.prob in
     e.prob <- e.prob *. t.params.Params.watch_decay_factor;
-    clamp_floor t e
+    clamp_floor t e;
+    if Flight_recorder.active () then
+      note_prob t e Flight_recorder.Halve_on_watch ~from_p:before
   end
 
-let pin _t e =
+let pin t e =
+  let before = e.prob in
   e.pinned <- true;
-  e.prob <- 1.0
+  e.prob <- 1.0;
+  if Flight_recorder.active () then
+    note_prob t e Flight_recorder.Pin ~from_p:before
 
 let find t key = Chained_table.find t.table key
 let find_by_id t id = Hashtbl.find_opt t.by_id id

@@ -40,4 +40,9 @@ let format ~symbolize t =
   frames t.alloc_backtrace;
   Buffer.contents buf
 
+let one_line ~symbolize t =
+  let site = match t.alloc_backtrace with a :: _ -> symbolize a | [] -> "?" in
+  Printf.sprintf "%s %s: object 0x%x (allocated at %s), tid %d, t=%.3fs"
+    (kind_name t.kind) (source_name t.source) t.object_addr site t.tid t.at_sec
+
 let pp ~symbolize ppf t = Format.pp_print_string ppf (format ~symbolize t)

@@ -41,4 +41,8 @@ val format : symbolize:(int -> string) -> t -> string
       <allocation frames>
     v} *)
 
+val one_line : symbolize:(int -> string) -> t -> string
+(** Compact single-line summary (kind, source, object, allocation site)
+    for post-mortem listings. *)
+
 val pp : symbolize:(int -> string) -> Format.formatter -> t -> unit

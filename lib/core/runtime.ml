@@ -27,10 +27,14 @@ type t = {
 }
 
 let now t = Clock.seconds (Machine.clock t.machine)
+let cycles t = Clock.cycles (Machine.clock t.machine)
 
 let record_overflow t (entry : Context_table.entry) report =
   t.reports <- report :: t.reports;
   Metrics.incr t.c_reports;
+  Flight_recorder.detection ~at:(cycles t) ~addr:report.Report.object_addr
+    ~ctx:entry.Context_table.id
+    ~source:(Report.source_name report.Report.source);
   Context_table.pin t.contexts entry;
   Persist.add t.store entry.Context_table.key
 
@@ -111,17 +115,30 @@ let consider_watch t (entry : Context_table.entry) ~app ~watch_addr =
     (* "Installation due to availability": the first few objects are
        watched regardless of probability (see {!Watch_table.in_startup}). *)
     Watch_table.install t.watches ~obj_addr:app ~watch_addr ~entry;
+    if Flight_recorder.active () then
+      Flight_recorder.decision ~at:(cycles t) ~addr:app
+        ~ctx:entry.Context_table.id ~prob:1.0 ~coin:true ~watched:true
+        ~startup:true;
     true
   end
   else begin
     Machine.work_as t.machine Profiler.Smu_decision Cost.rng_draw;
     let p = Context_table.effective_prob t.contexts entry in
-    if not (Prng.below_percent t.rng p) then false
-    else if Watch_table.has_free_slot t.watches then begin
-      Watch_table.install t.watches ~obj_addr:app ~watch_addr ~entry;
-      true
-    end
-    else Watch_table.try_replace t.watches ~obj_addr:app ~watch_addr ~entry ~new_prob:p
+    let coin = Prng.below_percent t.rng p in
+    let watched =
+      if not coin then false
+      else if Watch_table.has_free_slot t.watches then begin
+        Watch_table.install t.watches ~obj_addr:app ~watch_addr ~entry;
+        true
+      end
+      else
+        Watch_table.try_replace t.watches ~obj_addr:app ~watch_addr ~entry
+          ~new_prob:p
+    in
+    if Flight_recorder.active () then
+      Flight_recorder.decision ~at:(cycles t) ~addr:app
+        ~ctx:entry.Context_table.id ~prob:p ~coin ~watched ~startup:false;
+    watched
   end
 
 let csod_malloc t ~size ~ctx =
@@ -137,6 +154,11 @@ let csod_malloc t ~size ~ctx =
     else base
   in
   let watch_addr = Canary.boundary_addr ~app ~size in
+  if Flight_recorder.active () then begin
+    let site, off = entry.Context_table.key in
+    Flight_recorder.alloc ~at:(cycles t) ~addr:app ~size
+      ~ctx:entry.Context_table.id ~site ~off
+  end;
   let watched = consider_watch t entry ~app ~watch_addr in
   if watched then begin
     Metrics.incr t.c_watched;
@@ -177,15 +199,18 @@ let csod_free t ~ptr =
   else begin
     if Watch_table.on_free t.watches ~obj_addr:ptr then
       Trace.removed_on_free ~addr:ptr;
-    if evidence t then
-      match Canary.read_header t.machine ~app:ptr with
-      | Some (base, size, ctx_id) ->
-        check_canary t ~app:ptr ~size ~ctx_id ~source:Report.Canary_free;
-        Heap.free t.heap base
-      | None ->
-        (* No CSOD header: a foreign pointer; let the heap diagnose it. *)
-        Heap.free t.heap ptr
-    else Heap.free t.heap ptr
+    (if evidence t then
+       match Canary.read_header t.machine ~app:ptr with
+       | Some (base, size, ctx_id) ->
+         check_canary t ~app:ptr ~size ~ctx_id ~source:Report.Canary_free;
+         Heap.free t.heap base
+       | None ->
+         (* No CSOD header: a foreign pointer; let the heap diagnose it. *)
+         Heap.free t.heap ptr
+     else Heap.free t.heap ptr);
+    (* Recorded last so an object's story closes after its at-free canary
+       check and any detection that check produced. *)
+    Flight_recorder.free ~at:(cycles t) ~addr:ptr
   end
 
 let finish t =

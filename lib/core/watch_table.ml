@@ -104,6 +104,8 @@ let install t ~obj_addr ~watch_addr ~entry =
   Hashtbl.replace t.by_obj obj_addr wp;
   t.installs <- t.installs + 1;
   Metrics.incr t.c_installs;
+  Flight_recorder.watch ~at:(Clock.cycles (Machine.clock t.machine))
+    ~addr:obj_addr ~ctx:entry.Context_table.id;
   if t.installs >= Hw_breakpoint.num_slots then t.startup <- false
 
 let remove t wp =
@@ -122,6 +124,9 @@ let remove t wp =
 let replace_victim t victim ~obj_addr ~watch_addr ~entry =
   Trace.replaced ~victim:victim.obj_addr ~by:obj_addr;
   Metrics.incr t.c_replacements;
+  Flight_recorder.replace ~at:(Clock.cycles (Machine.clock t.machine))
+    ~victim:victim.obj_addr ~victim_ctx:victim.entry.Context_table.id
+    ~by:obj_addr ~by_ctx:entry.Context_table.id;
   Machine.in_phase t.machine Profiler.Wmu_replace (fun () ->
       remove t victim;
       install t ~obj_addr ~watch_addr ~entry)
@@ -175,6 +180,8 @@ let on_free t ~obj_addr =
   | Some wp ->
     remove t wp;
     Metrics.incr t.c_free_removals;
+    Flight_recorder.unwatch_free ~at:(Clock.cycles (Machine.clock t.machine))
+      ~addr:obj_addr;
     true
 
 let in_startup t = t.startup

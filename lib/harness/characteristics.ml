@@ -23,7 +23,7 @@ type table3_row = {
 let table3 () =
   List.map
     (fun (a : Buggy_app.t) ->
-      match Oracle.observe ~app:a ~input:Execution.Buggy with
+      match Oracle.observe ~app:a ~input:Execution.Buggy () with
       | Error e -> failwith (Printf.sprintf "oracle run of %s crashed: %s" a.Buggy_app.name e)
       | Ok t -> (
         match Oracle.first_overflow t with

@@ -15,6 +15,23 @@ let run_app ~app ~policy ~runs ?(from_seed = 1) () =
   done;
   !detected
 
+(* Where do the misses go?  Classify every run of an app with the
+   post-mortem verdict machinery and tally the labels — "coin-failed"
+   vs "watch-evicted" etc. tells you whether sampling or replacement is
+   the bottleneck for this workload. *)
+let miss_attribution ~app ~config ?(runs = 20) ?(from_seed = 1)
+    ?(progress = fun _ -> ()) () =
+  let tally = Hashtbl.create 8 in
+  for seed = from_seed to from_seed + runs - 1 do
+    let a = Postmortem.analyze ~app ~config ~seed () in
+    let label = Postmortem.verdict_label a.Postmortem.verdict in
+    Hashtbl.replace tally label
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tally label));
+    progress (Printf.sprintf "seed %d: %s" seed label)
+  done;
+  Hashtbl.fold (fun label n acc -> (label, n) :: acc) tally []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
 let table2 ?(runs = 1000) ?(progress = fun _ -> ()) () =
   List.map
     (fun app ->

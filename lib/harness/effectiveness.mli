@@ -21,6 +21,15 @@ val run_app :
 (** Number of executions (seeds [from_seed..from_seed+runs-1], default from
     1) in which a watchpoint caught the overflow. *)
 
+val miss_attribution :
+  app:Buggy_app.t -> config:Config.t -> ?runs:int -> ?from_seed:int ->
+  ?progress:(string -> unit) -> unit -> (string * int) list
+(** Run [runs] (default 20) seeded executions through {!Postmortem.analyze}
+    and tally the verdict labels (most frequent first): how often the bug
+    was detected, how often the coin flip failed, how often an eviction
+    lost the watchpoint, and so on.  [progress] receives one line per
+    seed. *)
+
 val table2 : ?runs:int -> ?progress:(string -> unit) -> unit -> row list
 (** The full experiment over all nine applications (default 1,000 runs,
     matching the paper).  [progress] receives one message per

@@ -110,9 +110,9 @@ let first_overflow t = t.first
 let total_contexts t = Hashtbl.length t.contexts
 let total_allocations t = t.allocs
 
-let observe ~(app : Buggy_app.t) ~input =
+let observe ?(seed = 1) ~(app : Buggy_app.t) ~input () =
   let program = Buggy_app.program app in
-  let machine = Machine.create ~seed:1 () in
+  let machine = Machine.create ~seed () in
   let heap = Heap.create machine in
   let t = create machine heap in
   let inputs =
@@ -122,7 +122,7 @@ let observe ~(app : Buggy_app.t) ~input =
   in
   try
     let (_ : Interp.result) =
-      Interp.run ~machine ~tool:(tool t) ~program ~inputs ~app_seed:1 ()
+      Interp.run ~machine ~tool:(tool t) ~program ~inputs ~app_seed:seed ()
     in
     Ok t
   with

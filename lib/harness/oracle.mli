@@ -36,7 +36,10 @@ val total_contexts : t -> int
 val total_allocations : t -> int
 
 val observe :
-  app:Buggy_app.t -> input:Execution.input_choice ->
+  ?seed:int -> app:Buggy_app.t -> input:Execution.input_choice -> unit ->
   (t, string) result
-(** Run the app once under the oracle (seed 1) and return it for
-    inspection; [Error] carries a crash message if the program faulted. *)
+(** Run the app once under the oracle and return it for inspection;
+    [Error] carries a crash message if the program faulted.  [seed]
+    (default 1) seeds both the machine and the program-visible [rand], so
+    an oracle run can be paired with a detection run of the same seed for
+    allocation-index correlation. *)

@@ -87,7 +87,19 @@ let in_phase t phase f =
   if t.phase <> Profiler.App then f ()
   else begin
     t.phase <- phase;
-    Fun.protect ~finally:(fun () -> t.phase <- Profiler.App) f
+    let started = Clock.cycles t.clock in
+    Fun.protect
+      ~finally:(fun () ->
+        t.phase <- Profiler.App;
+        (* Flight-recorder span for the outermost interval.  Reading the
+           clock never advances it, so recording cannot perturb the run. *)
+        if Flight_recorder.active () then begin
+          let stopped = Clock.cycles t.clock in
+          if stopped > started then
+            Flight_recorder.phase ~name:(Profiler.name phase) ~start:started
+              ~stop:stopped
+        end)
+      f
   end
 
 let set_backtrace_provider t f = t.backtrace_provider <- Some f
@@ -99,6 +111,10 @@ let deliver_trap t ~fd ~access_addr ~kind =
   t.traps <- t.traps + 1;
   Stats.Counter.incr t.counters "traps";
   Metrics.incr t.c_traps;
+  if Flight_recorder.active () then
+    Flight_recorder.trap ~at:(Clock.cycles t.clock) ~addr:access_addr
+      ~access:(match kind with Hw_breakpoint.Read -> "read" | Hw_breakpoint.Write -> "write")
+      ~tid:(Threads.current t.threads);
   in_phase t Profiler.Trap_dispatch (fun () ->
       charge t Cost.trap_delivery;
       match t.trap_handler with

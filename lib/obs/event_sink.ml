@@ -1,12 +1,17 @@
-type t = { write : string -> unit; mutable events : int }
+type t = { write : string -> unit; flush : unit -> unit; mutable events : int }
 
-let make write = { write; events = 0 }
+let make ?(flush = fun () -> ()) write = { write; flush; events = 0 }
 
-let to_channel oc = make (fun line -> output_string oc line; output_char oc '\n')
+let to_channel oc =
+  make
+    (fun line -> output_string oc line; output_char oc '\n')
+    ~flush:(fun () -> flush oc)
 
-let to_buffer buf = make (fun line -> Buffer.add_string buf line; Buffer.add_char buf '\n')
+let to_buffer buf =
+  make (fun line -> Buffer.add_string buf line; Buffer.add_char buf '\n')
 
 let events t = t.events
+let flush t = t.flush ()
 
 (* The installed sink is process-global: trace points are module-level
    functions with no handle to thread a sink through (mirroring how the
@@ -15,7 +20,14 @@ let events t = t.events
 let current : t option ref = ref None
 
 let install t = current := Some t
-let uninstall () = current := None
+
+(* Flushing on uninstall is the no-truncation guarantee: a JSONL file is
+   complete up to its last newline the moment the sink is detached, even
+   if the process later exits without closing the channel. *)
+let uninstall () =
+  (match !current with Some t -> t.flush () | None -> ());
+  current := None
+
 let active () = !current <> None
 
 let emit name fields =
@@ -28,4 +40,8 @@ let emit name fields =
 let with_sink t f =
   let prev = !current in
   current := Some t;
-  Fun.protect ~finally:(fun () -> current := prev) f
+  Fun.protect
+    ~finally:(fun () ->
+      t.flush ();
+      current := prev)
+    f

@@ -11,19 +11,30 @@
 
 type t
 
+val make : ?flush:(unit -> unit) -> (string -> unit) -> t
+(** [make write] builds a sink from a line writer; [flush] (default a
+    no-op) is called by {!uninstall}, {!with_sink} and {!flush}. *)
+
 val to_channel : out_channel -> t
-(** Lines are written (and flushed only by the channel's own buffering) to
-    [oc]; the caller owns and closes the channel. *)
+(** Lines are written to [oc] under the channel's own buffering; the
+    sink's flush flushes [oc].  The caller owns and closes the channel. *)
 
 val to_buffer : Buffer.t -> t
 
 val events : t -> int
 (** Number of events written through this sink. *)
 
+val flush : t -> unit
+
 (** {1 The process-global sink} *)
 
 val install : t -> unit
+
 val uninstall : unit -> unit
+(** Detaches (and first flushes) the installed sink, so a JSONL file is
+    never left truncated mid-line even if the process exits without
+    closing the underlying channel. *)
+
 val active : unit -> bool
 
 val emit : string -> (string * Obs_json.t) list -> unit
@@ -32,5 +43,5 @@ val emit : string -> (string * Obs_json.t) list -> unit
     check {!active} first so field lists are never built needlessly. *)
 
 val with_sink : t -> (unit -> 'a) -> 'a
-(** Install [t] for the duration of the callback, restoring the previous
-    sink afterwards (used by tests). *)
+(** Install [t] for the duration of the callback, flushing it and
+    restoring the previous sink afterwards (used by tests). *)

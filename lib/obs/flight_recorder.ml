@@ -1,0 +1,153 @@
+type prob_cause = Decay | Halve_on_watch | Throttle | Revive | Pin
+
+let prob_cause_name = function
+  | Decay -> "decay"
+  | Halve_on_watch -> "halve-on-watch"
+  | Throttle -> "burst-throttle"
+  | Revive -> "revive"
+  | Pin -> "evidence-pin"
+
+type kind =
+  | Alloc of { index : int; addr : int; size : int; ctx : int; site : int; off : int }
+  | Decision of {
+      addr : int;
+      ctx : int;
+      prob : float;
+      coin : bool;
+      watched : bool;
+      startup : bool;
+    }
+  | Watch of { addr : int; ctx : int }
+  | Replace of { victim : int; victim_ctx : int; by : int; by_ctx : int }
+  | Unwatch_free of { addr : int }
+  | Free of { addr : int }
+  | Trap of { addr : int; access : string; tid : int }
+  | Canary_check of { addr : int; ok : bool }
+  | Detection of { addr : int; ctx : int; source : string }
+  | Prob of { ctx : int; cause : prob_cause; from_p : float; to_p : float }
+  | Phase of { phase : string; start : int; stop : int }
+
+type record = { seq : int; at : int; kind : kind }
+
+type t = {
+  ring : record Ring.t;
+  mutable seq : int; (* records ever emitted, = seq of the next record *)
+  mutable allocs : int; (* Alloc records ever emitted: the 1-based index *)
+  mutable dropped : int;
+  mutable detections : int;
+}
+
+let default_capacity = 65_536
+
+let create ?(capacity = default_capacity) () =
+  { ring = Ring.create ~capacity; seq = 0; allocs = 0; dropped = 0; detections = 0 }
+
+let capacity t = Ring.capacity t.ring
+let records t = Ring.to_list t.ring
+let recorded t = t.seq
+let dropped t = t.dropped
+let alloc_count t = t.allocs
+let detection_count t = t.detections
+
+(* Process-global, like {!Event_sink}: the hooks live in module-level
+   runtime code with no handle to thread a recorder through. *)
+let current : t option ref = ref None
+
+let install t = current := Some t
+let uninstall () = current := None
+let active () = !current <> None
+
+let with_recorder t f =
+  let prev = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := prev) f
+
+let push t ~at kind =
+  let r = { seq = t.seq; at; kind } in
+  t.seq <- t.seq + 1;
+  if Ring.push_overwriting t.ring r <> None then t.dropped <- t.dropped + 1
+
+let emit ~at kind = match !current with None -> () | Some t -> push t ~at kind
+
+(* ---- JSON export (used by the automatic dump-on-detection) ---- *)
+
+let kind_fields = function
+  | Alloc { index; addr; size; ctx; site; off } ->
+    ( "alloc",
+      [ ("index", `Int index); ("addr", `Int addr); ("size", `Int size);
+        ("ctx", `Int ctx); ("site", `Int site); ("stack_offset", `Int off) ] )
+  | Decision { addr; ctx; prob; coin; watched; startup } ->
+    ( "decision",
+      [ ("addr", `Int addr); ("ctx", `Int ctx); ("prob", `Float prob);
+        ("coin", `Bool coin); ("watched", `Bool watched);
+        ("startup", `Bool startup) ] )
+  | Watch { addr; ctx } -> ("watch", [ ("addr", `Int addr); ("ctx", `Int ctx) ])
+  | Replace { victim; victim_ctx; by; by_ctx } ->
+    ( "replace",
+      [ ("victim", `Int victim); ("victim_ctx", `Int victim_ctx);
+        ("by", `Int by); ("by_ctx", `Int by_ctx) ] )
+  | Unwatch_free { addr } -> ("unwatch_free", [ ("addr", `Int addr) ])
+  | Free { addr } -> ("free", [ ("addr", `Int addr) ])
+  | Trap { addr; access; tid } ->
+    ("trap", [ ("addr", `Int addr); ("access", `String access); ("tid", `Int tid) ])
+  | Canary_check { addr; ok } ->
+    ("canary_check", [ ("addr", `Int addr); ("ok", `Bool ok) ])
+  | Detection { addr; ctx; source } ->
+    ( "detection",
+      [ ("addr", `Int addr); ("ctx", `Int ctx); ("source", `String source) ] )
+  | Prob { ctx; cause; from_p; to_p } ->
+    ( "prob",
+      [ ("ctx", `Int ctx); ("cause", `String (prob_cause_name cause));
+        ("from", `Float from_p); ("to", `Float to_p) ] )
+  | Phase { phase; start; stop } ->
+    ("phase", [ ("phase", `String phase); ("start", `Int start); ("stop", `Int stop) ])
+
+let record_to_json r : Obs_json.t =
+  let name, fields = kind_fields r.kind in
+  `Assoc (("kind", `String name) :: ("seq", `Int r.seq) :: ("at", `Int r.at) :: fields)
+
+let dump_to_sink t =
+  Event_sink.emit "flight.dump"
+    [ ("recorded", `Int t.seq); ("dropped", `Int t.dropped);
+      ("records", `List (List.map record_to_json (records t))) ]
+
+(* ---- typed hooks ----
+
+   Each is a single branch when no recorder is installed.  None of them
+   reads the PRNG or advances the clock, so recording cannot perturb the
+   simulated execution. *)
+
+let alloc ~at ~addr ~size ~ctx ~site ~off =
+  match !current with
+  | None -> ()
+  | Some t ->
+    t.allocs <- t.allocs + 1;
+    push t ~at (Alloc { index = t.allocs; addr; size; ctx; site; off })
+
+let decision ~at ~addr ~ctx ~prob ~coin ~watched ~startup =
+  emit ~at (Decision { addr; ctx; prob; coin; watched; startup })
+
+let watch ~at ~addr ~ctx = emit ~at (Watch { addr; ctx })
+
+let replace ~at ~victim ~victim_ctx ~by ~by_ctx =
+  emit ~at (Replace { victim; victim_ctx; by; by_ctx })
+
+let unwatch_free ~at ~addr = emit ~at (Unwatch_free { addr })
+let free ~at ~addr = emit ~at (Free { addr })
+let trap ~at ~addr ~access ~tid = emit ~at (Trap { addr; access; tid })
+let canary_check ~at ~addr ~ok = emit ~at (Canary_check { addr; ok })
+
+let detection ~at ~addr ~ctx ~source =
+  match !current with
+  | None -> ()
+  | Some t ->
+    t.detections <- t.detections + 1;
+    push t ~at (Detection { addr; ctx; source });
+    (* The automatic dump: a detection is the moment the history matters,
+       so the whole (bounded) ring goes to the event stream if one is on. *)
+    if Event_sink.active () then dump_to_sink t
+
+let prob ~at ~ctx ~cause ~from_p ~to_p =
+  emit ~at (Prob { ctx; cause; from_p; to_p })
+
+let phase ~name ~start ~stop = emit ~at:stop (Phase { phase = name; start; stop })

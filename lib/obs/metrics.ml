@@ -99,6 +99,24 @@ let observe h v =
   let i = bucket_index h v in
   h.buckets.(i) <- h.buckets.(i) + 1
 
+(* Bucketed percentile: the upper bound of the bucket holding the q-th
+   observation.  Values in the final (unbounded) bucket saturate to the
+   largest finite bound — the histogram retains no finer information. *)
+let percentile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.percentile: q outside [0, 1]";
+  let n_bounds = Array.length h.bounds in
+  if h.observations = 0 || n_bounds = 0 then 0
+  else begin
+    let target = max 1 (int_of_float (ceil (q *. float_of_int h.observations))) in
+    let rec go i cum =
+      if i >= Array.length h.buckets then h.bounds.(n_bounds - 1)
+      else
+        let cum = cum + h.buckets.(i) in
+        if cum >= target then h.bounds.(min i (n_bounds - 1)) else go (i + 1) cum
+    in
+    go 0 0
+  end
+
 let observations h = h.observations
 let hist_sum h = h.sum
 let bucket_counts h = Array.copy h.buckets
@@ -132,6 +150,8 @@ let to_json t : Obs_json.t =
       h.buckets;
     `Assoc
       [ ("observations", `Int h.observations); ("sum", `Int h.sum);
+        ("p50", `Int (percentile h 0.50)); ("p90", `Int (percentile h 0.90));
+        ("p99", `Int (percentile h 0.99));
         ("buckets", `Assoc (List.rev !cells)) ]
   in
   `Assoc

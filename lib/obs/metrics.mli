@@ -51,6 +51,13 @@ val histogram : t -> ?bounds:int array -> string -> histogram
 val observe : histogram -> int -> unit
 (** A value [v] lands in the first bucket with bound [>= v]. *)
 
+val percentile : histogram -> float -> int
+(** [percentile h q] (with [q] in [\[0, 1\]]) returns the upper bound of
+    the bucket containing the [q]-th observation — the resolution a
+    fixed-bucket histogram affords.  Values landing in the final
+    (unbounded) bucket saturate to the largest finite bound; an empty
+    histogram reports [0].  Raises [Invalid_argument] outside [\[0, 1\]]. *)
+
 val observations : histogram -> int
 val hist_sum : histogram -> int
 val bucket_counts : histogram -> int array

@@ -1,0 +1,133 @@
+(* Chrome trace-event JSON from flight-recorder records.
+
+   The output is the "JSON object format": {"traceEvents": [...]} with
+   phase intervals as complete ("X") slices, object lifecycles as async
+   ("b"/"n"/"e") spans keyed by object address, context probabilities as
+   counter ("C") tracks, and detections as global instants ("i").  Both
+   chrome://tracing and ui.perfetto.dev open it directly. *)
+
+open Flight_recorder
+
+let runtime_pid = 0
+let objects_pid = 1
+
+let us_of ~cycles_per_second cycles =
+  float_of_int cycles /. float_of_int cycles_per_second *. 1e6
+
+let event ?(args = []) ~name ~ph ~ts ~pid fields : Obs_json.t =
+  `Assoc
+    (( [ ("name", `String name); ("ph", `String ph); ("ts", `Float ts);
+         ("pid", `Int pid) ]
+     @ fields
+     @ match args with [] -> [] | _ -> [ ("args", `Assoc args) ] ))
+
+let metadata ~name ~pid ~value : Obs_json.t =
+  `Assoc
+    [ ("name", `String name); ("ph", `String "M"); ("pid", `Int pid);
+      ("ts", `Float 0.0); ("args", `Assoc [ ("name", `String value) ]) ]
+
+let obj_name addr = Printf.sprintf "obj 0x%x" addr
+let obj_id addr = `String (Printf.sprintf "0x%x" addr)
+
+(* Objects worth an async track: anything beyond a plain alloc/free pair,
+   otherwise large runs flood the trace with thousands of silent spans. *)
+let interesting_addrs recs =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      match r.kind with
+      | Watch { addr; _ } | Replace { victim = addr; _ }
+      | Trap { addr; _ } | Detection { addr; _ } ->
+        Hashtbl.replace tbl addr ()
+      | Canary_check { addr; ok = false } -> Hashtbl.replace tbl addr ()
+      | _ -> ())
+    recs;
+  tbl
+
+let async ~interest ~us addr r ~name ~ph ?(args = []) () =
+  if Hashtbl.mem interest addr then
+    Some
+      (event ~name ~ph ~ts:(us r.at) ~pid:objects_pid
+         [ ("cat", `String "object"); ("id", obj_id addr); ("tid", `Int 0) ]
+         ~args)
+  else None
+
+let to_json ~cycles_per_second recs =
+  let us = us_of ~cycles_per_second in
+  let interest = interesting_addrs recs in
+  let last_at = List.fold_left (fun acc r -> max acc r.at) 0 recs in
+  let open_spans = Hashtbl.create 16 in
+  let events =
+    List.filter_map
+      (fun r ->
+        match r.kind with
+        | Phase { phase; start; stop } ->
+          Some
+            (event ~name:phase ~ph:"X" ~ts:(us start) ~pid:runtime_pid
+               [ ("cat", `String "phase"); ("tid", `Int 0);
+                 ("dur", `Float (us (stop - start))) ])
+        | Alloc { addr; index; size; ctx; _ } ->
+          if Hashtbl.mem interest addr then Hashtbl.replace open_spans addr ();
+          async ~interest ~us addr r ~name:(obj_name addr) ~ph:"b"
+            ~args:[ ("index", `Int index); ("size", `Int size); ("ctx", `Int ctx) ]
+            ()
+        | Free { addr } ->
+          Hashtbl.remove open_spans addr;
+          async ~interest ~us addr r ~name:(obj_name addr) ~ph:"e" ()
+        | Decision { addr; prob; watched; _ } ->
+          async ~interest ~us addr r
+            ~name:
+              (Printf.sprintf "decision p=%.3f%% -> %s" (prob *. 100.)
+                 (if watched then "watch" else "skip"))
+            ~ph:"n" ()
+        | Watch { addr; _ } ->
+          async ~interest ~us addr r ~name:"watchpoint installed" ~ph:"n" ()
+        | Replace { victim; by; _ } ->
+          async ~interest ~us victim r
+            ~name:(Printf.sprintf "evicted by 0x%x" by)
+            ~ph:"n" ()
+        | Unwatch_free { addr } ->
+          async ~interest ~us addr r ~name:"watchpoint removed (free)" ~ph:"n" ()
+        | Trap { addr; access; tid } ->
+          async ~interest ~us addr r
+            ~name:(Printf.sprintf "TRAP %s (tid %d)" access tid)
+            ~ph:"n" ()
+        | Canary_check { addr; ok } ->
+          async ~interest ~us addr r
+            ~name:(if ok then "canary ok" else "canary CORRUPT")
+            ~ph:"n" ()
+        | Detection { addr; source; _ } ->
+          Some
+            (event
+               ~name:(Printf.sprintf "DETECTION via %s: obj 0x%x" source addr)
+               ~ph:"i" ~ts:(us r.at) ~pid:runtime_pid
+               [ ("cat", `String "detection"); ("tid", `Int 0); ("s", `String "g") ])
+        | Prob { ctx; to_p; _ } ->
+          Some
+            (event
+               ~name:(Printf.sprintf "ctx#%d prob" ctx)
+               ~ph:"C" ~ts:(us r.at) ~pid:runtime_pid
+               [ ("tid", `Int 0) ]
+               ~args:[ ("percent", `Float (to_p *. 100.)) ]))
+      recs
+  in
+  (* Close spans still open at the end of the recording so viewers never
+     see a dangling async begin. *)
+  let closers =
+    Hashtbl.fold
+      (fun addr () acc ->
+        event ~name:(obj_name addr) ~ph:"e" ~ts:(us last_at) ~pid:objects_pid
+          [ ("cat", `String "object"); ("id", obj_id addr); ("tid", `Int 0) ]
+        :: acc)
+      open_spans []
+  in
+  `Assoc
+    [ ( "traceEvents",
+        `List
+          (metadata ~name:"process_name" ~pid:runtime_pid ~value:"csod runtime"
+           :: metadata ~name:"process_name" ~pid:objects_pid ~value:"heap objects"
+           :: (events @ closers)) );
+      ("displayTimeUnit", `String "ms") ]
+
+let to_string ~cycles_per_second recs =
+  Obs_json.to_string (to_json ~cycles_per_second recs)

@@ -1,0 +1,26 @@
+(** Chrome trace-event JSON exporter.
+
+    Renders a {!Flight_recorder} recording on the virtual clock in the
+    trace-event "JSON object format" understood by [chrome://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto}:
+
+    - profiler phase intervals as complete (["X"]) slices on the
+      ["csod runtime"] process;
+    - object lifecycles (alloc → watch → evict → trap → canary → free) as
+      async (["b"]/["n"]/["e"]) spans keyed by object address on the
+      ["heap objects"] process — only objects that were ever watched,
+      evicted, trapped or canary-corrupted get a track, so big runs stay
+      readable;
+    - context sampling probabilities as counter (["C"]) tracks;
+    - detections as global instant (["i"]) events.
+
+    Timestamps convert virtual cycles to microseconds via
+    [cycles_per_second] (pass {!Cost.cycles_per_second}). *)
+
+val to_json :
+  cycles_per_second:int -> Flight_recorder.record list -> Obs_json.t
+
+val to_string :
+  cycles_per_second:int -> Flight_recorder.record list -> string
+(** One JSON document (not JSONL): write it to a [.json] file and open it
+    in a trace viewer. *)

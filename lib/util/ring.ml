@@ -19,6 +19,18 @@ let push t x =
   t.slots.(tail) <- Some x;
   t.len <- t.len + 1
 
+let push_overwriting t x =
+  if is_full t then begin
+    let dropped = t.slots.(t.head) in
+    t.slots.(t.head) <- Some x;
+    t.head <- (t.head + 1) mod capacity t;
+    dropped
+  end
+  else begin
+    push t x;
+    None
+  end
+
 let pop t =
   if t.len = 0 then None
   else begin

@@ -20,6 +20,12 @@ val is_full : _ t -> bool
 val push : 'a t -> 'a -> unit
 (** [push t x] appends [x] at the tail.  Raises [Failure] if full. *)
 
+val push_overwriting : 'a t -> 'a -> 'a option
+(** [push_overwriting t x] appends [x] at the tail; when the ring is full
+    the oldest element is overwritten (and returned) instead of failing.
+    This is the flight-recorder discipline: the buffer is bounded and the
+    most recent history always wins.  O(1), no allocation beyond [Some]. *)
+
 val pop : 'a t -> 'a option
 (** [pop t] removes and returns the head (oldest element). *)
 

@@ -4,7 +4,7 @@
    benign-input cleanliness. *)
 
 let oracle_of app =
-  match Oracle.observe ~app ~input:Execution.Buggy with
+  match Oracle.observe ~app ~input:Execution.Buggy () with
   | Ok t -> t
   | Error e -> Alcotest.fail (Printf.sprintf "%s crashed: %s" app.Buggy_app.name e)
 
@@ -56,7 +56,7 @@ let test_vuln_classes () =
 let test_benign_runs_clean () =
   List.iter
     (fun app ->
-      match Oracle.observe ~app ~input:Execution.Benign with
+      match Oracle.observe ~app ~input:Execution.Benign () with
       | Error e -> Alcotest.fail (app.Buggy_app.name ^ " benign crashed: " ^ e)
       | Ok t ->
         Alcotest.(check bool)

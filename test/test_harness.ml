@@ -261,7 +261,88 @@ let test_crash_still_checked () =
          || r.Report.source = Report.Watchpoint)
        o.Execution.reports)
 
+(* ---------- Post-mortem diagnosis ---------- *)
+
+let contains s needle =
+  let nl = String.length needle in
+  let rec go i =
+    i + nl <= String.length s && (String.sub s i nl = needle || go (i + 1))
+  in
+  go 0
+
+(* Acceptance check: explaining Heartbleed names the overflowing
+   allocation context and walks its probability timeline, whether this
+   seed detected the bug or missed it. *)
+let test_postmortem_heartbleed () =
+  let app = Option.get (Buggy_app.by_name "Heartbleed") in
+  let a =
+    Postmortem.analyze ~app ~config:Config.csod_default ~seed:3 ()
+  in
+  (match a.Postmortem.oracle with
+  | None -> Alcotest.fail "oracle must observe the Heartbleed overflow"
+  | Some ov ->
+    Alcotest.(check bool) "oracle indexed the allocation" true
+      (ov.Oracle.alloc_index > 0));
+  Alcotest.(check bool) "target correlated by alloc index" true
+    (a.Postmortem.target_addr <> None);
+  let rendered =
+    Postmortem.render ~symbolize:(Execution.symbolizer app) a
+  in
+  (* The paper's Heartbleed victim is allocated in crypto_malloc. *)
+  Alcotest.(check bool) "names the overflowing allocation context" true
+    (contains rendered "crypto_malloc");
+  Alcotest.(check bool) "shows the probability timeline" true
+    (contains rendered "probability timeline");
+  Alcotest.(check bool) "shows a decay transition" true
+    (contains rendered "decay");
+  match a.Postmortem.verdict with
+  | Postmortem.Detected _ ->
+    Alcotest.(check bool) "a detection report exists" true
+      (a.Postmortem.outcome.Execution.reports <> [])
+  | v ->
+    (* A miss must still be diagnosed with a concrete mechanism. *)
+    Alcotest.(check bool) "miss has a mechanical verdict" true
+      (List.mem (Postmortem.verdict_label v)
+         [ "coin-failed"; "outbid"; "watch-evicted"; "removed-on-free";
+           "watched-no-trap" ])
+
+(* The verdict agrees with the outcome, across several seeds: Detected
+   exactly when the execution produced reports. *)
+let test_postmortem_verdict_consistent () =
+  let app = Option.get (Buggy_app.by_name "Heartbleed") in
+  List.iter
+    (fun seed ->
+      let a =
+        Postmortem.analyze ~app ~config:Config.csod_no_evidence ~seed ()
+      in
+      let detected =
+        match a.Postmortem.verdict with Postmortem.Detected _ -> true | _ -> false
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d verdict matches outcome" seed)
+        a.Postmortem.outcome.Execution.detected detected)
+    [ 1; 5; 7 ]
+
+let test_miss_attribution_tally () =
+  let app = Option.get (Buggy_app.by_name "Heartbleed") in
+  let tally =
+    Effectiveness.miss_attribution ~app ~config:Config.csod_no_evidence
+      ~runs:6 ()
+  in
+  Alcotest.(check int) "tally covers every run" 6
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 tally);
+  List.iter
+    (fun (label, n) ->
+      Alcotest.(check bool) (label ^ " positive") true (n > 0))
+    tally
+
 let suite =
   suite
   @ [ Alcotest.test_case "crashing program still checked at exit" `Quick
-        test_crash_still_checked ]
+        test_crash_still_checked;
+      Alcotest.test_case "postmortem: heartbleed explained" `Quick
+        test_postmortem_heartbleed;
+      Alcotest.test_case "postmortem: verdict matches outcome" `Quick
+        test_postmortem_verdict_consistent;
+      Alcotest.test_case "miss attribution tally" `Quick
+        test_miss_attribution_tally ]

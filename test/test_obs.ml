@@ -287,6 +287,319 @@ let test_telemetry_json () =
       Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true (go 0))
     [ "\"total_cycles\":120"; "\"wmu.installs\":1"; "\"wmu.install\":120" ]
 
+(* ---------- Sinks flush on uninstall (truncated-JSONL regression) ---------- *)
+
+let test_sink_flush_on_uninstall () =
+  let file = Filename.temp_file "csod_sink" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      Event_sink.install (Event_sink.to_channel oc);
+      Event_sink.emit "e1" [ ("n", `Int 1) ];
+      (* The channel stays open: only uninstall's flush can make the line
+         visible.  Before the fix this read back empty (or a torn line). *)
+      Event_sink.uninstall ();
+      let written = In_channel.with_open_text file In_channel.input_all in
+      close_out oc;
+      Alcotest.(check string) "uninstall flushed the buffered line"
+        "{\"event\":\"e1\",\"n\":1}\n" written)
+
+let test_with_sink_flushes () =
+  let file = Filename.temp_file "csod_sink" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      Event_sink.with_sink (Event_sink.to_channel oc) (fun () ->
+          Event_sink.emit "a" [];
+          Event_sink.emit "b" [ ("x", `Bool true) ]);
+      let written = In_channel.with_open_text file In_channel.input_all in
+      close_out oc;
+      Alcotest.(check string) "both lines complete"
+        "{\"event\":\"a\"}\n{\"event\":\"b\",\"x\":true}\n" written)
+
+(* ---------- Histogram percentiles ---------- *)
+
+let test_histogram_percentiles () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~bounds:[| 10; 20; 30 |] "h" in
+  Alcotest.(check int) "empty histogram" 0 (Metrics.percentile h 0.5);
+  List.iter (Metrics.observe h) [ 1; 2; 3; 4; 5; 6; 7; 8; 25 ];
+  (* 9 observations: the 5th sits in the <=10 bucket, the 9th in <=30. *)
+  Alcotest.(check int) "p50" 10 (Metrics.percentile h 0.5);
+  Alcotest.(check int) "p90" 30 (Metrics.percentile h 0.9);
+  Alcotest.(check int) "p0 is the first occupied bucket" 10
+    (Metrics.percentile h 0.0);
+  Metrics.observe h 1_000_000;
+  (* The unbounded overflow bucket saturates to the largest finite bound. *)
+  Alcotest.(check int) "overflow saturates" 30 (Metrics.percentile h 0.99);
+  Alcotest.check_raises "q outside [0, 1]"
+    (Invalid_argument "Metrics.percentile: q outside [0, 1]") (fun () ->
+      ignore (Metrics.percentile h 1.5))
+
+let test_histogram_json_has_percentiles () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~bounds:[| 10; 20 |] "sizes" in
+  List.iter (Metrics.observe h) [ 5; 15; 15 ];
+  let s = Obs_json.to_string (Metrics.to_json reg) in
+  let contains needle =
+    let nl = String.length needle in
+    let rec go i =
+      i + nl <= String.length s && (String.sub s i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %s" needle) true
+        (contains needle))
+    [ "\"p50\":20"; "\"p90\":20"; "\"p99\":20" ]
+
+(* ---------- Trace event kinds round-trip with their schema ---------- *)
+
+(* Expected field names and JSON types for every structured trace event. *)
+let trace_schema =
+  [ ( "smu.decision",
+      [ ("addr", `I); ("site", `I); ("stack_offset", `I); ("prob", `F);
+        ("watched", `B) ] );
+    ("wmu.replace", [ ("victim", `I); ("by", `I) ]);
+    ("wmu.free_removal", [ ("addr", `I) ]);
+    ("trap", [ ("addr", `I); ("kind", `S); ("tid", `I) ]);
+    ("canary.corrupt", [ ("addr", `I); ("where", `S) ]) ]
+
+(* Pull the raw value text of ["name":<value>] out of a JSONL line.  The
+   values in these events are atomic (no nesting), so scanning to the next
+   [,]/[}] — or the closing quote for strings — is enough. *)
+let json_field line name =
+  let needle = Printf.sprintf "\"%s\":" name in
+  let nl = String.length needle and ll = String.length line in
+  let rec find i =
+    if i + nl > ll then None
+    else if String.sub line i nl = needle then Some (i + nl)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    if line.[start] = '"' then begin
+      let rec close j = if line.[j] = '"' then j else close (j + 1) in
+      Some (String.sub line start (close (start + 1) + 1 - start))
+    end
+    else begin
+      let rec stop j =
+        if j >= ll || line.[j] = ',' || line.[j] = '}' then j else stop (j + 1)
+      in
+      Some (String.sub line start (stop start - start))
+    end
+
+let value_matches ty v =
+  match ty with
+  | `I ->
+    v <> "" && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') v
+  | `F -> String.contains v '.' || String.contains v 'e'
+  | `B -> v = "true" || v = "false"
+  | `S -> String.length v >= 2 && v.[0] = '"' && v.[String.length v - 1] = '"'
+
+let test_trace_event_schema () =
+  let b = Buffer.create 512 in
+  Event_sink.with_sink (Event_sink.to_buffer b) (fun () ->
+      (* prob 0.125 keeps a '.' in the encoding, so `F is checkable *)
+      Trace.decision ~watched:true ~prob:0.125 ~key:(0x40, 2) ~addr:0x1000;
+      Trace.replaced ~victim:0x1000 ~by:0x2000;
+      Trace.removed_on_free ~addr:0x1000;
+      Trace.trap ~addr:0x1008 ~kind:"over-read" ~tid:3;
+      Trace.canary ~addr:0x1000 ~where:"free");
+  let lines =
+    String.split_on_char '\n' (Buffer.contents b)
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one line per event kind" (List.length trace_schema)
+    (List.length lines);
+  List.iter2
+    (fun (name, fields) line ->
+      let prefix = Printf.sprintf "{\"event\":\"%s\"" name in
+      Alcotest.(check bool) (name ^ ": event field first") true
+        (String.length line >= String.length prefix
+        && String.sub line 0 (String.length prefix) = prefix);
+      List.iter
+        (fun (fname, ty) ->
+          match json_field line fname with
+          | None ->
+            Alcotest.failf "%s: field %S missing in %s" name fname line
+          | Some v ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s.%s has the schema type" name fname)
+              true (value_matches ty v))
+        fields)
+    trace_schema lines
+
+(* ---------- Flight recorder ---------- *)
+
+let test_flight_recorder_ring () =
+  Alcotest.(check bool) "inactive by default" false (Flight_recorder.active ());
+  let r = Flight_recorder.create ~capacity:3 () in
+  (* no recorder installed: hooks are no-ops *)
+  Flight_recorder.alloc ~at:0 ~addr:0xdead ~size:8 ~ctx:9 ~site:9 ~off:0;
+  Flight_recorder.with_recorder r (fun () ->
+      Alcotest.(check bool) "active inside" true (Flight_recorder.active ());
+      Flight_recorder.alloc ~at:1 ~addr:0x10 ~size:8 ~ctx:1 ~site:7 ~off:0;
+      Flight_recorder.alloc ~at:2 ~addr:0x20 ~size:8 ~ctx:1 ~site:7 ~off:0;
+      Flight_recorder.watch ~at:3 ~addr:0x20 ~ctx:1;
+      Flight_recorder.free ~at:4 ~addr:0x10);
+  Alcotest.(check bool) "restored" false (Flight_recorder.active ());
+  Alcotest.(check int) "4 records emitted" 4 (Flight_recorder.recorded r);
+  Alcotest.(check int) "1 overwritten" 1 (Flight_recorder.dropped r);
+  Alcotest.(check int) "2 allocations numbered" 2 (Flight_recorder.alloc_count r);
+  match Flight_recorder.records r with
+  | [ a; b; c ] ->
+    Alcotest.(check (list int)) "seq monotonic, oldest overwritten" [ 1; 2; 3 ]
+      [ a.Flight_recorder.seq; b.Flight_recorder.seq; c.Flight_recorder.seq ];
+    (match a.Flight_recorder.kind with
+    | Flight_recorder.Alloc al ->
+      Alcotest.(check int) "alloc index survives overwrites" 2 al.index
+    | _ -> Alcotest.fail "expected the second Alloc record first")
+  | recs -> Alcotest.failf "expected 3 records, got %d" (List.length recs)
+
+let test_flight_record_json () =
+  let r = Flight_recorder.create ~capacity:4 () in
+  Flight_recorder.with_recorder r (fun () ->
+      Flight_recorder.decision ~at:5 ~addr:0x30 ~ctx:2 ~prob:0.5 ~coin:true
+        ~watched:false ~startup:false);
+  match Flight_recorder.records r with
+  | [ rec_ ] ->
+    Alcotest.(check string) "record JSON shape"
+      "{\"kind\":\"decision\",\"seq\":0,\"at\":5,\"addr\":48,\"ctx\":2,\
+       \"prob\":0.5,\"coin\":true,\"watched\":false,\"startup\":false}"
+      (Obs_json.to_string (Flight_recorder.record_to_json rec_))
+  | _ -> Alcotest.fail "expected one record"
+
+let test_flight_dump_on_detection () =
+  let b = Buffer.create 512 in
+  let r = Flight_recorder.create ~capacity:8 () in
+  Event_sink.with_sink (Event_sink.to_buffer b) (fun () ->
+      Flight_recorder.with_recorder r (fun () ->
+          Flight_recorder.alloc ~at:1 ~addr:0x40 ~size:16 ~ctx:1 ~site:3 ~off:0;
+          Flight_recorder.detection ~at:2 ~addr:0x40 ~ctx:1 ~source:"watchpoint"));
+  let s = Buffer.contents b in
+  let contains needle =
+    let nl = String.length needle in
+    let rec go i =
+      i + nl <= String.length s && (String.sub s i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check int) "detection counted" 1 (Flight_recorder.detection_count r);
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "dump contains %s" needle) true
+        (contains needle))
+    [ "{\"event\":\"flight.dump\",\"recorded\":2,\"dropped\":0,\"records\":[";
+      "\"kind\":\"alloc\""; "\"kind\":\"detection\"" ]
+
+(* Recording must not perturb the execution: outcome-level check over a
+   few seeds... *)
+let test_recorder_does_not_perturb () =
+  let app = Option.get (Buggy_app.by_name "Heartbleed") in
+  let bare seed = Execution.run ~app ~config:Config.csod_default ~seed () in
+  let recorded seed =
+    Flight_recorder.with_recorder (Flight_recorder.create ()) (fun () ->
+        Execution.run ~app ~config:Config.csod_default ~seed ())
+  in
+  List.iter
+    (fun seed ->
+      let a = bare seed and b = recorded seed in
+      Alcotest.(check bool) "same detection" a.Execution.detected
+        b.Execution.detected;
+      Alcotest.(check int) "same cycles" a.Execution.cycles b.Execution.cycles;
+      Alcotest.(check int) "same report count"
+        (List.length a.Execution.reports)
+        (List.length b.Execution.reports);
+      Alcotest.(check string) "same program output" a.Execution.output
+        b.Execution.output)
+    [ 1; 2; 3 ]
+
+(* ...and PRNG-stream-level: after identical operation sequences the next
+   draw from the machine's root generator is identical, proving the
+   recorder drew no randomness and advanced no clock. *)
+let drive_runtime recorder =
+  let machine = Machine.create ~seed:5 () in
+  let heap = Heap.create machine in
+  let rt = Runtime.create ~machine ~heap () in
+  let tool = Runtime.tool rt in
+  let body () =
+    let ptrs =
+      List.init 40 (fun i ->
+          tool.Tool.malloc
+            ~size:(16 + (i mod 5 * 8))
+            ~ctx:
+              (Alloc_ctx.synthetic ~callsite:(1 + (i mod 7))
+                 ~stack_offset:(i mod 3) ()))
+    in
+    List.iteri (fun i p -> if i mod 2 = 0 then tool.Tool.free ~ptr:p) ptrs;
+    Runtime.finish rt
+  in
+  (match recorder with
+  | Some r -> Flight_recorder.with_recorder r body
+  | None -> body ());
+  (Prng.bits64 (Machine.rng machine), Clock.cycles (Machine.clock machine))
+
+let test_recorder_prng_stream () =
+  let bare_draw, bare_cycles = drive_runtime None in
+  let rec_draw, rec_cycles =
+    drive_runtime (Some (Flight_recorder.create ~capacity:1024 ()))
+  in
+  Alcotest.(check int64) "identical next PRNG draw" bare_draw rec_draw;
+  Alcotest.(check int) "identical clock" bare_cycles rec_cycles
+
+(* ---------- Chrome trace export ---------- *)
+
+let test_trace_export_structure () =
+  let r = Flight_recorder.create ~capacity:64 () in
+  Flight_recorder.with_recorder r (fun () ->
+      Flight_recorder.phase ~name:"app" ~start:0 ~stop:100;
+      Flight_recorder.alloc ~at:10 ~addr:0x40 ~size:16 ~ctx:1 ~site:3 ~off:0;
+      Flight_recorder.decision ~at:11 ~addr:0x40 ~ctx:1 ~prob:0.5 ~coin:true
+        ~watched:true ~startup:false;
+      Flight_recorder.watch ~at:12 ~addr:0x40 ~ctx:1;
+      Flight_recorder.trap ~at:20 ~addr:0x40 ~access:"read" ~tid:0;
+      Flight_recorder.prob ~at:21 ~ctx:1 ~cause:Flight_recorder.Decay
+        ~from_p:0.5 ~to_p:0.4;
+      Flight_recorder.detection ~at:22 ~addr:0x40 ~ctx:1 ~source:"watchpoint";
+      Flight_recorder.free ~at:30 ~addr:0x40);
+  match
+    Trace_export.to_json ~cycles_per_second:1_000_000
+      (Flight_recorder.records r)
+  with
+  | `Assoc top ->
+    Alcotest.(check bool) "displayTimeUnit is ms" true
+      (List.assoc_opt "displayTimeUnit" top = Some (`String "ms"));
+    (match List.assoc_opt "traceEvents" top with
+    | Some (`List evs) ->
+      let phs =
+        List.filter_map
+          (function
+            | `Assoc f -> (
+              Alcotest.(check bool) "every event has a name" true
+                (List.mem_assoc "name" f);
+              Alcotest.(check bool) "every event has a pid" true
+                (List.mem_assoc "pid" f);
+              match List.assoc_opt "ph" f with
+              | Some (`String p) -> Some p
+              | _ -> Alcotest.fail "event without ph")
+            | _ -> Alcotest.fail "trace event is not an object")
+          evs
+      in
+      (* One watched+trapped+detected object and one phase slice exercise
+         every event phase the exporter can produce. *)
+      List.iter
+        (fun want ->
+          Alcotest.(check bool) (Printf.sprintf "has a %S event" want) true
+            (List.mem want phs))
+        [ "M"; "X"; "C"; "b"; "n"; "e"; "i" ]
+    | _ -> Alcotest.fail "traceEvents missing or not a list")
+  | _ -> Alcotest.fail "top level is not an object"
+
 let suite =
   [ Alcotest.test_case "counter basics" `Quick test_counter_basics;
     Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
@@ -305,4 +618,22 @@ let suite =
     Alcotest.test_case "telemetry does not perturb" `Quick test_metrics_do_not_perturb;
     Alcotest.test_case "trace events routed to sink" `Quick test_trace_events_routed;
     Alcotest.test_case "json encoder" `Quick test_obs_json;
-    Alcotest.test_case "telemetry json export" `Quick test_telemetry_json ]
+    Alcotest.test_case "telemetry json export" `Quick test_telemetry_json;
+    Alcotest.test_case "sink flushes on uninstall" `Quick
+      test_sink_flush_on_uninstall;
+    Alcotest.test_case "with_sink flushes" `Quick test_with_sink_flushes;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "histogram json percentiles" `Quick
+      test_histogram_json_has_percentiles;
+    Alcotest.test_case "trace event schema round-trip" `Quick
+      test_trace_event_schema;
+    Alcotest.test_case "flight recorder ring" `Quick test_flight_recorder_ring;
+    Alcotest.test_case "flight record json" `Quick test_flight_record_json;
+    Alcotest.test_case "flight dump on detection" `Quick
+      test_flight_dump_on_detection;
+    Alcotest.test_case "flight recorder does not perturb" `Quick
+      test_recorder_does_not_perturb;
+    Alcotest.test_case "flight recorder preserves prng stream" `Quick
+      test_recorder_prng_stream;
+    Alcotest.test_case "chrome trace export structure" `Quick
+      test_trace_export_structure ]

@@ -108,6 +108,16 @@ let test_ring_push_full () =
   Alcotest.check_raises "push on full" (Failure "Ring.push: full") (fun () ->
       Ring.push r 2)
 
+let test_ring_push_overwriting () =
+  let r = Ring.create ~capacity:3 in
+  Alcotest.(check (option int)) "room" None (Ring.push_overwriting r 1);
+  Alcotest.(check (option int)) "room" None (Ring.push_overwriting r 2);
+  Alcotest.(check (option int)) "room" None (Ring.push_overwriting r 3);
+  Alcotest.(check (option int)) "evicts oldest" (Some 1) (Ring.push_overwriting r 4);
+  Alcotest.(check (option int)) "evicts next" (Some 2) (Ring.push_overwriting r 5);
+  Alcotest.(check (list int)) "keeps newest" [ 3; 4; 5 ] (Ring.to_list r);
+  Alcotest.(check bool) "still full" true (Ring.is_full r)
+
 let test_ring_advance () =
   let r = Ring.create ~capacity:4 in
   List.iter (Ring.push r) [ 1; 2; 3 ];
@@ -239,6 +249,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_table_model;
     Alcotest.test_case "ring FIFO order" `Quick test_ring_fifo;
     Alcotest.test_case "ring push on full" `Quick test_ring_push_full;
+    Alcotest.test_case "ring push_overwriting" `Quick test_ring_push_overwriting;
     Alcotest.test_case "ring advance" `Quick test_ring_advance;
     Alcotest.test_case "ring remove_where" `Quick test_ring_remove_where;
     QCheck_alcotest.to_alcotest prop_ring_model;

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Validate that a file (or stdin) is well-formed JSONL: exactly one JSON
+# object per line, no torn or truncated lines.  Used by CI on the event
+# streams csod_run --events and bench metrics produce.
+#
+#   tools/validate_jsonl.sh events.jsonl
+#   csod_run run heartbleed --events - | tools/validate_jsonl.sh
+set -eu
+
+input="${1:--}"
+
+exec python3 - "$input" <<'EOF'
+import json
+import sys
+
+path = sys.argv[1]
+stream = sys.stdin if path == "-" else open(path, encoding="utf-8")
+
+lines = 0
+with stream:
+    for n, line in enumerate(stream, start=1):
+        if not line.endswith("\n"):
+            sys.exit(f"{path}:{n}: truncated final line (no newline)")
+        line = line.rstrip("\n")
+        if not line:
+            sys.exit(f"{path}:{n}: empty line")
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}:{n}: invalid JSON: {e}")
+        if not isinstance(obj, dict):
+            sys.exit(f"{path}:{n}: line is not a JSON object")
+        lines += 1
+
+print(f"{path}: {lines} valid JSONL line(s)")
+EOF
