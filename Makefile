@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test check bench metrics validate clean
+.PHONY: all build test check bench metrics fleet validate clean
 
 all: build
 
@@ -23,7 +23,12 @@ bench:
 
 # Machine-readable JSONL telemetry for every workload (stdout only).
 metrics:
-	dune exec bench/main.exe -- metrics
+	@dune exec bench/main.exe -- metrics
+
+# Fleet bench: serial vs. parallel wall clock plus a determinism
+# re-check, one csod.bench.fleet/1 JSONL row per app (stdout only).
+fleet:
+	@dune exec bench/main.exe -- fleet
 
 # Event-stream hygiene: the JSONL emitted by --events must be one JSON
 # object per line, never a torn line.

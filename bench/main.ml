@@ -13,7 +13,14 @@
    `metrics` is an extra, explicit-only target (not part of the default
    everything run): it prints one JSONL record per workload with the run's
    metrics registry and cycle attribution — machine-readable counterparts
-   of the tables above.  Schema: csod.bench.metrics/2. *)
+   of the tables above.  Schema: csod.bench.metrics/2.
+
+   `fleet`, when requested by name, likewise switches to JSONL: each row
+   (schema csod.bench.fleet/1) runs the parallel fleet simulator with 1
+   domain and with a domain pool, checks the two reports are identical,
+   and records the measured wall-clock speedup.  In the default
+   everything run it prints the human-readable first-detection table
+   instead. *)
 
 let progress fmt = Printf.ksprintf (fun s -> Printf.eprintf "  .. %s\n%!" s) fmt
 
@@ -263,7 +270,7 @@ let evidence () =
   Printf.printf
     "Paper: every over-write is detected by the second execution at the latest.\n"
 
-let fleet () =
+let fleet_table () =
   section "Fleet simulation: executions needed until first detection (shared store)";
   let t =
     Table_fmt.create ~title:"FLEET (near-FIFO, evidence on, up to 64 users)"
@@ -279,6 +286,63 @@ let fleet () =
       | None -> Table_fmt.add_row t [ app.Buggy_app.name; ">64"; "-" ])
     (Buggy_app.all ());
   Table_fmt.print t
+
+(* Explicit-only JSONL twin of the fleet table: run the parallel fleet
+   simulator serially and on a domain pool, check the reports agree, and
+   emit one row per app with the measured wall-clock speedup.  Schema:
+   csod.bench.fleet/1. *)
+
+let fleet_schema = "csod.bench.fleet/1"
+
+let fleet_bench () =
+  let parallel_domains = max 2 (Pool.default_domains ()) in
+  let bench_one ~users (app : Buggy_app.t) =
+    progress "fleet: %s, %d users, 1 vs %d domains" app.Buggy_app.name users
+      parallel_domains;
+    let config = Config.csod_default in
+    let workload = Workload.make ~benign_frac:0.25 ~users () in
+    let simulate domains =
+      Pool.timed (fun () ->
+          Fleet.run
+            (Fleet.config ~domains ~epoch_size:32 workload)
+            ~execute:(Execution.executor ~app ~config ()))
+    in
+    let serial, wall_serial = simulate 1 in
+    let parallel, wall_parallel = simulate parallel_domains in
+    let identical =
+      Fleet.detection_uids serial = Fleet.detection_uids parallel
+      && Persist.keys serial.Fleet.store = Persist.keys parallel.Fleet.store
+      && Metrics.counters_list serial.Fleet.metrics
+         = Metrics.counters_list parallel.Fleet.metrics
+    in
+    print_endline
+      (Obs_json.to_string
+         (`Assoc
+           [ ("schema", `String fleet_schema);
+             ("app", `String app.Buggy_app.name);
+             ("config", `String (Config.label config));
+             ("users", `Int users);
+             ("epoch_size", `Int 32);
+             ("benign_frac", `Float 0.25);
+             ("domains", `Int parallel_domains);
+             ("detections", `Int serial.Fleet.detections);
+             ("first_catch",
+              match serial.Fleet.first_catch with
+              | Some s ->
+                `Assoc
+                  [ ("uid", `Int s.Fleet.user.Workload.uid);
+                    ("epoch", `Int s.Fleet.epoch) ]
+              | None -> `Null);
+             ("store_contexts", `Int (Persist.count serial.Fleet.store));
+             ("deterministic", `Bool identical);
+             ("wall_seconds_serial", `Float wall_serial);
+             ("wall_seconds_parallel", `Float wall_parallel);
+             ("speedup", `Float (wall_serial /. max 1e-9 wall_parallel)) ]))
+  in
+  List.iter
+    (fun (name, users) ->
+      bench_one ~users (Option.get (Buggy_app.by_name name)))
+    [ ("Zziplib", 1000); ("Memcached", 512); ("Heartbleed", 192) ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablation                                                            *)
@@ -483,13 +547,16 @@ let () =
   if want "fig6" then fig6 ();
   if want "fig7" then fig7 ();
   if want "evidence" then evidence ();
-  if want "fleet" then fleet ();
+  if all then fleet_table ();
   if want "ablate" then ablate ~runs:ablate_runs ();
   if want "syscalls" then syscalls ();
   if want "micro" then micro ();
   (* Explicit-only: JSONL on stdout, so it never mixes into the default
-     everything run. *)
+     everything run.  `fleet` prints the human table in the everything run
+     but emits csod.bench.fleet/1 rows when requested by name. *)
   if List.mem "metrics" cmds then metrics ();
-  (* Keep stdout pure JSONL when the metrics stream was requested. *)
-  let done_ch = if List.mem "metrics" cmds then stderr else stdout in
+  if List.mem "fleet" cmds then fleet_bench ();
+  (* Keep stdout pure JSONL when a JSONL stream was requested. *)
+  let jsonl = List.mem "metrics" cmds || List.mem "fleet" cmds in
+  let done_ch = if jsonl then stderr else stdout in
   Printf.fprintf done_ch "\nDone.\n"

@@ -4,7 +4,9 @@
      csod_run run heartbleed               one execution under CSOD
      csod_run run mysql --policy random --seed 7 --runs 20
      csod_run run libtiff --tool asan      compare against the ASan model
-     csod_run fleet zziplib --users 50     shared-store fleet simulation
+     csod_run fleet zziplib --users 1000 --domains 4 --epoch 32
+                                           parallel fleet simulation with
+                                           epoch-based evidence aggregation
      csod_run exec prog.mc --input 3 --input 9
                                            run your own MiniC program
 
@@ -349,31 +351,90 @@ let explain_cmd =
 
 (* ---- fleet ---- *)
 
+let burst_conv =
+  let parse s =
+    match Workload.burst_of_string s with
+    | Some b -> Ok b
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown burst %S (steady|frontload|wave)" s))
+  in
+  let print ppf b = Fmt.string ppf (Workload.burst_name b) in
+  Arg.conv (parse, print)
+
 let fleet_cmd =
   let app_arg =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"APP" ~doc:"Application name.")
   in
   let users_arg =
-    Arg.(value & opt int 50 & info [ "users" ] ~docv:"N" ~doc:"Fleet size.")
+    Arg.(value & opt int 1000 & info [ "users" ] ~docv:"N" ~doc:"Fleet size.")
   in
-  let run name users policy =
+  let domains_arg =
+    Arg.(value & opt int (Pool.default_domains ())
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Domains executing users in parallel (default: the \
+                   hardware's recommended count).  The report is identical \
+                   for every value; only the wall clock changes.")
+  in
+  let epoch_arg =
+    Arg.(value & opt int 32
+         & info [ "epoch" ] ~docv:"N"
+             ~doc:"Mean arrivals per epoch.  Evidence is exchanged only at \
+                   epoch barriers (periodic fleet report upload): contexts \
+                   found in epoch $(i,e) are pinned from epoch $(i,e+1) on.")
+  in
+  let benign_frac_arg =
+    Arg.(value & opt float 0.0
+         & info [ "benign-frac" ] ~docv:"F"
+             ~doc:"Fraction of users running the overflow-free input.")
+  in
+  let burst_arg =
+    Arg.(value & opt burst_conv Workload.Steady
+         & info [ "burst" ] ~docv:"SHAPE"
+             ~doc:"Arrival shape: steady, frontload (launch spike) or wave.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the full fleet report as one JSON object on stdout \
+                   (schema csod.fleet.report/1) instead of the summary.")
+  in
+  let run name users domains epoch benign_frac burst seed policy no_evidence
+      store_file json =
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S\n" name;
       exit 1
-    | Some app -> (
-      match Evidence.fleet ~app ~users ~policy () with
-      | Some (n, src) ->
-        Printf.printf "%s: first detected on execution %d via %s\n"
-          app.Buggy_app.name n (Report.source_name src)
-      | None ->
-        Printf.printf "%s: not detected within %d executions\n" app.Buggy_app.name users)
+    | Some app ->
+      let config = config_of ~tool:`Csod ~policy ~no_evidence in
+      let workload =
+        Workload.make ~benign_frac ~base_seed:seed ~burst ~users ()
+      in
+      let cfg = Fleet.config ~domains ~epoch_size:epoch workload in
+      let store =
+        match store_file with Some f -> Some (Persist.load f) | None -> None
+      in
+      let report =
+        Fleet.run ?store cfg ~execute:(Execution.executor ~app ~config ())
+      in
+      save_store report.Fleet.store store_file;
+      if json then
+        print_endline
+          (Obs_json.to_string
+             (Fleet.to_json ~app:app.Buggy_app.name
+                ~config:(Config.label config) report))
+      else begin
+        Printf.printf "%s under %s\n" app.Buggy_app.name (Config.label config);
+        print_string (Fleet.summary report)
+      end
   in
   Cmd.v
     (Cmd.info "fleet"
-       ~doc:"Crowdsourcing simulation: repeated executions sharing a store.")
-    Term.(const run $ app_arg $ users_arg $ policy_arg)
+       ~doc:"Crowdsourcing simulation: a parallel fleet of users sharing \
+             overflow evidence at epoch barriers.")
+    Term.(const run $ app_arg $ users_arg $ domains_arg $ epoch_arg
+          $ benign_frac_arg $ burst_arg $ seed_arg $ policy_arg
+          $ no_evidence_arg $ store_arg $ json_arg)
 
 (* ---- exec: user-supplied MiniC program ---- *)
 

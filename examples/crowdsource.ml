@@ -3,11 +3,16 @@
    CSOD is "particularly suitable for the crowdsourcing or cloud
    environments, where a program will be executed repeatedly by a large
    number of users".  This example simulates such a fleet for every
-   bundled buggy application: each user executes the program once with a
+   bundled buggy application through the fleet subsystem's sequential
+   path (Evidence.fleet): each user executes the program once with a
    different seed; the runtime's persistent store of overflowing contexts
    is shared (the crowd aggregates evidence).  Once any user's canary or
    watchpoint catches the bug, every later execution pins the guilty
    context at probability 1.0 and catches it deterministically.
+
+   For the parallel, epoch-based version of this simulation — thousands
+   of users on a domain pool, evidence exchanged at epoch barriers — see
+   `csod_run fleet` and the Fleet module.
 
      dune exec examples/crowdsource.exe *)
 
@@ -16,22 +21,16 @@ let () =
     "mechanism" "then";
   List.iter
     (fun (app : Buggy_app.t) ->
-      let store = Persist.create () in
       let config = Config.csod_default in
-      (* Run users until first detection. *)
-      let rec first_user u =
-        if u > 200 then None
-        else
-          let o = Execution.run ~app ~config ~seed:u ~store () in
-          match o.Execution.reports with
-          | r :: _ -> Some (u, r.Report.source)
-          | [] -> first_user (u + 1)
-      in
-      match first_user 1 with
+      match Evidence.fleet ~app ~users:200 () with
       | None -> Printf.printf "%-12s not detected in 200 user executions\n" app.Buggy_app.name
       | Some (u, src) ->
-        (* After the store knows the context, the next user must catch it
-           with a watchpoint (probability pinned to 1). *)
+        (* Replay the discovering execution into a store of our own (the
+           fleet loop's store is internal), then check that the next user
+           catches the bug with a watchpoint: the store knows the guilty
+           context, so its probability is pinned to 1. *)
+        let store = Persist.create () in
+        ignore (Execution.run ~app ~config ~seed:u ~store ());
         let o = Execution.run ~app ~config ~seed:(u + 1000) ~store () in
         let confirmed =
           List.exists

@@ -6,12 +6,26 @@ let add t key = if not (Hashtbl.mem t key) then Hashtbl.add t key ()
 let count t = Hashtbl.length t
 let keys t = Hashtbl.fold (fun k () acc -> k :: acc) t [] |> List.sort compare
 
+let merge dst src = Hashtbl.iter (fun k () -> add dst k) src
+
+let copy t =
+  let c = create () in
+  merge c t;
+  c
+
 let save t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       List.iter (fun (a, b) -> Printf.fprintf oc "%d %d\n" a b) (keys t))
+
+(* Whitespace-tolerant tokenizer: fleet reports come from many writers, so
+   stray tabs, doubled spaces and trailing blanks must not poison a store. *)
+let tokens line =
+  String.split_on_char '\t' line
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun s -> s <> "")
 
 let load path =
   let t = create () in
@@ -23,10 +37,13 @@ let load path =
         try
           while true do
             let line = input_line ic in
-            if String.trim line <> "" then
-              match String.split_on_char ' ' (String.trim line) with
-              | [ a; b ] -> add t (int_of_string a, int_of_string b)
-              | _ -> failwith ("Persist.load: malformed line: " ^ line)
+            match tokens line with
+            | [] -> ()
+            | [ a; b ] -> (
+              match (int_of_string_opt a, int_of_string_opt b) with
+              | Some a, Some b -> add t (a, b)
+              | _ -> failwith ("Persist.load: malformed line: " ^ line))
+            | _ -> failwith ("Persist.load: malformed line: " ^ line)
           done
         with End_of_file -> ())
   end;

@@ -23,8 +23,19 @@ val count : t -> int
 val keys : t -> Alloc_ctx.key list
 (** Sorted, for deterministic output. *)
 
+val merge : t -> t -> unit
+(** [merge dst src] adds every context of [src] to [dst].  Commutative and
+    idempotent in the resulting key {e set} — the fleet's epoch barriers
+    rely on this to fold per-user stores into the shared one in any
+    grouping.  [src] is untouched. *)
+
+val copy : t -> t
+(** Snapshot; the copy and the original evolve independently. *)
+
 val save : t -> string -> unit
 (** One ["callsite stack_offset"] line per context. *)
 
 val load : string -> t
-(** Missing file yields an empty store; malformed lines raise [Failure]. *)
+(** Missing file yields an empty store.  Blank lines and extra whitespace
+    (doubled spaces, tabs, trailing blanks) are tolerated; lines that do
+    not hold exactly two integers raise [Failure]. *)

@@ -1,0 +1,196 @@
+type 'a execution = {
+  payload : 'a;
+  detected : bool;
+  source : Report.source option;
+  cycles : int;
+  telemetry : Telemetry.t option;
+}
+
+type 'a executor = user:Workload.user -> store:Persist.t -> 'a execution
+
+type 'a seat = { user : Workload.user; epoch : int; exec : 'a execution }
+
+type 'a report = {
+  seats : 'a seat array;
+  epochs : Epoch.row list;
+  first_catch : 'a seat option;
+  detections : int;
+  metrics : Metrics.t;
+  profile : Profiler.t;
+  store : Persist.t;
+  domains : int;
+  wall_seconds : float;
+}
+
+type config = { workload : Workload.t; domains : int; epoch_size : int }
+
+let config ?domains ?(epoch_size = 32) workload =
+  let domains =
+    match domains with Some d -> d | None -> Pool.default_domains ()
+  in
+  if domains < 1 then invalid_arg "Fleet.config: domains < 1";
+  if epoch_size < 1 then invalid_arg "Fleet.config: epoch_size < 1";
+  { workload; domains; epoch_size }
+
+let run ?store cfg ~execute =
+  let w = cfg.workload in
+  let shared =
+    match store with Some s -> Persist.copy s | None -> Persist.create ()
+  in
+  let metrics = Metrics.create () in
+  let profile = Profiler.create () in
+  let arrivals = Workload.arrivals w ~epoch_size:cfg.epoch_size in
+  let seats = ref [] in
+  let epochs = ref [] in
+  let detections = ref 0 in
+  let (), wall_seconds =
+    Pool.timed (fun () ->
+        let next_uid = ref 1 in
+        Array.iteri
+          (fun e n ->
+            let users =
+              Array.init n (fun i -> Workload.user w (!next_uid + i))
+            in
+            next_uid := !next_uid + n;
+            (* Snapshots are taken in the main domain, before any worker
+               starts: every execution of this epoch sees exactly the
+               evidence uploaded by previous epochs, no more. *)
+            let locals = Array.map (fun _ -> Persist.copy shared) users in
+            let execs =
+              Pool.map ~domains:cfg.domains n ~f:(fun i ->
+                  execute ~user:users.(i) ~store:locals.(i))
+            in
+            (* Epoch barrier: fold the fleet's reports back in, in uid
+               (= seed) order so gauge merges are deterministic. *)
+            let epoch_detections = ref 0 in
+            Array.iteri
+              (fun i exec ->
+                Persist.merge shared locals.(i);
+                (match exec.telemetry with
+                | Some tele ->
+                  Metrics.merge_into ~dst:metrics ~src:(Telemetry.metrics tele);
+                  Profiler.merge_into ~dst:profile
+                    ~src:(Telemetry.profiler tele)
+                | None -> ());
+                if exec.detected then incr epoch_detections;
+                seats := { user = users.(i); epoch = e; exec } :: !seats)
+              execs;
+            detections := !detections + !epoch_detections;
+            epochs :=
+              { Epoch.epoch = e; arrivals = n;
+                detections = !epoch_detections; cumulative = !detections;
+                store_size = Persist.count shared }
+              :: !epochs)
+          arrivals)
+  in
+  let seats = Array.of_list (List.rev !seats) in
+  let first_catch =
+    Array.fold_left
+      (fun acc s ->
+        match acc with Some _ -> acc | None -> if s.exec.detected then Some s else None)
+      None seats
+  in
+  { seats;
+    epochs = List.rev !epochs;
+    first_catch;
+    detections = !detections;
+    metrics;
+    profile;
+    store = shared;
+    domains = cfg.domains;
+    wall_seconds }
+
+let until_detected ?store ~users ~execute () =
+  let rec go uid =
+    if uid > users then None
+    else begin
+      let user = { Workload.uid; seed = uid; benign = false } in
+      let local =
+        match store with Some s -> s | None -> Persist.create ()
+      in
+      let exec = execute ~user ~store:local in
+      if exec.detected then Some { user; epoch = uid - 1; exec }
+      else go (uid + 1)
+    end
+  in
+  go 1
+
+let detection_uids r =
+  Array.to_list r.seats
+  |> List.filter_map (fun s ->
+         if s.exec.detected then Some s.user.Workload.uid else None)
+
+let summary r =
+  let users = Array.length r.seats in
+  let benign =
+    Array.fold_left
+      (fun n s -> if s.user.Workload.benign then n + 1 else n)
+      0 r.seats
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "fleet: %d users (%d benign), %d domain%s, %d epochs\n"
+       users benign r.domains
+       (if r.domains = 1 then "" else "s")
+       (List.length r.epochs));
+  (match r.first_catch with
+  | Some s ->
+    Buffer.add_string b
+      (Printf.sprintf "first catch: user #%d in epoch %d%s\n"
+         s.user.Workload.uid s.epoch
+         (match s.exec.source with
+         | Some src -> " via " ^ Report.source_name src
+         | None -> ""))
+  | None -> Buffer.add_string b "first catch: none\n");
+  Buffer.add_string b
+    (Printf.sprintf "detections: %d/%d  store: %d context%s  wall: %.3f s\n"
+       r.detections users (Persist.count r.store)
+       (if Persist.count r.store = 1 then "" else "s")
+       r.wall_seconds);
+  Buffer.add_string b (Epoch.table ~total_users:users r.epochs);
+  Buffer.contents b
+
+let to_json ?payload ~app ~config:config_label r : Obs_json.t =
+  let users = Array.length r.seats in
+  let seat_json s =
+    `Assoc
+      (List.concat
+         [ [ ("uid", `Int s.user.Workload.uid);
+             ("seed", `Int s.user.Workload.seed);
+             ("benign", `Bool s.user.Workload.benign);
+             ("epoch", `Int s.epoch); ("detected", `Bool s.exec.detected);
+             ("source",
+              match s.exec.source with
+              | Some src -> `String (Report.source_name src)
+              | None -> `Null);
+             ("cycles", `Int s.exec.cycles) ];
+           (match payload with
+           | Some f -> [ ("payload", f s.exec.payload) ]
+           | None -> []) ])
+  in
+  `Assoc
+    (List.concat
+       [ [ ("schema", `String "csod.fleet.report/1"); ("app", `String app);
+           ("config", `String config_label); ("users", `Int users);
+           ("domains", `Int r.domains);
+           ("detections", `Int r.detections);
+           ("detection_uids", `List (List.map (fun u -> `Int u) (detection_uids r)));
+           ("first_catch",
+            match r.first_catch with
+            | Some s ->
+              `Assoc
+                [ ("uid", `Int s.user.Workload.uid); ("epoch", `Int s.epoch);
+                  ("source",
+                   match s.exec.source with
+                   | Some src -> `String (Report.source_name src)
+                   | None -> `Null) ]
+            | None -> `Null);
+           ("store_contexts", `Int (Persist.count r.store));
+           ("wall_seconds", `Float r.wall_seconds);
+           ("epochs", `List (List.map Epoch.to_json r.epochs));
+           ("metrics", Metrics.to_json r.metrics);
+           ("profile", Profiler.to_json r.profile) ];
+         (match payload with
+         | Some _ ->
+           [ ("seats", `List (Array.to_list (Array.map seat_json r.seats))) ]
+         | None -> []) ])

@@ -1,0 +1,92 @@
+(** Parallel fleet simulator with epoch-based evidence aggregation.
+
+    Simulates CSOD's crowdsourced deployment (paper, Sections I and IV-B)
+    at scale: a population of users ({!Workload.t}) executes a program
+    concurrently on a domain pool ({!Pool}), sharing the persistent store
+    of overflowing contexts through {e epoch barriers} — every execution
+    in an epoch starts from the same store snapshot, and the per-user
+    stores are folded back in at the barrier ({!Persist.merge}), modeling
+    periodic fleet report upload rather than instant sharing.  Contexts
+    discovered in epoch [e] are therefore pinned (probability 1) for
+    every user from epoch [e+1] on.
+
+    The simulator is generic over {e what} an execution is: callers
+    provide an {!type:executor} (the harness wires {!Execution.run} in, tests
+    use synthetic ones), and the simulator provides scheduling, evidence
+    flow and telemetry aggregation.
+
+    {b Determinism}: the report — detections, sources, first-catch epoch,
+    merged store and merged metrics — is bit-identical for any [domains]
+    count.  Each execution is deterministic given [(user, store
+    snapshot)]; snapshots only change at barriers; and all merges happen
+    at barriers in uid (= seed) order.  Wall-clock time is the only field
+    that varies.  The executor must keep its side effects confined to the
+    structures it creates and the store it is handed (in particular it
+    must not emit to the process-global {!Event_sink} from inside the
+    parallel section). *)
+
+type 'a execution = {
+  payload : 'a;                    (** whatever the executor wants kept *)
+  detected : bool;
+  source : Report.source option;   (** first report's mechanism, if any *)
+  cycles : int;                    (** virtual cycles of the execution *)
+  telemetry : Telemetry.t option;  (** merged into the fleet aggregate *)
+}
+
+type 'a executor = user:Workload.user -> store:Persist.t -> 'a execution
+(** Runs one user.  Newly observed overflowing contexts must be added to
+    [store] (the CSOD runtime already does); [store] starts as a snapshot
+    of everything the fleet knew at the previous epoch barrier. *)
+
+type 'a seat = { user : Workload.user; epoch : int; exec : 'a execution }
+
+type 'a report = {
+  seats : 'a seat array;         (** uid order, one per user *)
+  epochs : Epoch.row list;
+  first_catch : 'a seat option;  (** earliest by (epoch, uid) *)
+  detections : int;
+  metrics : Metrics.t;           (** per-user registries, merged in uid order *)
+  profile : Profiler.t;          (** per-user profiles, summed *)
+  store : Persist.t;             (** final shared store *)
+  domains : int;
+  wall_seconds : float;
+}
+
+type config = {
+  workload : Workload.t;
+  domains : int;     (** degree of parallelism; 1 = fully sequential *)
+  epoch_size : int;  (** mean arrivals per epoch (see {!Workload.arrivals}) *)
+}
+
+val config :
+  ?domains:int -> ?epoch_size:int -> Workload.t -> config
+(** Defaults: [domains = Pool.default_domains ()], [epoch_size = 32]. *)
+
+val run : ?store:Persist.t -> config -> execute:'a executor -> 'a report
+(** Simulate the whole fleet.  [store] seeds the shared store (default
+    empty) and is not mutated; the report carries its own. *)
+
+val until_detected :
+  ?store:Persist.t ->
+  users:int ->
+  execute:'a executor ->
+  unit ->
+  'a seat option
+(** The subsystem's sequential path: run users [1, 2, ...] (seed = uid,
+    buggy input) one at a time until the first detection.  With [store],
+    every execution shares it directly — each user benefits from all
+    earlier evidence, i.e. an epoch size of 1 ({!Evidence.fleet}'s
+    semantics).  Without, each execution gets a fresh empty store —
+    independent retries ({!Execution.run_until_detected}'s semantics). *)
+
+val detection_uids : 'a report -> int list
+(** Uids that detected, ascending — the fleet's detection set. *)
+
+val summary : 'a report -> string
+(** Human-readable report: headline, detection-CDF table, wall clock. *)
+
+val to_json :
+  ?payload:('a -> Obs_json.t) -> app:string -> config:string -> 'a report ->
+  Obs_json.t
+(** Machine-readable report (schema [csod.fleet.report/1]): workload
+    echo, per-epoch rows, detection set, first catch, merged metrics. *)

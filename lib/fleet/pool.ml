@@ -1,0 +1,35 @@
+let default_domains () = Domain.recommended_domain_count ()
+
+let map ~domains n ~f =
+  if domains < 1 then invalid_arg "Pool.map: domains < 1";
+  if n < 0 then invalid_arg "Pool.map: negative size";
+  let domains = min domains n in
+  if domains <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f i with
+        | v -> results.(i) <- Some v
+        | exception e ->
+          (* First failure wins; parking [next] past [n] cancels the
+             remaining indices on every domain. *)
+          ignore (Atomic.compare_and_set failure None (Some e));
+          Atomic.set next n);
+        worker ()
+      end
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)

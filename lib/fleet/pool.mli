@@ -1,0 +1,26 @@
+(** Domain pool: order-preserving parallel map over OCaml 5 domains.
+
+    The fleet's unit of parallelism is one user execution — independent
+    by construction (own machine, own heap, own PRNG, own store copy) —
+    so the pool only needs to hand out indices and collect results.  Work
+    is distributed dynamically (an atomic next-index counter), which
+    load-balances the heavy-tailed execution times of heterogeneous apps;
+    results land in their input slot, so the output is identical for any
+    domain count and any interleaving. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — the runtime's estimate of
+    useful hardware parallelism. *)
+
+val map : domains:int -> int -> f:(int -> 'a) -> 'a array
+(** [map ~domains n ~f] is [Array.init n f] computed on [min domains n]
+    domains ([domains = 1] runs inline, spawning nothing).  [f] must not
+    touch shared mutable state; it may be called from any domain, in any
+    order, but exactly once per index.  If any call raises, the first
+    exception (by completion order) is re-raised in the caller after the
+    remaining work has been cancelled and all domains joined.  Raises
+    [Invalid_argument] if [domains < 1] or [n < 0]. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Result plus wall-clock seconds — wall, not CPU, so parallel speedups
+    are visible. *)

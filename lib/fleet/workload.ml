@@ -1,0 +1,60 @@
+type burst = Steady | Frontload | Wave
+
+let burst_name = function
+  | Steady -> "steady"
+  | Frontload -> "frontload"
+  | Wave -> "wave"
+
+let burst_of_string s =
+  match String.lowercase_ascii s with
+  | "steady" -> Some Steady
+  | "frontload" | "front-load" -> Some Frontload
+  | "wave" -> Some Wave
+  | _ -> None
+
+type t = { users : int; benign_frac : float; base_seed : int; burst : burst }
+
+let make ?(benign_frac = 0.0) ?(base_seed = 1) ?(burst = Steady) ~users () =
+  if users < 0 then invalid_arg "Workload.make: negative population";
+  if benign_frac < 0.0 || benign_frac > 1.0 then
+    invalid_arg "Workload.make: benign_frac outside [0, 1]";
+  { users; benign_frac; base_seed; burst }
+
+type user = { uid : int; seed : int; benign : bool }
+
+let user t uid =
+  if uid < 1 || uid > t.users then invalid_arg "Workload.user: uid out of range";
+  (* A private generator keyed on (base_seed, uid): the draw is the same
+     whether users are built in order, in parallel, or one at a time. *)
+  let g = Prng.create ~seed:((t.base_seed * 1_000_003) + uid) in
+  { uid;
+    seed = t.base_seed + uid - 1;
+    benign = t.benign_frac > 0.0 && Prng.below_percent g t.benign_frac }
+
+(* Arrival rate for epoch [e], in users, as a multiple of the mean rate.
+   Every shape keeps at least one arrival per epoch so a fleet always
+   drains. *)
+let rate burst ~epoch_size e =
+  let s = epoch_size in
+  let r =
+    match burst with
+    | Steady -> s
+    | Frontload ->
+      (* Launch spike: 2x, 1.5x, 1x, then settling at 0.5x. *)
+      max (s / 2) ((2 * s) - (e * s / 2))
+    | Wave -> if e mod 2 = 0 then s + (s / 2) else s / 2
+  in
+  max 1 r
+
+let arrivals t ~epoch_size =
+  if epoch_size < 1 then invalid_arg "Workload.arrivals: epoch_size < 1";
+  let out = ref [] in
+  let left = ref t.users in
+  let e = ref 0 in
+  while !left > 0 do
+    let n = min !left (rate t.burst ~epoch_size !e) in
+    out := n :: !out;
+    left := !left - n;
+    incr e
+  done;
+  Array.of_list (List.rev !out)

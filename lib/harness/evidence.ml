@@ -30,12 +30,9 @@ let second_execution ?(seed = 1) () =
 let fleet ~app ~users ?(policy = Params.Near_fifo) () =
   let store = Persist.create () in
   let config = Config.csod_with_policy policy ~evidence:true in
-  let rec go user =
-    if user > users then None
-    else
-      let o = Execution.run ~app ~config ~seed:user ~store () in
-      match o.Execution.reports with
-      | r :: _ -> Some (user, r.Report.source)
-      | [] -> go (user + 1)
-  in
-  go 1
+  match
+    Fleet.until_detected ~store ~users
+      ~execute:(Execution.executor ~app ~config ()) ()
+  with
+  | Some s -> Option.map (fun src -> (s.Fleet.user.Workload.uid, src)) s.Fleet.exec.Fleet.source
+  | None -> None

@@ -27,4 +27,7 @@ val fleet :
   app:Buggy_app.t -> users:int -> ?policy:Params.policy -> unit ->
   (int * Report.source) option
 (** Run up to [users] executions with a shared store; returns the 1-based
-    execution at which the overflow was first detected and how. *)
+    execution at which the overflow was first detected and how.  A thin
+    wrapper over {!Fleet.until_detected} (the subsystem's sequential
+    path); for a parallel population with epoch-based aggregation use
+    {!Fleet.run}. *)

@@ -63,13 +63,31 @@ let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store
     crashed;
     telemetry = Machine.telemetry machine }
 
-let run_until_detected ~app ~config ~max_runs =
-  let rec go seed =
-    if seed > max_runs then None
-    else
-      let o = run ~app ~config ~seed () in
-      if o.detected then Some (seed, o) else go (seed + 1)
+let executor ~app ~config ?input_of () =
+  (* Force the program memo now: fleet workers may call the executor from
+     several domains at once, and the memo table is not synchronized. *)
+  ignore (Buggy_app.program app);
+  let input_of =
+    match input_of with
+    | Some f -> f
+    | None -> fun (u : Workload.user) -> if u.Workload.benign then Benign else Buggy
   in
-  go 1
+  fun ~(user : Workload.user) ~store ->
+    let o =
+      run ~app ~config ~input:(input_of user) ~seed:user.Workload.seed ~store ()
+    in
+    { Fleet.payload = o;
+      detected = o.detected;
+      source =
+        (match o.reports with r :: _ -> Some r.Report.source | [] -> None);
+      cycles = o.cycles;
+      telemetry = Some o.telemetry }
+
+let run_until_detected ~app ~config ~max_runs =
+  match
+    Fleet.until_detected ~users:max_runs ~execute:(executor ~app ~config ()) ()
+  with
+  | Some s -> Some (s.Fleet.user.Workload.uid, s.Fleet.exec.Fleet.payload)
+  | None -> None
 
 let symbolizer app = Program.symbolize (Buggy_app.program app)

@@ -34,10 +34,25 @@ val run :
     The tool's termination handling always runs, even after a crash —
     mirroring CSOD's interception of erroneous exits (Section IV-B). *)
 
+val executor :
+  app:Buggy_app.t ->
+  config:Config.t ->
+  ?input_of:(Workload.user -> input_choice) ->
+  unit ->
+  outcome Fleet.executor
+(** Adapt {!run} to the fleet simulator: one user execution per call, on
+    the user's seed and input choice (default: [Benign] iff
+    [user.benign]), against the store snapshot the fleet hands over.  The
+    returned closure is safe to call from pool domains — the app's
+    program memo is forced eagerly, and each execution builds its own
+    machine, heap and tool. *)
+
 val run_until_detected :
   app:Buggy_app.t -> config:Config.t -> max_runs:int -> (int * outcome) option
 (** Repeat single executions with seeds 1, 2, ... until one detects the
-    overflow; returns (number of executions needed, that outcome). *)
+    overflow; returns (number of executions needed, that outcome).  Each
+    execution is independent (fresh empty store) — this is
+    {!Fleet.until_detected} without a shared store. *)
 
 val symbolizer : Buggy_app.t -> int -> string
 (** Address symbolizer for the app's program, for report formatting. *)

@@ -123,6 +123,34 @@ let bucket_counts h = Array.copy h.buckets
 let bucket_bounds h = Array.copy h.bounds
 let histogram_name h = h.h_name
 
+(* ---- merge ---- *)
+
+(* Fold [src] into [dst], instrument by instrument.  Counters and histogram
+   bins are plain sums, so merging is associative and commutative; gauges
+   are not (a gauge is "the level right now"), so the caller fixes the
+   order — the fleet merges per-user registries in seed order, making
+   "last writer wins" deterministic. *)
+let merge_into ~dst ~src =
+  Hashtbl.iter
+    (fun name (c : counter) -> add (counter dst name) c.count)
+    src.counters;
+  Hashtbl.iter
+    (fun name (g : gauge) ->
+      let d = gauge dst name in
+      d.level <- g.level;
+      if g.high > d.high then d.high <- g.high)
+    src.gauges;
+  Hashtbl.iter
+    (fun name (h : histogram) ->
+      let d = histogram dst ~bounds:h.bounds name in
+      if d.bounds <> h.bounds then
+        invalid_arg
+          (Printf.sprintf "Metrics.merge_into: histogram %S bounds differ" name);
+      Array.iteri (fun i n -> d.buckets.(i) <- d.buckets.(i) + n) h.buckets;
+      d.observations <- d.observations + h.observations;
+      d.sum <- d.sum + h.sum)
+    src.histograms
+
 (* ---- export ---- *)
 
 let sorted_by_name name tbl =

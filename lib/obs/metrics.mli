@@ -65,6 +65,19 @@ val bucket_counts : histogram -> int array
 
 val bucket_bounds : histogram -> int array
 
+(** {1 Merging}
+
+    Fleet-level aggregation: fold many per-execution registries into one.
+    Counters sum; histogram bins, observation counts and sums add (so
+    post-merge percentiles are recomputed over the union); a gauge's level
+    is taken from the registry merged {e last} (the caller merges in seed
+    order to keep this deterministic) and its high watermark is the max.
+    Instruments missing from the destination are created. *)
+
+val merge_into : dst:t -> src:t -> unit
+(** [src] is untouched.  Raises [Invalid_argument] if the two registries
+    define the same histogram with different bucket bounds. *)
+
 (** {1 Export} *)
 
 val counters_list : t -> (string * int) list

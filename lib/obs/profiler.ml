@@ -73,6 +73,9 @@ let nonzero t = List.filter (fun (_, c) -> c > 0) (to_list t)
 
 let reset t = Array.fill t.cells 0 num_phases 0
 
+let merge_into ~dst ~src =
+  Array.iteri (fun i n -> dst.cells.(i) <- dst.cells.(i) + n) src.cells
+
 let to_json t : Obs_json.t =
   `Assoc
     (("total", `Int (total t))

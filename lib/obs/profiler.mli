@@ -44,5 +44,12 @@ val to_list : t -> (phase * int) list
 (** In declaration order, zero phases included. *)
 
 val nonzero : t -> (phase * int) list
+
 val reset : t -> unit
+
+val merge_into : dst:t -> src:t -> unit
+(** Cell-wise sum: aggregating many executions keeps the invariant that
+    the merged total equals the sum of the merged clocks.  [src] is
+    untouched. *)
+
 val to_json : t -> Obs_json.t

@@ -41,6 +41,11 @@ let tick t ~now =
     done
   end
 
+let merge_into ~dst ~src =
+  Metrics.merge_into ~dst:dst.metrics ~src:src.metrics;
+  Profiler.merge_into ~dst:dst.profiler ~src:src.profiler;
+  dst.snapshots <- dst.snapshots + src.snapshots
+
 (* ---- export ---- *)
 
 let to_json t ~total_cycles : Obs_json.t =

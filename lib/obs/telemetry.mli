@@ -25,6 +25,13 @@ val tick : t -> now:int -> unit
 
 val snapshot_count : t -> int
 
+(** {1 Merging} *)
+
+val merge_into : dst:t -> src:t -> unit
+(** Fold one execution's bundle into an aggregate: {!Metrics.merge_into}
+    on the registries, {!Profiler.merge_into} on the profiles, snapshot
+    counts added.  Snapshot scheduling state of [dst] is untouched. *)
+
 (** {1 Export} *)
 
 val to_json : t -> total_cycles:int -> Obs_json.t

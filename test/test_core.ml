@@ -334,6 +334,57 @@ let test_persist_roundtrip () =
   let s3 = Persist.load file in
   Alcotest.(check int) "missing file: empty store" 0 (Persist.count s3)
 
+let test_persist_merge () =
+  let a = Persist.create () and b = Persist.create () in
+  Persist.add a (1, 2);
+  Persist.add a (3, 4);
+  Persist.add b (3, 4);
+  Persist.add b (5, 6);
+  let ab = Persist.copy a and ba = Persist.copy b in
+  Persist.merge ab b;
+  Persist.merge ba a;
+  Alcotest.(check bool) "commutative key set" true
+    (Persist.keys ab = Persist.keys ba);
+  Alcotest.(check bool) "union" true
+    (Persist.keys ab = [ (1, 2); (3, 4); (5, 6) ]);
+  Alcotest.(check int) "src untouched" 2 (Persist.count b);
+  Alcotest.(check int) "copy is independent" 2 (Persist.count a);
+  (* save / load / merge round-trip: merging a loaded store equals merging
+     the original. *)
+  let file = Filename.temp_file "csod_store" ".txt" in
+  Persist.save b file;
+  let fresh = Persist.copy a in
+  Persist.merge fresh (Persist.load file);
+  Alcotest.(check bool) "save/load/merge round-trip" true
+    (Persist.keys fresh = Persist.keys ab);
+  Sys.remove file
+
+let test_persist_load_tolerant () =
+  let file = Filename.temp_file "csod_store" ".txt" in
+  let oc = open_out file in
+  output_string oc "1 2  \n\n  3\t4\n5  6\n   \n";
+  close_out oc;
+  let s = Persist.load file in
+  Alcotest.(check bool) "whitespace tolerated" true
+    (Persist.keys s = [ (1, 2); (3, 4); (5, 6) ]);
+  let oc = open_out file in
+  output_string oc "1 2\n1 2 3\n";
+  close_out oc;
+  Alcotest.(check bool) "three fields still malformed" true
+    (try
+       ignore (Persist.load file);
+       false
+     with Failure _ -> true);
+  let oc = open_out file in
+  output_string oc "1 x\n";
+  close_out oc;
+  Alcotest.(check bool) "non-integer still malformed" true
+    (try
+       ignore (Persist.load file);
+       false
+     with Failure _ -> true);
+  Sys.remove file
+
 (* ---------- Report ---------- *)
 
 let test_report_format () =
@@ -399,6 +450,8 @@ let suite =
     Alcotest.test_case "canary: plant/check" `Quick test_canary_plant_check;
     Alcotest.test_case "canary: foreign header" `Quick test_canary_foreign_header;
     Alcotest.test_case "persist: roundtrip" `Quick test_persist_roundtrip;
+    Alcotest.test_case "persist: merge" `Quick test_persist_merge;
+    Alcotest.test_case "persist: tolerant load" `Quick test_persist_load_tolerant;
     Alcotest.test_case "report: formatting" `Quick test_report_format ]
 
 (* Combined-syscall extension (paper, Section V-B): same hardware

@@ -1,0 +1,202 @@
+(* Tests for the fleet subsystem: workload model, domain pool, epoch
+   barrier semantics, and the hard determinism requirement — the same
+   fleet produces bit-identical reports for any domain count. *)
+
+let zziplib () = Option.get (Buggy_app.by_name "Zziplib")
+
+(* ---------- Workload ---------- *)
+
+let test_workload_determinism () =
+  let w = Workload.make ~benign_frac:0.5 ~base_seed:7 ~users:100 () in
+  let u1 = Workload.user w 42 and u2 = Workload.user w 42 in
+  Alcotest.(check bool) "same user twice" true (u1 = u2);
+  Alcotest.(check int) "seed offset" (7 + 42 - 1) (Workload.user w 42).Workload.seed;
+  let benign =
+    List.init 100 (fun i -> Workload.user w (i + 1))
+    |> List.filter (fun u -> u.Workload.benign)
+    |> List.length
+  in
+  Alcotest.(check bool) "benign mix near the fraction" true
+    (benign > 25 && benign < 75);
+  let all_buggy = Workload.make ~users:50 () in
+  Alcotest.(check bool) "benign_frac 0: all buggy" true
+    (List.init 50 (fun i -> Workload.user all_buggy (i + 1))
+    |> List.for_all (fun u -> not u.Workload.benign));
+  let all_benign = Workload.make ~benign_frac:1.0 ~users:50 () in
+  Alcotest.(check bool) "benign_frac 1: all benign" true
+    (List.init 50 (fun i -> Workload.user all_benign (i + 1))
+    |> List.for_all (fun u -> u.Workload.benign))
+
+let test_workload_arrivals () =
+  List.iter
+    (fun burst ->
+      let w = Workload.make ~burst ~users:997 () in
+      let a = Workload.arrivals w ~epoch_size:32 in
+      Alcotest.(check int)
+        (Workload.burst_name burst ^ ": arrivals sum to users")
+        997
+        (Array.fold_left ( + ) 0 a);
+      Alcotest.(check bool)
+        (Workload.burst_name burst ^ ": every epoch nonempty")
+        true
+        (Array.for_all (fun n -> n > 0) a))
+    [ Workload.Steady; Workload.Frontload; Workload.Wave ];
+  let steady = Workload.make ~users:96 () in
+  Alcotest.(check (array int)) "steady epochs" [| 32; 32; 32 |]
+    (Workload.arrivals steady ~epoch_size:32);
+  let front = Workload.arrivals (Workload.make ~burst:Workload.Frontload ~users:200 ()) ~epoch_size:32 in
+  Alcotest.(check bool) "frontload spikes early" true (front.(0) > 32)
+
+(* ---------- Pool ---------- *)
+
+let test_pool_map () =
+  let f i = (i * i) + 1 in
+  let want = Array.init 37 f in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map with %d domains" domains)
+        want
+        (Pool.map ~domains 37 ~f))
+    [ 1; 2; 4; 16 ];
+  Alcotest.(check (array int)) "empty input" [||] (Pool.map ~domains:4 0 ~f)
+
+let test_pool_exception () =
+  Alcotest.(check bool) "worker exception reaches the caller" true
+    (try
+       ignore
+         (Pool.map ~domains:2 16 ~f:(fun i ->
+              if i = 5 then failwith "boom" else i));
+       false
+     with Failure msg -> msg = "boom")
+
+(* ---------- Epoch barrier semantics (synthetic executor) ---------- *)
+
+(* An executor that "finds the bug" only as user 3, and afterwards only
+   where user 3's evidence has been uploaded.  Inside user 3's own epoch
+   nobody else may see the discovery (reports travel at epoch barriers,
+   not instantly); from the next epoch on everybody must. *)
+let synthetic ~user ~store =
+  let key = (42, 0) in
+  let detected = user.Workload.uid = 3 || Persist.mem store key in
+  if user.Workload.uid = 3 then Persist.add store key;
+  { Fleet.payload = ();
+    detected;
+    source = None;
+    cycles = 1;
+    telemetry = None }
+
+let test_epoch_barrier () =
+  let w = Workload.make ~users:10 () in
+  let r = Fleet.run (Fleet.config ~domains:2 ~epoch_size:5 w) ~execute:synthetic in
+  Alcotest.(check (list int)) "pinned only after the barrier"
+    [ 3; 6; 7; 8; 9; 10 ] (Fleet.detection_uids r);
+  (match r.Fleet.first_catch with
+  | Some s ->
+    Alcotest.(check int) "first catch uid" 3 s.Fleet.user.Workload.uid;
+    Alcotest.(check int) "first catch epoch" 0 s.Fleet.epoch
+  | None -> Alcotest.fail "first catch expected");
+  let rows = r.Fleet.epochs in
+  Alcotest.(check (list int)) "per-epoch detections" [ 1; 5 ]
+    (List.map (fun e -> e.Epoch.detections) rows);
+  Alcotest.(check (list int)) "store grows at the first barrier" [ 1; 1 ]
+    (List.map (fun e -> e.Epoch.store_size) rows);
+  (* Epoch size 1 is the sequential path: evidence is visible to the very
+     next user. *)
+  let r1 = Fleet.run (Fleet.config ~domains:1 ~epoch_size:1 w) ~execute:synthetic in
+  Alcotest.(check (list int)) "epoch 1: next user already pinned"
+    [ 3; 4; 5; 6; 7; 8; 9; 10 ] (Fleet.detection_uids r1)
+
+let test_report_invariants () =
+  let w = Workload.make ~benign_frac:0.3 ~burst:Workload.Wave ~users:213 () in
+  let r = Fleet.run (Fleet.config ~domains:2 ~epoch_size:20 w) ~execute:synthetic in
+  Alcotest.(check int) "one seat per user" 213 (Array.length r.Fleet.seats);
+  Alcotest.(check int) "epoch arrivals cover the population" 213
+    (List.fold_left (fun n e -> n + e.Epoch.arrivals) 0 r.Fleet.epochs);
+  Alcotest.(check int) "detections equal the last cumulative"
+    r.Fleet.detections
+    (List.fold_left (fun _ e -> e.Epoch.cumulative) 0 r.Fleet.epochs);
+  Alcotest.(check bool) "cumulative is monotone" true
+    (let rec mono = function
+       | a :: (b :: _ as rest) -> a.Epoch.cumulative <= b.Epoch.cumulative && mono rest
+       | _ -> true
+     in
+     mono r.Fleet.epochs);
+  Array.iteri
+    (fun i s -> Alcotest.(check int) "seats in uid order" (i + 1) s.Fleet.user.Workload.uid)
+    r.Fleet.seats
+
+(* ---------- Determinism across domain counts (real executions) ---------- *)
+
+(* The acceptance bar: a 1000-user fleet of real CSOD executions yields
+   identical detection sets, first-catch epochs, merged counters and
+   merged stores for --domains 1, 2 and 4.  Only wall time may differ. *)
+let test_determinism_across_domains () =
+  let app = zziplib () in
+  let config = Config.csod_default in
+  let w = Workload.make ~benign_frac:0.25 ~users:1000 () in
+  let simulate domains =
+    Fleet.run
+      (Fleet.config ~domains ~epoch_size:32 w)
+      ~execute:(Execution.executor ~app ~config ())
+  in
+  let r1 = simulate 1 and r2 = simulate 2 and r4 = simulate 4 in
+  let fingerprint r =
+    ( Fleet.detection_uids r,
+      Array.map (fun s -> s.Fleet.exec.Fleet.source) r.Fleet.seats,
+      Array.map (fun s -> s.Fleet.exec.Fleet.cycles) r.Fleet.seats,
+      Option.map (fun s -> (s.Fleet.user.Workload.uid, s.Fleet.epoch)) r.Fleet.first_catch,
+      r.Fleet.epochs,
+      Persist.keys r.Fleet.store,
+      Metrics.counters_list r.Fleet.metrics,
+      Metrics.gauges_list r.Fleet.metrics,
+      Profiler.to_list r.Fleet.profile )
+  in
+  Alcotest.(check bool) "domains 1 = 2" true (fingerprint r1 = fingerprint r2);
+  Alcotest.(check bool) "domains 1 = 4" true (fingerprint r1 = fingerprint r4);
+  Alcotest.(check bool) "the fleet detects" true (r1.Fleet.detections > 0);
+  Alcotest.(check bool) "later epochs pin the context" true
+    (Persist.count r1.Fleet.store > 0)
+
+(* ---------- Sequential path ---------- *)
+
+let test_until_detected_shared_store () =
+  let app = zziplib () in
+  let config = Config.csod_default in
+  (* Same semantics as Evidence.fleet: shared store, seeds 1, 2, ... *)
+  let store = Persist.create () in
+  match
+    Fleet.until_detected ~store ~users:64
+      ~execute:(Execution.executor ~app ~config ()) ()
+  with
+  | None -> Alcotest.fail "zziplib not detected within 64 users"
+  | Some s ->
+    Alcotest.(check bool) "agrees with Evidence.fleet" true
+      (match Evidence.fleet ~app ~users:64 () with
+      | Some (uid, _) -> uid = s.Fleet.user.Workload.uid
+      | None -> false);
+    Alcotest.(check bool) "evidence uploaded" true (Persist.count store > 0)
+
+let test_json_report () =
+  let w = Workload.make ~users:10 () in
+  let r = Fleet.run (Fleet.config ~domains:1 ~epoch_size:5 w) ~execute:synthetic in
+  match Fleet.to_json ~app:"synthetic" ~config:"test" r with
+  | `Assoc fields ->
+    Alcotest.(check bool) "schema tagged" true
+      (List.assoc_opt "schema" fields = Some (`String "csod.fleet.report/1"));
+    Alcotest.(check bool) "epoch rows present" true
+      (match List.assoc_opt "epochs" fields with
+      | Some (`List (_ :: _)) -> true
+      | _ -> false)
+  | _ -> Alcotest.fail "expected a JSON object"
+
+let suite =
+  [ Alcotest.test_case "workload: determinism and mix" `Quick test_workload_determinism;
+    Alcotest.test_case "workload: arrival shapes" `Quick test_workload_arrivals;
+    Alcotest.test_case "pool: order-preserving map" `Quick test_pool_map;
+    Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
+    Alcotest.test_case "epoch: barrier semantics" `Quick test_epoch_barrier;
+    Alcotest.test_case "epoch: report invariants" `Quick test_report_invariants;
+    Alcotest.test_case "determinism across domains" `Slow test_determinism_across_domains;
+    Alcotest.test_case "sequential path: shared store" `Quick test_until_detected_shared_store;
+    Alcotest.test_case "json report" `Quick test_json_report ]

@@ -16,6 +16,7 @@ let () =
       ("core", Test_core.suite);
       ("asan", Test_asan.suite);
       ("apps", Test_apps.suite);
+      ("fleet", Test_fleet.suite);
       ("harness", Test_harness.suite);
       ("misc", Test_misc.suite);
       ("limitations", Test_limitations.suite) ]

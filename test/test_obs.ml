@@ -59,6 +59,69 @@ let test_histogram_default_bounds () =
     (Array.length Metrics.default_bounds + 1)
     (Array.length (Metrics.bucket_counts h))
 
+(* ---------- Registry merging (fleet aggregation) ---------- *)
+
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add (Metrics.counter a "c") 3;
+  Metrics.add (Metrics.counter b "c") 4;
+  Metrics.add (Metrics.counter b "only_b") 7;
+  Metrics.set (Metrics.gauge a "g") 10;
+  Metrics.set (Metrics.gauge b "g") 2;
+  Metrics.merge_into ~dst:a ~src:b;
+  Alcotest.(check int) "counters sum" 7 (Metrics.count (Metrics.counter a "c"));
+  Alcotest.(check int) "missing counter created" 7
+    (Metrics.count (Metrics.counter a "only_b"));
+  Alcotest.(check int) "gauge takes last merged level" 2
+    (Metrics.level (Metrics.gauge a "g"));
+  Alcotest.(check int) "gauge high watermark is max" 10
+    (Metrics.high_watermark (Metrics.gauge a "g"));
+  Alcotest.(check int) "src counter untouched" 4
+    (Metrics.count (Metrics.counter b "c"))
+
+let test_metrics_merge_histograms () =
+  let a = Metrics.create () and b = Metrics.create () in
+  let bounds = [| 10; 20 |] in
+  let ha = Metrics.histogram a ~bounds "h" in
+  let hb = Metrics.histogram b ~bounds "h" in
+  List.iter (Metrics.observe ha) [ 5; 15 ];
+  List.iter (Metrics.observe hb) [ 15; 25; 25 ];
+  Metrics.merge_into ~dst:a ~src:b;
+  Alcotest.(check (array int)) "bins add" [| 1; 2; 2 |] (Metrics.bucket_counts ha);
+  Alcotest.(check int) "observations add" 5 (Metrics.observations ha);
+  Alcotest.(check int) "sums add" (5 + 15 + 15 + 25 + 25) (Metrics.hist_sum ha);
+  (* Percentiles are recomputed over the union: p50 of {5,15,15,25,25}
+     sits in the 11..20 bucket, p99 in the overflow bucket (saturating to
+     the largest finite bound). *)
+  Alcotest.(check int) "post-merge p50" 20 (Metrics.percentile ha 0.50);
+  Alcotest.(check int) "post-merge p99" 20 (Metrics.percentile ha 0.99);
+  (* Same name, different bounds: refuse rather than mis-bin. *)
+  let c = Metrics.create () in
+  ignore (Metrics.histogram c ~bounds:[| 1; 2 |] "h");
+  Alcotest.(check bool) "bounds mismatch rejected" true
+    (try
+       Metrics.merge_into ~dst:a ~src:c;
+       false
+     with Invalid_argument _ -> true);
+  (* A histogram missing from dst is created whole. *)
+  let d = Metrics.create () in
+  Metrics.merge_into ~dst:d ~src:b;
+  Alcotest.(check (array int)) "missing histogram created" [| 0; 1; 2 |]
+    (Metrics.bucket_counts (Metrics.histogram d ~bounds "h"))
+
+let test_profiler_merge () =
+  let a = Profiler.create () and b = Profiler.create () in
+  Profiler.charge a Profiler.App 100;
+  Profiler.charge a Profiler.Smu_lookup 7;
+  Profiler.charge b Profiler.App 40;
+  Profiler.charge b Profiler.Trap_dispatch 3;
+  Profiler.merge_into ~dst:a ~src:b;
+  Alcotest.(check int) "phases sum" 140 (Profiler.cycles a Profiler.App);
+  Alcotest.(check int) "disjoint phase kept" 7 (Profiler.cycles a Profiler.Smu_lookup);
+  Alcotest.(check int) "src phase added" 3 (Profiler.cycles a Profiler.Trap_dispatch);
+  Alcotest.(check int) "merged total is sum of totals" 150 (Profiler.total a);
+  Alcotest.(check int) "src untouched" 43 (Profiler.total b)
+
 (* ---------- Profiler ---------- *)
 
 let test_profiler () =
@@ -606,6 +669,9 @@ let suite =
     Alcotest.test_case "gauge high watermark" `Quick test_gauge;
     Alcotest.test_case "histogram bucket boundaries" `Quick test_histogram_boundaries;
     Alcotest.test_case "histogram default bounds" `Quick test_histogram_default_bounds;
+    Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+    Alcotest.test_case "metrics merge histograms" `Quick test_metrics_merge_histograms;
+    Alcotest.test_case "profiler merge" `Quick test_profiler_merge;
     Alcotest.test_case "profiler charges" `Quick test_profiler;
     QCheck_alcotest.to_alcotest prop_profiler_registry_agree;
     QCheck_alcotest.to_alcotest prop_machine_attribution;
