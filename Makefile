@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test check bench metrics fleet validate clean
+.PHONY: all build test check bench metrics fleet faults validate clean
 
 all: build
 
@@ -29,6 +29,12 @@ metrics:
 # re-check, one csod.bench.fleet/1 JSONL row per app (stdout only).
 fleet:
 	@dune exec bench/main.exe -- fleet
+
+# Resilience bench: sweep the deterministic fault injector over a range
+# of rates, one csod.bench.resilience/1 JSONL row per (app, rate) — the
+# detection-rate-vs-fault-rate curve (stdout only).
+faults:
+	@dune exec bench/main.exe -- resilience
 
 # Event-stream hygiene: the JSONL emitted by --events must be one JSON
 # object per line, never a torn line.

@@ -20,7 +20,11 @@
    domain and with a domain pool, checks the two reports are identical,
    and records the measured wall-clock speedup.  In the default
    everything run it prints the human-readable first-detection table
-   instead. *)
+   instead.
+
+   `resilience` (explicit-only, JSONL) sweeps the deterministic fault
+   injector over a range of rates and emits one csod.bench.resilience/1
+   row per (app, rate): the detection-rate-vs-fault-rate curve. *)
 
 let progress fmt = Printf.ksprintf (fun s -> Printf.eprintf "  .. %s\n%!" s) fmt
 
@@ -345,6 +349,87 @@ let fleet_bench () =
     [ ("Zziplib", 1000); ("Memcached", 512); ("Heartbleed", 192) ]
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: detection rate under injected faults (JSONL)            *)
+
+(* Explicit-only target: one row per (app, fault rate) running the fleet
+   simulator with the deterministic fault injector armed at the same rate
+   on every relevant point.  The curve quantifies graceful degradation —
+   how much detection survives when perf_event_open is contended, traps
+   are dropped, and worker domains crash.  Schema: csod.bench.resilience/1. *)
+
+let resilience_schema = "csod.bench.resilience/1"
+
+let resilience () =
+  let domains = max 2 (Pool.default_domains ()) in
+  let users = 300 in
+  let rates = [ 0.0; 0.05; 0.15; 0.3; 0.6; 1.0 ] in
+  let bench_one (app : Buggy_app.t) rate =
+    let spec =
+      if rate = 0.0 then "seed=7"
+      else
+        Printf.sprintf "seed=7,ebusy=%g,trap-drop=%g,worker-crash=%g" rate rate
+          rate
+    in
+    let plan =
+      match Fault_plan.of_string spec with Ok p -> p | Error m -> failwith m
+    in
+    progress "resilience: %s, %d users, faults %s" app.Buggy_app.name users
+      (Fault_plan.to_string plan);
+    let config = Config.csod_default in
+    let workload = Workload.make ~benign_frac:0.25 ~users () in
+    let r =
+      Fleet.run
+        (Fleet.config ~domains ~epoch_size:32 ~faults:plan workload)
+        ~execute:(Execution.executor ~app ~config ~faults:plan ())
+    in
+    let buggy =
+      Array.fold_left
+        (fun n s -> if s.Fleet.user.Workload.benign then n else n + 1)
+        0 r.Fleet.seats
+    in
+    let degraded = ref 0 and injected = ref 0 in
+    Array.iter
+      (fun s ->
+        let (o : Execution.outcome) = s.Fleet.exec.Fleet.payload in
+        if o.Execution.degraded then incr degraded;
+        match o.Execution.faults with
+        | Some inj -> injected := !injected + Fault_injector.total inj
+        | None -> ())
+      r.Fleet.seats;
+    let crashes =
+      match r.Fleet.faults with
+      | Some inj -> Fault_injector.count inj Fault_plan.Worker_crash
+      | None -> 0
+    in
+    print_endline
+      (Obs_json.to_string
+         (`Assoc
+           [ ("schema", `String resilience_schema);
+             ("app", `String app.Buggy_app.name);
+             ("config", `String (Config.label config));
+             ("users", `Int users);
+             ("benign_frac", `Float 0.25);
+             ("domains", `Int domains);
+             ("epoch_size", `Int 32);
+             ("fault_rate", `Float rate);
+             ("faults", `String (Fault_plan.to_string plan));
+             ("detections", `Int r.Fleet.detections);
+             ("detection_rate",
+              `Float
+                (float_of_int r.Fleet.detections /. float_of_int (max 1 buggy)));
+             ("degraded_executions", `Int !degraded);
+             ("faults_injected", `Int (!injected + crashes));
+             ("worker_crashes", `Int crashes);
+             ("store_contexts", `Int (Persist.count r.Fleet.store));
+             ("wall_seconds", `Float r.Fleet.wall_seconds) ]))
+  in
+  List.iter
+    (fun name ->
+      let app = Option.get (Buggy_app.by_name name) in
+      List.iter (fun rate -> bench_one app rate) rates)
+    [ "Zziplib"; "Gzip" ]
+
+(* ------------------------------------------------------------------ *)
 (* Ablation                                                            *)
 
 let ablate ~runs () =
@@ -556,7 +641,11 @@ let () =
      but emits csod.bench.fleet/1 rows when requested by name. *)
   if List.mem "metrics" cmds then metrics ();
   if List.mem "fleet" cmds then fleet_bench ();
+  if List.mem "resilience" cmds then resilience ();
   (* Keep stdout pure JSONL when a JSONL stream was requested. *)
-  let jsonl = List.mem "metrics" cmds || List.mem "fleet" cmds in
+  let jsonl =
+    List.mem "metrics" cmds || List.mem "fleet" cmds
+    || List.mem "resilience" cmds
+  in
   let done_ch = if jsonl then stderr else stdout in
   Printf.fprintf done_ch "\nDone.\n"

@@ -64,6 +64,27 @@ let store_arg =
        & info [ "store" ] ~docv:"FILE"
            ~doc:"Load/save the persistent store of overflowing contexts.")
 
+let faults_conv =
+  let parse s =
+    match Fault_plan.of_string s with Ok p -> Ok p | Error m -> Error (`Msg m)
+  in
+  let print ppf p = Fmt.string ppf (Fault_plan.to_string p) in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(value & opt (some faults_conv) None
+       & info [ "faults" ] ~docv:"SPEC"
+           ~doc:"Deterministic fault injection plan, e.g. \
+                 $(b,seed=7,ebusy=0.25,trap-drop=0.1,persist-torn\\@0).  \
+                 Points: ebusy, eacces (perf_event_open failures), \
+                 trap-drop, trap-delay (SIGTRAP delivery), persist-torn, \
+                 persist-enospc (store writes), worker-crash (fleet pool).  \
+                 $(i,point)=$(i,RATE) fails that fraction of opportunities; \
+                 $(i,point)\\@$(i,T) fails once at virtual second T \
+                 (worker-crash\\@N: chunk index N).  Faults draw from their \
+                 own PRNG stream, so a plan of $(b,none) is bit-identical \
+                 to no plan.")
+
 (* Telemetry options *)
 let metrics_arg =
   Arg.(value & flag
@@ -180,9 +201,13 @@ let load_store = function
   | None -> Persist.create ()
   | Some file -> Persist.load file
 
-let save_store store = function
+let save_store ?faults store = function
   | None -> ()
-  | Some file -> Persist.save store file
+  | Some file -> Persist.save ?faults store file
+
+let print_fault_summary = function
+  | None -> ()
+  | Some inj -> Printf.printf "faults: %s\n" (Fault_injector.summary inj)
 
 (* ---- list ---- *)
 
@@ -221,21 +246,26 @@ let print_outcome app (o : Execution.outcome) =
           (Execution.symbolizer app d.Asan.site))
       o.Execution.asan_detections
   end;
-  match o.Execution.stats with
+  (match o.Execution.stats with
   | Some s ->
     Printf.printf
       "stats: contexts=%d allocations=%d watched=%d traps=%d canary-checks=%d\n"
       s.Runtime.contexts s.Runtime.allocations s.Runtime.watched_times
       s.Runtime.traps s.Runtime.canary_checks
-  | None -> ()
+  | None -> ());
+  print_fault_summary o.Execution.faults;
+  if o.Execution.degraded then
+    Printf.printf
+      "! degraded: watchpoint installation kept failing; fell back to \
+       canary-only detection\n"
 
 let run_cmd =
   let app_arg =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"APP" ~doc:"Application name (see $(b,list)).")
   in
-  let run name tool policy no_evidence benign seed runs store_file metrics profile
-      metrics_json events snapshot_sec flight trace_out =
+  let run name tool policy no_evidence benign seed runs store_file faults
+      metrics profile metrics_json events snapshot_sec flight trace_out =
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S; try 'csod_run list'\n" name;
@@ -252,7 +282,8 @@ let run_cmd =
       with_events events (fun () ->
           for s = seed to seed + runs - 1 do
             let execute () =
-              Execution.run ~app ~config ~input ~seed:s ~store ~snapshot_cycles ()
+              Execution.run ~app ~config ~input ~seed:s ~store ~snapshot_cycles
+                ?faults ()
             in
             let o =
               match cap with
@@ -268,9 +299,16 @@ let run_cmd =
             if o.Execution.detected then incr detected;
             last := Some o
           done);
-      if runs > 1 then
+      if runs > 1 then begin
         Printf.printf "%s: detected in %d/%d executions (%s)\n" app.Buggy_app.name
           !detected runs (Config.label config);
+        match !last with
+        | Some o ->
+          print_fault_summary o.Execution.faults;
+          if o.Execution.degraded then
+            Printf.printf "(final execution degraded to canary-only mode)\n"
+        | None -> ()
+      end;
       (match !last with
       | Some o ->
         (* With --runs > 1 the telemetry shown is the final execution's:
@@ -292,14 +330,16 @@ let run_cmd =
         | Some file -> write_trace file (Flight_recorder.records r)
         | None -> ())
       | None -> ());
-      save_store store store_file
+      save_store
+        ?faults:(match !last with Some o -> o.Execution.faults | None -> None)
+        store store_file
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a bundled buggy application under a detection tool.")
     Term.(const run $ app_arg $ tool_arg $ policy_arg $ no_evidence_arg $ benign_arg
-          $ seed_arg $ runs_arg $ store_arg $ metrics_arg $ profile_arg
-          $ metrics_json_arg $ events_arg $ snapshot_arg $ flight_arg
-          $ trace_out_arg)
+          $ seed_arg $ runs_arg $ store_arg $ faults_arg $ metrics_arg
+          $ profile_arg $ metrics_json_arg $ events_arg $ snapshot_arg
+          $ flight_arg $ trace_out_arg)
 
 (* ---- explain: post-mortem diagnosis ---- *)
 
@@ -400,7 +440,7 @@ let fleet_cmd =
                    (schema csod.fleet.report/1) instead of the summary.")
   in
   let run name users domains epoch benign_frac burst seed policy no_evidence
-      store_file json =
+      store_file faults json =
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S\n" name;
@@ -410,14 +450,15 @@ let fleet_cmd =
       let workload =
         Workload.make ~benign_frac ~base_seed:seed ~burst ~users ()
       in
-      let cfg = Fleet.config ~domains ~epoch_size:epoch workload in
+      let cfg = Fleet.config ~domains ~epoch_size:epoch ?faults workload in
       let store =
         match store_file with Some f -> Some (Persist.load f) | None -> None
       in
       let report =
-        Fleet.run ?store cfg ~execute:(Execution.executor ~app ~config ())
+        Fleet.run ?store cfg
+          ~execute:(Execution.executor ~app ~config ?faults ())
       in
-      save_store report.Fleet.store store_file;
+      save_store ?faults:report.Fleet.faults report.Fleet.store store_file;
       if json then
         print_endline
           (Obs_json.to_string
@@ -425,7 +466,11 @@ let fleet_cmd =
                 ~config:(Config.label config) report))
       else begin
         Printf.printf "%s under %s\n" app.Buggy_app.name (Config.label config);
-        print_string (Fleet.summary report)
+        print_string (Fleet.summary report);
+        match report.Fleet.faults with
+        | Some inj ->
+          Printf.printf "pool faults: %s\n" (Fault_injector.summary inj)
+        | None -> ()
       end
   in
   Cmd.v
@@ -434,7 +479,7 @@ let fleet_cmd =
              overflow evidence at epoch barriers.")
     Term.(const run $ app_arg $ users_arg $ domains_arg $ epoch_arg
           $ benign_frac_arg $ burst_arg $ seed_arg $ policy_arg
-          $ no_evidence_arg $ store_arg $ json_arg)
+          $ no_evidence_arg $ store_arg $ faults_arg $ json_arg)
 
 (* ---- exec: user-supplied MiniC program ---- *)
 
@@ -455,8 +500,9 @@ let exec_cmd =
     Arg.(value & flag
          & info [ "dump" ] ~doc:"Pretty-print the checked program and exit.")
   in
-  let run file inputs module_name tool policy no_evidence seed store_file dump
-      metrics profile metrics_json events snapshot_sec flight trace_out =
+  let run file inputs module_name tool policy no_evidence seed store_file
+      faults dump metrics profile metrics_json events snapshot_sec flight
+      trace_out =
     let source = In_channel.with_open_text file In_channel.input_all in
     match Program.load [ { Program.file; module_name; source } ] with
     | Error errs ->
@@ -465,7 +511,10 @@ let exec_cmd =
     | Ok program when dump ->
       print_endline (Pretty.program_to_string (Program.functions program))
     | Ok program ->
-      let machine = Machine.create ~seed () in
+      let injector =
+        Option.map (fun plan -> Fault_injector.create ~plan ~salt:seed) faults
+      in
+      let machine = Machine.create ~seed ?faults:injector () in
       let snapshot_cycles = snapshot_cycles_of snapshot_sec in
       if snapshot_cycles > 0 then
         Telemetry.set_snapshot_interval (Machine.telemetry machine)
@@ -526,9 +575,16 @@ let exec_cmd =
               (Program.symbolize program d.Asan.site))
           (Asan.detections a)
       | None -> ());
-      save_store store store_file;
+      save_store ?faults:injector store store_file;
       if not (inst.Config.detected ()) then
         Printf.printf "no overflow detected in this execution\n";
+      print_fault_summary injector;
+      (match inst.Config.csod with
+      | Some rt when Runtime.degraded rt ->
+        Printf.printf
+          "! degraded: watchpoint installation kept failing; fell back to \
+           canary-only detection\n"
+      | _ -> ());
       emit_telemetry ~metrics ~profile ~metrics_json (Machine.telemetry machine)
         ~cycles:(Clock.cycles (Machine.clock machine));
       (match recorder with
@@ -542,9 +598,9 @@ let exec_cmd =
   Cmd.v
     (Cmd.info "exec" ~doc:"Run a MiniC source file under a detection tool.")
     Term.(const run $ file_arg $ inputs_arg $ module_arg $ tool_arg $ policy_arg
-          $ no_evidence_arg $ seed_arg $ store_arg $ dump_arg $ metrics_arg
-          $ profile_arg $ metrics_json_arg $ events_arg $ snapshot_arg
-          $ flight_arg $ trace_out_arg)
+          $ no_evidence_arg $ seed_arg $ store_arg $ faults_arg $ dump_arg
+          $ metrics_arg $ profile_arg $ metrics_json_arg $ events_arg
+          $ snapshot_arg $ flight_arg $ trace_out_arg)
 
 let () =
   (* --trace anywhere on the command line streams the runtime's sampling

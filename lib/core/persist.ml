@@ -13,12 +13,81 @@ let copy t =
   merge c t;
   c
 
-let save t path =
+(* ---------- on-disk format ----------
+
+   Data lines are the historical ["site stack_offset"] pairs, sorted.  Since
+   format 2 the last line is a footer
+
+     #csod.store/2 count=N sum=XXXXXXXXXXXXXXXX
+
+   carrying the entry count and an FNV-1a checksum of the data lines, so a
+   reader can tell a complete store from a torn one.  Footer-less files (the
+   pre-footer format, or a tear that happened to land on a line boundary)
+   are still accepted: they carry no integrity data to check. *)
+
+let footer_magic = "#csod.store/2"
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let checksum_line acc line =
+  let acc = ref acc in
+  String.iter
+    (fun c ->
+      acc :=
+        Int64.mul (Int64.logxor !acc (Int64.of_int (Char.code c))) fnv_prime)
+    line;
+  (* Terminator byte so ["ab";"c"] and ["a";"bc"] differ. *)
+  Int64.mul (Int64.logxor !acc 0x0aL) fnv_prime
+
+let checksum lines = List.fold_left checksum_line fnv_offset lines
+
+let render_lines t = List.map (fun (a, b) -> Printf.sprintf "%d %d" a b) (keys t)
+
+let render t =
+  let lines = render_lines t in
+  let footer =
+    Printf.sprintf "%s count=%d sum=%016Lx" footer_magic (List.length lines)
+      (checksum lines)
+  in
+  String.concat "" (List.map (fun l -> l ^ "\n") (lines @ [ footer ]))
+
+let write_string path s =
   let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      List.iter (fun (a, b) -> Printf.fprintf oc "%d %d\n" a b) (keys t))
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let save ?faults t path =
+  let content = render t in
+  let fires point =
+    match faults with
+    | None -> false
+    | Some inj -> Fault_injector.fire inj point
+  in
+  if fires Fault_plan.Persist_torn then begin
+    (* A crash mid-write: some prefix of the content reaches the file and
+       the footer never does.  Written in place (no rename) — the tear is
+       precisely what atomic publication would have prevented, kept
+       injectable so the recovery path stays honest. *)
+    let u =
+      match faults with Some inj -> Fault_injector.draw_float inj | None -> 0.5
+    in
+    let len = String.length content in
+    let cut = max 0 (min (len - 1) (int_of_float ((0.25 +. (0.5 *. u)) *. float_of_int len))) in
+    write_string path (String.sub content 0 cut)
+  end
+  else if fires Fault_plan.Persist_enospc then begin
+    (* Device full: the temporary file cannot be completed, so it is
+       discarded and the previously published store survives untouched —
+       atomic publication is the degradation. *)
+    let tmp = path ^ ".tmp" in
+    write_string tmp (String.sub content 0 (String.length content / 2));
+    Sys.remove tmp
+  end
+  else begin
+    let tmp = path ^ ".tmp" in
+    write_string tmp content;
+    Sys.rename tmp path
+  end
 
 (* Whitespace-tolerant tokenizer: fleet reports come from many writers, so
    stray tabs, doubled spaces and trailing blanks must not poison a store. *)
@@ -27,24 +96,81 @@ let tokens line =
   |> List.concat_map (String.split_on_char ' ')
   |> List.filter (fun s -> s <> "")
 
-let load path =
-  let t = create () in
-  if Sys.file_exists path then begin
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        try
-          while true do
-            let line = input_line ic in
-            match tokens line with
-            | [] -> ()
-            | [ a; b ] -> (
-              match (int_of_string_opt a, int_of_string_opt b) with
-              | Some a, Some b -> add t (a, b)
-              | _ -> failwith ("Persist.load: malformed line: " ^ line))
-            | _ -> failwith ("Persist.load: malformed line: " ^ line)
-          done
-        with End_of_file -> ())
-  end;
-  t
+type load_outcome =
+  | Missing
+  | Clean of int
+  | Recovered of { entries : int; corrupt_lines : int }
+
+let parse_footer line =
+  match tokens line with
+  | [ magic; cnt; sum ] when magic = footer_magic -> (
+    match
+      ( String.length cnt > 6 && String.sub cnt 0 6 = "count=",
+        String.length sum > 4 && String.sub sum 0 4 = "sum=" )
+    with
+    | true, true -> (
+      let cnt = String.sub cnt 6 (String.length cnt - 6) in
+      let sum = String.sub sum 4 (String.length sum - 4) in
+      match (int_of_string_opt cnt, Int64.of_string_opt ("0x" ^ sum)) with
+      | Some n, Some s -> Some (n, s)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let load_result ?metrics path =
+  if not (Sys.file_exists path) then (create (), Missing)
+  else begin
+    let t = create () in
+    let corrupt = ref 0 in
+    let footer = ref None in
+    let data = ref [] in
+    List.iter
+      (fun line ->
+        if String.length line > 0 && line.[0] = '#' then
+          match parse_footer line with
+          | Some f -> footer := Some f
+          | None -> incr corrupt
+        else
+          match tokens line with
+          | [] -> ()
+          | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b ->
+              add t (a, b);
+              (* Re-render for the checksum: the writer normalized
+                 whitespace, so a clean round-trip matches. *)
+              data := Printf.sprintf "%d %d" a b :: !data
+            | _ -> incr corrupt)
+          | _ -> incr corrupt)
+      (read_lines path);
+    let data = List.rev !data in
+    let intact =
+      !corrupt = 0
+      && match !footer with
+         | None -> true (* legacy format: nothing to verify *)
+         | Some (n, sum) -> n = List.length data && sum = checksum data
+    in
+    if intact then (t, Clean (count t))
+    else begin
+      (match metrics with
+      | None -> ()
+      | Some reg ->
+        Metrics.add (Metrics.counter reg "persist.corrupt_lines") !corrupt;
+        Metrics.add (Metrics.counter reg "persist.recovered") (count t));
+      (t, Recovered { entries = count t; corrupt_lines = !corrupt })
+    end
+  end
+
+let load ?metrics path = fst (load_result ?metrics path)

@@ -32,10 +32,33 @@ val merge : t -> t -> unit
 val copy : t -> t
 (** Snapshot; the copy and the original evolve independently. *)
 
-val save : t -> string -> unit
-(** One ["callsite stack_offset"] line per context. *)
+val save : ?faults:Fault_injector.t -> t -> string -> unit
+(** One ["callsite stack_offset"] line per context, sorted, followed by a
+    [#csod.store/2] footer carrying the entry count and an FNV-1a checksum
+    of the data lines.  The write is atomic: content goes to [path ^
+    ".tmp"] and is renamed into place, so a reader never observes a
+    half-written store.  Under fault injection ({!Fault_plan}) a
+    [persist-torn] fire writes a truncated, footer-less file in place (the
+    crash-mid-write the atomic path would normally prevent), and a
+    [persist-enospc] fire abandons the temporary file, leaving any
+    previously published store untouched. *)
 
-val load : string -> t
-(** Missing file yields an empty store.  Blank lines and extra whitespace
-    (doubled spaces, tabs, trailing blanks) are tolerated; lines that do
-    not hold exactly two integers raise [Failure]. *)
+type load_outcome =
+  | Missing  (** no file at that path — a first run, not an empty store *)
+  | Clean of int  (** intact store with this many entries (possibly 0) *)
+  | Recovered of { entries : int; corrupt_lines : int }
+      (** integrity failure — unparsable lines, or a footer whose count or
+          checksum disagrees; [entries] valid contexts were salvaged *)
+
+val load_result : ?metrics:Metrics.t -> string -> t * load_outcome
+(** Failure-oblivious load.  Missing file yields an empty store and
+    [Missing].  Blank lines and extra whitespace are tolerated; lines that
+    do not hold exactly two integers are {e skipped}, not fatal — every
+    parsable context is salvaged so past evidence keeps pinning contexts
+    even when the store was torn mid-write.  A footer-less file (the
+    pre-footer format) loads cleanly with no integrity check.  When
+    [metrics] is given, recovery bumps the ["persist.corrupt_lines"] and
+    ["persist.recovered"] counters. *)
+
+val load : ?metrics:Metrics.t -> string -> t
+(** [fst (load_result ?metrics path)]. *)

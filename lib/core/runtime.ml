@@ -20,11 +20,21 @@ type t = {
   c_watched : Metrics.counter;
   c_reports : Metrics.counter;
   c_corruptions : Metrics.counter;
+  c_install_failures : Metrics.counter;
+  c_degraded : Metrics.counter;
   mutable reports : Report.t list; (* newest first *)
   mutable traps : int;
   mutable canary_checks : int;
+  mutable consecutive_install_failures : int;
+  mutable degraded : bool; (* canary-only: watchpoint machinery given up *)
   mutable finished : bool;
 }
+
+(* Consecutive fault-induced installation failures tolerated before the
+   runtime stops fighting for the debug registers and falls back to
+   canary-only detection.  Three failed installs is nine failed opens
+   (each install retries EBUSY up to three times). *)
+let degrade_threshold = 3
 
 let now t = Clock.seconds (Machine.clock t.machine)
 let cycles t = Clock.cycles (Machine.clock t.machine)
@@ -97,9 +107,13 @@ let create ?(params = Params.default) ?store ?(seed = 0) ~machine ~heap () =
       c_watched = Metrics.counter reg "smu.watched";
       c_reports = Metrics.counter reg "report.count";
       c_corruptions = Metrics.counter reg "canary.corruptions";
+      c_install_failures = Metrics.counter reg "runtime.install_failures";
+      c_degraded = Metrics.counter reg "runtime.degraded";
       reports = [];
       traps = 0;
       canary_checks = 0;
+      consecutive_install_failures = 0;
+      degraded = false;
       finished = false }
   in
   Machine.set_trap_handler machine (handle_trap t);
@@ -107,19 +121,56 @@ let create ?(params = Params.default) ?store ?(seed = 0) ~machine ~heap () =
 
 let evidence t = t.params.Params.evidence
 
+(* Track the outcome of a direct installation attempt.  A bounded run of
+   fault-induced failures (EBUSY past the retry budget, EACCES) flips the
+   runtime into canary-only mode: watchpoints are abandoned for the rest of
+   the execution but evidence-mode canaries keep detecting.  The flip is
+   recorded as an explicit probability transition so post-mortems show
+   {e why} sampling stopped. *)
+let note_install t (entry : Context_table.entry) ok =
+  if ok then t.consecutive_install_failures <- 0
+  else begin
+    Metrics.incr t.c_install_failures;
+    t.consecutive_install_failures <- t.consecutive_install_failures + 1;
+    if t.consecutive_install_failures >= degrade_threshold && not t.degraded
+    then begin
+      t.degraded <- true;
+      Metrics.incr t.c_degraded;
+      Trace.degraded ();
+      Flight_recorder.prob ~at:(cycles t) ~ctx:entry.Context_table.id
+        ~cause:Flight_recorder.Degrade
+        ~from_p:(Context_table.effective_prob t.contexts entry)
+        ~to_p:0.0
+    end
+  end;
+  ok
+
 (* Decide whether to watch the freshly allocated object, per Section III.
    Returns true when a watchpoint now guards it. *)
 let consider_watch t (entry : Context_table.entry) ~app ~watch_addr =
   Metrics.incr t.c_decisions;
-  if Watch_table.in_startup t.watches && Watch_table.has_free_slot t.watches then begin
-    (* "Installation due to availability": the first few objects are
-       watched regardless of probability (see {!Watch_table.in_startup}). *)
-    Watch_table.install t.watches ~obj_addr:app ~watch_addr ~entry;
+  if t.degraded then begin
+    (* Canary-only mode: no draws, no installs.  The decision is still
+       recorded so traces show the allocation was seen and skipped. *)
     if Flight_recorder.active () then
       Flight_recorder.decision ~at:(cycles t) ~addr:app
-        ~ctx:entry.Context_table.id ~prob:1.0 ~coin:true ~watched:true
+        ~ctx:entry.Context_table.id ~prob:0.0 ~coin:false ~watched:false
+        ~startup:false;
+    false
+  end
+  else if Watch_table.in_startup t.watches && Watch_table.has_free_slot t.watches
+  then begin
+    (* "Installation due to availability": the first few objects are
+       watched regardless of probability (see {!Watch_table.in_startup}). *)
+    let watched =
+      note_install t entry
+        (Watch_table.install t.watches ~obj_addr:app ~watch_addr ~entry)
+    in
+    if Flight_recorder.active () then
+      Flight_recorder.decision ~at:(cycles t) ~addr:app
+        ~ctx:entry.Context_table.id ~prob:1.0 ~coin:true ~watched
         ~startup:true;
-    true
+    watched
   end
   else begin
     Machine.work_as t.machine Profiler.Smu_decision Cost.rng_draw;
@@ -127,10 +178,9 @@ let consider_watch t (entry : Context_table.entry) ~app ~watch_addr =
     let coin = Prng.below_percent t.rng p in
     let watched =
       if not coin then false
-      else if Watch_table.has_free_slot t.watches then begin
-        Watch_table.install t.watches ~obj_addr:app ~watch_addr ~entry;
-        true
-      end
+      else if Watch_table.has_free_slot t.watches then
+        note_install t entry
+          (Watch_table.install t.watches ~obj_addr:app ~watch_addr ~entry)
       else
         Watch_table.try_replace t.watches ~obj_addr:app ~watch_addr ~entry
           ~new_prob:p
@@ -240,6 +290,7 @@ let tool t =
 
 let params t = t.params
 let store t = t.store
+let degraded t = t.degraded
 let detections t = List.rev t.reports
 let detected t = t.reports <> []
 

@@ -45,6 +45,15 @@ val tool : t -> Tool.t
 val params : t -> Params.t
 val store : t -> Persist.t
 
+val degraded : t -> bool
+(** True once the runtime has fallen back to canary-only mode: after
+    {!Watch_table.install} failed three times in a row for environmental
+    reasons (fault-injected [`EBUSY]/[`EACCES] — e.g. a debugger holding
+    the debug registers), no further watchpoints are attempted for this
+    execution.  Evidence-mode canaries keep detecting; the transition is
+    recorded in the flight recorder as a [Degrade] probability change and
+    counted in the ["runtime.degraded"] metric. *)
+
 val detections : t -> Report.t list
 (** Reports accumulated this execution, oldest first. *)
 

@@ -47,3 +47,10 @@ let canary ~addr ~where =
     emit "canary.corrupt" [ ("addr", `Int addr); ("where", `String where) ];
     Log.debug (fun m -> m "CANARY corrupted on 0x%x (at %s)" addr where)
   end
+
+let degraded () =
+  if on () then begin
+    emit "runtime.degraded" [];
+    Log.debug (fun m ->
+        m "DEGRADED: watchpoint installation keeps failing; canary-only mode")
+  end

@@ -30,3 +30,7 @@ val trap : addr:int -> kind:string -> tid:int -> unit
 
 val canary : addr:int -> where:string -> unit
 (** A corrupted canary observed at [where] (["free"] or ["exit"]). *)
+
+val degraded : unit -> unit
+(** The runtime gave up on watchpoints (repeated fault-induced
+    installation failures) and fell back to canary-only detection. *)

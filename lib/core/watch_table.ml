@@ -23,6 +23,38 @@ type t = {
   mutable startup : bool;
 }
 
+let now t = Clock.seconds (Machine.clock t.machine)
+
+(* Install one thread's perf event, absorbing injected failures.  [`EBUSY]
+   is transient (a debugger briefly holds the registers), so back off in
+   virtual time and retry a bounded number of times; [`EACCES] is a
+   permissions failure that retrying cannot fix.  [`ENOSPC] is the
+   architectural four-address limit — not a fault — and keeps its historical
+   meaning: skip this thread, arm the rest. *)
+let max_open_attempts = 3
+
+let install_for_tid t ~combined ~watch_addr tid =
+  let machine = t.machine in
+  let record_fault point =
+    Flight_recorder.fault ~at:(Clock.cycles (Machine.clock machine)) ~point
+  in
+  let rec go attempt =
+    match Machine.install_watch ~combined machine ~addr:watch_addr ~tid with
+    | Ok fd -> `Fd fd
+    | Error `ENOSPC -> `Skip
+    | Error `EACCES ->
+      record_fault "eacces";
+      `Fault
+    | Error `EBUSY ->
+      record_fault "ebusy";
+      if attempt >= max_open_attempts then `Fault
+      else begin
+        Machine.stall machine Cost.ebusy_backoff;
+        go (attempt + 1)
+      end
+  in
+  go 1
+
 let create ~params ~machine ~rng =
   let reg = Machine.registry machine in
   let t =
@@ -46,11 +78,11 @@ let create ~params ~machine ~rng =
          way to know which thread will cause an overflow later. *)
       Ring.iter
         (fun wp ->
-          match Machine.install_watch ~combined machine ~addr:wp.watch_addr ~tid with
-          | Ok fd ->
+          match install_for_tid t ~combined ~watch_addr:wp.watch_addr tid with
+          | `Fd fd ->
             wp.fds <- (tid, fd) :: wp.fds;
             Hashtbl.replace t.by_fd fd wp
-          | Error `ENOSPC -> ())
+          | `Skip | `Fault -> ())
         t.ring);
   Threads.on_exit threads (fun tid ->
       Ring.iter
@@ -64,8 +96,6 @@ let create ~params ~machine ~rng =
           wp.fds <- rest)
         t.ring);
   t
-
-let now t = Clock.seconds (Machine.clock t.machine)
 
 let has_free_slot t = not (Ring.is_full t.ring)
 
@@ -82,31 +112,45 @@ let install t ~obj_addr ~watch_addr ~entry =
   if Ring.is_full t.ring then failwith "Watch_table.install: no free slot";
   Machine.in_phase t.machine Profiler.Wmu_install @@ fun () ->
   let combined = t.params.Params.combined_syscall in
+  let faulted = ref false in
   let fds =
     List.filter_map
       (fun tid ->
-        match Machine.install_watch ~combined t.machine ~addr:watch_addr ~tid with
-        | Ok fd -> Some (tid, fd)
-        | Error `ENOSPC -> None)
+        match install_for_tid t ~combined ~watch_addr tid with
+        | `Fd fd -> Some (tid, fd)
+        | `Skip -> None
+        | `Fault ->
+          faulted := true;
+          None)
       (Threads.alive (Machine.threads t.machine))
   in
-  let wp =
-    { obj_addr;
-      watch_addr;
-      entry;
-      alloc_backtrace = entry.Context_table.full_ctx;
-      fds;
-      installed_at = now t;
-      prob_at_install = entry.Context_table.prob }
-  in
-  Ring.push t.ring wp;
-  List.iter (fun (_, fd) -> Hashtbl.replace t.by_fd fd wp) fds;
-  Hashtbl.replace t.by_obj obj_addr wp;
-  t.installs <- t.installs + 1;
-  Metrics.incr t.c_installs;
-  Flight_recorder.watch ~at:(Clock.cycles (Machine.clock t.machine))
-    ~addr:obj_addr ~ctx:entry.Context_table.id;
-  if t.installs >= Hw_breakpoint.num_slots then t.startup <- false
+  if fds = [] && !faulted then
+    (* Every open failed for environmental reasons (EBUSY past the retry
+       budget, or EACCES): nothing is armed, so claiming a ring slot would
+       just shadow a live candidate.  Report failure and let the caller
+       degrade.  Without faults this branch is unreachable and installation
+       keeps its historical always-succeeds behaviour. *)
+    false
+  else begin
+    let wp =
+      { obj_addr;
+        watch_addr;
+        entry;
+        alloc_backtrace = entry.Context_table.full_ctx;
+        fds;
+        installed_at = now t;
+        prob_at_install = entry.Context_table.prob }
+    in
+    Ring.push t.ring wp;
+    List.iter (fun (_, fd) -> Hashtbl.replace t.by_fd fd wp) fds;
+    Hashtbl.replace t.by_obj obj_addr wp;
+    t.installs <- t.installs + 1;
+    Metrics.incr t.c_installs;
+    Flight_recorder.watch ~at:(Clock.cycles (Machine.clock t.machine))
+      ~addr:obj_addr ~ctx:entry.Context_table.id;
+    if t.installs >= Hw_breakpoint.num_slots then t.startup <- false;
+    true
+  end
 
 let remove t wp =
   Machine.in_phase t.machine Profiler.Wmu_evict @@ fun () ->
@@ -146,10 +190,8 @@ let try_replace t ~obj_addr ~watch_addr ~entry ~new_prob =
         if k >= n then false
         else
           let victim = List.nth slots ((start + k) mod n) in
-          if decayed_prob t victim < new_prob then begin
-            replace_victim t victim ~obj_addr ~watch_addr ~entry;
-            true
-          end
+          if decayed_prob t victim < new_prob then
+            replace_victim t victim ~obj_addr ~watch_addr ~entry
           else scan (k + 1)
       in
       scan 0
@@ -163,10 +205,8 @@ let try_replace t ~obj_addr ~watch_addr ~entry ~new_prob =
         match Ring.peek t.ring with
         | None -> false
         | Some victim ->
-          if decayed_prob t victim < new_prob then begin
-            replace_victim t victim ~obj_addr ~watch_addr ~entry;
-            true
-          end
+          if decayed_prob t victim < new_prob then
+            replace_victim t victim ~obj_addr ~watch_addr ~entry
           else begin
             Ring.advance t.ring;
             scan (k + 1) n

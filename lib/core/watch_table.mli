@@ -37,9 +37,15 @@ val in_startup : t -> bool
     Table IV's small watched-times counts), and the burst throttle of
     Section III-B2 could never reduce installation overhead. *)
 
-val install : t -> obj_addr:int -> watch_addr:int -> entry:Context_table.entry -> unit
+val install : t -> obj_addr:int -> watch_addr:int -> entry:Context_table.entry -> bool
 (** Install on a free slot for every alive thread (6 syscalls each).
-    Raises [Failure] if no slot is free — callers must check or replace. *)
+    Raises [Failure] if no slot is free — callers must check or replace.
+    Returns whether the watchpoint was actually armed: under fault
+    injection [perf_event_open] can fail with [`EBUSY] (retried up to three
+    times with a virtual-time backoff) or [`EACCES] (permanent), and when
+    {e every} alive thread's open fails that way, no slot is claimed and
+    the result is [false] — the caller's cue to degrade.  Without an
+    injector the result is always [true]. *)
 
 val try_replace :
   t -> obj_addr:int -> watch_addr:int -> entry:Context_table.entry ->

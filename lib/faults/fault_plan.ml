@@ -1,0 +1,104 @@
+type point =
+  | Perf_ebusy
+  | Perf_eacces
+  | Trap_drop
+  | Trap_delay
+  | Persist_torn
+  | Persist_enospc
+  | Worker_crash
+
+let all_points =
+  [ Perf_ebusy; Perf_eacces; Trap_drop; Trap_delay; Persist_torn;
+    Persist_enospc; Worker_crash ]
+
+let point_name = function
+  | Perf_ebusy -> "ebusy"
+  | Perf_eacces -> "eacces"
+  | Trap_drop -> "trap-drop"
+  | Trap_delay -> "trap-delay"
+  | Persist_torn -> "persist-torn"
+  | Persist_enospc -> "persist-enospc"
+  | Worker_crash -> "worker-crash"
+
+let point_of_name s =
+  List.find_opt (fun p -> point_name p = s) all_points
+
+(* [point_id] keys the per-point hash streams; it must stay stable across
+   reorderings of [all_points], so it is spelled out rather than derived. *)
+let point_id = function
+  | Perf_ebusy -> 1
+  | Perf_eacces -> 2
+  | Trap_drop -> 3
+  | Trap_delay -> 4
+  | Persist_torn -> 5
+  | Persist_enospc -> 6
+  | Worker_crash -> 7
+
+type t = {
+  seed : int;
+  rates : (point * float) list; (* nonzero entries only, spec order *)
+  oneshots : (point * float) list; (* virtual seconds; spec order *)
+}
+
+let zero = { seed = 0; rates = []; oneshots = [] }
+let is_zero t = t.rates = [] && t.oneshots = []
+
+let rate t p =
+  match List.assoc_opt p t.rates with Some r -> r | None -> 0.0
+
+let oneshots_for t p =
+  List.filter_map (fun (q, at) -> if q = p then Some at else None) t.oneshots
+
+let of_string spec =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let parse_entry acc entry =
+    match acc with
+    | Error _ as e -> e
+    | Ok t -> (
+      match String.index_opt entry '=' with
+      | Some i ->
+        let name = String.sub entry 0 i in
+        let value = String.sub entry (i + 1) (String.length entry - i - 1) in
+        if name = "seed" then
+          match int_of_string_opt value with
+          | Some seed -> Ok { t with seed }
+          | None -> err "faults: bad seed %S" value
+        else (
+          match (point_of_name name, float_of_string_opt value) with
+          | None, _ -> err "faults: unknown fault point %S" name
+          | _, None -> err "faults: bad rate %S for %s" value name
+          | Some _, Some r when r < 0.0 || r > 1.0 ->
+            err "faults: rate for %s must be in [0,1], got %s" name value
+          | Some p, Some r ->
+            if r = 0.0 then Ok t
+            else Ok { t with rates = t.rates @ [ (p, r) ] })
+      | None -> (
+        match String.index_opt entry '@' with
+        | Some i ->
+          let name = String.sub entry 0 i in
+          let value = String.sub entry (i + 1) (String.length entry - i - 1) in
+          (match (point_of_name name, float_of_string_opt value) with
+          | None, _ -> err "faults: unknown fault point %S" name
+          | _, None -> err "faults: bad one-shot time %S for %s" value name
+          | Some _, Some at when at < 0.0 ->
+            err "faults: one-shot time for %s must be >= 0, got %s" name value
+          | Some p, Some at -> Ok { t with oneshots = t.oneshots @ [ (p, at) ] })
+        | None -> err "faults: expected point=rate or point@time, got %S" entry))
+  in
+  String.split_on_char ',' spec
+  |> List.filter (fun s -> s <> "")
+  |> List.fold_left parse_entry (Ok zero)
+
+let to_string t =
+  let seed = if t.seed = 0 then [] else [ Printf.sprintf "seed=%d" t.seed ] in
+  let rates =
+    List.map (fun (p, r) -> Printf.sprintf "%s=%g" (point_name p) r) t.rates
+  in
+  let oneshots =
+    List.map
+      (fun (p, at) -> Printf.sprintf "%s@%g" (point_name p) at)
+      t.oneshots
+  in
+  match seed @ rates @ oneshots with
+  | [] -> "none"
+  | entries -> String.concat "," entries

@@ -20,17 +20,23 @@ type 'a report = {
   store : Persist.t;
   domains : int;
   wall_seconds : float;
+  faults : Fault_injector.t option;
 }
 
-type config = { workload : Workload.t; domains : int; epoch_size : int }
+type config = {
+  workload : Workload.t;
+  domains : int;
+  epoch_size : int;
+  faults : Fault_plan.t option;
+}
 
-let config ?domains ?(epoch_size = 32) workload =
+let config ?domains ?(epoch_size = 32) ?faults workload =
   let domains =
     match domains with Some d -> d | None -> Pool.default_domains ()
   in
   if domains < 1 then invalid_arg "Fleet.config: domains < 1";
   if epoch_size < 1 then invalid_arg "Fleet.config: epoch_size < 1";
-  { workload; domains; epoch_size }
+  { workload; domains; epoch_size; faults }
 
 let run ?store cfg ~execute =
   let w = cfg.workload in
@@ -39,6 +45,14 @@ let run ?store cfg ~execute =
   in
   let metrics = Metrics.create () in
   let profile = Profiler.create () in
+  (* The pool injector is fleet-wide (salt 0): crash decisions are indexed
+     draws keyed by chunk index = uid - 1, so they are identical for any
+     domain count.  Registered unconditionally so a zero plan and no plan
+     produce byte-identical metrics. *)
+  let c_crashes = Metrics.counter metrics "fleet.worker_crashes" in
+  let pool_faults =
+    Option.map (fun plan -> Fault_injector.create ~plan ~salt:0) cfg.faults
+  in
   let arrivals = Workload.arrivals w ~epoch_size:cfg.epoch_size in
   let seats = ref [] in
   let epochs = ref [] in
@@ -48,8 +62,9 @@ let run ?store cfg ~execute =
         let next_uid = ref 1 in
         Array.iteri
           (fun e n ->
+            let uid_base = !next_uid in
             let users =
-              Array.init n (fun i -> Workload.user w (!next_uid + i))
+              Array.init n (fun i -> Workload.user w (uid_base + i))
             in
             next_uid := !next_uid + n;
             (* Snapshots are taken in the main domain, before any worker
@@ -57,8 +72,9 @@ let run ?store cfg ~execute =
                evidence uploaded by previous epochs, no more. *)
             let locals = Array.map (fun _ -> Persist.copy shared) users in
             let execs =
-              Pool.map ~domains:cfg.domains n ~f:(fun i ->
-                  execute ~user:users.(i) ~store:locals.(i))
+              Pool.map ?faults:pool_faults ~index_base:(uid_base - 1)
+                ~domains:cfg.domains n
+                ~f:(fun i -> execute ~user:users.(i) ~store:locals.(i))
             in
             (* Epoch barrier: fold the fleet's reports back in, in uid
                (= seed) order so gauge merges are deterministic. *)
@@ -83,6 +99,10 @@ let run ?store cfg ~execute =
               :: !epochs)
           arrivals)
   in
+  (match pool_faults with
+  | Some inj ->
+    Metrics.add c_crashes (Fault_injector.count inj Fault_plan.Worker_crash)
+  | None -> ());
   let seats = Array.of_list (List.rev !seats) in
   let first_catch =
     Array.fold_left
@@ -98,7 +118,8 @@ let run ?store cfg ~execute =
     profile;
     store = shared;
     domains = cfg.domains;
-    wall_seconds }
+    wall_seconds;
+    faults = pool_faults }
 
 let until_detected ?store ~users ~execute () =
   let rec go uid =

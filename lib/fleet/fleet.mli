@@ -50,17 +50,24 @@ type 'a report = {
   store : Persist.t;             (** final shared store *)
   domains : int;
   wall_seconds : float;
+  faults : Fault_injector.t option;
+      (** the pool's crash injector, for post-run fault accounting *)
 }
 
 type config = {
   workload : Workload.t;
   domains : int;     (** degree of parallelism; 1 = fully sequential *)
   epoch_size : int;  (** mean arrivals per epoch (see {!Workload.arrivals}) *)
+  faults : Fault_plan.t option;
+      (** worker-crash injection for the pool (chunk index = uid - 1);
+          crashed chunks are requeued/serialized, so the report stays
+          bit-identical to an unfaulted run *)
 }
 
 val config :
-  ?domains:int -> ?epoch_size:int -> Workload.t -> config
-(** Defaults: [domains = Pool.default_domains ()], [epoch_size = 32]. *)
+  ?domains:int -> ?epoch_size:int -> ?faults:Fault_plan.t -> Workload.t -> config
+(** Defaults: [domains = Pool.default_domains ()], [epoch_size = 32], no
+    fault plan. *)
 
 val run : ?store:Persist.t -> config -> execute:'a executor -> 'a report
 (** Simulate the whole fleet.  [store] seeds the shared store (default

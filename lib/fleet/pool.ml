@@ -1,10 +1,43 @@
 let default_domains () = Domain.recommended_domain_count ()
 
-let map ~domains n ~f =
+(* Injected worker crashes use the injector's stateless [indexed] draws: a
+   pure function of (plan seed, point, chunk index, attempt), so the set of
+   crashed chunks is identical for any domain count and any scheduling.  A
+   crash kills the attempt {e before} the chunk computes (the worker dies
+   picking it up), the chunk is requeued once, and a chunk whose retry also
+   crashes is left for a serial fallback pass in the calling domain — so
+   [f] still runs exactly once per index and the results are bit-identical
+   to an unfaulted map. *)
+let crashes faults gi attempt =
+  match faults with
+  | None -> false
+  | Some inj ->
+    Fault_injector.indexed inj Fault_plan.Worker_crash ~index:gi ~attempt
+
+(* Tally injected crashes from the calling domain only — the injector's
+   counters are not synchronized. *)
+let record_crashes ?faults ~index_base n =
+  match faults with
+  | None -> ()
+  | Some inj ->
+    for i = 0 to n - 1 do
+      let gi = index_base + i in
+      if crashes faults gi 1 then begin
+        Fault_injector.record inj Fault_plan.Worker_crash;
+        if crashes faults gi 2 then
+          Fault_injector.record inj Fault_plan.Worker_crash
+      end
+    done
+
+let map ?faults ?(index_base = 0) ~domains n ~f =
   if domains < 1 then invalid_arg "Pool.map: domains < 1";
   if n < 0 then invalid_arg "Pool.map: negative size";
+  record_crashes ?faults ~index_base n;
   let domains = min domains n in
-  if domains <= 1 then Array.init n f
+  if domains <= 1 then
+    (* Serial execution is already the degraded mode: crashes change the
+       bookkeeping above but not the computation. *)
+    Array.init n f
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
@@ -12,21 +45,55 @@ let map ~domains n ~f =
     let rec worker () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        (match f i with
-        | v -> results.(i) <- Some v
-        | exception e ->
-          (* First failure wins; parking [next] past [n] cancels the
-             remaining indices on every domain. *)
-          ignore (Atomic.compare_and_set failure None (Some e));
-          Atomic.set next n);
+        let gi = index_base + i in
+        (if crashes faults gi 1 then begin
+           (* Worker crashed picking up this chunk; requeue it once. *)
+           if not (crashes faults gi 2) then
+             match f i with
+             | v -> results.(i) <- Some v
+             | exception e ->
+               ignore (Atomic.compare_and_set failure None (Some e));
+               Atomic.set next n
+           (* else: double crash — left for the serial fallback *)
+         end
+         else
+           match f i with
+           | v -> results.(i) <- Some v
+           | exception e ->
+             (* First failure wins; parking [next] past [n] cancels the
+                remaining indices on every domain. *)
+             ignore (Atomic.compare_and_set failure None (Some e));
+             Atomic.set next n);
         worker ()
       end
     in
-    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
+    let spawned = ref [] in
+    Fun.protect
+      ~finally:(fun () ->
+        (* Always join every spawned domain — even when a spawn or the
+           inline worker raised.  A leaked domain keeps running past the
+           caller's recovery and aborts the process at exit. *)
+        List.iter
+          (fun d ->
+            match Domain.join d with
+            | () -> ()
+            | exception e ->
+              ignore (Atomic.compare_and_set failure None (Some e)))
+          !spawned)
+      (fun () ->
+        for _ = 2 to domains do
+          spawned := Domain.spawn worker :: !spawned
+        done;
+        worker ());
     (match Atomic.get failure with Some e -> raise e | None -> ());
-    Array.map (function Some v -> v | None -> assert false) results
+    Array.mapi
+      (fun i -> function
+        | Some v -> v
+        | None ->
+          (* Both attempts crashed: degrade this chunk to the caller's
+             domain.  [f] has not run for it yet. *)
+          f i)
+      results
   end
 
 let timed f =

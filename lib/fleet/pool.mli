@@ -12,14 +12,26 @@ val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — the runtime's estimate of
     useful hardware parallelism. *)
 
-val map : domains:int -> int -> f:(int -> 'a) -> 'a array
+val map :
+  ?faults:Fault_injector.t ->
+  ?index_base:int ->
+  domains:int -> int -> f:(int -> 'a) -> 'a array
 (** [map ~domains n ~f] is [Array.init n f] computed on [min domains n]
     domains ([domains = 1] runs inline, spawning nothing).  [f] must not
     touch shared mutable state; it may be called from any domain, in any
     order, but exactly once per index.  If any call raises, the first
     exception (by completion order) is re-raised in the caller after the
-    remaining work has been cancelled and all domains joined.  Raises
-    [Invalid_argument] if [domains < 1] or [n < 0]. *)
+    remaining work has been cancelled and {e all} spawned domains joined —
+    a failing spawn or worker never leaks a running domain.  Raises
+    [Invalid_argument] if [domains < 1] or [n < 0].
+
+    [faults] injects deterministic worker crashes ({!Fault_plan}'s
+    [worker-crash] point): a crashed chunk is requeued once, and if the
+    retry crashes too it is computed serially in the calling domain, so
+    the result array is bit-identical to an unfaulted map for any domain
+    count.  [index_base] (default 0) offsets chunk indices so successive
+    maps over one stream (the fleet's epochs) draw distinct faults;
+    [worker-crash\@N] one-shots name the global chunk index. *)
 
 val timed : (unit -> 'a) -> 'a * float
 (** Result plus wall-clock seconds — wall, not CPU, so parallel speedups

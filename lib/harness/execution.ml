@@ -9,6 +9,8 @@ type outcome = {
   cycles : int;
   output : string;
   crashed : string option;
+  degraded : bool;
+  faults : Fault_injector.t option;
   telemetry : Telemetry.t;
 }
 
@@ -18,9 +20,15 @@ let instrumented_pred (app : Buggy_app.t) program site =
   | None -> false
 
 let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store
-    ?(snapshot_cycles = 0) () =
+    ?(snapshot_cycles = 0) ?faults () =
   let program = Buggy_app.program app in
-  let machine = Machine.create ~seed () in
+  (* One injector per execution, salted by the execution seed: a fleet of
+     executions sharing one plan still faults each user differently, and
+     identically for any domain count. *)
+  let injector =
+    Option.map (fun plan -> Fault_injector.create ~plan ~salt:seed) faults
+  in
+  let machine = Machine.create ~seed ?faults:injector () in
   if snapshot_cycles > 0 then
     Telemetry.set_snapshot_interval (Machine.telemetry machine)
       ~cycles:snapshot_cycles;
@@ -61,9 +69,14 @@ let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store
     cycles = Clock.cycles (Machine.clock machine);
     output = Buffer.contents output;
     crashed;
+    degraded =
+      (match inst.Config.csod with
+      | Some rt -> Runtime.degraded rt
+      | None -> false);
+    faults = injector;
     telemetry = Machine.telemetry machine }
 
-let executor ~app ~config ?input_of () =
+let executor ~app ~config ?input_of ?faults () =
   (* Force the program memo now: fleet workers may call the executor from
      several domains at once, and the memo table is not synchronized. *)
   ignore (Buggy_app.program app);
@@ -74,7 +87,8 @@ let executor ~app ~config ?input_of () =
   in
   fun ~(user : Workload.user) ~store ->
     let o =
-      run ~app ~config ~input:(input_of user) ~seed:user.Workload.seed ~store ()
+      run ~app ~config ~input:(input_of user) ~seed:user.Workload.seed ~store
+        ?faults ()
     in
     { Fleet.payload = o;
       detected = o.detected;

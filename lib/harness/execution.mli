@@ -13,6 +13,10 @@ type outcome = {
   output : string;                 (** program stdout *)
   crashed : string option;         (** runtime/heap fault, if any; the tool's
                                        termination handling still ran *)
+  degraded : bool;                 (** did CSOD fall back to canary-only mode?
+                                       (see {!Runtime.degraded}) *)
+  faults : Fault_injector.t option;
+      (** this execution's injector, carrying per-point fired counts *)
   telemetry : Telemetry.t;         (** the machine's metrics registry and
                                        cycle-attribution profile for this run *)
 }
@@ -24,6 +28,7 @@ val run :
   ?seed:int ->
   ?store:Persist.t ->
   ?snapshot_cycles:int ->
+  ?faults:Fault_plan.t ->
   unit ->
   outcome
 (** Execute the app once on a fresh machine.  [seed] (default 1) varies
@@ -31,13 +36,18 @@ val run :
     [rand] (timing jitter), modeling distinct production executions.
     [input] defaults to [Buggy].  [snapshot_cycles] (default 0 = off)
     enables periodic telemetry snapshots at that virtual-cycle interval.
-    The tool's termination handling always runs, even after a crash —
-    mirroring CSOD's interception of erroneous exits (Section IV-B). *)
+    [faults] arms deterministic fault injection on the machine
+    (perf-event failures, trap drop/delay), with an injector salted by
+    [seed]; the injector is returned in the outcome for accounting and
+    for faulting any subsequent {!Persist.save}.  The tool's termination
+    handling always runs, even after a crash — mirroring CSOD's
+    interception of erroneous exits (Section IV-B). *)
 
 val executor :
   app:Buggy_app.t ->
   config:Config.t ->
   ?input_of:(Workload.user -> input_choice) ->
+  ?faults:Fault_plan.t ->
   unit ->
   outcome Fleet.executor
 (** Adapt {!run} to the fleet simulator: one user execution per call, on

@@ -197,6 +197,7 @@ let line_of_record ~symbolize r =
          (if c.ok then "intact" else "CORRUPTED"))
   | Detection d -> Some (Printf.sprintf "%s  DETECTED via %s" t d.source)
   | Free _ -> Some (Printf.sprintf "%s  freed" t)
+  | Fault f -> Some (Printf.sprintf "%s  FAULT injected: %s" t f.point)
   | Prob _ | Phase _ -> None
 
 (* A context's probability timeline.  Runs of consecutive decays collapse

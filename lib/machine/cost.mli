@@ -54,6 +54,14 @@ val quarantine_op : int
 val trap_delivery : int
 (** Kernel signal delivery plus handler prologue for one watchpoint trap. *)
 
+val trap_delay_extra : int
+(** Extra latency charged when fault injection delays a SIGTRAP (a run
+    queue hiccup between the hardware firing and the handler running). *)
+
+val ebusy_backoff : int
+(** Virtual-time backoff between retries when [perf_event_open] returns
+    [`EBUSY] — another debugger transiently holds the debug registers. *)
+
 val csod_init : int
 (** One-time CSOD runtime start-up (interposition setup, context-table
     arena, signal-handler registration).  The paper attributes Ferret's

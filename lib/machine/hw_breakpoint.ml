@@ -15,16 +15,32 @@ type t = {
   events : (fd, event) Hashtbl.t;
   mutable next_fd : fd;
   mutable syscalls : int;
+  faults : Fault_injector.t option;
 }
 
-let create () = { events = Hashtbl.create 64; next_fd = 100; syscalls = 0 }
+let create ?faults () =
+  { events = Hashtbl.create 64; next_fd = 100; syscalls = 0; faults }
 
 let distinct_addrs t =
   Hashtbl.fold (fun _ ev acc -> if List.mem ev.addr acc then acc else ev.addr :: acc)
     t.events []
 
-let perf_event_open t ~addr ~tid =
+(* Environmental failures are consulted first: a debugger squatting on the
+   registers (EBUSY) or a permission change (EACCES) hits the syscall before
+   the architectural slot check ever would. *)
+let injected_failure t ~now =
+  match t.faults with
+  | None -> None
+  | Some inj ->
+    if Fault_injector.fire ?now inj Fault_plan.Perf_ebusy then Some `EBUSY
+    else if Fault_injector.fire ?now inj Fault_plan.Perf_eacces then Some `EACCES
+    else None
+
+let perf_event_open ?now t ~addr ~tid =
   t.syscalls <- t.syscalls + 1;
+  match injected_failure t ~now with
+  | Some e -> Error e
+  | None ->
   let addrs = distinct_addrs t in
   if (not (List.mem addr addrs)) && List.length addrs >= num_slots then Error `ENOSPC
   else begin

@@ -26,18 +26,26 @@ val watch_len : int
 val num_slots : int
 (** Number of usable debug registers (4). *)
 
-val create : unit -> t
+val create : ?faults:Fault_injector.t -> unit -> t
+(** [faults] makes [perf_event_open] subject to injected [`EBUSY] /
+    [`EACCES] failures (see {!Fault_plan}); without it only the
+    architectural [`ENOSPC] can occur. *)
 
 (** {1 The perf-event syscall surface}
 
     Every call below advances the syscall counter; the machine layer maps
     that counter onto the virtual clock. *)
 
-val perf_event_open : t -> addr:int -> tid:Threads.tid -> (fd, [ `ENOSPC ]) result
+val perf_event_open :
+  ?now:float -> t -> addr:int -> tid:Threads.tid ->
+  (fd, [ `ENOSPC | `EBUSY | `EACCES ]) result
 (** Create a breakpoint event watching [watch_len] bytes at [addr] for
     thread [tid].  Fails with [`ENOSPC] when the event would require a fifth
-    distinct watched address — the hardware limit. The event starts
-    disabled, as in the paper's Figure 3 flow. *)
+    distinct watched address — the hardware limit.  Under fault injection it
+    can also fail with [`EBUSY] (another debugger holds the debug registers
+    — transient, worth retrying) or [`EACCES] (permissions — persistent);
+    [now] is the virtual time the injector's one-shots are judged against.
+    The event starts disabled, as in the paper's Figure 3 flow. *)
 
 val fcntl_setup : t -> fd -> unit
 (** Stand-in for the three [fcntl] calls ([O_ASYNC], [F_SETSIG SIGTRAP],

@@ -18,8 +18,11 @@ type t = {
   counters : Stats.Counter.t;
   telemetry : Telemetry.t;
   c_traps : Metrics.counter;
+  c_traps_dropped : Metrics.counter;
+  c_traps_delayed : Metrics.counter;
   c_syscalls : Metrics.counter;
   c_accesses : Metrics.counter;
+  faults : Fault_injector.t option;
   mutable phase : Profiler.phase;
   mutable n_accesses : int;
   mutable n_syscalls : int;
@@ -35,16 +38,19 @@ type t = {
 
 let heap_base = 0x1000_0000
 
-let create ?(seed = 42) () =
+let create ?(seed = 42) ?faults () =
   let telemetry = Telemetry.create () in
   let reg = Telemetry.metrics telemetry in
   { mem = Sparse_mem.create ();
     clock = Clock.create ();
     threads = Threads.create ();
-    hw = Hw_breakpoint.create ();
+    hw = Hw_breakpoint.create ?faults ();
     counters = Stats.Counter.create ();
     telemetry;
     c_traps = Metrics.counter reg "trap.count";
+    c_traps_dropped = Metrics.counter reg "trap.dropped";
+    c_traps_delayed = Metrics.counter reg "trap.delayed";
+    faults;
     c_syscalls = Metrics.counter reg "machine.syscalls";
     c_accesses = Metrics.counter reg "machine.accesses";
     phase = Profiler.App;
@@ -70,6 +76,7 @@ let pc t = t.pc
 
 let telemetry t = t.telemetry
 let registry t = Telemetry.metrics t.telemetry
+let faults t = t.faults
 
 (* Every cycle the machine advances goes through [charge], which attributes
    it to the current phase — so the profiler's per-phase totals sum exactly
@@ -107,7 +114,29 @@ let set_backtrace_provider t f = t.backtrace_provider <- Some f
 let backtrace t =
   match t.backtrace_provider with None -> [ t.pc ] | Some f -> f ()
 
+let fault_fires t point =
+  match t.faults with
+  | None -> false
+  | Some inj -> Fault_injector.fire ~now:(Clock.seconds t.clock) inj point
+
 let deliver_trap t ~fd ~access_addr ~kind =
+  if fault_fires t Fault_plan.Trap_drop then begin
+    (* The SIGTRAP was lost in delivery: the hardware fired but the handler
+       never runs.  Counted, recorded, and otherwise costless — the kernel
+       did no dispatch work for a signal it dropped. *)
+    Stats.Counter.incr t.counters "traps_dropped";
+    Metrics.incr t.c_traps_dropped;
+    if Flight_recorder.active () then
+      Flight_recorder.fault ~at:(Clock.cycles t.clock) ~point:"trap-drop"
+  end
+  else begin
+  let delayed = fault_fires t Fault_plan.Trap_delay in
+  if delayed then begin
+    Stats.Counter.incr t.counters "traps_delayed";
+    Metrics.incr t.c_traps_delayed;
+    if Flight_recorder.active () then
+      Flight_recorder.fault ~at:(Clock.cycles t.clock) ~point:"trap-delay"
+  end;
   t.traps <- t.traps + 1;
   Stats.Counter.incr t.counters "traps";
   Metrics.incr t.c_traps;
@@ -116,6 +145,7 @@ let deliver_trap t ~fd ~access_addr ~kind =
       ~access:(match kind with Hw_breakpoint.Read -> "read" | Hw_breakpoint.Write -> "write")
       ~tid:(Threads.current t.threads);
   in_phase t Profiler.Trap_dispatch (fun () ->
+      if delayed then charge t Cost.trap_delay_extra;
       charge t Cost.trap_delivery;
       match t.trap_handler with
       | None -> Stats.Counter.incr t.counters "traps_unhandled"
@@ -134,6 +164,7 @@ let deliver_trap t ~fd ~access_addr ~kind =
           in
           Fun.protect ~finally:(fun () -> t.in_trap <- false) (fun () -> handler info)
         end)
+  end
 
 let checked_access t addr len kind =
   t.n_accesses <- t.n_accesses + 1;
@@ -172,6 +203,8 @@ let work t cycles =
   t.n_work_cycles <- t.n_work_cycles + cycles;
   charge t cycles
 
+let stall t cycles = charge t cycles
+
 let work_as t phase cycles =
   in_phase t phase (fun () -> work t cycles)
 
@@ -195,7 +228,9 @@ let syscall_count t = t.n_syscalls
 let work_cycles t = t.n_work_cycles
 
 let install_watch ?(combined = false) t ~addr ~tid =
-  match Hw_breakpoint.perf_event_open t.hw ~addr ~tid with
+  match
+    Hw_breakpoint.perf_event_open ~now:(Clock.seconds t.clock) t.hw ~addr ~tid
+  with
   | Error _ as e ->
     charge_syscalls t 1;
     e

@@ -19,9 +19,13 @@ type trap_info = {
   pc : int;                     (** code address of the faulting statement *)
 }
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?faults:Fault_injector.t -> unit -> t
 (** Build a machine.  [seed] (default 42) seeds the machine-level PRNG from
-    which per-thread generators are split. *)
+    which per-thread generators are split.  [faults] arms deterministic
+    fault injection: [perf_event_open] can fail with [`EBUSY]/[`EACCES] and
+    SIGTRAP delivery can be dropped or delayed (see {!Fault_plan}).  The
+    injector draws from its own stream, so a machine with no injector — or
+    an all-zero plan — is bit-identical to one never offered faults. *)
 
 (** {1 Component access} *)
 
@@ -40,6 +44,11 @@ val telemetry : t -> Telemetry.t
 
 val registry : t -> Metrics.t
 (** Shorthand for [Telemetry.metrics (telemetry t)]. *)
+
+val faults : t -> Fault_injector.t option
+(** The injector this machine was armed with, if any — shared with tools
+    that inject their own faults (persistence, fleet) so one plan covers
+    the whole run. *)
 
 (** {1 Execution context} *)
 
@@ -82,6 +91,12 @@ val work : t -> int -> unit
 (** [work t cycles] models application compute: advances the clock.  The
     cycles are attributed to the current profiler phase ({!Profiler.App}
     unless a tool set one via {!in_phase}/{!work_as}). *)
+
+val stall : t -> int -> unit
+(** Advance the clock by [n] cycles {e without} counting them as modeled
+    application compute — runtime-internal waiting, such as the backoff
+    between [perf_event_open] retries under fault injection.  Attributed to
+    the current profiler phase like any other charge. *)
 
 val work_as : t -> Profiler.phase -> int -> unit
 (** [work t cycles], attributed to [phase] — unless an enclosing
@@ -130,10 +145,12 @@ val work_cycles : t -> int
 
 val install_watch :
   ?combined:bool -> t -> addr:int -> tid:Threads.tid ->
-  (Hw_breakpoint.fd, [ `ENOSPC ]) result
+  (Hw_breakpoint.fd, [ `ENOSPC | `EBUSY | `EACCES ]) result
 (** [combined] models the custom single-syscall installation the paper
     proposes as an OS modification (Section V-B): the same hardware
-    operations, charged as one kernel crossing instead of six. *)
+    operations, charged as one kernel crossing instead of six.  [`EBUSY]
+    and [`EACCES] only occur under fault injection ({!create}'s [faults]);
+    the failed open still costs one syscall. *)
 
 val remove_watch : ?combined:bool -> t -> Hw_breakpoint.fd -> unit
 (** With [combined], one syscall instead of two. *)

@@ -1,4 +1,4 @@
-type prob_cause = Decay | Halve_on_watch | Throttle | Revive | Pin
+type prob_cause = Decay | Halve_on_watch | Throttle | Revive | Pin | Degrade
 
 let prob_cause_name = function
   | Decay -> "decay"
@@ -6,6 +6,7 @@ let prob_cause_name = function
   | Throttle -> "burst-throttle"
   | Revive -> "revive"
   | Pin -> "evidence-pin"
+  | Degrade -> "degrade-canary-only"
 
 type kind =
   | Alloc of { index : int; addr : int; size : int; ctx : int; site : int; off : int }
@@ -26,6 +27,7 @@ type kind =
   | Detection of { addr : int; ctx : int; source : string }
   | Prob of { ctx : int; cause : prob_cause; from_p : float; to_p : float }
   | Phase of { phase : string; start : int; stop : int }
+  | Fault of { point : string }
 
 type record = { seq : int; at : int; kind : kind }
 
@@ -101,6 +103,7 @@ let kind_fields = function
         ("from", `Float from_p); ("to", `Float to_p) ] )
   | Phase { phase; start; stop } ->
     ("phase", [ ("phase", `String phase); ("start", `Int start); ("stop", `Int stop) ])
+  | Fault { point } -> ("fault", [ ("point", `String point) ])
 
 let record_to_json r : Obs_json.t =
   let name, fields = kind_fields r.kind in
@@ -151,3 +154,4 @@ let prob ~at ~ctx ~cause ~from_p ~to_p =
   emit ~at (Prob { ctx; cause; from_p; to_p })
 
 let phase ~name ~start ~stop = emit ~at:stop (Phase { phase = name; start; stop })
+let fault ~at ~point = emit ~at (Fault { point })

@@ -19,7 +19,7 @@
 
 (** {1 Records} *)
 
-type prob_cause = Decay | Halve_on_watch | Throttle | Revive | Pin
+type prob_cause = Decay | Halve_on_watch | Throttle | Revive | Pin | Degrade
 
 val prob_cause_name : prob_cause -> string
 
@@ -52,6 +52,8 @@ type kind =
       (** a context's sampling probability changed *)
   | Phase of { phase : string; start : int; stop : int }
       (** one outermost profiler-phase interval, in cycles *)
+  | Fault of { point : string }
+      (** an injected fault fired at this point (see {!Fault_plan}) *)
 
 type record = { seq : int; at : int; kind : kind }
 (** [seq] is the global emission number (monotonic even across ring
@@ -115,3 +117,4 @@ val detection : at:int -> addr:int -> ctx:int -> source:string -> unit
 
 val prob : at:int -> ctx:int -> cause:prob_cause -> from_p:float -> to_p:float -> unit
 val phase : name:string -> start:int -> stop:int -> unit
+val fault : at:int -> point:string -> unit

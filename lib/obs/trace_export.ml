@@ -108,7 +108,13 @@ let to_json ~cycles_per_second recs =
                ~name:(Printf.sprintf "ctx#%d prob" ctx)
                ~ph:"C" ~ts:(us r.at) ~pid:runtime_pid
                [ ("tid", `Int 0) ]
-               ~args:[ ("percent", `Float (to_p *. 100.)) ]))
+               ~args:[ ("percent", `Float (to_p *. 100.)) ])
+        | Fault { point } ->
+          Some
+            (event
+               ~name:(Printf.sprintf "FAULT injected: %s" point)
+               ~ph:"i" ~ts:(us r.at) ~pid:runtime_pid
+               [ ("cat", `String "fault"); ("tid", `Int 0); ("s", `String "g") ]))
       recs
   in
   (* Close spans still open at the end of the recording so viewers never

@@ -5,16 +5,49 @@
 #
 #   tools/validate_jsonl.sh events.jsonl
 #   csod_run run heartbleed --events - | tools/validate_jsonl.sh
+#
+# With --schema NAME every line must additionally carry that schema tag,
+# and for known schemas the required fields are type-checked:
+#
+#   tools/validate_jsonl.sh --schema csod.bench.resilience/1 resilience.jsonl
 set -eu
+
+schema=""
+if [ "${1:-}" = "--schema" ]; then
+    schema="$2"
+    shift 2
+fi
 
 input="${1:--}"
 
-exec python3 - "$input" <<'EOF'
+exec python3 - "$input" "$schema" <<'EOF'
 import json
+import numbers
 import sys
 
-path = sys.argv[1]
+path, schema = sys.argv[1], sys.argv[2]
 stream = sys.stdin if path == "-" else open(path, encoding="utf-8")
+
+# Required fields per known schema: name -> expected Python type.
+KNOWN = {
+    "csod.bench.resilience/1": {
+        "app": str,
+        "config": str,
+        "users": int,
+        "domains": int,
+        "fault_rate": numbers.Real,
+        "faults": str,
+        "detections": int,
+        "detection_rate": numbers.Real,
+        "degraded_executions": int,
+        "faults_injected": int,
+        "worker_crashes": int,
+        "store_contexts": int,
+        "wall_seconds": numbers.Real,
+    },
+}
+
+fields = KNOWN.get(schema)
 
 lines = 0
 with stream:
@@ -30,7 +63,23 @@ with stream:
             sys.exit(f"{path}:{n}: invalid JSON: {e}")
         if not isinstance(obj, dict):
             sys.exit(f"{path}:{n}: line is not a JSON object")
+        if schema:
+            if obj.get("schema") != schema:
+                sys.exit(f"{path}:{n}: schema {obj.get('schema')!r}, "
+                         f"expected {schema!r}")
+            for key, ty in (fields or {}).items():
+                if key not in obj:
+                    sys.exit(f"{path}:{n}: missing field {key!r}")
+                if not isinstance(obj[key], ty) or isinstance(obj[key], bool):
+                    sys.exit(f"{path}:{n}: field {key!r} has type "
+                             f"{type(obj[key]).__name__}")
+            if fields and "detection_rate" in fields \
+                    and not 0.0 <= obj["detection_rate"] <= 1.0:
+                sys.exit(f"{path}:{n}: detection_rate out of [0, 1]")
         lines += 1
 
-print(f"{path}: {lines} valid JSONL line(s)")
+if not lines and schema:
+    sys.exit(f"{path}: empty stream (expected {schema} rows)")
+print(f"{path}: {lines} valid JSONL line(s)"
+      + (f" [{schema}]" if schema else ""))
 EOF
