@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test check bench metrics fleet faults validate clean
+.PHONY: all build test check bench metrics fleet faults perf validate clean
 
 all: build
 
@@ -35,6 +35,13 @@ fleet:
 # detection-rate-vs-fault-rate curve (stdout only).
 faults:
 	@dune exec bench/main.exe -- resilience
+
+# Throughput bench: real ns/op of the hot paths (malloc, free, read,
+# write, trap), shipped vs. reference implementations measured in the
+# same process, one csod.bench.throughput/1 JSONL row per (op, mode)
+# (stdout only).  BENCH_THROUGHPUT.jsonl holds a committed baseline.
+perf:
+	@dune exec bench/main.exe -- throughput
 
 # Event-stream hygiene: the JSONL emitted by --events must be one JSON
 # object per line, never a torn line.

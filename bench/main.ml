@@ -24,7 +24,14 @@
 
    `resilience` (explicit-only, JSONL) sweeps the deterministic fault
    injector over a range of rates and emits one csod.bench.resilience/1
-   row per (app, rate): the detection-rate-vs-fault-rate curve. *)
+   row per (app, rate): the detection-rate-vs-fault-rate curve.
+
+   `throughput` (explicit-only, JSONL) times the single-execution hot
+   paths — malloc, free, read, write, trap — in real nanoseconds, both as
+   shipped and with the hot-path optimizations toggled back to their
+   reference implementations, and emits one csod.bench.throughput/1 row
+   per (op, mode) with the measured speedup.  This is the `make perf`
+   target. *)
 
 let progress fmt = Printf.ksprintf (fun s -> Printf.eprintf "  .. %s\n%!" s) fmt
 
@@ -544,6 +551,152 @@ let metrics () =
     [ "Blackscholes"; "Memcached"; "Pfscan" ]
 
 (* ------------------------------------------------------------------ *)
+(* Throughput: ns/op of the single-execution hot paths (JSONL)         *)
+
+(* Explicit-only target.  Each row times one hot-path operation (malloc,
+   free, read, write, trap) twice in the same process: once as shipped and
+   once with the hot-path optimizations reverted to their pre-optimization
+   reference implementations (chunk cache off, armed-event fast scan off,
+   context memo off).  The toggles are observably pure — virtual cycles,
+   PRNG stream and detection outcomes are identical either way — so the
+   pair isolates real OCaml time and the row's [speedup] is the measured
+   improvement over the pre-PR baseline.  [mode] is "serial" (bare
+   machine) or "metrics" (flight recorder + telemetry snapshots armed).
+   Schema: csod.bench.throughput/1. *)
+
+let throughput_schema = "csod.bench.throughput/1"
+
+(* Wall-clock ns/op of [f iters], after a warmup run of [f 1000]. *)
+let measure ~iters f =
+  f (min 1000 iters);
+  let t0 = Unix.gettimeofday () in
+  f iters;
+  (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+
+let throughput () =
+  let row ~op ~mode ~iters ~opt ~base =
+    let ops ns = 1e9 /. ns in
+    print_endline
+      (Obs_json.to_string
+         (`Assoc
+           [ ("schema", `String throughput_schema);
+             ("op", `String op);
+             ("mode", `String mode);
+             ("iters", `Int iters);
+             ("ns_per_op", `Float opt);
+             ("ops_per_sec", `Float (ops opt));
+             ("baseline_ns_per_op", `Float base);
+             ("baseline_ops_per_sec", `Float (ops base));
+             ("speedup", `Float (base /. opt)) ]))
+  in
+  let with_machine ~mode ~reference f =
+    let machine = Machine.create ~seed:11 () in
+    Sparse_mem.set_cache (Machine.mem machine) (not reference);
+    Hw_breakpoint.set_fast_scan (Machine.hw machine) (not reference);
+    let run () = f machine in
+    match mode with
+    | `Serial -> run ()
+    | `Metrics ->
+      Telemetry.set_snapshot_interval (Machine.telemetry machine)
+        ~cycles:50_000_000;
+      Flight_recorder.with_recorder (Flight_recorder.create ()) run
+  in
+  (* Reads/writes over a 1 MiB region with all four debug registers armed
+     (far away, never hit) — the busy-execution configuration where every
+     access pays the armed-event scan. *)
+  let iters_rw = 2_000_000 in
+  let rw_bench ~mode ~reference op =
+    with_machine ~mode ~reference (fun m ->
+        let tid = Threads.current (Machine.threads m) in
+        for i = 0 to 3 do
+          match Machine.install_watch m ~addr:(0x4000_0000 + (i * 64)) ~tid with
+          | Ok _ -> ()
+          | Error _ -> ()
+        done;
+        measure ~iters:iters_rw (fun n ->
+            match op with
+            | `Read ->
+              for i = 0 to n - 1 do
+                ignore (Machine.load_word m ((i * 8) land 0xFFFFF))
+              done
+            | `Write ->
+              for i = 0 to n - 1 do
+                Machine.store_word m ((i * 8) land 0xFFFFF) (i land 0xFF)
+              done))
+  in
+  (* Full CSOD allocation path (context lookup, canary plant, sampling
+     decision) and the matching free path, timed as separate phases of the
+     same batched loop.  Call sites repeat in runs of 256, the loop-local
+     pattern the context memo exists for. *)
+  let alloc_rounds = 30 and alloc_batch = 4096 in
+  let alloc_pair ~mode ~reference =
+    with_machine ~mode ~reference (fun m ->
+        let heap = Heap.create m in
+        let rt = Runtime.create ~machine:m ~heap () in
+        Context_table.set_memo (Runtime.context_table rt) (not reference);
+        let tool = Runtime.tool rt in
+        let ptrs = Array.make alloc_batch 0 in
+        let t_m = ref 0.0 and t_f = ref 0.0 in
+        let k = ref 0 in
+        for _ = 1 to alloc_rounds do
+          let t0 = Unix.gettimeofday () in
+          for i = 0 to alloc_batch - 1 do
+            incr k;
+            let ctx =
+              Alloc_ctx.synthetic ~callsite:(0x40 + (!k / 256 mod 64)) ()
+            in
+            ptrs.(i) <- tool.Tool.malloc ~size:(16 + (!k mod 7 * 24)) ~ctx
+          done;
+          let t1 = Unix.gettimeofday () in
+          for i = 0 to alloc_batch - 1 do
+            tool.Tool.free ~ptr:ptrs.(i)
+          done;
+          let t2 = Unix.gettimeofday () in
+          t_m := !t_m +. (t1 -. t0);
+          t_f := !t_f +. (t2 -. t1)
+        done;
+        let n = float_of_int (alloc_rounds * alloc_batch) in
+        (!t_m *. 1e9 /. n, !t_f *. 1e9 /. n))
+  in
+  (* Trap delivery: every store hits an armed watchpoint and synchronously
+     runs a no-op SIGTRAP handler. *)
+  let iters_trap = 200_000 in
+  let trap_bench ~mode ~reference =
+    with_machine ~mode ~reference (fun m ->
+        Machine.set_trap_handler m (fun _ -> ());
+        let tid = Threads.current (Machine.threads m) in
+        (match Machine.install_watch m ~addr:0x9000 ~tid with
+        | Ok _ -> ()
+        | Error _ -> failwith "throughput: watchpoint install failed");
+        measure ~iters:iters_trap (fun n ->
+            for i = 0 to n - 1 do
+              Machine.store_word m 0x9000 i
+            done))
+  in
+  List.iter
+    (fun (mode_name, mode) ->
+      progress "throughput: read/write, mode %s" mode_name;
+      row ~op:"read" ~mode:mode_name ~iters:iters_rw
+        ~opt:(rw_bench ~mode ~reference:false `Read)
+        ~base:(rw_bench ~mode ~reference:true `Read);
+      row ~op:"write" ~mode:mode_name ~iters:iters_rw
+        ~opt:(rw_bench ~mode ~reference:false `Write)
+        ~base:(rw_bench ~mode ~reference:true `Write);
+      progress "throughput: malloc/free, mode %s" mode_name;
+      let m_opt, f_opt = alloc_pair ~mode ~reference:false in
+      let m_base, f_base = alloc_pair ~mode ~reference:true in
+      let alloc_iters = alloc_rounds * alloc_batch in
+      row ~op:"malloc" ~mode:mode_name ~iters:alloc_iters ~opt:m_opt
+        ~base:m_base;
+      row ~op:"free" ~mode:mode_name ~iters:alloc_iters ~opt:f_opt
+        ~base:f_base;
+      progress "throughput: trap, mode %s" mode_name;
+      row ~op:"trap" ~mode:mode_name ~iters:iters_trap
+        ~opt:(trap_bench ~mode ~reference:false)
+        ~base:(trap_bench ~mode ~reference:true))
+    [ ("serial", `Serial); ("metrics", `Metrics) ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the real hot paths                     *)
 
 let micro () =
@@ -642,10 +795,11 @@ let () =
   if List.mem "metrics" cmds then metrics ();
   if List.mem "fleet" cmds then fleet_bench ();
   if List.mem "resilience" cmds then resilience ();
+  if List.mem "throughput" cmds then throughput ();
   (* Keep stdout pure JSONL when a JSONL stream was requested. *)
   let jsonl =
     List.mem "metrics" cmds || List.mem "fleet" cmds
-    || List.mem "resilience" cmds
+    || List.mem "resilience" cmds || List.mem "throughput" cmds
   in
   let done_ch = if jsonl then stderr else stdout in
   Printf.fprintf done_ch "\nDone.\n"

@@ -12,8 +12,35 @@ let base_ptr ~evidence ~app = if evidence then app - header_size else app
 
 let boundary_addr ~app ~size = app + rounded size
 
+(* Per-domain single-entry cache of the plant/check counters: resolving a
+   counter is a string-keyed registry probe, too expensive to repeat on
+   every allocation.  Keyed by physical equality on the registry so
+   machines from different executions never see each other's counters. *)
+type hot_counters = {
+  reg : Metrics.t;
+  plants : Metrics.counter;
+  checks : Metrics.counter;
+}
+
+let hot_key : hot_counters option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let hot m =
+  let reg = Machine.registry m in
+  let cache = Domain.DLS.get hot_key in
+  match !cache with
+  | Some h when h.reg == reg -> h
+  | _ ->
+    let h =
+      { reg;
+        plants = Metrics.counter reg "canary.plants";
+        checks = Metrics.counter reg "canary.checks" }
+    in
+    cache := Some h;
+    h
+
 let plant m ~base ~size ~ctx_id ~canary =
-  Metrics.incr (Metrics.counter (Machine.registry m) "canary.plants");
+  Metrics.incr (hot m).plants;
   Machine.work_as m Profiler.Canary_plant Cost.canary_plant;
   let app = base + header_size in
   let mem = Machine.mem m in
@@ -25,7 +52,7 @@ let plant m ~base ~size ~ctx_id ~canary =
   app
 
 let check m ~app ~size ~expected =
-  Metrics.incr (Metrics.counter (Machine.registry m) "canary.checks");
+  Metrics.incr (hot m).checks;
   Machine.work_as m Profiler.Canary_check Cost.canary_check;
   let ok = Sparse_mem.read_u64 (Machine.mem m) (boundary_addr ~app ~size) = expected in
   Flight_recorder.canary_check ~at:(Clock.cycles (Machine.clock m)) ~addr:app ~ok;

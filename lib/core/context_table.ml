@@ -25,6 +25,13 @@ type t = {
   mutable next_id : int;
   mutable allocations : int;
   mutable watches : int;
+  (* One-entry memo of the last context looked up: allocation sites repeat
+     in tight runs (loops allocating from one call site), so most lookups
+     hit the same entry as their predecessor and skip both the key tuple
+     allocation and the table probe.  Entries are never removed from the
+     table, so the memo can never go stale. *)
+  mutable memo : entry option;
+  mutable memo_on : bool;
 }
 
 let create ~params ~machine ~rng =
@@ -41,7 +48,13 @@ let create ~params ~machine ~rng =
     g_contexts = Metrics.gauge reg "smu.contexts";
     next_id = 0;
     allocations = 0;
-    watches = 0 }
+    watches = 0;
+    memo = None;
+    memo_on = true }
+
+let set_memo t on =
+  t.memo_on <- on;
+  if not on then t.memo <- None
 
 let now t = Clock.seconds (Machine.clock t.machine)
 let cycles t = Clock.cycles (Machine.clock t.machine)
@@ -81,10 +94,20 @@ let fresh_entry t (ctx : Alloc_ctx.t) =
 let on_allocation t ctx =
   Machine.work_as t.machine Profiler.Smu_lookup Cost.context_lookup;
   let e =
-    Chained_table.find_or_add t.table (Alloc_ctx.key ctx) ~default:(fun () ->
-        let e = fresh_entry t ctx in
-        Hashtbl.replace t.by_id e.id e;
-        e)
+    match t.memo with
+    | Some e
+      when (let kc, ko = e.key in
+            kc = ctx.Alloc_ctx.callsite && ko = ctx.Alloc_ctx.stack_offset) ->
+      e
+    | _ ->
+      let e =
+        Chained_table.find_or_add t.table (Alloc_ctx.key ctx) ~default:(fun () ->
+            let e = fresh_entry t ctx in
+            Hashtbl.replace t.by_id e.id e;
+            e)
+      in
+      if t.memo_on then t.memo <- Some e;
+      e
   in
   if e.allocs = 0 then Metrics.set t.g_contexts (Chained_table.length t.table);
   t.allocations <- t.allocations + 1;

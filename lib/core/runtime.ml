@@ -193,8 +193,13 @@ let consider_watch t (entry : Context_table.entry) ~app ~watch_addr =
 
 let csod_malloc t ~size ~ctx =
   let entry = Context_table.on_allocation t.contexts ctx in
-  if Persist.mem t.store entry.Context_table.key && not entry.Context_table.pinned then
-    Context_table.pin t.contexts entry;
+  (* Most runs carry no persisted evidence: skip the per-allocation store
+     probe entirely when the store is empty or the entry already pinned. *)
+  if
+    (not entry.Context_table.pinned)
+    && Persist.count t.store > 0
+    && Persist.mem t.store entry.Context_table.key
+  then Context_table.pin t.contexts entry;
   let request = Canary.padded_request ~evidence:(evidence t) size in
   let base = Heap.malloc t.heap request in
   let app =

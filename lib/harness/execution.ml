@@ -59,7 +59,7 @@ let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store
   let reports =
     match inst.Config.csod with Some rt -> Runtime.detections rt | None -> []
   in
-  { detected = inst.Config.detected ();
+  let outcome = { detected = inst.Config.detected ();
     reports;
     watchpoint_reports =
       List.filter (fun r -> r.Report.source = Report.Watchpoint) reports;
@@ -75,6 +75,11 @@ let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store
       | None -> false);
     faults = injector;
     telemetry = Machine.telemetry machine }
+  in
+  (* All outcome fields are computed; hand the chunk storage back to the
+     domain-local page pool for the next execution. *)
+  Sparse_mem.release (Machine.mem machine);
+  outcome
 
 let executor ~app ~config ?input_of ?faults () =
   (* Force the program memo now: fleet workers may call the executor from

@@ -5,6 +5,7 @@ let watch_len = 8
 let num_slots = 4
 
 type event = {
+  ev_fd : fd;
   addr : int;
   tid : Threads.tid;
   mutable enabled : bool;
@@ -13,17 +14,46 @@ type event = {
 
 type t = {
   events : (fd, event) Hashtbl.t;
+  (* Enabled events in ascending fd (installation) order: the comparator's
+     scan list.  Kept in sync by enable/disable/close, which are rare
+     (installation-path) operations, so the per-access path touches only
+     this list — never the hashtable. *)
+  mutable armed : event list;
+  mutable fast_scan : bool;
   mutable next_fd : fd;
   mutable syscalls : int;
   faults : Fault_injector.t option;
 }
 
 let create ?faults () =
-  { events = Hashtbl.create 64; next_fd = 100; syscalls = 0; faults }
+  { events = Hashtbl.create 64;
+    armed = [];
+    fast_scan = true;
+    next_fd = 100;
+    syscalls = 0;
+    faults }
+
+let set_fast_scan t on = t.fast_scan <- on
 
 let distinct_addrs t =
   Hashtbl.fold (fun _ ev acc -> if List.mem ev.addr acc then acc else ev.addr :: acc)
     t.events []
+
+let arm t ev =
+  if not (List.memq ev t.armed) then
+    t.armed <-
+      (* Insert in ascending fd order: DR0-before-DR3 style priority, and
+         independent of hashtable layout. *)
+      (let rec ins = function
+         | [] -> [ ev ]
+         | e :: _ as l when ev.ev_fd < e.ev_fd -> ev :: l
+         | e :: rest -> e :: ins rest
+       in
+       ins t.armed)
+
+let disarm t ev = t.armed <- List.filter (fun e -> e != ev) t.armed
+
+let armed_count t = List.length t.armed
 
 (* Environmental failures are consulted first: a debugger squatting on the
    registers (EBUSY) or a permission change (EACCES) hits the syscall before
@@ -46,7 +76,8 @@ let perf_event_open ?now t ~addr ~tid =
   else begin
     let fd = t.next_fd in
     t.next_fd <- fd + 1;
-    Hashtbl.add t.events fd { addr; tid; enabled = false; configured = false };
+    Hashtbl.add t.events fd
+      { ev_fd = fd; addr; tid; enabled = false; configured = false };
     Ok fd
   end
 
@@ -61,22 +92,28 @@ let fcntl_setup t fd =
 
 let ioctl_enable t fd =
   t.syscalls <- t.syscalls + 1;
-  (event_exn t fd).enabled <- true
+  let ev = event_exn t fd in
+  ev.enabled <- true;
+  arm t ev
 
 let ioctl_disable t fd =
   t.syscalls <- t.syscalls + 1;
-  (event_exn t fd).enabled <- false
+  let ev = event_exn t fd in
+  ev.enabled <- false;
+  disarm t ev
 
 let close t fd =
   t.syscalls <- t.syscalls + 1;
-  ignore (event_exn t fd);
+  let ev = event_exn t fd in
+  disarm t ev;
   Hashtbl.remove t.events fd
 
 let ranges_overlap a1 l1 a2 l2 = a1 < a2 + l2 && a2 < a1 + l1
 
-let check_access t ~addr ~len ~kind:_ ~tid =
-  (* HW_BREAKPOINT_RW fires on both reads and writes, so [kind] does not
-     filter; it is carried for the trap report. *)
+(* Reference comparator, kept for the bench's pre-optimization baseline and
+   the property tests' equivalence checks: fold over every event ever
+   opened, as the seed implementation did. *)
+let check_access_scan t ~addr ~len ~tid =
   Hashtbl.fold
     (fun fd ev best ->
       match best with
@@ -86,6 +123,23 @@ let check_access t ~addr ~len ~kind:_ ~tid =
         then Some fd
         else None)
     t.events None
+
+let check_access t ~addr ~len ~kind:_ ~tid =
+  (* HW_BREAKPOINT_RW fires on both reads and writes, so [kind] does not
+     filter; it is carried for the trap report. *)
+  if not t.fast_scan then check_access_scan t ~addr ~len ~tid
+  else
+    match t.armed with
+    | [] -> None
+    | armed ->
+      let rec scan = function
+        | [] -> None
+        | ev :: rest ->
+          if ev.tid = tid && ranges_overlap addr len ev.addr watch_len then
+            Some ev.ev_fd
+          else scan rest
+      in
+      scan armed
 
 let watched_addrs t = distinct_addrs t
 let syscall_count t = t.syscalls

@@ -67,8 +67,19 @@ val check_access :
   t -> addr:int -> len:int -> kind:access_kind -> tid:Threads.tid -> fd option
 (** [check_access t ~addr ~len ~kind ~tid] is the debug-unit comparator: if
     the accessed range overlaps a watched address whose event for [tid] is
-    enabled, return that event's fd (the trap to deliver).  All four slots
-    are compared, as the hardware does, regardless of how many are armed. *)
+    enabled, return that event's fd (the trap to deliver).  The comparator
+    scans only the armed events, lowest fd first (DR0-before-DR3 style
+    priority), and is O(1) when nothing is armed — the per-access fast
+    path. *)
+
+val set_fast_scan : t -> bool -> unit
+(** [set_fast_scan t false] reverts the comparator to the pre-optimization
+    reference path (a fold over every event ever opened).  Used by the
+    throughput bench to measure the baseline in the same run, and by the
+    property tests to check the two comparators agree. *)
+
+val armed_count : t -> int
+(** Events currently enabled — the length of the comparator's scan list. *)
 
 val watched_addrs : t -> int list
 (** Currently armed distinct addresses (at most [num_slots]). *)

@@ -1,6 +1,3 @@
-
-
-
 type trap_info = {
   fd : Hw_breakpoint.fd;
   trap_addr : int;
@@ -15,23 +12,24 @@ type t = {
   clock : Clock.t;
   threads : Threads.t;
   hw : Hw_breakpoint.t;
-  counters : Stats.Counter.t;
   telemetry : Telemetry.t;
+  (* Hot counters, resolved once at creation: the per-event paths bump a
+     record field instead of probing the registry by name.  These are the
+     single source of truth — the former Stats.Counter shadow copies are
+     gone, and {!counters} derives its view from these. *)
   c_traps : Metrics.counter;
+  c_traps_unhandled : Metrics.counter;
   c_traps_dropped : Metrics.counter;
   c_traps_delayed : Metrics.counter;
   c_syscalls : Metrics.counter;
   c_accesses : Metrics.counter;
   faults : Fault_injector.t option;
   mutable phase : Profiler.phase;
-  mutable n_accesses : int;
-  mutable n_syscalls : int;
   mutable n_work_cycles : int;
   rng : Prng.t;
   mutable pc : int;
   mutable brk : int;
   mutable trap_handler : (trap_info -> unit) option;
-  mutable traps : int;
   mutable in_trap : bool;
   mutable backtrace_provider : (unit -> int list) option;
 }
@@ -45,23 +43,20 @@ let create ?(seed = 42) ?faults () =
     clock = Clock.create ();
     threads = Threads.create ();
     hw = Hw_breakpoint.create ?faults ();
-    counters = Stats.Counter.create ();
     telemetry;
     c_traps = Metrics.counter reg "trap.count";
+    c_traps_unhandled = Metrics.counter reg "trap.unhandled";
     c_traps_dropped = Metrics.counter reg "trap.dropped";
     c_traps_delayed = Metrics.counter reg "trap.delayed";
     faults;
     c_syscalls = Metrics.counter reg "machine.syscalls";
     c_accesses = Metrics.counter reg "machine.accesses";
     phase = Profiler.App;
-    n_accesses = 0;
-    n_syscalls = 0;
     n_work_cycles = 0;
     rng = Prng.create ~seed;
     pc = 0;
     brk = heap_base;
     trap_handler = None;
-    traps = 0;
     in_trap = false;
     backtrace_provider = None }
 
@@ -69,7 +64,6 @@ let mem t = t.mem
 let clock t = t.clock
 let threads t = t.threads
 let hw t = t.hw
-let counters t = t.counters
 let rng t = t.rng
 let set_pc t pc = t.pc <- pc
 let pc t = t.pc
@@ -77,6 +71,22 @@ let pc t = t.pc
 let telemetry t = t.telemetry
 let registry t = Telemetry.metrics t.telemetry
 let faults t = t.faults
+
+(* Derived view over the metrics registry, for callers that still speak the
+   Stats.Counter vocabulary.  Only the keys the former shadow counters
+   carried appear, and only when nonzero — matching the lazy population of
+   the old Stats.Counter. *)
+let counters t =
+  let c = Stats.Counter.create () in
+  let put name metric =
+    let n = Metrics.count metric in
+    if n > 0 then Stats.Counter.add c name n
+  in
+  put "traps" t.c_traps;
+  put "traps_unhandled" t.c_traps_unhandled;
+  put "traps_dropped" t.c_traps_dropped;
+  put "traps_delayed" t.c_traps_delayed;
+  c
 
 (* Every cycle the machine advances goes through [charge], which attributes
    it to the current phase — so the profiler's per-phase totals sum exactly
@@ -124,7 +134,6 @@ let deliver_trap t ~fd ~access_addr ~kind =
     (* The SIGTRAP was lost in delivery: the hardware fired but the handler
        never runs.  Counted, recorded, and otherwise costless — the kernel
        did no dispatch work for a signal it dropped. *)
-    Stats.Counter.incr t.counters "traps_dropped";
     Metrics.incr t.c_traps_dropped;
     if Flight_recorder.active () then
       Flight_recorder.fault ~at:(Clock.cycles t.clock) ~point:"trap-drop"
@@ -132,13 +141,10 @@ let deliver_trap t ~fd ~access_addr ~kind =
   else begin
   let delayed = fault_fires t Fault_plan.Trap_delay in
   if delayed then begin
-    Stats.Counter.incr t.counters "traps_delayed";
     Metrics.incr t.c_traps_delayed;
     if Flight_recorder.active () then
       Flight_recorder.fault ~at:(Clock.cycles t.clock) ~point:"trap-delay"
   end;
-  t.traps <- t.traps + 1;
-  Stats.Counter.incr t.counters "traps";
   Metrics.incr t.c_traps;
   if Flight_recorder.active () then
     Flight_recorder.trap ~at:(Clock.cycles t.clock) ~addr:access_addr
@@ -148,7 +154,7 @@ let deliver_trap t ~fd ~access_addr ~kind =
       if delayed then charge t Cost.trap_delay_extra;
       charge t Cost.trap_delivery;
       match t.trap_handler with
-      | None -> Stats.Counter.incr t.counters "traps_unhandled"
+      | None -> Metrics.incr t.c_traps_unhandled
       | Some handler ->
         (* The handler itself may touch memory; hardware would not re-trap on
            the kernel's own accesses, so nested checking is suppressed. *)
@@ -167,7 +173,6 @@ let deliver_trap t ~fd ~access_addr ~kind =
   end
 
 let checked_access t addr len kind =
-  t.n_accesses <- t.n_accesses + 1;
   Metrics.incr t.c_accesses;
   charge t Cost.memory_access;
   if not t.in_trap then
@@ -205,11 +210,29 @@ let work t cycles =
 
 let stall t cycles = charge t cycles
 
+(* The allocator's per-malloc attribution.  Equivalent to
+   [in_phase t phase (fun () -> work t cycles)] but closure-free: the hot
+   path allocates nothing.  [charge] can only raise on a negative count,
+   checked before the phase is switched, so no protection frame is
+   needed. *)
 let work_as t phase cycles =
-  in_phase t phase (fun () -> work t cycles)
+  if cycles < 0 then invalid_arg "Clock.advance: negative cycles";
+  t.n_work_cycles <- t.n_work_cycles + cycles;
+  if t.phase <> Profiler.App then charge t cycles
+  else begin
+    t.phase <- phase;
+    let started = Clock.cycles t.clock in
+    charge t cycles;
+    t.phase <- Profiler.App;
+    if Flight_recorder.active () then begin
+      let stopped = Clock.cycles t.clock in
+      if stopped > started then
+        Flight_recorder.phase ~name:(Profiler.name phase) ~start:started
+          ~stop:stopped
+    end
+  end
 
 let charge_syscalls t n =
-  t.n_syscalls <- t.n_syscalls + n;
   Metrics.add t.c_syscalls n;
   charge t (n * Cost.syscall)
 
@@ -222,9 +245,9 @@ let sbrk t n =
 
 let set_trap_handler t h = t.trap_handler <- Some h
 let clear_trap_handler t = t.trap_handler <- None
-let trap_count t = t.traps
-let access_count t = t.n_accesses
-let syscall_count t = t.n_syscalls
+let trap_count t = Metrics.count t.c_traps
+let access_count t = Metrics.count t.c_accesses
+let syscall_count t = Metrics.count t.c_syscalls
 let work_cycles t = t.n_work_cycles
 
 let install_watch ?(combined = false) t ~addr ~tid =

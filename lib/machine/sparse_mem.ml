@@ -2,26 +2,105 @@ type addr = int
 
 let chunk_size = 65536
 
-type t = { chunks : (int, Bytes.t) Hashtbl.t }
+(* Domain-local page pool: executions are short-lived but plentiful (the
+   fleet simulator runs thousands per domain), so recycling chunk storage
+   across machines removes the dominant per-execution GC load.  Pages are
+   zeroed on reuse, making a pooled page indistinguishable from a fresh
+   one.  The pool is per-domain, so fleet workers never contend. *)
+let max_pooled_pages = 512
 
-let create () = { chunks = Hashtbl.create 256 }
+let pool_key : Bytes.t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let chunk_for t addr =
-  let idx = addr / chunk_size in
-  match Hashtbl.find_opt t.chunks idx with
-  | Some b -> b
-  | None ->
-    let b = Bytes.make chunk_size '\000' in
-    Hashtbl.add t.chunks idx b;
+let fresh_page () =
+  let pool = Domain.DLS.get pool_key in
+  match !pool with
+  | [] -> Bytes.make chunk_size '\000'
+  | b :: rest ->
+    pool := rest;
+    Bytes.fill b 0 chunk_size '\000';
     b
+
+type t = {
+  chunks : (int, Bytes.t) Hashtbl.t;
+  (* One-entry direct-mapped cache of the last chunk touched: interpreter
+     traffic is overwhelmingly sequential or loop-local, so most accesses
+     hit the same 64K chunk as their predecessor and skip the hashtable. *)
+  mutable cache_idx : int;
+  mutable cache_chunk : Bytes.t;
+  mutable cache_on : bool;
+  mutable released : bool;
+}
+
+let no_chunk = Bytes.create 0
+
+let create () =
+  { chunks = Hashtbl.create 256;
+    cache_idx = -1;
+    cache_chunk = no_chunk;
+    cache_on = true;
+    released = false }
+
+let set_cache t on =
+  t.cache_on <- on;
+  if not on then begin
+    t.cache_idx <- -1;
+    t.cache_chunk <- no_chunk
+  end
+
+let release t =
+  if not t.released then begin
+    t.released <- true;
+    t.cache_idx <- -1;
+    t.cache_chunk <- no_chunk;
+    let pool = Domain.DLS.get pool_key in
+    Hashtbl.iter
+      (fun _ b -> if List.length !pool < max_pooled_pages then pool := b :: !pool)
+      t.chunks;
+    Hashtbl.reset t.chunks
+  end
 
 let check addr = if addr < 0 then invalid_arg "Sparse_mem: negative address"
 
+(* Chunk lookup for a write (materializes the chunk on a miss). *)
+let chunk_for t addr =
+  let idx = addr / chunk_size in
+  if t.cache_on && idx = t.cache_idx then t.cache_chunk
+  else begin
+    let b =
+      match Hashtbl.find_opt t.chunks idx with
+      | Some b -> b
+      | None ->
+        let b = fresh_page () in
+        Hashtbl.add t.chunks idx b;
+        b
+    in
+    if t.cache_on then begin
+      t.cache_idx <- idx;
+      t.cache_chunk <- b
+    end;
+    b
+  end
+
+(* Chunk lookup for a read ([no_chunk] when untouched — reads as zero). *)
+let chunk_at t addr =
+  let idx = addr / chunk_size in
+  if t.cache_on && idx = t.cache_idx then t.cache_chunk
+  else
+    match Hashtbl.find_opt t.chunks idx with
+    | None -> no_chunk
+    | Some b ->
+      if t.cache_on then begin
+        t.cache_idx <- idx;
+        t.cache_chunk <- b
+      end;
+      b
+
 let read_u8 t addr =
   check addr;
-  match Hashtbl.find_opt t.chunks (addr / chunk_size) with
-  | None -> 0
-  | Some b -> Char.code (Bytes.unsafe_get b (addr mod chunk_size))
+  let b = chunk_at t addr in
+  if b == no_chunk then 0
+  else Char.code (Bytes.unsafe_get b (addr mod chunk_size))
 
 let write_u8 t addr v =
   check addr;
@@ -32,10 +111,10 @@ let read_u64 t addr =
   check addr;
   (* Fast path: the whole word lies inside one chunk. *)
   let off = addr mod chunk_size in
-  if off <= chunk_size - 8 then
-    match Hashtbl.find_opt t.chunks (addr / chunk_size) with
-    | None -> 0L
-    | Some b -> Bytes.get_int64_le b off
+  if off <= chunk_size - 8 then begin
+    let b = chunk_at t addr in
+    if b == no_chunk then 0L else Bytes.get_int64_le b off
+  end
   else begin
     let v = ref 0L in
     for i = 7 downto 0 do
@@ -58,8 +137,21 @@ let write_int t addr v = write_u64 t addr (Int64.of_int v)
 
 let fill t addr len v =
   if len < 0 then invalid_arg "Sparse_mem.fill: negative length";
-  for i = 0 to len - 1 do
-    write_u8 t (addr + i) v
-  done
+  if len > 0 then begin
+    check addr;
+    (* Chunk-wise [Bytes.fill] instead of a byte loop; chunks are still
+       materialized for the whole range (even when zero-filling) so the
+       resident-set proxy sees exactly what the byte loop touched. *)
+    let c = Char.unsafe_chr (v land 0xff) in
+    let pos = ref addr and left = ref len in
+    while !left > 0 do
+      let b = chunk_for t !pos in
+      let off = !pos mod chunk_size in
+      let n = min !left (chunk_size - off) in
+      Bytes.fill b off n c;
+      pos := !pos + n;
+      left := !left - n
+    done
+  end
 
 let touched_bytes t = Hashtbl.length t.chunks * chunk_size

@@ -190,6 +190,71 @@ let test_json_report () =
       | _ -> false)
   | _ -> Alcotest.fail "expected a JSON object"
 
+(* ---------- Edge cases: empty fleet, one user, burst boundaries ---------- *)
+
+let test_empty_fleet () =
+  let w = Workload.make ~users:0 () in
+  Alcotest.(check (array int)) "no arrivals" [||]
+    (Workload.arrivals w ~epoch_size:32);
+  let r = Fleet.run (Fleet.config ~domains:2 ~epoch_size:32 w) ~execute:synthetic in
+  Alcotest.(check int) "no seats" 0 (Array.length r.Fleet.seats);
+  Alcotest.(check int) "no detections" 0 r.Fleet.detections;
+  Alcotest.(check bool) "no first catch" true (r.Fleet.first_catch = None);
+  Alcotest.(check bool) "no epoch rows" true (r.Fleet.epochs = []);
+  Alcotest.(check int) "empty store" 0 (Persist.count r.Fleet.store);
+  (* The divide in the CDF is guarded: an empty population reads as 0. *)
+  let row =
+    { Epoch.epoch = 0; arrivals = 0; detections = 0; cumulative = 0;
+      store_size = 0 }
+  in
+  Alcotest.(check (float 0.0)) "cdf of empty population" 0.0
+    (Epoch.cdf ~total_users:0 row)
+
+let test_single_user_fleet () =
+  let app = zziplib () in
+  let w = Workload.make ~users:1 ~base_seed:2 () in
+  Alcotest.(check (array int)) "one partial epoch" [| 1 |]
+    (Workload.arrivals w ~epoch_size:32);
+  let run domains =
+    Fleet.run
+      (Fleet.config ~domains ~epoch_size:32 w)
+      ~execute:(Execution.executor ~app ~config:Config.csod_default ())
+  in
+  let r1 = run 1 and r2 = run 2 in
+  Alcotest.(check int) "one seat" 1 (Array.length r1.Fleet.seats);
+  (match r1.Fleet.epochs with
+  | [ row ] ->
+    Alcotest.(check int) "arrivals" 1 row.Epoch.arrivals;
+    Alcotest.(check int) "cumulative = detections" r1.Fleet.detections
+      row.Epoch.cumulative
+  | _ -> Alcotest.fail "expected exactly one epoch row");
+  (* A pool wider than the population must change nothing. *)
+  Alcotest.(check bool) "domain count irrelevant" true
+    (Fleet.detection_uids r1 = Fleet.detection_uids r2
+    && Metrics.counters_list r1.Fleet.metrics
+       = Metrics.counters_list r2.Fleet.metrics)
+
+let test_burst_boundaries () =
+  (* Wave: the heavy phase starts at epoch 0 — rate 1.5x, so the very
+     first epoch takes s + s/2 users, then s/2, alternating. *)
+  let wave = Workload.make ~burst:Workload.Wave ~users:200 () in
+  let a = Workload.arrivals wave ~epoch_size:32 in
+  Alcotest.(check int) "wave heavy at epoch 0" 48 a.(0);
+  Alcotest.(check int) "wave light at epoch 1" 16 a.(1);
+  Alcotest.(check int) "wave heavy again at epoch 2" 48 a.(2);
+  (* Frontload: 2x at launch, decaying, floored at s/2 — never below one
+     arrival even for tiny epochs. *)
+  let front = Workload.make ~burst:Workload.Frontload ~users:300 () in
+  let f = Workload.arrivals front ~epoch_size:32 in
+  Alcotest.(check int) "frontload 2x at epoch 0" 64 f.(0);
+  Alcotest.(check int) "frontload 1.5x at epoch 1" 48 f.(1);
+  Alcotest.(check int) "frontload settles at s/2" 16 f.(4);
+  let tiny = Workload.arrivals (Workload.make ~burst:Workload.Wave ~users:7 ()) ~epoch_size:1 in
+  Alcotest.(check bool) "epoch_size 1: every epoch still drains" true
+    (Array.for_all (fun n -> n >= 1) tiny);
+  Alcotest.(check int) "epoch_size 1: sums to users" 7
+    (Array.fold_left ( + ) 0 tiny)
+
 let suite =
   [ Alcotest.test_case "workload: determinism and mix" `Quick test_workload_determinism;
     Alcotest.test_case "workload: arrival shapes" `Quick test_workload_arrivals;
@@ -199,4 +264,7 @@ let suite =
     Alcotest.test_case "epoch: report invariants" `Quick test_report_invariants;
     Alcotest.test_case "determinism across domains" `Slow test_determinism_across_domains;
     Alcotest.test_case "sequential path: shared store" `Quick test_until_detected_shared_store;
-    Alcotest.test_case "json report" `Quick test_json_report ]
+    Alcotest.test_case "json report" `Quick test_json_report;
+    Alcotest.test_case "edge: empty fleet" `Quick test_empty_fleet;
+    Alcotest.test_case "edge: single-user fleet" `Quick test_single_user_fleet;
+    Alcotest.test_case "edge: burst boundaries" `Quick test_burst_boundaries ]

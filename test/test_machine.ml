@@ -225,6 +225,49 @@ let test_machine_backtrace_provider () =
   Machine.set_backtrace_provider m (fun () -> [ 1; 2; 3 ]);
   Alcotest.(check (list int)) "provider wins" [ 1; 2; 3 ] (Machine.backtrace m)
 
+(* The machine once kept two counting paths — a Stats.Counter shadow and
+   the metrics registry — which could drift.  [Machine.counters] is now a
+   view derived from the registry; this pins that every legacy accessor
+   agrees with the registry after a mixed workload of handled traps,
+   unhandled traps, accesses and syscalls. *)
+let test_machine_counter_paths_agree () =
+  let m = Machine.create () in
+  let tid = Threads.current (Machine.threads m) in
+  let fd =
+    match Machine.install_watch m ~addr:0x500 ~tid with
+    | Ok fd -> fd
+    | Error _ -> Alcotest.fail "install failed"
+  in
+  (* Unhandled traps first (no handler installed), then handled ones. *)
+  Machine.store_word m 0x500 1;
+  ignore (Machine.load_word m 0x500);
+  let handled = ref 0 in
+  Machine.set_trap_handler m (fun _ -> incr handled);
+  for i = 1 to 3 do
+    Machine.store_word m 0x500 i
+  done;
+  Machine.remove_watch m fd;
+  ignore (Machine.load_word m 0x500);
+  let reg = List.to_seq (Metrics.counters_list (Machine.registry m)) in
+  let metric name = Option.value ~default:0 (Seq.find_map (fun (k, v) -> if k = name then Some v else None) reg) in
+  let legacy = Machine.counters m in
+  Alcotest.(check int) "handled traps ran" 3 !handled;
+  Alcotest.(check int) "stats traps = registry" (metric "trap.count")
+    (Stats.Counter.get legacy "traps");
+  Alcotest.(check int) "stats unhandled = registry" (metric "trap.unhandled")
+    (Stats.Counter.get legacy "traps_unhandled");
+  Alcotest.(check int) "trap_count = registry" (metric "trap.count")
+    (Machine.trap_count m);
+  Alcotest.(check int) "access_count = registry" (metric "machine.accesses")
+    (Machine.access_count m);
+  Alcotest.(check int) "syscall_count = registry" (metric "machine.syscalls")
+    (Machine.syscall_count m);
+  Alcotest.(check int) "traps: 2 unhandled + 3 handled" 5
+    (Machine.trap_count m);
+  Alcotest.(check int) "unhandled counted" 2
+    (Stats.Counter.get legacy "traps_unhandled");
+  Alcotest.(check int) "accesses counted" 6 (Machine.access_count m)
+
 let suite =
   [ Alcotest.test_case "sparse mem bytes" `Quick test_mem_bytes;
     Alcotest.test_case "sparse mem words" `Quick test_mem_words;
@@ -242,4 +285,6 @@ let suite =
       test_machine_trap_to_accessing_thread;
     Alcotest.test_case "machine: unhandled trap" `Quick test_machine_unhandled_trap_counted;
     Alcotest.test_case "machine: sbrk and costs" `Quick test_machine_sbrk_and_costs;
-    Alcotest.test_case "machine: backtrace provider" `Quick test_machine_backtrace_provider ]
+    Alcotest.test_case "machine: backtrace provider" `Quick test_machine_backtrace_provider;
+    Alcotest.test_case "machine: counter paths never diverge" `Quick
+      test_machine_counter_paths_agree ]

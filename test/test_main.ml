@@ -14,6 +14,8 @@ let () =
       ("pretty", Test_pretty.suite);
       ("obs", Test_obs.suite);
       ("core", Test_core.suite);
+      ("runtime", Test_runtime.suite);
+      ("prop", Test_prop.suite);
       ("asan", Test_asan.suite);
       ("apps", Test_apps.suite);
       ("fleet", Test_fleet.suite);

@@ -166,6 +166,129 @@ let test_seed_changes_sampling () =
     (List.sort_uniq compare counts <> [ List.hd counts ] || List.length counts = 1
      |> fun _ -> List.length (List.sort_uniq compare counts) > 1)
 
+(* ------------------------------------------------------------------ *)
+(* Equivalence pins: the hot-path optimizations (sparse-memory chunk
+   cache and page pool, armed-event fast scan, context-lookup memo,
+   derived Stats view) must be observably pure.  Two layers of defense:
+
+   - a golden pin of the full app corpus — detection outcome, total
+     virtual cycles, and digests of the formatted reports and program
+     output, captured before the optimizations landed;
+   - a same-process A/B run with the optimizations toggled back to their
+     reference implementations, comparing outcome, cycles, reports, and
+     the PRNG stream position. *)
+
+let digest s = Digest.to_hex (Digest.string s)
+
+(* Captured with `Execution.run ~config:Config.csod_default` on the
+   pre-optimization tree.  Any cycle or digest drift means an
+   "optimization" changed simulated behaviour, not just real time. *)
+let golden =
+  [ ("Zziplib", 1, false, 76425299347, 0, "d41d8cd98f00b204e9800998ecf8427e",
+     "6c286be8351651ae0c5b39e08538364e");
+    ("Zziplib", 2, false, 78650284947, 0, "d41d8cd98f00b204e9800998ecf8427e",
+     "4849970a9b15a893799ccbc6bfb36510");
+    ("Zziplib", 3, false, 69135299347, 0, "d41d8cd98f00b204e9800998ecf8427e",
+     "ac6a95ba25af8fc0ae81c0caa590e424");
+    ("Heartbleed", 1, true, 35566426229, 1, "9e044b28a64ae487f36d83460895f07a",
+     "6176a62ff58568c1dc391b7a00989dd5");
+    ("Heartbleed", 2, true, 34713929829, 1, "9e044b28a64ae487f36d83460895f07a",
+     "6176a62ff58568c1dc391b7a00989dd5");
+    ("Heartbleed", 3, true, 34608901029, 1, "9e044b28a64ae487f36d83460895f07a",
+     "6176a62ff58568c1dc391b7a00989dd5");
+    ("LibHX", 1, true, 23585120063, 2, "54bada3ab6338ecedb80f3ddbb19b547",
+     "c41cc8eea4229607cc60254b6291e67d");
+    ("LibHX", 2, true, 18857620063, 2, "54bada3ab6338ecedb80f3ddbb19b547",
+     "c41cc8eea4229607cc60254b6291e67d");
+    ("LibHX", 3, true, 21502620063, 2, "54bada3ab6338ecedb80f3ddbb19b547",
+     "c41cc8eea4229607cc60254b6291e67d") ]
+
+let formatted_reports app (o : Execution.outcome) =
+  String.concat "\n---\n"
+    (List.map
+       (Report.format ~symbolize:(Execution.symbolizer app))
+       o.Execution.reports)
+
+let test_golden_corpus () =
+  List.iter
+    (fun (name, seed, detected, cycles, nreports, reports_md5, output_md5) ->
+      let app = Option.get (Buggy_app.by_name name) in
+      let o = Execution.run ~app ~config:Config.csod_default ~seed () in
+      let tag fmt = Printf.sprintf "%s seed=%d: %s" name seed fmt in
+      Alcotest.(check bool) (tag "detected") detected o.Execution.detected;
+      Alcotest.(check int) (tag "cycles") cycles o.Execution.cycles;
+      Alcotest.(check int) (tag "reports") nreports
+        (List.length o.Execution.reports);
+      Alcotest.(check string) (tag "reports digest") reports_md5
+        (digest (formatted_reports app o));
+      Alcotest.(check string) (tag "output digest") output_md5
+        (digest o.Execution.output))
+    golden
+
+(* Run one app manually (so the machine stays accessible) with the
+   optimizations either as shipped or toggled to the reference
+   implementations, and return every observable: outcome, cycles, the
+   formatted reports, the machine's counters, and where the root PRNG
+   stream ended up. *)
+let run_manual ~reference (app : Buggy_app.t) ~seed =
+  let program = Buggy_app.program app in
+  let machine = Machine.create ~seed () in
+  if reference then begin
+    Sparse_mem.set_cache (Machine.mem machine) false;
+    Hw_breakpoint.set_fast_scan (Machine.hw machine) false
+  end;
+  let heap = Heap.create machine in
+  let inst =
+    Config.instantiate Config.csod_default ~machine ~heap ~seed ()
+  in
+  (match inst.Config.csod with
+  | Some rt ->
+    if reference then
+      Context_table.set_memo (Runtime.context_table rt) false
+  | None -> ());
+  let r =
+    Interp.run ~machine ~tool:inst.Config.tool ~program
+      ~inputs:app.Buggy_app.buggy_inputs ~app_seed:seed ()
+  in
+  inst.Config.finish ();
+  let reports =
+    match inst.Config.csod with
+    | Some rt -> Runtime.detections rt
+    | None -> []
+  in
+  ( inst.Config.detected (),
+    Clock.cycles (Machine.clock machine),
+    List.map (Report.format ~symbolize:(Execution.symbolizer app)) reports,
+    Machine.access_count machine,
+    Machine.trap_count machine,
+    Machine.syscall_count machine,
+    r.Interp.output,
+    (* Where the machine's root generator ended up: equal next draws mean
+       the two runs consumed the stream identically. *)
+    Prng.bits64 (Machine.rng machine) )
+
+let test_reference_equivalence () =
+  List.iter
+    (fun name ->
+      let app = Option.get (Buggy_app.by_name name) in
+      List.iter
+        (fun seed ->
+          let opt = run_manual ~reference:false app ~seed in
+          let refr = run_manual ~reference:true app ~seed in
+          let d1, c1, r1, a1, t1, s1, o1, p1 = opt in
+          let d2, c2, r2, a2, t2, s2, o2, p2 = refr in
+          let tag fmt = Printf.sprintf "%s seed=%d: %s" name seed fmt in
+          Alcotest.(check bool) (tag "detected") d2 d1;
+          Alcotest.(check int) (tag "cycles") c2 c1;
+          Alcotest.(check (list string)) (tag "reports") r2 r1;
+          Alcotest.(check int) (tag "accesses") a2 a1;
+          Alcotest.(check int) (tag "traps") t2 t1;
+          Alcotest.(check int) (tag "syscalls") s2 s1;
+          Alcotest.(check string) (tag "output") o2 o1;
+          Alcotest.(check int64) (tag "prng position") p2 p1)
+        [ 1; 2 ])
+    [ "Heartbleed"; "LibHX"; "Zziplib" ]
+
 let suite =
   [ Alcotest.test_case "watchpoint detection (read+write)" `Quick
       test_watchpoint_detection_read_write;
@@ -179,4 +302,8 @@ let suite =
       test_trap_after_detection_slot_reused;
     Alcotest.test_case "stats and memory" `Quick test_stats_and_memory;
     Alcotest.test_case "free NULL / foreign" `Quick test_free_null_and_foreign;
-    Alcotest.test_case "seed changes sampling" `Quick test_seed_changes_sampling ]
+    Alcotest.test_case "seed changes sampling" `Quick test_seed_changes_sampling;
+    Alcotest.test_case "golden corpus pin (cycles, reports, output)" `Quick
+      test_golden_corpus;
+    Alcotest.test_case "optimizations vs reference: bit-identical" `Quick
+      test_reference_equivalence ]

@@ -45,6 +45,16 @@ KNOWN = {
         "store_contexts": int,
         "wall_seconds": numbers.Real,
     },
+    "csod.bench.throughput/1": {
+        "op": str,
+        "mode": str,
+        "iters": int,
+        "ns_per_op": numbers.Real,
+        "ops_per_sec": numbers.Real,
+        "baseline_ns_per_op": numbers.Real,
+        "baseline_ops_per_sec": numbers.Real,
+        "speedup": numbers.Real,
+    },
 }
 
 fields = KNOWN.get(schema)
