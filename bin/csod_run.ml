@@ -439,8 +439,31 @@ let fleet_cmd =
              ~doc:"Emit the full fleet report as one JSON object on stdout \
                    (schema csod.fleet.report/1) instead of the summary.")
   in
+  let live_arg =
+    Arg.(value & opt ~vopt:(Some "-") (some string) None
+         & info [ "live" ] ~docv:"FILE"
+             ~doc:"Stream one csod.fleet.health/1 JSONL record per epoch \
+                   barrier to $(docv) (default stdout), flushed line by \
+                   line — tail it, or watch it with $(b,csod_run top).")
+  in
+  let no_sharded_arg =
+    Arg.(value & flag
+         & info [ "no-sharded" ]
+             ~doc:"Aggregate telemetry with the legacy per-user fold instead \
+                   of per-domain shards.  The report is bit-identical either \
+                   way; this exists for A/B-ing the merge cost (the health \
+                   stream's $(b,merge_seconds)).")
+  in
+  let fleet_trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the run's wall-clock timeline (per-domain user \
+                   chunks, barrier waits, merges) as Chrome trace-event JSON \
+                   to $(docv) ($(b,-) for stdout) — open it in \
+                   ui.perfetto.dev.")
+  in
   let run name users domains epoch benign_frac burst seed policy no_evidence
-      store_file faults json =
+      store_file faults json live no_sharded trace_out =
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S\n" name;
@@ -450,28 +473,70 @@ let fleet_cmd =
       let workload =
         Workload.make ~benign_frac ~base_seed:seed ~burst ~users ()
       in
-      let cfg = Fleet.config ~domains ~epoch_size:epoch ?faults workload in
-      let store =
-        match store_file with Some f -> Some (Persist.load f) | None -> None
+      (* The live stream goes through the fleet's health callback — invoked
+         at barriers, in the main domain — NOT through a process-global
+         event sink, which runtime trace points would race from the worker
+         domains. *)
+      let with_live f =
+        match live with
+        | None -> f None
+        | Some "-" -> f (Some stdout)
+        | Some file -> Out_channel.with_open_text file (fun oc -> f (Some oc))
       in
-      let report =
-        Fleet.run ?store cfg
-          ~execute:(Execution.executor ~app ~config ?faults ())
-      in
-      save_store ?faults:report.Fleet.faults report.Fleet.store store_file;
-      if json then
-        print_endline
-          (Obs_json.to_string
-             (Fleet.to_json ~app:app.Buggy_app.name
-                ~config:(Config.label config) report))
-      else begin
-        Printf.printf "%s under %s\n" app.Buggy_app.name (Config.label config);
-        print_string (Fleet.summary report);
-        match report.Fleet.faults with
-        | Some inj ->
-          Printf.printf "pool faults: %s\n" (Fault_injector.summary inj)
-        | None -> ()
-      end
+      with_live (fun live_oc ->
+          let on_health =
+            Option.map
+              (fun oc s ->
+                output_string oc (Obs_json.to_string (Health.to_json s));
+                output_char oc '\n';
+                (* Line-by-line flush: the stream is tail-able while the
+                   run is still going. *)
+                flush oc)
+              live_oc
+          in
+          let cfg =
+            Fleet.config ~domains ~epoch_size:epoch ?faults
+              ~sharded:(not no_sharded)
+              ~trace:(trace_out <> None)
+              ?on_health workload
+          in
+          let store =
+            match store_file with Some f -> Some (Persist.load f) | None -> None
+          in
+          let report =
+            Fleet.run ?store cfg
+              ~execute:(Execution.executor ~app ~config ?faults ())
+          in
+          save_store ?faults:report.Fleet.faults report.Fleet.store store_file;
+          (match trace_out with
+          | None -> ()
+          | Some out ->
+            let s =
+              Trace_export.fleet_spans_to_string ~domains
+                report.Fleet.trace_spans
+            in
+            (match out with
+            | "-" -> print_endline s
+            | file ->
+              Out_channel.with_open_text file (fun oc ->
+                  output_string oc s;
+                  output_char oc '\n');
+              (* stderr: stdout may be carrying --json or --live=- *)
+              Printf.eprintf "fleet trace written to %s\n" file));
+          if json then
+            print_endline
+              (Obs_json.to_string
+                 (Fleet.to_json ~app:app.Buggy_app.name
+                    ~config:(Config.label config) report))
+          else if live <> Some "-" then begin
+            Printf.printf "%s under %s\n" app.Buggy_app.name
+              (Config.label config);
+            print_string (Fleet.summary report);
+            match report.Fleet.faults with
+            | Some inj ->
+              Printf.printf "pool faults: %s\n" (Fault_injector.summary inj)
+            | None -> ()
+          end)
   in
   Cmd.v
     (Cmd.info "fleet"
@@ -479,7 +544,80 @@ let fleet_cmd =
              overflow evidence at epoch barriers.")
     Term.(const run $ app_arg $ users_arg $ domains_arg $ epoch_arg
           $ benign_frac_arg $ burst_arg $ seed_arg $ policy_arg
-          $ no_evidence_arg $ store_arg $ faults_arg $ json_arg)
+          $ no_evidence_arg $ store_arg $ faults_arg $ json_arg $ live_arg
+          $ no_sharded_arg $ fleet_trace_arg)
+
+(* ---- top: one-screen dashboard over a health stream ---- *)
+
+let top_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"Health JSONL stream (written by $(b,fleet --live=FILE)).")
+  in
+  let follow_arg =
+    Arg.(value & flag
+         & info [ "follow"; "f" ]
+             ~doc:"Keep re-reading and re-rendering until interrupted, like \
+                   $(b,tail -f) for the dashboard.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 0.5
+         & info [ "interval" ] ~docv:"SECS"
+             ~doc:"Polling interval with $(b,--follow).")
+  in
+  let no_color_arg =
+    Arg.(value & flag & info [ "no-color" ] ~doc:"Disable ANSI colors.")
+  in
+  let read_samples file =
+    if not (Sys.file_exists file) then []
+    else
+      In_channel.with_open_text file (fun ic ->
+          let rec go acc =
+            match In_channel.input_line ic with
+            | None -> List.rev acc
+            | Some line ->
+              let acc =
+                (* Skip blank, foreign and torn lines: the stream may be
+                   mid-write when we poll it. *)
+                if String.trim line = "" then acc
+                else
+                  match Obs_json.of_string line with
+                  | Ok json ->
+                    (match Health.of_json json with
+                    | Some s -> s :: acc
+                    | None -> acc)
+                  | Error _ -> acc
+              in
+              go acc
+          in
+          go [])
+  in
+  let run file follow interval no_color =
+    let color = (not no_color) && Unix.isatty Unix.stdout in
+    let render () =
+      print_string (Health.render ~color (read_samples file));
+      flush stdout
+    in
+    if not follow then render ()
+    else begin
+      let interval = if interval > 0.0 then interval else 0.5 in
+      try
+        while true do
+          (* Clear + home, then redraw the whole screen. *)
+          if color then print_string "\x1b[2J\x1b[H";
+          render ();
+          Unix.sleepf interval
+        done
+      with Sys.Break -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Render a fleet health stream (csod.fleet.health/1 JSONL) as a \
+             one-screen dashboard: detection CDF sparkline, throughput, \
+             straggler skew, telemetry cost, per-domain load bars.")
+    Term.(const run $ file_arg $ follow_arg $ interval_arg $ no_color_arg)
 
 (* ---- exec: user-supplied MiniC program ---- *)
 
@@ -616,4 +754,5 @@ let () =
   in
   exit
     (Cmd.eval ~argv
-       (Cmd.group info [ list_cmd; run_cmd; explain_cmd; fleet_cmd; exec_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; explain_cmd; fleet_cmd; top_cmd; exec_cmd ]))

@@ -4,6 +4,7 @@ type 'a execution = {
   source : Report.source option;
   cycles : int;
   telemetry : Telemetry.t option;
+  degraded : bool;
 }
 
 type 'a executor = user:Workload.user -> store:Persist.t -> 'a execution
@@ -21,6 +22,8 @@ type 'a report = {
   domains : int;
   wall_seconds : float;
   faults : Fault_injector.t option;
+  health : Health.sample list;
+  trace_spans : Trace_export.fleet_span list;
 }
 
 type config = {
@@ -28,15 +31,25 @@ type config = {
   domains : int;
   epoch_size : int;
   faults : Fault_plan.t option;
+  sharded : bool;
+  trace : bool;
+  on_health : (Health.sample -> unit) option;
 }
 
-let config ?domains ?(epoch_size = 32) ?faults workload =
+let config ?domains ?(epoch_size = 32) ?faults ?(sharded = true)
+    ?(trace = false) ?on_health workload =
   let domains =
     match domains with Some d -> d | None -> Pool.default_domains ()
   in
   if domains < 1 then invalid_arg "Fleet.config: domains < 1";
   if epoch_size < 1 then invalid_arg "Fleet.config: epoch_size < 1";
-  { workload; domains; epoch_size; faults }
+  { workload; domains; epoch_size; faults; sharded; trace; on_health }
+
+(* Fault/degradation counters surfaced per health record; only names the
+   merged registry has actually seen appear in the stream. *)
+let fault_counter_names =
+  [ "runtime.degraded"; "runtime.install_failures"; "trap.dropped";
+    "trap.delayed"; "persist.corrupt_lines" ]
 
 let run ?store cfg ~execute =
   let w = cfg.workload in
@@ -54,14 +67,25 @@ let run ?store cfg ~execute =
     Option.map (fun plan -> Fault_injector.create ~plan ~salt:0) cfg.faults
   in
   let arrivals = Workload.arrivals w ~epoch_size:cfg.epoch_size in
+  let total_users = Array.fold_left ( + ) 0 arrivals in
   let seats = ref [] in
   let epochs = ref [] in
   let detections = ref 0 in
+  let degraded_total = ref 0 in
+  let snapshots_total = ref 0 in
+  let health = ref [] in
+  let spans = ref [] in
+  (* The current record cannot contain its own emission cost, so each
+     sample reports what the previous barrier spent observing. *)
+  let observer_prev = ref 0.0 in
+  let telemetry_mode = if cfg.sharded then "sharded" else "merged" in
+  let t_run0 = Unix.gettimeofday () in
   let (), wall_seconds =
     Pool.timed (fun () ->
         let next_uid = ref 1 in
         Array.iteri
           (fun e n ->
+            let t_epoch0 = Unix.gettimeofday () in
             let uid_base = !next_uid in
             let users =
               Array.init n (fun i -> Workload.user w (uid_base + i))
@@ -71,32 +95,168 @@ let run ?store cfg ~execute =
                starts: every execution of this epoch sees exactly the
                evidence uploaded by previous epochs, no more. *)
             let locals = Array.map (fun _ -> Persist.copy shared) users in
-            let execs =
-              Pool.map ?faults:pool_faults ~index_base:(uid_base - 1)
-                ~domains:cfg.domains n
-                ~f:(fun i -> execute ~user:users.(i) ~store:locals.(i))
+            let execs, workers =
+              Pool.map_local ?faults:pool_faults ~index_base:(uid_base - 1)
+                ~record_spans:cfg.trace ~domains:cfg.domains
+                ~local:(fun ~slot:_ ->
+                  if cfg.sharded then Some (Metrics_shard.create ()) else None)
+                n
+                ~f:(fun shard i ->
+                  let exec = execute ~user:users.(i) ~store:locals.(i) in
+                  (match (shard, exec.telemetry) with
+                  | Some sh, Some tele ->
+                    (* Lock-free local update: the shard belongs to this
+                       worker until the join. *)
+                    Metrics_shard.absorb sh ~uid:users.(i).Workload.uid tele
+                  | _ -> ());
+                  exec)
             in
-            (* Epoch barrier: fold the fleet's reports back in, in uid
-               (= seed) order so gauge merges are deterministic. *)
+            let t_barrier0 = Unix.gettimeofday () in
+            (* Epoch barrier, pass A: fold the fleet's evidence back in,
+               in uid (= seed) order so store merges are deterministic. *)
             let epoch_detections = ref 0 in
             Array.iteri
               (fun i exec ->
                 Persist.merge shared locals.(i);
                 (match exec.telemetry with
                 | Some tele ->
-                  Metrics.merge_into ~dst:metrics ~src:(Telemetry.metrics tele);
-                  Profiler.merge_into ~dst:profile
-                    ~src:(Telemetry.profiler tele)
+                  snapshots_total :=
+                    !snapshots_total + Telemetry.snapshot_count tele
                 | None -> ());
+                if exec.degraded then incr degraded_total;
                 if exec.detected then incr epoch_detections;
                 seats := { user = users.(i); epoch = e; exec } :: !seats)
               execs;
+            (* Pass B: the telemetry reduction, timed on its own so the
+               health stream prices the merge and nothing else.  Sharded
+               tree-reduces the per-worker shards; merged replays the
+               legacy per-user fold (uid order). *)
+            let (), merge_seconds =
+              Pool.timed (fun () ->
+                  if cfg.sharded then begin
+                    let shards =
+                      Array.to_list workers
+                      |> List.filter_map (fun (shard, _) -> shard)
+                      |> Array.of_list
+                    in
+                    ignore (Metrics_shard.reduce_into shards ~metrics ~profile)
+                  end
+                  else
+                    Array.iter
+                      (fun exec ->
+                        match exec.telemetry with
+                        | Some tele ->
+                          Metrics.merge_into ~dst:metrics
+                            ~src:(Telemetry.metrics tele);
+                          Profiler.merge_into ~dst:profile
+                            ~src:(Telemetry.profiler tele)
+                        | None -> ())
+                      execs)
+            in
+            let t_merge1 = Unix.gettimeofday () in
             detections := !detections + !epoch_detections;
             epochs :=
               { Epoch.epoch = e; arrivals = n;
                 detections = !epoch_detections; cumulative = !detections;
                 store_size = Persist.count shared }
-              :: !epochs)
+              :: !epochs;
+            let epoch_seconds = t_merge1 -. t_epoch0 in
+            let loads =
+              Array.to_list workers
+              |> List.map (fun (_, wk) ->
+                     { Health.slot = wk.Pool.slot; executed = wk.Pool.executed;
+                       busy_seconds = wk.Pool.busy_seconds })
+            in
+            let counters = Metrics.counters_list metrics in
+            let sample =
+              { Health.epoch = e; arrivals = n;
+                detections = !epoch_detections; cumulative = !detections;
+                users = total_users;
+                cdf =
+                  (if total_users > 0 then
+                     float_of_int !detections /. float_of_int total_users
+                   else 0.0);
+                store_contexts = Persist.count shared;
+                degraded = !degraded_total;
+                worker_crashes =
+                  (match pool_faults with
+                  | Some inj ->
+                    Fault_injector.count inj Fault_plan.Worker_crash
+                  | None -> 0);
+                faults =
+                  List.filter_map
+                    (fun name ->
+                      Option.map
+                        (fun v -> (name, v))
+                        (List.assoc_opt name counters))
+                    fault_counter_names;
+                snapshots = !snapshots_total;
+                epoch_seconds;
+                merge_seconds;
+                observer_seconds = !observer_prev;
+                execs_per_sec =
+                  (if epoch_seconds > 0.0 then
+                     float_of_int n /. epoch_seconds
+                   else 0.0);
+                straggler_skew =
+                  Health.straggler_skew
+                    (List.map (fun l -> l.Health.busy_seconds) loads);
+                telemetry = telemetry_mode;
+                domains = loads }
+            in
+            (* The observer effect, self-measured: everything below is
+               pure observability (health emission, trace spans) and its
+               cost lands in the next record's [observer_seconds]. *)
+            let (), obs_dt =
+              Pool.timed (fun () ->
+                  health := sample :: !health;
+                  if cfg.trace then begin
+                    Array.iter
+                      (fun (_, wk) ->
+                        List.iter
+                          (fun (i, c0, c1) ->
+                            let uid = uid_base + i in
+                            spans :=
+                              { Trace_export.track = wk.Pool.slot;
+                                name = Printf.sprintf "user #%d" uid;
+                                start_s = c0 -. t_run0;
+                                stop_s = c1 -. t_run0;
+                                args =
+                                  [ ("epoch", `Int e); ("uid", `Int uid) ] }
+                              :: !spans)
+                          wk.Pool.spans;
+                        if
+                          wk.Pool.executed > 0
+                          && t_barrier0 > wk.Pool.last_stop
+                        then
+                          spans :=
+                            { Trace_export.track = wk.Pool.slot;
+                              name = "barrier wait";
+                              start_s = wk.Pool.last_stop -. t_run0;
+                              stop_s = t_barrier0 -. t_run0;
+                              args = [ ("epoch", `Int e) ] }
+                            :: !spans)
+                      workers;
+                    spans :=
+                      { Trace_export.track = cfg.domains;
+                        name = Printf.sprintf "epoch %d merge" e;
+                        start_s = t_barrier0 -. t_run0;
+                        stop_s = t_merge1 -. t_run0;
+                        args =
+                          [ ("epoch", `Int e);
+                            ("telemetry", `String telemetry_mode) ] }
+                      :: !spans
+                  end;
+                  (match cfg.on_health with
+                  | Some cb -> cb sample
+                  | None -> ());
+                  (* Barriers run in the main domain with every worker
+                     joined, so emitting here cannot race the parallel
+                     section. *)
+                  if Event_sink.active () then
+                    Event_sink.emit "fleet.health" (Health.fields sample))
+            in
+            observer_prev := obs_dt)
           arrivals)
   in
   (match pool_faults with
@@ -119,7 +279,9 @@ let run ?store cfg ~execute =
     store = shared;
     domains = cfg.domains;
     wall_seconds;
-    faults = pool_faults }
+    faults = pool_faults;
+    health = List.rev !health;
+    trace_spans = List.rev !spans }
 
 let until_detected ?store ~users ~execute () =
   let rec go uid =

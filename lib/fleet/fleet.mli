@@ -31,6 +31,9 @@ type 'a execution = {
   source : Report.source option;   (** first report's mechanism, if any *)
   cycles : int;                    (** virtual cycles of the execution *)
   telemetry : Telemetry.t option;  (** merged into the fleet aggregate *)
+  degraded : bool;
+      (** the execution fell back to canary-only protection; tallied into
+          the health stream *)
 }
 
 type 'a executor = user:Workload.user -> store:Persist.t -> 'a execution
@@ -45,13 +48,20 @@ type 'a report = {
   epochs : Epoch.row list;
   first_catch : 'a seat option;  (** earliest by (epoch, uid) *)
   detections : int;
-  metrics : Metrics.t;           (** per-user registries, merged in uid order *)
+  metrics : Metrics.t;
+      (** per-user registries, merged at barriers — bit-identical whether
+          aggregation was sharded or per-user (see [config.sharded]) *)
   profile : Profiler.t;          (** per-user profiles, summed *)
   store : Persist.t;             (** final shared store *)
   domains : int;
   wall_seconds : float;
   faults : Fault_injector.t option;
       (** the pool's crash injector, for post-run fault accounting *)
+  health : Health.sample list;
+      (** one {!Health.sample} per epoch barrier, epoch order *)
+  trace_spans : Trace_export.fleet_span list;
+      (** with [config.trace]: wall-clock spans (domain chunks, barrier
+          waits, merges) for {!Trace_export.fleet_spans_to_json} *)
 }
 
 type config = {
@@ -62,12 +72,34 @@ type config = {
       (** worker-crash injection for the pool (chunk index = uid - 1);
           crashed chunks are requeued/serialized, so the report stays
           bit-identical to an unfaulted run *)
+  sharded : bool;
+      (** aggregate telemetry through per-worker {!Metrics_shard}s
+          (lock-free local updates, tree-reduced at the barrier) instead
+          of the legacy per-user fold.  The merged registry and profile
+          are bit-identical either way — pinned by the equivalence tests —
+          so this is purely a performance/scalability switch.  Default
+          [true]. *)
+  trace : bool;
+      (** record wall-clock epoch spans into [report.trace_spans].
+          Default [false]. *)
+  on_health : (Health.sample -> unit) option;
+      (** live health callback, invoked at each epoch barrier from the
+          main domain (all workers joined) — safe to write to a channel
+          or the installed {!Event_sink}.  Independently of the callback,
+          the fleet emits each sample to the installed sink, if any. *)
 }
 
 val config :
-  ?domains:int -> ?epoch_size:int -> ?faults:Fault_plan.t -> Workload.t -> config
+  ?domains:int ->
+  ?epoch_size:int ->
+  ?faults:Fault_plan.t ->
+  ?sharded:bool ->
+  ?trace:bool ->
+  ?on_health:(Health.sample -> unit) ->
+  Workload.t ->
+  config
 (** Defaults: [domains = Pool.default_domains ()], [epoch_size = 32], no
-    fault plan. *)
+    fault plan, [sharded = true], [trace = false], no health callback. *)
 
 val run : ?store:Persist.t -> config -> execute:'a executor -> 'a report
 (** Simulate the whole fleet.  [store] seeds the shared store (default

@@ -29,72 +29,110 @@ let record_crashes ?faults ~index_base n =
       end
     done
 
-let map ?faults ?(index_base = 0) ~domains n ~f =
-  if domains < 1 then invalid_arg "Pool.map: domains < 1";
-  if n < 0 then invalid_arg "Pool.map: negative size";
+type worker = {
+  slot : int;
+  mutable executed : int;
+  mutable busy_seconds : float;
+  mutable last_stop : float;
+  mutable spans : (int * float * float) list;
+}
+
+let map_local ?faults ?(index_base = 0) ?(record_spans = false) ~domains
+    ~local n ~f =
+  if domains < 1 then invalid_arg "Pool.map_local: domains < 1";
+  if n < 0 then invalid_arg "Pool.map_local: negative size";
   record_crashes ?faults ~index_base n;
-  let domains = min domains n in
-  if domains <= 1 then
-    (* Serial execution is already the degraded mode: crashes change the
-       bookkeeping above but not the computation. *)
-    Array.init n f
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failure = Atomic.make None in
-    let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        let gi = index_base + i in
-        (if crashes faults gi 1 then begin
-           (* Worker crashed picking up this chunk; requeue it once. *)
-           if not (crashes faults gi 2) then
-             match f i with
+  let width = min domains (max n 1) in
+  (* Locals and stat records are created in the calling domain, touched by
+     exactly one worker during the parallel section, and read back only
+     after every domain has joined — no synchronization needed. *)
+  let locals = Array.init width (fun slot -> local ~slot) in
+  let workers =
+    Array.init width (fun slot ->
+        { slot; executed = 0; busy_seconds = 0.0; last_stop = 0.0; spans = [] })
+  in
+  let run_chunk slot i =
+    let w = workers.(slot) in
+    let t0 = Unix.gettimeofday () in
+    let v = f locals.(slot) i in
+    let t1 = Unix.gettimeofday () in
+    w.executed <- w.executed + 1;
+    w.busy_seconds <- w.busy_seconds +. (t1 -. t0);
+    w.last_stop <- t1;
+    if record_spans then w.spans <- (i, t0, t1) :: w.spans;
+    v
+  in
+  let results =
+    if width <= 1 then
+      (* Serial execution is already the degraded mode: crashes change the
+         bookkeeping above but not the computation. *)
+      Array.init n (run_chunk 0)
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let rec worker slot =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let gi = index_base + i in
+          (if crashes faults gi 1 then begin
+             (* Worker crashed picking up this chunk; requeue it once. *)
+             if not (crashes faults gi 2) then
+               match run_chunk slot i with
+               | v -> results.(i) <- Some v
+               | exception e ->
+                 ignore (Atomic.compare_and_set failure None (Some e));
+                 Atomic.set next n
+             (* else: double crash — left for the serial fallback *)
+           end
+           else
+             match run_chunk slot i with
              | v -> results.(i) <- Some v
              | exception e ->
+               (* First failure wins; parking [next] past [n] cancels the
+                  remaining indices on every domain. *)
                ignore (Atomic.compare_and_set failure None (Some e));
-               Atomic.set next n
-           (* else: double crash — left for the serial fallback *)
-         end
-         else
-           match f i with
-           | v -> results.(i) <- Some v
-           | exception e ->
-             (* First failure wins; parking [next] past [n] cancels the
-                remaining indices on every domain. *)
-             ignore (Atomic.compare_and_set failure None (Some e));
-             Atomic.set next n);
-        worker ()
-      end
-    in
-    let spawned = ref [] in
-    Fun.protect
-      ~finally:(fun () ->
-        (* Always join every spawned domain — even when a spawn or the
-           inline worker raised.  A leaked domain keeps running past the
-           caller's recovery and aborts the process at exit. *)
-        List.iter
-          (fun d ->
-            match Domain.join d with
-            | () -> ()
-            | exception e ->
-              ignore (Atomic.compare_and_set failure None (Some e)))
-          !spawned)
-      (fun () ->
-        for _ = 2 to domains do
-          spawned := Domain.spawn worker :: !spawned
-        done;
-        worker ());
-    (match Atomic.get failure with Some e -> raise e | None -> ());
-    Array.mapi
-      (fun i -> function
-        | Some v -> v
-        | None ->
-          (* Both attempts crashed: degrade this chunk to the caller's
-             domain.  [f] has not run for it yet. *)
-          f i)
-      results
-  end
+               Atomic.set next n);
+          worker slot
+        end
+      in
+      let spawned = ref [] in
+      Fun.protect
+        ~finally:(fun () ->
+          (* Always join every spawned domain — even when a spawn or the
+             inline worker raised.  A leaked domain keeps running past the
+             caller's recovery and aborts the process at exit. *)
+          List.iter
+            (fun d ->
+              match Domain.join d with
+              | () -> ()
+              | exception e ->
+                ignore (Atomic.compare_and_set failure None (Some e)))
+            !spawned)
+        (fun () ->
+          for slot = 1 to width - 1 do
+            spawned := Domain.spawn (fun () -> worker slot) :: !spawned
+          done;
+          worker 0);
+      (match Atomic.get failure with Some e -> raise e | None -> ());
+      Array.mapi
+        (fun i -> function
+          | Some v -> v
+          | None ->
+            (* Both attempts crashed: degrade this chunk to the caller's
+               domain.  [f] has not run for it yet. *)
+            run_chunk 0 i)
+        results
+    end
+  in
+  (results, Array.init width (fun i -> (locals.(i), workers.(i))))
+
+let map ?faults ?(index_base = 0) ~domains n ~f =
+  fst
+    (map_local ?faults ~index_base ~domains
+       ~local:(fun ~slot:_ -> ())
+       n
+       ~f:(fun () i -> f i))
 
 let timed f =
   let t0 = Unix.gettimeofday () in

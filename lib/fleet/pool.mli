@@ -12,6 +12,43 @@ val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — the runtime's estimate of
     useful hardware parallelism. *)
 
+type worker = {
+  slot : int;  (** 0 is the calling domain; 1.. are spawned *)
+  mutable executed : int;  (** chunks this worker completed *)
+  mutable busy_seconds : float;  (** wall time spent inside [f] *)
+  mutable last_stop : float;
+      (** absolute [Unix.gettimeofday] when this worker's last chunk
+          finished; [0.0] if it ran none.  The gap to the barrier is the
+          worker's idle wait. *)
+  mutable spans : (int * float * float) list;
+      (** with [record_spans]: [(index, start, stop)] per chunk, absolute
+          wall seconds, most recent first *)
+}
+(** Per-worker load statistics for one map call.  Each record is written
+    by exactly one domain during the parallel section and is safe to read
+    once the call returns. *)
+
+val map_local :
+  ?faults:Fault_injector.t ->
+  ?index_base:int ->
+  ?record_spans:bool ->
+  domains:int ->
+  local:(slot:int -> 'b) ->
+  int ->
+  f:('b -> int -> 'a) ->
+  'a array * ('b * worker) array
+(** [map_local ~domains ~local n ~f] is {!map} with per-worker state:
+    [local ~slot] runs once per worker in the {e calling} domain before
+    the parallel section, and [f] receives the local of whichever worker
+    runs the chunk.  Returns the results plus each worker's [(local,
+    stats)] pair, in slot order — the width is [min domains (max n 1)].
+    Locals let workers accumulate privately (e.g. a telemetry shard per
+    domain) with no synchronization: the caller reduces the returned
+    array after the implicit join.  Chunks degraded to the caller by a
+    double crash, and all chunks of a serial ([width = 1]) map, are
+    accounted to slot 0.  [record_spans] (default false) additionally
+    captures a per-chunk [(index, start, stop)] span on each worker. *)
+
 val map :
   ?faults:Fault_injector.t ->
   ?index_base:int ->

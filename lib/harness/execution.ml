@@ -100,7 +100,8 @@ let executor ~app ~config ?input_of ?faults () =
       source =
         (match o.reports with r :: _ -> Some r.Report.source | [] -> None);
       cycles = o.cycles;
-      telemetry = Some o.telemetry }
+      telemetry = Some o.telemetry;
+      degraded = o.degraded }
 
 let run_until_detected ~app ~config ~max_runs =
   match

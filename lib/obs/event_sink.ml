@@ -30,6 +30,14 @@ let uninstall () =
 
 let active () = !current <> None
 
+let flush_installed () = match !current with Some t -> t.flush () | None -> ()
+
+(* A run killed by [exit] (a CLI error path, a test harness, a fleet driver
+   hitting its deadline) must not leave the stream's final line buffered in
+   a channel: whatever sink is installed at exit gets one last flush, so
+   the on-disk JSONL is complete up to its last newline. *)
+let () = at_exit flush_installed
+
 let emit name fields =
   match !current with
   | None -> ()

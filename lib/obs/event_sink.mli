@@ -37,6 +37,12 @@ val uninstall : unit -> unit
 
 val active : unit -> bool
 
+val flush_installed : unit -> unit
+(** Flush the installed sink, if any.  Registered with [at_exit] at module
+    initialisation, so a process that exits mid-stream (killed run, CLI
+    error path) never leaves a truncated final JSONL line in a buffered
+    channel. *)
+
 val emit : string -> (string * Obs_json.t) list -> unit
 (** [emit name fields] writes [{"event": name, ...fields}] to the installed
     sink; a no-op when none is installed.  Callers on hot paths should

@@ -1,0 +1,211 @@
+type domain_load = { slot : int; executed : int; busy_seconds : float }
+
+type sample = {
+  epoch : int;
+  arrivals : int;
+  detections : int;
+  cumulative : int;
+  users : int;
+  cdf : float;
+  store_contexts : int;
+  degraded : int;
+  worker_crashes : int;
+  faults : (string * int) list;
+  snapshots : int;
+  epoch_seconds : float;
+  merge_seconds : float;
+  observer_seconds : float;
+  execs_per_sec : float;
+  straggler_skew : float;
+  telemetry : string;
+  domains : domain_load list;
+}
+
+let schema = "csod.fleet.health/1"
+
+let straggler_skew busy =
+  let busy = List.filter (fun b -> b > 0.0) busy in
+  match List.sort compare busy with
+  | [] | [ _ ] -> 1.0
+  | sorted ->
+    let n = List.length sorted in
+    let median = List.nth sorted (n / 2) in
+    let slowest = List.nth sorted (n - 1) in
+    if median <= 1e-9 then 1.0 else slowest /. median
+
+(* ---- JSON ---- *)
+
+let domain_json d : Obs_json.t =
+  `Assoc
+    [ ("domain", `Int d.slot); ("executed", `Int d.executed);
+      ("busy_seconds", `Float d.busy_seconds) ]
+
+let fields s =
+  [ ("schema", `String schema); ("epoch", `Int s.epoch);
+    ("arrivals", `Int s.arrivals); ("detections", `Int s.detections);
+    ("cumulative", `Int s.cumulative); ("users", `Int s.users);
+    ("cdf", `Float s.cdf); ("store_contexts", `Int s.store_contexts);
+    ("degraded", `Int s.degraded); ("worker_crashes", `Int s.worker_crashes);
+    ("faults", `Assoc (List.map (fun (k, v) -> (k, `Int v)) s.faults));
+    ("snapshots", `Int s.snapshots);
+    ("epoch_seconds", `Float s.epoch_seconds);
+    ("merge_seconds", `Float s.merge_seconds);
+    ("observer_seconds", `Float s.observer_seconds);
+    ("execs_per_sec", `Float s.execs_per_sec);
+    ("straggler_skew", `Float s.straggler_skew);
+    ("telemetry", `String s.telemetry);
+    ("domains", `List (List.map domain_json s.domains)) ]
+
+let to_json s : Obs_json.t =
+  `Assoc (("event", `String "fleet.health") :: fields s)
+
+let of_json json =
+  let ( let* ) = Option.bind in
+  let int k = Option.bind (Obs_json.member k json) Obs_json.to_int in
+  let flt k = Option.bind (Obs_json.member k json) Obs_json.to_float in
+  let* () =
+    match Obs_json.member "schema" json with
+    | Some (`String s) when s = schema -> Some ()
+    | _ -> None
+  in
+  let* epoch = int "epoch" in
+  let* arrivals = int "arrivals" in
+  let* detections = int "detections" in
+  let* cumulative = int "cumulative" in
+  let* users = int "users" in
+  let* cdf = flt "cdf" in
+  let* store_contexts = int "store_contexts" in
+  let* degraded = int "degraded" in
+  let* worker_crashes = int "worker_crashes" in
+  let* snapshots = int "snapshots" in
+  let* epoch_seconds = flt "epoch_seconds" in
+  let* merge_seconds = flt "merge_seconds" in
+  let* observer_seconds = flt "observer_seconds" in
+  let* execs_per_sec = flt "execs_per_sec" in
+  let* straggler_skew = flt "straggler_skew" in
+  let* telemetry =
+    match Obs_json.member "telemetry" json with
+    | Some (`String s) -> Some s
+    | _ -> None
+  in
+  let faults =
+    match Obs_json.member "faults" json with
+    | Some (`Assoc kvs) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun n -> (k, n)) (Obs_json.to_int v))
+        kvs
+    | _ -> []
+  in
+  let* domains =
+    match Obs_json.member "domains" json with
+    | Some (`List items) ->
+      let parse d =
+        let i k = Option.bind (Obs_json.member k d) Obs_json.to_int in
+        let* slot = i "domain" in
+        let* executed = i "executed" in
+        let* busy_seconds =
+          Option.bind (Obs_json.member "busy_seconds" d) Obs_json.to_float
+        in
+        Some { slot; executed; busy_seconds }
+      in
+      let parsed = List.filter_map parse items in
+      if List.length parsed = List.length items then Some parsed else None
+    | _ -> None
+  in
+  Some
+    { epoch; arrivals; detections; cumulative; users; cdf; store_contexts;
+      degraded; worker_crashes; faults; snapshots; epoch_seconds;
+      merge_seconds; observer_seconds; execs_per_sec; straggler_skew;
+      telemetry; domains }
+
+(* ---- one-screen renderer ---- *)
+
+let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                      "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                      "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline values =
+  match values with
+  | [] -> ""
+  | _ ->
+    let hi = List.fold_left max 1e-9 values in
+    values
+    |> List.map (fun v ->
+           let i =
+             int_of_float (v /. hi *. float_of_int (Array.length spark_levels))
+           in
+           spark_levels.(max 0 (min (Array.length spark_levels - 1) i)))
+    |> String.concat ""
+
+let bar ~width frac =
+  let full = max 0 (min width (int_of_float (frac *. float_of_int width))) in
+  String.concat ""
+    (List.init width (fun i ->
+         if i < full then "\xe2\x96\x88" else "\xe2\x96\x91"))
+
+let fmt_seconds s =
+  if s >= 1.0 then Printf.sprintf "%.2f s" s
+  else Printf.sprintf "%.2f ms" (s *. 1e3)
+
+let render ?(color = true) samples =
+  let c code text = if color then code ^ text ^ "\x1b[0m" else text in
+  let bold = c "\x1b[1m" and dim = c "\x1b[2m" in
+  let good = c "\x1b[32m" and warn = c "\x1b[33m" in
+  let b = Buffer.create 1024 in
+  (match List.rev samples with
+  | [] -> Buffer.add_string b "no health records yet\n"
+  | last :: _ ->
+    let det =
+      Printf.sprintf "%d (CDF %4.1f%%)" last.cumulative (100.0 *. last.cdf)
+    in
+    let det = if last.cumulative > 0 then good det else dim det in
+    Buffer.add_string b
+      (Printf.sprintf "%s  epoch %d   users %d   detections %s   store %d\n"
+         (bold "CSOD FLEET") last.epoch last.users det last.store_contexts);
+    let tail =
+      let all = List.map (fun s -> s.cdf) samples in
+      let n = List.length all in
+      if n > 60 then List.filteri (fun i _ -> i >= n - 60) all else all
+    in
+    Buffer.add_string b
+      (Printf.sprintf "cdf  %s\n" (sparkline tail));
+    let skew_str = Printf.sprintf "%.2fx" last.straggler_skew in
+    Buffer.add_string b
+      (Printf.sprintf "rate %.0f execs/s   skew %s   telemetry %s   snapshots %d\n"
+         last.execs_per_sec
+         (if last.straggler_skew > 1.5 then warn skew_str else skew_str)
+         last.telemetry last.snapshots);
+    Buffer.add_string b
+      (Printf.sprintf "cost epoch %s   merge %s   observer %s\n"
+         (fmt_seconds last.epoch_seconds)
+         (fmt_seconds last.merge_seconds)
+         (fmt_seconds last.observer_seconds));
+    let fault_str =
+      String.concat "   "
+        (Printf.sprintf "degraded %d" last.degraded
+        :: Printf.sprintf "crashes %d" last.worker_crashes
+        :: List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) last.faults)
+    in
+    Buffer.add_string b (dim ("faults " ^ fault_str) ^ "\n");
+    (match last.domains with
+    | [] -> ()
+    | doms ->
+      let busiest =
+        List.fold_left (fun m d -> max m d.busy_seconds) 1e-9 doms
+      in
+      Buffer.add_string b
+        (dim "  dom   execs       busy   execs/s  load" ^ "\n");
+      List.iter
+        (fun d ->
+          let rate =
+            if d.busy_seconds <= 0.0 then 0.0
+            else float_of_int d.executed /. d.busy_seconds
+          in
+          Buffer.add_string b
+            (Printf.sprintf "  %3d   %5d   %8s   %6.0f/s  %s\n" d.slot
+               d.executed
+               (fmt_seconds d.busy_seconds)
+               rate
+               (bar ~width:24 (d.busy_seconds /. busiest))))
+        doms));
+  Buffer.contents b

@@ -30,7 +30,18 @@ val snapshot_count : t -> int
 val merge_into : dst:t -> src:t -> unit
 (** Fold one execution's bundle into an aggregate: {!Metrics.merge_into}
     on the registries, {!Profiler.merge_into} on the profiles, snapshot
-    counts added.  Snapshot scheduling state of [dst] is untouched. *)
+    counts added.
+
+    Snapshot {e scheduling} state ([set_snapshot_interval]'s interval and
+    the next boundary) is deliberately not merged: the interval is a
+    property of [dst]'s own virtual clock, while [src] ran on a different
+    machine whose cycle counts are incomparable — importing its boundary
+    would make [dst] emit at a nonsense point in its own time.  [dst]
+    keeps its cadence; only the {e count} of snapshots already emitted is
+    summed, so the next snapshot [dst] emits carries a [seq] that
+    continues after the union (merging a bundle that emitted [k] snapshots
+    advances [dst]'s next [seq] by [k]).  Pinned by the snapshot-sequencing
+    unit test in [test_obs]. *)
 
 (** {1 Export} *)
 

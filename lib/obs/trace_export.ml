@@ -137,3 +137,59 @@ let to_json ~cycles_per_second recs =
 
 let to_string ~cycles_per_second recs =
   Obs_json.to_string (to_json ~cycles_per_second recs)
+
+(* ---- fleet epoch spans ----
+
+   Where the single-execution export above runs on the virtual clock, the
+   fleet spans are wall time: the point is to see real stragglers and
+   merge stalls.  Duration ("B"/"E") pairs on one process, one thread per
+   pool worker plus a barrier track, as the issue tracker for a parallel
+   run. *)
+
+let fleet_pid = 2
+
+type fleet_span = {
+  track : int; (* thread id: worker slot, or [domains] for the barrier *)
+  name : string;
+  start_s : float; (* wall seconds relative to the run start *)
+  stop_s : float;
+  args : (string * Obs_json.t) list;
+}
+
+let thread_name ~pid ~tid ~value : Obs_json.t =
+  `Assoc
+    [ ("name", `String "thread_name"); ("ph", `String "M"); ("pid", `Int pid);
+      ("tid", `Int tid); ("ts", `Float 0.0);
+      ("args", `Assoc [ ("name", `String value) ]) ]
+
+let fleet_spans_to_json ~domains spans =
+  let ev ~name ~ph ~ts ~tid args =
+    ( ts,
+      event ~name ~ph ~ts ~pid:fleet_pid [ ("tid", `Int tid) ] ~args )
+  in
+  let events =
+    List.concat_map
+      (fun s ->
+        let ts0 = s.start_s *. 1e6 and ts1 = s.stop_s *. 1e6 in
+        [ ev ~name:s.name ~ph:"B" ~ts:ts0 ~tid:s.track s.args;
+          ev ~name:s.name ~ph:"E" ~ts:ts1 ~tid:s.track [] ])
+      spans
+    (* Same-track spans never overlap (a worker runs one chunk at a time),
+       so sorting by timestamp yields properly nested B/E pairs. *)
+    |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+    |> List.map snd
+  in
+  let threads =
+    List.init domains (fun tid ->
+        thread_name ~pid:fleet_pid ~tid ~value:(Printf.sprintf "domain %d" tid))
+    @ [ thread_name ~pid:fleet_pid ~tid:domains ~value:"epoch barrier" ]
+  in
+  `Assoc
+    [ ( "traceEvents",
+        `List
+          (metadata ~name:"process_name" ~pid:fleet_pid ~value:"csod fleet"
+          :: (threads @ events)) );
+      ("displayTimeUnit", `String "ms") ]
+
+let fleet_spans_to_string ~domains spans =
+  Obs_json.to_string (fleet_spans_to_json ~domains spans)

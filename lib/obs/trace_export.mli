@@ -24,3 +24,27 @@ val to_string :
   cycles_per_second:int -> Flight_recorder.record list -> string
 (** One JSON document (not JSONL): write it to a [.json] file and open it
     in a trace viewer. *)
+
+(** {1 Fleet epoch spans}
+
+    The fleet run's wall-clock timeline: duration (["B"]/["E"]) pairs on
+    a ["csod fleet"] process with one thread per pool worker plus an
+    ["epoch barrier"] track — domain chunks, barrier waits and merges, so
+    stragglers and merge stalls are visible in Perfetto. *)
+
+type fleet_span = {
+  track : int;
+      (** thread id: the worker slot, or the domain count for the barrier
+          track *)
+  name : string;
+  start_s : float;  (** wall seconds relative to the run start *)
+  stop_s : float;
+  args : (string * Obs_json.t) list;
+}
+
+val fleet_spans_to_json : domains:int -> fleet_span list -> Obs_json.t
+(** Spans on the same track must not overlap (the fleet's never do: a
+    worker runs one chunk at a time); they are sorted by timestamp into
+    properly nested begin/end pairs. *)
+
+val fleet_spans_to_string : domains:int -> fleet_span list -> string

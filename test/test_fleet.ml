@@ -84,7 +84,8 @@ let synthetic ~user ~store =
     detected;
     source = None;
     cycles = 1;
-    telemetry = None }
+    telemetry = None;
+    degraded = false }
 
 let test_epoch_barrier () =
   let w = Workload.make ~users:10 () in
@@ -255,6 +256,194 @@ let test_burst_boundaries () =
   Alcotest.(check int) "epoch_size 1: sums to users" 7
     (Array.fold_left ( + ) 0 tiny)
 
+(* ---------- Per-worker locals and load stats ---------- *)
+
+let test_map_local_stats () =
+  let results, workers =
+    Pool.map_local ~domains:4 ~record_spans:true
+      ~local:(fun ~slot -> (slot, ref 0))
+      40
+      ~f:(fun (_, seen) i ->
+        incr seen;
+        i * i)
+  in
+  Alcotest.(check (array int)) "results in order"
+    (Array.init 40 (fun i -> i * i))
+    results;
+  Alcotest.(check int) "one worker per slot" 4 (Array.length workers);
+  Array.iteri
+    (fun i ((slot, seen), w) ->
+      Alcotest.(check int) "locals in slot order" i slot;
+      Alcotest.(check int) "stats slot matches" i w.Pool.slot;
+      Alcotest.(check int) "local saw every chunk of its worker" !seen
+        w.Pool.executed;
+      Alcotest.(check int) "one span per chunk" w.Pool.executed
+        (List.length w.Pool.spans);
+      Alcotest.(check bool) "busy time non-negative" true
+        (w.Pool.busy_seconds >= 0.0))
+    workers;
+  Alcotest.(check int) "executed partitions the input" 40
+    (Array.fold_left (fun n (_, w) -> n + w.Pool.executed) 0 workers);
+  (* Width never exceeds the work: 2 chunks on 8 domains is 2 workers, and
+     an empty map still returns a (idle) slot-0 worker. *)
+  let _, narrow =
+    Pool.map_local ~domains:8 ~local:(fun ~slot -> slot) 2 ~f:(fun _ i -> i)
+  in
+  Alcotest.(check int) "width clamped to n" 2 (Array.length narrow);
+  let empty, solo =
+    Pool.map_local ~domains:4 ~local:(fun ~slot -> slot) 0 ~f:(fun _ i -> i)
+  in
+  Alcotest.(check int) "empty map: no results" 0 (Array.length empty);
+  Alcotest.(check int) "empty map: one idle worker" 1 (Array.length solo);
+  Alcotest.(check int) "empty map: nothing executed" 0
+    (snd solo.(0)).Pool.executed
+
+(* ---------- Sharded vs per-user telemetry aggregation ---------- *)
+
+(* An executor with telemetry crafted to stress every merge rule: a
+   commutative counter and histogram from every user, a gauge every user
+   sets (last definer must win), and a gauge only every third user defines
+   (users without it must not vote).  The merged registry must come out
+   bit-identical whether it was aggregated through per-domain shards or
+   the legacy per-user fold, for any domain count. *)
+let telemetric ~user ~store:_ =
+  let uid = user.Workload.uid in
+  let tele = Telemetry.create () in
+  let reg = Telemetry.metrics tele in
+  Metrics.incr (Metrics.counter reg "exec.count");
+  Metrics.observe (Metrics.histogram reg "exec.size") (uid mod 97);
+  Metrics.set (Metrics.gauge reg "g.all") uid;
+  if uid mod 3 = 0 then Metrics.set (Metrics.gauge reg "g.third") (uid * 10);
+  Profiler.charge (Telemetry.profiler tele) Profiler.Canary_check uid;
+  { Fleet.payload = ();
+    detected = false;
+    source = None;
+    cycles = 1;
+    telemetry = Some tele;
+    degraded = false }
+
+let test_sharded_equivalence_synthetic () =
+  let w = Workload.make ~users:100 () in
+  let aggregate ~sharded domains =
+    let r =
+      Fleet.run
+        (Fleet.config ~domains ~epoch_size:16 ~sharded w)
+        ~execute:telemetric
+    in
+    ( Metrics.counters_list r.Fleet.metrics,
+      Metrics.gauges_list r.Fleet.metrics,
+      Profiler.to_list r.Fleet.profile )
+  in
+  let reference = aggregate ~sharded:false 1 in
+  let _, gauges, _ = reference in
+  (* The legacy fold's own invariant first: the last definer (highest uid)
+     wins each gauge, users that never define one don't vote. *)
+  Alcotest.(check bool) "g.all: uid 100 wins" true
+    (List.exists (fun (n, level, high) -> n = "g.all" && level = 100 && high = 100) gauges);
+  Alcotest.(check bool) "g.third: uid 99 wins" true
+    (List.exists (fun (n, level, high) -> n = "g.third" && level = 990 && high = 990) gauges);
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "legacy, %d domains" domains)
+        true
+        (aggregate ~sharded:false domains = reference);
+      Alcotest.(check bool)
+        (Printf.sprintf "sharded, %d domains" domains)
+        true
+        (aggregate ~sharded:true domains = reference))
+    [ 1; 2; 4 ]
+
+(* Same equivalence over real CSOD executions: the full fingerprint of a
+   sharded fleet matches the legacy aggregation, domains 1/2/4. *)
+let test_sharded_equivalence_real () =
+  let app = zziplib () in
+  let config = Config.csod_default in
+  let w = Workload.make ~benign_frac:0.25 ~users:300 () in
+  let fingerprint ~sharded domains =
+    let r =
+      Fleet.run
+        (Fleet.config ~domains ~epoch_size:32 ~sharded w)
+        ~execute:(Execution.executor ~app ~config ())
+    in
+    ( Fleet.detection_uids r,
+      r.Fleet.epochs,
+      Persist.keys r.Fleet.store,
+      Metrics.counters_list r.Fleet.metrics,
+      Metrics.gauges_list r.Fleet.metrics,
+      Profiler.to_list r.Fleet.profile )
+  in
+  let reference = fingerprint ~sharded:false 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "sharded = legacy at %d domains" domains)
+        true
+        (fingerprint ~sharded:true domains = reference))
+    [ 1; 2; 4 ]
+
+(* ---------- Health stream ---------- *)
+
+let test_health_per_epoch () =
+  let w = Workload.make ~users:100 () in
+  let streamed = ref [] in
+  let r =
+    Fleet.run
+      (Fleet.config ~domains:2 ~epoch_size:16
+         ~on_health:(fun s -> streamed := s :: !streamed)
+         w)
+      ~execute:telemetric
+  in
+  let epochs = List.length r.Fleet.epochs in
+  Alcotest.(check int) "one sample per epoch" epochs
+    (List.length r.Fleet.health);
+  Alcotest.(check bool) "callback saw the same stream" true
+    (List.rev !streamed = r.Fleet.health);
+  List.iteri
+    (fun i (s : Health.sample) ->
+      Alcotest.(check int) "epoch numbering" i s.Health.epoch;
+      Alcotest.(check int) "population echoed" 100 s.Health.users;
+      Alcotest.(check bool) "cdf consistent" true
+        (s.Health.cdf = float_of_int s.Health.cumulative /. 100.0);
+      Alcotest.(check bool) "executed covers arrivals" true
+        (List.fold_left (fun n d -> n + d.Health.executed) 0 s.Health.domains
+        = s.Health.arrivals);
+      Alcotest.(check string) "mode tagged" "sharded" s.Health.telemetry)
+    r.Fleet.health;
+  (* Health rows agree with the epoch rows the report already pins. *)
+  Alcotest.(check (list int)) "arrivals agree with epoch rows"
+    (List.map (fun e -> e.Epoch.arrivals) r.Fleet.epochs)
+    (List.map (fun s -> s.Health.arrivals) r.Fleet.health);
+  Alcotest.(check (list int)) "cumulative agrees with epoch rows"
+    (List.map (fun e -> e.Epoch.cumulative) r.Fleet.epochs)
+    (List.map (fun s -> s.Health.cumulative) r.Fleet.health);
+  (* Degraded-mode accounting comes from the executions themselves. *)
+  let degraded_fleet ~user ~store =
+    let e = telemetric ~user ~store in
+    { e with Fleet.degraded = user.Workload.uid mod 2 = 0 }
+  in
+  let r2 =
+    Fleet.run (Fleet.config ~domains:2 ~epoch_size:16 w)
+      ~execute:degraded_fleet
+  in
+  (match List.rev r2.Fleet.health with
+  | last :: _ ->
+    Alcotest.(check int) "degraded tally is cumulative" 50 last.Health.degraded
+  | [] -> Alcotest.fail "expected health samples");
+  (* No trace by default; spans appear only when asked for. *)
+  Alcotest.(check bool) "no spans unless traced" true (r.Fleet.trace_spans = []);
+  let r3 =
+    Fleet.run (Fleet.config ~domains:2 ~epoch_size:16 ~trace:true w)
+      ~execute:telemetric
+  in
+  Alcotest.(check bool) "tracing records a span per user" true
+    (List.length
+       (List.filter
+          (fun (sp : Trace_export.fleet_span) ->
+            sp.Trace_export.track < 2 && sp.Trace_export.name <> "barrier wait")
+          r3.Fleet.trace_spans)
+    = 100)
+
 let suite =
   [ Alcotest.test_case "workload: determinism and mix" `Quick test_workload_determinism;
     Alcotest.test_case "workload: arrival shapes" `Quick test_workload_arrivals;
@@ -267,4 +456,11 @@ let suite =
     Alcotest.test_case "json report" `Quick test_json_report;
     Alcotest.test_case "edge: empty fleet" `Quick test_empty_fleet;
     Alcotest.test_case "edge: single-user fleet" `Quick test_single_user_fleet;
-    Alcotest.test_case "edge: burst boundaries" `Quick test_burst_boundaries ]
+    Alcotest.test_case "edge: burst boundaries" `Quick test_burst_boundaries;
+    Alcotest.test_case "pool: map_local worker stats" `Quick test_map_local_stats;
+    Alcotest.test_case "sharded telemetry: synthetic equivalence" `Quick
+      test_sharded_equivalence_synthetic;
+    Alcotest.test_case "sharded telemetry: real-execution equivalence" `Slow
+      test_sharded_equivalence_real;
+    Alcotest.test_case "health stream: one sample per epoch" `Quick
+      test_health_per_epoch ]

@@ -663,6 +663,215 @@ let test_trace_export_structure () =
     | _ -> Alcotest.fail "traceEvents missing or not a list")
   | _ -> Alcotest.fail "top level is not an object"
 
+(* ---------- JSON parser ---------- *)
+
+let test_obs_json_parse () =
+  let doc : Obs_json.t =
+    `Assoc
+      [ ("s", `String "a \"quoted\" line\nwith\ttabs and \\ unicode \xc3\xa9");
+        ("i", `Int (-42)); ("f", `Float 0.25); ("t", `Bool true);
+        ("n", `Null);
+        ("l", `List [ `Int 1; `Float 1.5; `String ""; `Assoc [] ]);
+        ("nested", `Assoc [ ("k", `List [ `Null; `Bool false ]) ]) ]
+  in
+  (match Obs_json.of_string (Obs_json.to_string doc) with
+  | Ok parsed -> Alcotest.(check bool) "round-trips" true (parsed = doc)
+  | Error msg -> Alcotest.fail ("round-trip failed: " ^ msg));
+  (* Escapes, including \u, decode to the bytes the encoder would emit. *)
+  (match Obs_json.of_string {|{"u": "Aé", "sci": 1e3}|} with
+  | Ok j ->
+    Alcotest.(check bool) "unicode escape" true
+      (Obs_json.member "u" j = Some (`String "A\xc3\xa9"));
+    Alcotest.(check bool) "exponent is a float" true
+      (Obs_json.member "sci" j = Some (`Float 1000.0))
+  | Error msg -> Alcotest.fail msg);
+  (* Integral tokens stay ints; accessors coerce where lossless. *)
+  (match Obs_json.of_string "[7, 7.0]" with
+  | Ok (`List [ a; b ]) ->
+    Alcotest.(check bool) "7 parses as Int" true (a = `Int 7);
+    Alcotest.(check (option int)) "to_int accepts integral float" (Some 7)
+      (Obs_json.to_int b);
+    Alcotest.(check (option (float 0.0))) "to_float accepts int" (Some 7.0)
+      (Obs_json.to_float a)
+  | _ -> Alcotest.fail "list parse failed");
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" bad)
+        true
+        (match Obs_json.of_string bad with Ok _ -> false | Error _ -> true))
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; ""; "nan" ]
+
+(* ---------- Event_sink at-exit flush ---------- *)
+
+(* The regression this pins: a run killed mid-stream used to leave the
+   channel's last buffered bytes unwritten — a truncated final JSONL line.
+   [flush_installed] (registered [at_exit]) must complete the stream. *)
+let test_flush_installed_completes_stream () =
+  let file = Filename.temp_file "csod_sink" ".jsonl" in
+  let oc = open_out file in
+  Event_sink.install (Event_sink.to_channel oc);
+  Event_sink.emit "first" [ ("k", `Int 1) ];
+  (* Larger than the channel buffer, so part of this line is on disk and
+     the tail is still buffered — exactly a kill-mid-write. *)
+  Event_sink.emit "big" [ ("blob", `String (String.make 100_000 'x')) ];
+  let partial = In_channel.with_open_text file In_channel.input_all in
+  Alcotest.(check bool) "stream is torn before the flush" true
+    (partial = "" || partial.[String.length partial - 1] <> '\n');
+  Event_sink.flush_installed ();
+  let full = In_channel.with_open_text file In_channel.input_all in
+  Alcotest.(check bool) "flushed stream ends in a newline" true
+    (full <> "" && full.[String.length full - 1] = '\n');
+  let lines =
+    String.split_on_char '\n' full |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "both events present" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Obs_json.of_string line with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.fail ("line does not parse: " ^ msg))
+    lines;
+  Event_sink.uninstall ();
+  close_out oc;
+  Sys.remove file
+
+(* ---------- Snapshot sequencing across a merge ---------- *)
+
+let test_snapshot_seq_across_merge () =
+  let buf = Buffer.create 512 in
+  let dst = Telemetry.create () in
+  Telemetry.set_snapshot_interval dst ~cycles:100;
+  let src = Telemetry.create () in
+  Telemetry.set_snapshot_interval src ~cycles:10;
+  Event_sink.with_sink (Event_sink.to_buffer buf) (fun () ->
+      Telemetry.tick dst ~now:250;
+      (* boundaries 100, 200 -> seq 1, 2 *)
+      Telemetry.tick src ~now:30;
+      (* src's own stream: seq 1..3 *)
+      Telemetry.merge_into ~dst ~src;
+      (* dst keeps its own cadence (interval 100, next boundary 300 — not
+         src's interval 10), but the union's snapshot count advances the
+         sequence: the next snapshot is seq 6, not 3. *)
+      Telemetry.tick dst ~now:350);
+  Alcotest.(check int) "merged snapshot count" 6 (Telemetry.snapshot_count dst);
+  let snaps =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+    |> List.filter_map (fun line ->
+           match Obs_json.of_string line with
+           | Ok j when Obs_json.member "event" j = Some (`String "snapshot") ->
+             Some
+               ( Option.get (Option.bind (Obs_json.member "seq" j) Obs_json.to_int),
+                 Option.get
+                   (Option.bind (Obs_json.member "cycles" j) Obs_json.to_int) )
+           | _ -> None)
+  in
+  Alcotest.(check (list (pair int int)))
+    "seq continues after the union, cadence unmerged"
+    [ (1, 100); (2, 200); (1, 10); (2, 20); (3, 30); (6, 300) ]
+    snaps
+
+(* ---------- Health records ---------- *)
+
+let health_sample : Health.sample =
+  { Health.epoch = 3; arrivals = 32; detections = 4; cumulative = 19;
+    users = 1000; cdf = 0.019; store_contexts = 2; degraded = 1;
+    worker_crashes = 2;
+    faults = [ ("runtime.degraded", 1); ("trap.dropped", 5) ];
+    snapshots = 12; epoch_seconds = 0.125; merge_seconds = 0.003;
+    observer_seconds = 0.0005; execs_per_sec = 256.0;
+    straggler_skew = 1.75; telemetry = "sharded";
+    domains =
+      [ { Health.slot = 0; executed = 17; busy_seconds = 0.061 };
+        { Health.slot = 1; executed = 15; busy_seconds = 0.059 } ] }
+
+let test_health_roundtrip () =
+  let line = Obs_json.to_string (Health.to_json health_sample) in
+  (match Obs_json.of_string line with
+  | Ok j -> (
+    Alcotest.(check bool) "schema tagged" true
+      (Obs_json.member "schema" j = Some (`String Health.schema));
+    match Health.of_json j with
+    | Some s -> Alcotest.(check bool) "round-trips" true (s = health_sample)
+    | None -> Alcotest.fail "of_json rejected its own encoding")
+  | Error msg -> Alcotest.fail ("health line does not parse: " ^ msg));
+  (* Foreign records are rejected, not mis-parsed. *)
+  Alcotest.(check bool) "wrong schema rejected" true
+    (Health.of_json (`Assoc [ ("schema", `String "csod.bench/1") ]) = None);
+  Alcotest.(check bool) "missing field rejected" true
+    (Health.of_json
+       (`Assoc [ ("schema", `String Health.schema); ("epoch", `Int 1) ])
+    = None)
+
+let test_health_skew_and_render () =
+  Alcotest.(check (float 1e-9)) "skew of empty" 1.0 (Health.straggler_skew []);
+  Alcotest.(check (float 1e-9)) "skew of one worker" 1.0
+    (Health.straggler_skew [ 4.0 ]);
+  Alcotest.(check (float 1e-9)) "idle workers don't vote" 3.0
+    (Health.straggler_skew [ 0.0; 1.0; 1.0; 3.0 ]);
+  let plain = Health.render ~color:false [ health_sample ] in
+  Alcotest.(check bool) "renders a headline" true
+    (String.length plain > 0
+    && String.starts_with ~prefix:"CSOD FLEET" plain);
+  Alcotest.(check bool) "no escape codes without color" true
+    (not (String.contains plain '\x1b'));
+  Alcotest.(check bool) "colored output has escape codes" true
+    (String.contains (Health.render ~color:true [ health_sample ]) '\x1b');
+  Alcotest.(check bool) "empty stream renders a placeholder" true
+    (String.length (Health.render ~color:false []) > 0)
+
+(* ---------- Fleet span export ---------- *)
+
+let test_fleet_span_export () =
+  let spans =
+    [ { Trace_export.track = 0; name = "user #1"; start_s = 0.0;
+        stop_s = 0.010; args = [ ("epoch", `Int 0) ] };
+      { Trace_export.track = 1; name = "user #2"; start_s = 0.002;
+        stop_s = 0.012; args = [] };
+      { Trace_export.track = 2; name = "epoch 0 merge"; start_s = 0.012;
+        stop_s = 0.013; args = [] } ]
+  in
+  match Trace_export.fleet_spans_to_json ~domains:2 spans with
+  | `Assoc top -> (
+    match List.assoc_opt "traceEvents" top with
+    | Some (`List evs) ->
+      let by_ph p =
+        List.filter
+          (function
+            | `Assoc f -> List.assoc_opt "ph" f = Some (`String p)
+            | _ -> false)
+          evs
+      in
+      Alcotest.(check int) "one B per span" 3 (List.length (by_ph "B"));
+      Alcotest.(check int) "one E per span" 3 (List.length (by_ph "E"));
+      (* process_name + thread_name for domains 0, 1 and the barrier *)
+      Alcotest.(check int) "metadata names the tracks" 4
+        (List.length (by_ph "M"));
+      List.iter
+        (function
+          | `Assoc f ->
+            Alcotest.(check bool) "all events on the fleet pid" true
+              (List.assoc_opt "pid" f = Some (`Int 2))
+          | _ -> ())
+        evs;
+      let ts =
+        List.filter_map
+          (function
+            | `Assoc f
+              when List.assoc_opt "ph" f = Some (`String "B")
+                   || List.assoc_opt "ph" f = Some (`String "E") -> (
+              match List.assoc_opt "ts" f with
+              | Some (`Float t) -> Some t
+              | _ -> None)
+            | _ -> None)
+          evs
+      in
+      Alcotest.(check bool) "timestamps sorted for nesting" true
+        (ts = List.sort compare ts)
+    | _ -> Alcotest.fail "traceEvents missing")
+  | _ -> Alcotest.fail "top level is not an object"
+
 let suite =
   [ Alcotest.test_case "counter basics" `Quick test_counter_basics;
     Alcotest.test_case "counter monotonicity" `Quick test_counter_monotonic;
@@ -702,4 +911,14 @@ let suite =
     Alcotest.test_case "flight recorder preserves prng stream" `Quick
       test_recorder_prng_stream;
     Alcotest.test_case "chrome trace export structure" `Quick
-      test_trace_export_structure ]
+      test_trace_export_structure;
+    Alcotest.test_case "json parser" `Quick test_obs_json_parse;
+    Alcotest.test_case "at-exit flush completes the stream" `Quick
+      test_flush_installed_completes_stream;
+    Alcotest.test_case "snapshot sequencing across a merge" `Quick
+      test_snapshot_seq_across_merge;
+    Alcotest.test_case "health record round-trip" `Quick test_health_roundtrip;
+    Alcotest.test_case "health skew and renderer" `Quick
+      test_health_skew_and_render;
+    Alcotest.test_case "fleet span export structure" `Quick
+      test_fleet_span_export ]

@@ -55,6 +55,26 @@ KNOWN = {
         "baseline_ops_per_sec": numbers.Real,
         "speedup": numbers.Real,
     },
+    "csod.fleet.health/1": {
+        "epoch": int,
+        "arrivals": int,
+        "detections": int,
+        "cumulative": int,
+        "users": int,
+        "cdf": numbers.Real,
+        "store_contexts": int,
+        "degraded": int,
+        "worker_crashes": int,
+        "faults": dict,
+        "snapshots": int,
+        "epoch_seconds": numbers.Real,
+        "merge_seconds": numbers.Real,
+        "observer_seconds": numbers.Real,
+        "execs_per_sec": numbers.Real,
+        "straggler_skew": numbers.Real,
+        "telemetry": str,
+        "domains": list,
+    },
 }
 
 fields = KNOWN.get(schema)
@@ -86,6 +106,9 @@ with stream:
             if fields and "detection_rate" in fields \
                     and not 0.0 <= obj["detection_rate"] <= 1.0:
                 sys.exit(f"{path}:{n}: detection_rate out of [0, 1]")
+            if fields and "cdf" in fields \
+                    and not 0.0 <= obj["cdf"] <= 1.0:
+                sys.exit(f"{path}:{n}: cdf out of [0, 1]")
         lines += 1
 
 if not lines and schema:
