@@ -433,6 +433,13 @@ let fleet_cmd =
          & info [ "burst" ] ~docv:"SHAPE"
              ~doc:"Arrival shape: steady, frontload (launch spike) or wave.")
   in
+  let wave_period_arg =
+    Arg.(value & opt int 2
+         & info [ "wave-period" ] ~docv:"N"
+             ~doc:"Full heavy+light cycle of the $(b,wave) burst, in epochs \
+                   (the heavy half comes first, so even a period longer than \
+                   the run admits its launch cohort at epoch 0).")
+  in
   let json_arg =
     Arg.(value & flag
          & info [ "json" ]
@@ -462,8 +469,8 @@ let fleet_cmd =
                    to $(docv) ($(b,-) for stdout) — open it in \
                    ui.perfetto.dev.")
   in
-  let run name users domains epoch benign_frac burst seed policy no_evidence
-      store_file faults json live no_sharded trace_out =
+  let run name users domains epoch benign_frac burst wave_period seed policy
+      no_evidence store_file faults json live no_sharded trace_out =
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S\n" name;
@@ -471,7 +478,8 @@ let fleet_cmd =
     | Some app ->
       let config = config_of ~tool:`Csod ~policy ~no_evidence in
       let workload =
-        Workload.make ~benign_frac ~base_seed:seed ~burst ~users ()
+        Workload.make ~benign_frac ~base_seed:seed ~burst ~wave_period ~users
+          ()
       in
       (* The live stream goes through the fleet's health callback — invoked
          at barriers, in the main domain — NOT through a process-global
@@ -543,9 +551,294 @@ let fleet_cmd =
        ~doc:"Crowdsourcing simulation: a parallel fleet of users sharing \
              overflow evidence at epoch barriers.")
     Term.(const run $ app_arg $ users_arg $ domains_arg $ epoch_arg
-          $ benign_frac_arg $ burst_arg $ seed_arg $ policy_arg
-          $ no_evidence_arg $ store_arg $ faults_arg $ json_arg $ live_arg
-          $ no_sharded_arg $ fleet_trace_arg)
+          $ benign_frac_arg $ burst_arg $ wave_period_arg $ seed_arg
+          $ policy_arg $ no_evidence_arg $ store_arg $ faults_arg $ json_arg
+          $ live_arg $ no_sharded_arg $ fleet_trace_arg)
+
+(* ---- serve: long-running service loop over the fleet ---- *)
+
+let no_color_arg =
+  Arg.(value & flag & info [ "no-color" ] ~doc:"Disable ANSI colors.")
+
+let serve_cmd =
+  let app_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"APP" ~doc:"Application name.")
+  in
+  let users_arg =
+    Arg.(value & opt int 100_000
+         & info [ "users" ] ~docv:"N"
+             ~doc:"Population ceiling: arrivals stop once $(docv) users have \
+                   been admitted (the service keeps observing the idle \
+                   fleet).")
+  in
+  let domains_arg =
+    Arg.(value & opt int (Pool.default_domains ())
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Domains executing users in parallel.  History, alerts and \
+                   the status snapshot (minus its $(b,wall) member) are \
+                   bit-identical for every value.")
+  in
+  let epoch_arg =
+    Arg.(value & opt int 32
+         & info [ "epoch" ] ~docv:"N" ~doc:"Mean arrivals per epoch.")
+  in
+  let epochs_arg =
+    Arg.(value & opt int 200
+         & info [ "epochs" ] ~docv:"N"
+             ~doc:"Epoch barriers to drive before exiting (a resumed service \
+                   counts the epochs already served).")
+  in
+  let benign_frac_arg =
+    Arg.(value & opt float 0.0
+         & info [ "benign-frac" ] ~docv:"F"
+             ~doc:"Fraction of users running the overflow-free input.")
+  in
+  let burst_arg =
+    Arg.(value & opt burst_conv Workload.Wave
+         & info [ "burst" ] ~docv:"SHAPE"
+             ~doc:"Arrival shape: steady, frontload or wave (default wave — \
+                   diurnal traffic is what a service sees).")
+  in
+  let wave_period_arg =
+    Arg.(value & opt int 2
+         & info [ "wave-period" ] ~docv:"N"
+             ~doc:"Full heavy+light wave cycle, in epochs.")
+  in
+  let alerts_arg =
+    Arg.(value & opt (some string) None
+         & info [ "alerts" ] ~docv:"SPEC"
+             ~doc:"Alert rules, comma-separated: \
+                   $(i,name)[>$(i,LIMIT)|<$(i,LIMIT)][\\@$(i,WINDOW)] with \
+                   names stall, degraded, skew, faults, cdf — e.g. \
+                   $(b,stall\\@50,degraded>0.1\\@10).  Default \
+                   $(b,stall,degraded,skew).")
+  in
+  let alerts_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "alerts-file" ] ~docv:"FILE"
+             ~doc:"Read alert rules from $(docv) (one per line, $(b,#) \
+                   comments); combined with $(b,--alerts).")
+  in
+  let windows_arg =
+    Arg.(value & opt string "1,10,100"
+         & info [ "windows" ] ~docv:"LIST"
+             ~doc:"Rolling-window sizes (epochs) for the dashboard, \
+                   comma-separated.")
+  in
+  let history_arg =
+    Arg.(value & opt (some string) None
+         & info [ "history" ] ~docv:"DIR"
+             ~doc:"Append checksummed csod.serve.history/1 segments under \
+                   $(docv); $(b,csod_run replay) re-renders and re-checks \
+                   them offline.")
+  in
+  let rotate_arg =
+    Arg.(value & opt int 4096
+         & info [ "rotate" ] ~docv:"N" ~doc:"History lines per segment file.")
+  in
+  let status_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "status-file" ] ~docv:"FILE"
+             ~doc:"Atomically republish a csod.serve.status/1 snapshot to \
+                   $(docv) — watch it with $(b,csod_run top --follow).")
+  in
+  let status_every_arg =
+    Arg.(value & opt int 1
+         & info [ "status-every" ] ~docv:"N"
+             ~doc:"Epochs between status republications.")
+  in
+  let checkpoint_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Checkpoint the service state to $(docv); a later \
+                   $(b,serve) with the same configuration resumes the same \
+                   deterministic stream from it.")
+  in
+  let checkpoint_every_arg =
+    Arg.(value & opt int 0
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Epochs between checkpoints (0: only on exit).")
+  in
+  let live_arg =
+    Arg.(value & flag
+         & info [ "live" ]
+             ~doc:"Redraw the service dashboard in place at every barrier.")
+  in
+  let parse_windows s =
+    let parts =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (( <> ) "")
+    in
+    let ints = List.filter_map int_of_string_opt parts in
+    if List.length ints <> List.length parts || ints = []
+       || List.exists (fun w -> w < 1) ints
+    then None
+    else Some ints
+  in
+  let run name users domains epoch epochs benign_frac burst wave_period seed
+      policy no_evidence faults alerts alerts_file windows history rotate
+      status_file status_every checkpoint checkpoint_every live no_color =
+    match Buggy_app.by_name name with
+    | None ->
+      Printf.eprintf "unknown application %S\n" name;
+      exit 1
+    | Some app ->
+      let rules_spec =
+        String.concat "\n"
+          (Option.to_list alerts
+          @ (match alerts_file with
+            | Some f -> [ In_channel.with_open_text f In_channel.input_all ]
+            | None -> []))
+      in
+      let rules =
+        if rules_spec = "" then Alert.defaults
+        else
+          match Alert.parse rules_spec with
+          | Ok [] -> Alert.defaults
+          | Ok rules -> rules
+          | Error m ->
+            Printf.eprintf "%s\n" m;
+            exit 1
+      in
+      let windows =
+        match parse_windows windows with
+        | Some ws -> ws
+        | None ->
+          Printf.eprintf "bad --windows %S (comma-separated sizes >= 1)\n"
+            windows;
+          exit 1
+      in
+      let config = config_of ~tool:`Csod ~policy ~no_evidence in
+      let workload =
+        Workload.make ~benign_frac ~base_seed:seed ~burst ~wave_period ~users
+          ()
+      in
+      let cfg =
+        Serve.config ~domains ~epoch_size:epoch ?faults ~rules ~windows
+          ?history_dir:history ~rotate ?status_path:status_file ~status_every
+          ?checkpoint_path:checkpoint ~checkpoint_every workload
+      in
+      (match
+         Serve.start cfg ~execute:(Execution.executor ~app ~config ?faults ())
+       with
+      | Error m ->
+        Printf.eprintf "serve: %s\n" m;
+        exit 1
+      | Ok t ->
+        let color = (not no_color) && Unix.isatty Unix.stdout in
+        let resumed_at = Serve.epoch t in
+        if resumed_at > 0 then
+          Printf.printf "resumed from %s at epoch %d\n"
+            (Option.value checkpoint ~default:"checkpoint") resumed_at;
+        let fired = ref 0 and cleared = ref 0 in
+        while Serve.epoch t < epochs do
+          let o = Serve.step t in
+          List.iter
+            (fun (ev : Alert.event) ->
+              if ev.Alert.firing then incr fired else incr cleared;
+              if not live then
+                Printf.printf "[alert] %s %s at epoch %d\n"
+                  (Alert.to_spec ev.Alert.rule)
+                  (if ev.Alert.firing then "FIRING" else "cleared")
+                  ev.Alert.epoch)
+            o.Serve.events;
+          if live then begin
+            if color then print_string "\x1b[2J\x1b[H";
+            (match Serve.render_status ~color (Serve.status_json t) with
+            | Some s -> print_string s
+            | None -> ());
+            flush stdout
+          end
+        done;
+        let report = Serve.finish t in
+        if not live then begin
+          match Serve.render_status ~color (Serve.status_json t) with
+          | Some s -> print_string s
+          | None -> ()
+        end;
+        Printf.printf
+          "served %d epochs: %d arrived, %d detections, %d alerts fired, %d \
+           cleared, %.3f s wall\n"
+          (Serve.epoch t - resumed_at)
+          (Serve.arrived t) (Serve.detections t) !fired !cleared
+          report.Fleet.wall_seconds;
+        (match report.Fleet.first_catch with
+        | Some s ->
+          Printf.printf "first catch: user #%d in epoch %d\n"
+            s.Fleet.user.Workload.uid s.Fleet.epoch
+        | None -> ()))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the fleet as a long-lived service in virtual time: \
+             open-ended arrivals, rolling-window telemetry, alert rules, \
+             durable checksummed history, live status snapshots and \
+             checkpoint/resume.  Deterministic: the same seed and schedule \
+             produce bit-identical history and alerts at any \
+             $(b,--domains).")
+    Term.(const run $ app_arg $ users_arg $ domains_arg $ epoch_arg
+          $ epochs_arg $ benign_frac_arg $ burst_arg $ wave_period_arg
+          $ seed_arg $ policy_arg $ no_evidence_arg $ faults_arg $ alerts_arg
+          $ alerts_file_arg $ windows_arg $ history_arg $ rotate_arg
+          $ status_file_arg $ status_every_arg $ checkpoint_file_arg
+          $ checkpoint_every_arg $ live_arg $ no_color_arg)
+
+(* ---- replay: re-render and re-check a history directory offline ---- *)
+
+let replay_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR"
+             ~doc:"History directory written by $(b,serve --history).")
+  in
+  let run dir no_color =
+    match Serve.replay dir with
+    | Error m ->
+      Printf.eprintf "replay: %s\n" m;
+      exit 1
+    | Ok r ->
+      let color = (not no_color) && Unix.isatty Unix.stdout in
+      (match Serve.render_status ~color r.Serve.status with
+      | Some s -> print_string s
+      | None -> ());
+      List.iter
+        (fun body ->
+          let str k =
+            match Obs_json.member k body with
+            | Some (`String s) -> s
+            | _ -> "?"
+          in
+          let int k =
+            Option.value ~default:0
+              (Option.bind (Obs_json.member k body) Obs_json.to_int)
+          in
+          Printf.printf "[alert] %s %s at epoch %d\n" (str "spec")
+            (if str "state" = "fire" then "FIRING" else "cleared")
+            (int "epoch"))
+        r.Serve.recorded;
+      Printf.printf "history: %d health records, %d alert transitions%s\n"
+        (List.length r.Serve.observations)
+        (List.length r.Serve.recorded)
+        (match r.Serve.read_errors with
+        | [] -> ""
+        | es -> Printf.sprintf ", %d corrupt lines skipped" (List.length es));
+      List.iter (fun e -> Printf.eprintf "corrupt: %s\n" e) r.Serve.read_errors;
+      if r.Serve.mismatches = [] then
+        Printf.printf
+          "replay: recomputed alert stream matches the recorded one\n"
+      else begin
+        List.iter (fun m -> Printf.eprintf "replay: %s\n" m) r.Serve.mismatches;
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Rebuild the service's view from its durable history alone: \
+             verify line checksums, re-render the dashboard, re-evaluate the \
+             alert rules over the recorded health stream and compare against \
+             the recorded alert transitions (non-zero exit on mismatch).")
+    Term.(const run $ dir_arg $ no_color_arg)
 
 (* ---- top: one-screen dashboard over a health stream ---- *)
 
@@ -565,9 +858,6 @@ let top_cmd =
     Arg.(value & opt float 0.5
          & info [ "interval" ] ~docv:"SECS"
              ~doc:"Polling interval with $(b,--follow).")
-  in
-  let no_color_arg =
-    Arg.(value & flag & info [ "no-color" ] ~doc:"Disable ANSI colors.")
   in
   let read_samples file =
     if not (Sys.file_exists file) then []
@@ -593,10 +883,26 @@ let top_cmd =
           in
           go [])
   in
+  (* A status file is a single csod.serve.status/1 object (atomically
+     republished by [serve --status-file]); anything else is treated as a
+     health JSONL stream. *)
+  let read_status file =
+    if not (Sys.file_exists file) then None
+    else
+      let content = In_channel.with_open_text file In_channel.input_all in
+      match Obs_json.of_string (String.trim content) with
+      | Ok json -> (
+        match Obs_json.member "schema" json with
+        | Some (`String "csod.serve.status/1") -> Some json
+        | _ -> None)
+      | Error _ -> None
+  in
   let run file follow interval no_color =
     let color = (not no_color) && Unix.isatty Unix.stdout in
     let render () =
-      print_string (Health.render ~color (read_samples file));
+      (match Option.bind (read_status file) (Serve.render_status ~color) with
+      | Some s -> print_string s
+      | None -> print_string (Health.render ~color (read_samples file)));
       flush stdout
     in
     if not follow then render ()
@@ -614,9 +920,10 @@ let top_cmd =
   in
   Cmd.v
     (Cmd.info "top"
-       ~doc:"Render a fleet health stream (csod.fleet.health/1 JSONL) as a \
-             one-screen dashboard: detection CDF sparkline, throughput, \
-             straggler skew, telemetry cost, per-domain load bars.")
+       ~doc:"Render a fleet health stream (csod.fleet.health/1 JSONL) or a \
+             service status snapshot (csod.serve.status/1, auto-detected) as \
+             a one-screen dashboard: detection CDF, rolling windows, alert \
+             states, throughput, straggler skew, per-domain load bars.")
     Term.(const run $ file_arg $ follow_arg $ interval_arg $ no_color_arg)
 
 (* ---- exec: user-supplied MiniC program ---- *)
@@ -755,4 +1062,5 @@ let () =
   exit
     (Cmd.eval ~argv
        (Cmd.group info
-          [ list_cmd; run_cmd; explain_cmd; fleet_cmd; top_cmd; exec_cmd ]))
+          [ list_cmd; run_cmd; explain_cmd; fleet_cmd; serve_cmd; replay_cmd;
+            top_cmd; exec_cmd ]))

@@ -51,237 +51,297 @@ let fault_counter_names =
   [ "runtime.degraded"; "runtime.install_failures"; "trap.dropped";
     "trap.delayed"; "persist.corrupt_lines" ]
 
-let run ?store cfg ~execute =
-  let w = cfg.workload in
+(* ---- incremental stepping ----
+
+   The run-to-completion driver below is a thin loop over this state: the
+   fleet advances one epoch barrier at a time, so an open-ended service
+   can drive it for days of virtual time without knowing the arrival
+   schedule upfront.  [lean] keeps memory flat for such callers: per-seat
+   and per-epoch accumulation is skipped (only the first detecting seat is
+   retained), leaving the store, the merged registries and the running
+   tallies — everything O(contexts + counters), nothing O(users). *)
+
+type 'a t = {
+  cfg : config;
+  execute : 'a executor;
+  shared : Persist.t;
+  metrics : Metrics.t;
+  profile : Profiler.t;
+  c_crashes : Metrics.counter;
+  pool_faults : Fault_injector.t option;
+  expected_users : int option;
+  lean : bool;
+  t_run0 : float;
+  mutable next_uid : int;
+  mutable epoch : int;
+  mutable seats_rev : 'a seat list;
+  mutable epochs_rev : Epoch.row list;
+  mutable detections : int;
+  mutable degraded_total : int;
+  mutable snapshots_total : int;
+  mutable health_rev : Health.sample list;
+  mutable spans_rev : Trace_export.fleet_span list;
+  mutable observer_prev : float;
+  mutable first : 'a seat option;
+  mutable arrived : int;
+}
+
+type epoch_result = {
+  sample : Health.sample;
+  epoch_cycles : int;
+  cycle_skew : float;
+}
+
+let start ?store ?expected_users ?(lean = false) ?(epoch0 = 0) ?(uid0 = 1)
+    cfg ~execute =
+  if epoch0 < 0 then invalid_arg "Fleet.start: epoch0 < 0";
+  if uid0 < 1 then invalid_arg "Fleet.start: uid0 < 1";
   let shared =
     match store with Some s -> Persist.copy s | None -> Persist.create ()
   in
   let metrics = Metrics.create () in
-  let profile = Profiler.create () in
   (* The pool injector is fleet-wide (salt 0): crash decisions are indexed
      draws keyed by chunk index = uid - 1, so they are identical for any
      domain count.  Registered unconditionally so a zero plan and no plan
      produce byte-identical metrics. *)
   let c_crashes = Metrics.counter metrics "fleet.worker_crashes" in
-  let pool_faults =
-    Option.map (fun plan -> Fault_injector.create ~plan ~salt:0) cfg.faults
-  in
-  let arrivals = Workload.arrivals w ~epoch_size:cfg.epoch_size in
-  let total_users = Array.fold_left ( + ) 0 arrivals in
-  let seats = ref [] in
-  let epochs = ref [] in
-  let detections = ref 0 in
-  let degraded_total = ref 0 in
-  let snapshots_total = ref 0 in
-  let health = ref [] in
-  let spans = ref [] in
-  (* The current record cannot contain its own emission cost, so each
-     sample reports what the previous barrier spent observing. *)
-  let observer_prev = ref 0.0 in
-  let telemetry_mode = if cfg.sharded then "sharded" else "merged" in
-  let t_run0 = Unix.gettimeofday () in
-  let (), wall_seconds =
-    Pool.timed (fun () ->
-        let next_uid = ref 1 in
-        Array.iteri
-          (fun e n ->
-            let t_epoch0 = Unix.gettimeofday () in
-            let uid_base = !next_uid in
-            let users =
-              Array.init n (fun i -> Workload.user w (uid_base + i))
-            in
-            next_uid := !next_uid + n;
-            (* Snapshots are taken in the main domain, before any worker
-               starts: every execution of this epoch sees exactly the
-               evidence uploaded by previous epochs, no more. *)
-            let locals = Array.map (fun _ -> Persist.copy shared) users in
-            let execs, workers =
-              Pool.map_local ?faults:pool_faults ~index_base:(uid_base - 1)
-                ~record_spans:cfg.trace ~domains:cfg.domains
-                ~local:(fun ~slot:_ ->
-                  if cfg.sharded then Some (Metrics_shard.create ()) else None)
-                n
-                ~f:(fun shard i ->
-                  let exec = execute ~user:users.(i) ~store:locals.(i) in
-                  (match (shard, exec.telemetry) with
-                  | Some sh, Some tele ->
-                    (* Lock-free local update: the shard belongs to this
-                       worker until the join. *)
-                    Metrics_shard.absorb sh ~uid:users.(i).Workload.uid tele
-                  | _ -> ());
-                  exec)
-            in
-            let t_barrier0 = Unix.gettimeofday () in
-            (* Epoch barrier, pass A: fold the fleet's evidence back in,
-               in uid (= seed) order so store merges are deterministic. *)
-            let epoch_detections = ref 0 in
-            Array.iteri
-              (fun i exec ->
-                Persist.merge shared locals.(i);
-                (match exec.telemetry with
-                | Some tele ->
-                  snapshots_total :=
-                    !snapshots_total + Telemetry.snapshot_count tele
-                | None -> ());
-                if exec.degraded then incr degraded_total;
-                if exec.detected then incr epoch_detections;
-                seats := { user = users.(i); epoch = e; exec } :: !seats)
-              execs;
-            (* Pass B: the telemetry reduction, timed on its own so the
-               health stream prices the merge and nothing else.  Sharded
-               tree-reduces the per-worker shards; merged replays the
-               legacy per-user fold (uid order). *)
-            let (), merge_seconds =
-              Pool.timed (fun () ->
-                  if cfg.sharded then begin
-                    let shards =
-                      Array.to_list workers
-                      |> List.filter_map (fun (shard, _) -> shard)
-                      |> Array.of_list
-                    in
-                    ignore (Metrics_shard.reduce_into shards ~metrics ~profile)
-                  end
-                  else
-                    Array.iter
-                      (fun exec ->
-                        match exec.telemetry with
-                        | Some tele ->
-                          Metrics.merge_into ~dst:metrics
-                            ~src:(Telemetry.metrics tele);
-                          Profiler.merge_into ~dst:profile
-                            ~src:(Telemetry.profiler tele)
-                        | None -> ())
-                      execs)
-            in
-            let t_merge1 = Unix.gettimeofday () in
-            detections := !detections + !epoch_detections;
-            epochs :=
-              { Epoch.epoch = e; arrivals = n;
-                detections = !epoch_detections; cumulative = !detections;
-                store_size = Persist.count shared }
-              :: !epochs;
-            let epoch_seconds = t_merge1 -. t_epoch0 in
-            let loads =
-              Array.to_list workers
-              |> List.map (fun (_, wk) ->
-                     { Health.slot = wk.Pool.slot; executed = wk.Pool.executed;
-                       busy_seconds = wk.Pool.busy_seconds })
-            in
-            let counters = Metrics.counters_list metrics in
-            let sample =
-              { Health.epoch = e; arrivals = n;
-                detections = !epoch_detections; cumulative = !detections;
-                users = total_users;
-                cdf =
-                  (if total_users > 0 then
-                     float_of_int !detections /. float_of_int total_users
-                   else 0.0);
-                store_contexts = Persist.count shared;
-                degraded = !degraded_total;
-                worker_crashes =
-                  (match pool_faults with
-                  | Some inj ->
-                    Fault_injector.count inj Fault_plan.Worker_crash
-                  | None -> 0);
-                faults =
-                  List.filter_map
-                    (fun name ->
-                      Option.map
-                        (fun v -> (name, v))
-                        (List.assoc_opt name counters))
-                    fault_counter_names;
-                snapshots = !snapshots_total;
-                epoch_seconds;
-                merge_seconds;
-                observer_seconds = !observer_prev;
-                execs_per_sec =
-                  (if epoch_seconds > 0.0 then
-                     float_of_int n /. epoch_seconds
-                   else 0.0);
-                straggler_skew =
-                  Health.straggler_skew
-                    (List.map (fun l -> l.Health.busy_seconds) loads);
-                telemetry = telemetry_mode;
-                domains = loads }
-            in
-            (* The observer effect, self-measured: everything below is
-               pure observability (health emission, trace spans) and its
-               cost lands in the next record's [observer_seconds]. *)
-            let (), obs_dt =
-              Pool.timed (fun () ->
-                  health := sample :: !health;
-                  if cfg.trace then begin
-                    Array.iter
-                      (fun (_, wk) ->
-                        List.iter
-                          (fun (i, c0, c1) ->
-                            let uid = uid_base + i in
-                            spans :=
-                              { Trace_export.track = wk.Pool.slot;
-                                name = Printf.sprintf "user #%d" uid;
-                                start_s = c0 -. t_run0;
-                                stop_s = c1 -. t_run0;
-                                args =
-                                  [ ("epoch", `Int e); ("uid", `Int uid) ] }
-                              :: !spans)
-                          wk.Pool.spans;
-                        if
-                          wk.Pool.executed > 0
-                          && t_barrier0 > wk.Pool.last_stop
-                        then
-                          spans :=
-                            { Trace_export.track = wk.Pool.slot;
-                              name = "barrier wait";
-                              start_s = wk.Pool.last_stop -. t_run0;
-                              stop_s = t_barrier0 -. t_run0;
-                              args = [ ("epoch", `Int e) ] }
-                            :: !spans)
-                      workers;
-                    spans :=
-                      { Trace_export.track = cfg.domains;
-                        name = Printf.sprintf "epoch %d merge" e;
-                        start_s = t_barrier0 -. t_run0;
-                        stop_s = t_merge1 -. t_run0;
-                        args =
-                          [ ("epoch", `Int e);
-                            ("telemetry", `String telemetry_mode) ] }
-                      :: !spans
-                  end;
-                  (match cfg.on_health with
-                  | Some cb -> cb sample
-                  | None -> ());
-                  (* Barriers run in the main domain with every worker
-                     joined, so emitting here cannot race the parallel
-                     section. *)
-                  if Event_sink.active () then
-                    Event_sink.emit "fleet.health" (Health.fields sample))
-            in
-            observer_prev := obs_dt)
-          arrivals)
-  in
-  (match pool_faults with
-  | Some inj ->
-    Metrics.add c_crashes (Fault_injector.count inj Fault_plan.Worker_crash)
-  | None -> ());
-  let seats = Array.of_list (List.rev !seats) in
-  let first_catch =
-    Array.fold_left
-      (fun acc s ->
-        match acc with Some _ -> acc | None -> if s.exec.detected then Some s else None)
-      None seats
-  in
-  { seats;
-    epochs = List.rev !epochs;
-    first_catch;
-    detections = !detections;
+  { cfg;
+    execute;
+    shared;
     metrics;
-    profile;
-    store = shared;
-    domains = cfg.domains;
-    wall_seconds;
-    faults = pool_faults;
-    health = List.rev !health;
-    trace_spans = List.rev !spans }
+    profile = Profiler.create ();
+    c_crashes;
+    pool_faults =
+      Option.map (fun plan -> Fault_injector.create ~plan ~salt:0) cfg.faults;
+    expected_users;
+    lean;
+    t_run0 = Unix.gettimeofday ();
+    next_uid = uid0;
+    epoch = epoch0;
+    seats_rev = [];
+    epochs_rev = [];
+    detections = 0;
+    degraded_total = 0;
+    snapshots_total = 0;
+    health_rev = [];
+    spans_rev = [];
+    observer_prev = 0.0;
+    first = None;
+    arrived = 0 }
+
+let metrics t = t.metrics
+let store t = t.shared
+let first_catch t = t.first
+let detections t = t.detections
+let arrived t = t.arrived
+let next_uid t = t.next_uid
+let epoch t = t.epoch
+
+let step t ~arrivals:n =
+  if n < 0 then invalid_arg "Fleet.step: negative arrivals";
+  let cfg = t.cfg in
+  let w = cfg.workload in
+  let telemetry_mode = if cfg.sharded then "sharded" else "merged" in
+  let e = t.epoch in
+  let t_epoch0 = Unix.gettimeofday () in
+  let uid_base = t.next_uid in
+  let users = Array.init n (fun i -> Workload.user w (uid_base + i)) in
+  t.next_uid <- t.next_uid + n;
+  t.arrived <- t.arrived + n;
+  (* Snapshots are taken in the main domain, before any worker starts:
+     every execution of this epoch sees exactly the evidence uploaded by
+     previous epochs, no more. *)
+  let locals = Array.map (fun _ -> Persist.copy t.shared) users in
+  let execs, workers =
+    Pool.map_local ?faults:t.pool_faults ~index_base:(uid_base - 1)
+      ~record_spans:cfg.trace ~domains:cfg.domains
+      ~local:(fun ~slot:_ ->
+        if cfg.sharded then Some (Metrics_shard.create ()) else None)
+      n
+      ~f:(fun shard i ->
+        let exec = t.execute ~user:users.(i) ~store:locals.(i) in
+        (match (shard, exec.telemetry) with
+        | Some sh, Some tele ->
+          (* Lock-free local update: the shard belongs to this worker
+             until the join. *)
+          Metrics_shard.absorb sh ~uid:users.(i).Workload.uid tele
+        | _ -> ());
+        exec)
+  in
+  let t_barrier0 = Unix.gettimeofday () in
+  (* Epoch barrier, pass A: fold the fleet's evidence back in, in uid
+     (= seed) order so store merges are deterministic. *)
+  let epoch_detections = ref 0 in
+  let epoch_cycles = ref 0 in
+  Array.iteri
+    (fun i exec ->
+      Persist.merge t.shared locals.(i);
+      (match exec.telemetry with
+      | Some tele ->
+        t.snapshots_total <- t.snapshots_total + Telemetry.snapshot_count tele
+      | None -> ());
+      if exec.degraded then t.degraded_total <- t.degraded_total + 1;
+      if exec.detected then incr epoch_detections;
+      epoch_cycles := !epoch_cycles + exec.cycles;
+      if exec.detected && t.first = None then
+        t.first <- Some { user = users.(i); epoch = e; exec };
+      if not t.lean then
+        t.seats_rev <- { user = users.(i); epoch = e; exec } :: t.seats_rev)
+    execs;
+  (* Pass B: the telemetry reduction, timed on its own so the health
+     stream prices the merge and nothing else.  Sharded tree-reduces the
+     per-worker shards; merged replays the legacy per-user fold (uid
+     order). *)
+  let (), merge_seconds =
+    Pool.timed (fun () ->
+        if cfg.sharded then begin
+          let shards =
+            Array.to_list workers
+            |> List.filter_map (fun (shard, _) -> shard)
+            |> Array.of_list
+          in
+          ignore
+            (Metrics_shard.reduce_into shards ~metrics:t.metrics
+               ~profile:t.profile)
+        end
+        else
+          Array.iter
+            (fun exec ->
+              match exec.telemetry with
+              | Some tele ->
+                Metrics.merge_into ~dst:t.metrics
+                  ~src:(Telemetry.metrics tele);
+                Profiler.merge_into ~dst:t.profile
+                  ~src:(Telemetry.profiler tele)
+              | None -> ())
+            execs)
+  in
+  let t_merge1 = Unix.gettimeofday () in
+  t.detections <- t.detections + !epoch_detections;
+  if not t.lean then
+    t.epochs_rev <-
+      { Epoch.epoch = e; arrivals = n; detections = !epoch_detections;
+        cumulative = t.detections; store_size = Persist.count t.shared }
+      :: t.epochs_rev;
+  let epoch_seconds = t_merge1 -. t_epoch0 in
+  let loads =
+    Array.to_list workers
+    |> List.map (fun (_, wk) ->
+           { Health.slot = wk.Pool.slot; executed = wk.Pool.executed;
+             busy_seconds = wk.Pool.busy_seconds })
+  in
+  let counters = Metrics.counters_list t.metrics in
+  let users_total =
+    match t.expected_users with Some u -> u | None -> t.arrived
+  in
+  let sample =
+    { Health.epoch = e; arrivals = n; detections = !epoch_detections;
+      cumulative = t.detections;
+      users = users_total;
+      cdf =
+        (if users_total > 0 then
+           float_of_int t.detections /. float_of_int users_total
+         else 0.0);
+      store_contexts = Persist.count t.shared;
+      degraded = t.degraded_total;
+      worker_crashes =
+        (match t.pool_faults with
+        | Some inj -> Fault_injector.count inj Fault_plan.Worker_crash
+        | None -> 0);
+      faults =
+        List.filter_map
+          (fun name ->
+            Option.map (fun v -> (name, v)) (List.assoc_opt name counters))
+          fault_counter_names;
+      snapshots = t.snapshots_total;
+      epoch_seconds;
+      merge_seconds;
+      observer_seconds = t.observer_prev;
+      execs_per_sec =
+        (if epoch_seconds > 0.0 then float_of_int n /. epoch_seconds
+         else 0.0);
+      straggler_skew =
+        Health.straggler_skew
+          (List.map (fun l -> l.Health.busy_seconds) loads);
+      telemetry = telemetry_mode;
+      domains = loads }
+  in
+  (* The observer effect, self-measured: everything below is pure
+     observability (health emission, trace spans) and its cost lands in
+     the next record's [observer_seconds]. *)
+  let (), obs_dt =
+    Pool.timed (fun () ->
+        if not t.lean then t.health_rev <- sample :: t.health_rev;
+        if cfg.trace then begin
+          Array.iter
+            (fun (_, wk) ->
+              List.iter
+                (fun (i, c0, c1) ->
+                  let uid = uid_base + i in
+                  t.spans_rev <-
+                    { Trace_export.track = wk.Pool.slot;
+                      name = Printf.sprintf "user #%d" uid;
+                      start_s = c0 -. t.t_run0;
+                      stop_s = c1 -. t.t_run0;
+                      args = [ ("epoch", `Int e); ("uid", `Int uid) ] }
+                    :: t.spans_rev)
+                wk.Pool.spans;
+              if wk.Pool.executed > 0 && t_barrier0 > wk.Pool.last_stop then
+                t.spans_rev <-
+                  { Trace_export.track = wk.Pool.slot;
+                    name = "barrier wait";
+                    start_s = wk.Pool.last_stop -. t.t_run0;
+                    stop_s = t_barrier0 -. t.t_run0;
+                    args = [ ("epoch", `Int e) ] }
+                  :: t.spans_rev)
+            workers;
+          t.spans_rev <-
+            { Trace_export.track = cfg.domains;
+              name = Printf.sprintf "epoch %d merge" e;
+              start_s = t_barrier0 -. t.t_run0;
+              stop_s = t_merge1 -. t.t_run0;
+              args =
+                [ ("epoch", `Int e); ("telemetry", `String telemetry_mode) ] }
+            :: t.spans_rev
+        end;
+        (match cfg.on_health with Some cb -> cb sample | None -> ());
+        (* Barriers run in the main domain with every worker joined, so
+           emitting here cannot race the parallel section. *)
+        if Event_sink.active () then
+          Event_sink.emit "fleet.health" (Health.fields sample))
+  in
+  t.observer_prev <- obs_dt;
+  t.epoch <- e + 1;
+  { sample;
+    epoch_cycles = !epoch_cycles;
+    cycle_skew =
+      Health.straggler_skew
+        (Array.to_list (Array.map (fun x -> float_of_int x.cycles) execs)) }
+
+let finish t =
+  (match t.pool_faults with
+  | Some inj ->
+    Metrics.add t.c_crashes (Fault_injector.count inj Fault_plan.Worker_crash)
+  | None -> ());
+  { seats = Array.of_list (List.rev t.seats_rev);
+    epochs = List.rev t.epochs_rev;
+    first_catch = t.first;
+    detections = t.detections;
+    metrics = t.metrics;
+    profile = t.profile;
+    store = t.shared;
+    domains = t.cfg.domains;
+    wall_seconds = Unix.gettimeofday () -. t.t_run0;
+    faults = t.pool_faults;
+    health = List.rev t.health_rev;
+    trace_spans = List.rev t.spans_rev }
+
+let run ?store cfg ~execute =
+  let arrivals = Workload.arrivals cfg.workload ~epoch_size:cfg.epoch_size in
+  let total_users = Array.fold_left ( + ) 0 arrivals in
+  let t = start ?store ~expected_users:total_users cfg ~execute in
+  Array.iter (fun n -> ignore (step t ~arrivals:n)) arrivals;
+  finish t
 
 let until_detected ?store ~users ~execute () =
   let rec go uid =

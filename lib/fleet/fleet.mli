@@ -103,7 +103,82 @@ val config :
 
 val run : ?store:Persist.t -> config -> execute:'a executor -> 'a report
 (** Simulate the whole fleet.  [store] seeds the shared store (default
-    empty) and is not mutated; the report carries its own. *)
+    empty) and is not mutated; the report carries its own.  Implemented
+    as {!start} + one {!step} per {!Workload.arrivals} epoch +
+    {!finish}. *)
+
+(** {2 Incremental stepping}
+
+    A long-running service drives the fleet one epoch barrier at a time
+    under an open-ended arrival process, instead of materialising the
+    whole schedule upfront.  Create a state with {!start}, advance it
+    with {!step} (each call runs one complete epoch: snapshot, parallel
+    execution, evidence + telemetry barrier, health emission), and
+    {!finish} it into a report when done.  Each [step] has exactly the
+    semantics of the corresponding epoch of {!run}. *)
+
+type 'a t
+(** In-flight fleet state between epoch barriers. *)
+
+type epoch_result = {
+  sample : Health.sample;  (** the epoch's health record, as {!run} emits *)
+  epoch_cycles : int;
+      (** summed virtual cycles of the epoch's executions — the epoch's
+          contribution to the fleet's virtual clock, deterministic for
+          any domain count *)
+  cycle_skew : float;
+      (** slowest / median execution of the epoch in {e virtual} cycles
+          ({!Health.straggler_skew} over per-execution cycles) — the
+          deterministic straggler signal, unlike the sample's wall-clock
+          [straggler_skew] *)
+}
+
+val start :
+  ?store:Persist.t ->
+  ?expected_users:int ->
+  ?lean:bool ->
+  ?epoch0:int ->
+  ?uid0:int ->
+  config ->
+  execute:'a executor ->
+  'a t
+(** [expected_users] fixes the CDF denominator (and the sample's [users]
+    field); without it both track the users arrived so far — the right
+    reading for an open-ended run.  [lean] (default false) keeps memory
+    flat for unbounded runs: seats, epoch rows, health samples and trace
+    spans are not accumulated (the report from {!finish} carries only the
+    first detecting seat, the merged registries and the store).
+    [epoch0]/[uid0] (defaults 0/1) offset epoch numbering and uid
+    assignment so a resumed service continues the same deterministic
+    stream — pool fault draws are indexed by [uid - 1] and line up with
+    an uninterrupted run. *)
+
+val step : 'a t -> arrivals:int -> epoch_result
+(** Run one epoch with [arrivals] fresh users (uids assigned
+    sequentially).  Everything {!run} does per epoch happens here: the
+    health callback and event-sink emission included. *)
+
+val finish : 'a t -> 'a report
+(** Commit the crash tally into the merged metrics and assemble the
+    report.  [wall_seconds] covers {!start} to {!finish}. *)
+
+val metrics : 'a t -> Metrics.t
+(** The merged fleet registry so far (fault and degradation counters
+    accumulate here at each barrier). *)
+
+val store : 'a t -> Persist.t
+(** The live shared store — read it to checkpoint; do not mutate
+    mid-epoch. *)
+
+val first_catch : 'a t -> 'a seat option
+(** The earliest detecting seat so far — retained even in [lean] mode. *)
+
+val detections : 'a t -> int
+val arrived : 'a t -> int
+val next_uid : 'a t -> int
+val epoch : 'a t -> int
+(** Running tallies: detections so far, users arrived so far, the next
+    uid {!step} will assign, and the next epoch number. *)
 
 val until_detected :
   ?store:Persist.t ->

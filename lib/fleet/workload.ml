@@ -12,13 +12,21 @@ let burst_of_string s =
   | "wave" -> Some Wave
   | _ -> None
 
-type t = { users : int; benign_frac : float; base_seed : int; burst : burst }
+type t = {
+  users : int;
+  benign_frac : float;
+  base_seed : int;
+  burst : burst;
+  wave_period : int;
+}
 
-let make ?(benign_frac = 0.0) ?(base_seed = 1) ?(burst = Steady) ~users () =
+let make ?(benign_frac = 0.0) ?(base_seed = 1) ?(burst = Steady)
+    ?(wave_period = 2) ~users () =
   if users < 0 then invalid_arg "Workload.make: negative population";
   if benign_frac < 0.0 || benign_frac > 1.0 then
     invalid_arg "Workload.make: benign_frac outside [0, 1]";
-  { users; benign_frac; base_seed; burst }
+  if wave_period < 1 then invalid_arg "Workload.make: wave_period < 1";
+  { users; benign_frac; base_seed; burst; wave_period }
 
 type user = { uid : int; seed : int; benign : bool }
 
@@ -33,16 +41,24 @@ let user t uid =
 
 (* Arrival rate for epoch [e], in users, as a multiple of the mean rate.
    Every shape keeps at least one arrival per epoch so a fleet always
-   drains. *)
-let rate burst ~epoch_size e =
+   drains, and the wave's heavy half-period comes first: however long the
+   diurnal period, the first cohort is admitted at epoch 0 rather than
+   idling through a leading trough. *)
+let rate t ~epoch_size e =
+  if epoch_size < 1 then invalid_arg "Workload.rate: epoch_size < 1";
+  if e < 0 then invalid_arg "Workload.rate: negative epoch";
   let s = epoch_size in
   let r =
-    match burst with
+    match t.burst with
     | Steady -> s
     | Frontload ->
       (* Launch spike: 2x, 1.5x, 1x, then settling at 0.5x. *)
       max (s / 2) ((2 * s) - (e * s / 2))
-    | Wave -> if e mod 2 = 0 then s + (s / 2) else s / 2
+    | Wave ->
+      (* Heavy while inside the first half of the period (the half-open
+         rounding puts the odd epoch of an odd period on the heavy side),
+         light for the rest. *)
+      if (e mod t.wave_period) * 2 < t.wave_period then s + (s / 2) else s / 2
   in
   max 1 r
 
@@ -52,7 +68,7 @@ let arrivals t ~epoch_size =
   let left = ref t.users in
   let e = ref 0 in
   while !left > 0 do
-    let n = min !left (rate t.burst ~epoch_size !e) in
+    let n = min !left (rate t ~epoch_size !e) in
     out := n :: !out;
     left := !left - n;
     incr e

@@ -17,7 +17,7 @@
 type burst =
   | Steady     (** the same number of arrivals every epoch *)
   | Frontload  (** a launch spike: arrival rate starts doubled, then decays *)
-  | Wave       (** alternating heavy / light epochs (diurnal traffic) *)
+  | Wave       (** heavy / light phases of [wave_period] epochs (diurnal traffic) *)
 
 val burst_name : burst -> string
 val burst_of_string : string -> burst option
@@ -27,13 +27,21 @@ type t = {
   benign_frac : float;  (** fraction of users running the benign input *)
   base_seed : int;      (** user [i] executes with seed [base_seed + i - 1] *)
   burst : burst;
+  wave_period : int;    (** full heavy+light cycle length, in epochs *)
 }
 
 val make :
-  ?benign_frac:float -> ?base_seed:int -> ?burst:burst -> users:int -> unit -> t
-(** Defaults: [benign_frac = 0.], [base_seed = 1], [burst = Steady].
-    Raises [Invalid_argument] on a negative population or a fraction
-    outside [\[0, 1\]]. *)
+  ?benign_frac:float ->
+  ?base_seed:int ->
+  ?burst:burst ->
+  ?wave_period:int ->
+  users:int ->
+  unit ->
+  t
+(** Defaults: [benign_frac = 0.], [base_seed = 1], [burst = Steady],
+    [wave_period = 2] (the classic alternating heavy/light epochs).
+    Raises [Invalid_argument] on a negative population, a fraction
+    outside [\[0, 1\]], or a period under 1. *)
 
 type user = {
   uid : int;     (** 1-based *)
@@ -45,6 +53,14 @@ val user : t -> int -> user
 (** [user w uid] (with [1 <= uid <= w.users]) is deterministic and
     order-independent: the benign draw comes from a per-user PRNG keyed on
     [(base_seed, uid)], never from shared generator state. *)
+
+val rate : t -> epoch_size:int -> int -> int
+(** [rate w ~epoch_size e] is the number of users the burst schedule asks
+    for at epoch [e], always at least 1, uncapped by [w.users] — the
+    open-ended arrival process a long-running service drives epoch by
+    epoch.  The wave's heavy half-period always comes {e first}: a wave
+    whose period exceeds the run length still admits its launch cohort at
+    epoch 0 instead of idling through a leading trough. *)
 
 val arrivals : t -> epoch_size:int -> int array
 (** Users arriving per epoch, following [w.burst]; entries sum to

@@ -162,16 +162,21 @@ let of_string s =
     let floaty =
       String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok
     in
+    (* JSON has no non-finite literals, and an overflowing exponent
+       ("1e999") must not smuggle one in via float_of_string. *)
+    let finite f =
+      if Float.is_finite f then `Float f else fail "non-finite number"
+    in
     if floaty then
       match float_of_string_opt tok with
-      | Some f -> `Float f
+      | Some f -> finite f
       | None -> fail "bad number"
     else
       match int_of_string_opt tok with
       | Some i -> `Int i
       | None -> (
         match float_of_string_opt tok with
-        | Some f -> `Float f
+        | Some f -> finite f
         | None -> fail "bad number")
   in
   let rec parse_value () : t =

@@ -1,0 +1,613 @@
+let status_schema = "csod.serve.status/1"
+let checkpoint_schema = "csod.serve.checkpoint/1"
+
+type config = {
+  workload : Workload.t;
+  domains : int;
+  epoch_size : int;
+  faults : Fault_plan.t option;
+  rules : Alert.rule list;
+  windows : int list;
+  history_dir : string option;
+  rotate : int;
+  status_path : string option;
+  status_every : int;
+  checkpoint_path : string option;
+  checkpoint_every : int;
+}
+
+let config ?domains ?(epoch_size = 32) ?faults ?(rules = Alert.defaults)
+    ?(windows = [ 1; 10; 100 ]) ?history_dir ?(rotate = 4096) ?status_path
+    ?(status_every = 1) ?checkpoint_path ?(checkpoint_every = 0) workload =
+  let domains =
+    match domains with Some d -> d | None -> Pool.default_domains ()
+  in
+  if rotate < 1 then invalid_arg "Serve.config: rotate < 1";
+  if status_every < 1 then invalid_arg "Serve.config: status_every < 1";
+  if checkpoint_every < 0 then invalid_arg "Serve.config: checkpoint_every < 0";
+  List.iter
+    (fun w -> if w < 1 then invalid_arg "Serve.config: window < 1")
+    windows;
+  { workload; domains; epoch_size; faults; rules; windows; history_dir;
+    rotate; status_path; status_every; checkpoint_path; checkpoint_every }
+
+(* Dashboard sizes plus every rule's judging window: one ring each. *)
+let all_window_sizes cfg =
+  List.sort_uniq compare
+    (cfg.windows @ List.map (fun (r : Alert.rule) -> r.window) cfg.rules)
+
+type 'a t = {
+  cfg : config;
+  fleet : 'a Fleet.t;
+  wins : Window.set;
+  alerts : Alert.t;
+  hist : History.writer option;
+  t_start : float;
+  (* Run-lifetime cumulatives (survive checkpoint/resume; the fleet
+     session's own registries restart at zero after a resume). *)
+  mutable arrived : int;
+  mutable detections : int;
+  mutable total_cycles : int;
+  mutable degraded : int;
+  mutable worker_crashes : int;
+  mutable snapshots : int;
+  mutable faults_cum : (string * int) list;
+  (* Previous barrier's fleet-session cumulatives, for per-epoch deltas. *)
+  mutable prev_degraded : int;
+  mutable prev_crashes : int;
+  mutable prev_snapshots : int;
+  mutable prev_faults : (string * int) list;
+  mutable last_obs : Serve_obs.t option;
+}
+
+let virtual_seconds_of cycles =
+  float_of_int cycles /. float_of_int Cost.cycles_per_second
+
+(* Meta body: the deterministic run description — everything here must be
+   independent of the domain count, or history segments would differ
+   across --domains. *)
+let meta_body cfg : Obs_json.t =
+  let w = cfg.workload in
+  `Assoc
+    [ ("workload",
+       `Assoc
+         [ ("users", `Int w.Workload.users);
+           ("benign_frac", `Float w.Workload.benign_frac);
+           ("base_seed", `Int w.Workload.base_seed);
+           ("burst", `String (Workload.burst_name w.Workload.burst));
+           ("wave_period", `Int w.Workload.wave_period) ]);
+      ("epoch_size", `Int cfg.epoch_size);
+      ("faults",
+       match cfg.faults with
+       | Some p -> `String (Fault_plan.to_string p)
+       | None -> `Null);
+      ("alerts",
+       `List (List.map (fun r -> `String (Alert.to_spec r)) cfg.rules));
+      ("windows", `List (List.map (fun w -> `Int w) cfg.windows)) ]
+
+let atomic_write path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+(* ---- status ---- *)
+
+let status_core ~epoch ~arrived ~detections ~total_cycles ~last ~wins ~alerts
+    ~window_sizes : (string * Obs_json.t) list =
+  [ ("schema", `String status_schema); ("epoch", `Int epoch);
+    ("arrived", `Int arrived); ("detections", `Int detections);
+    ("cdf",
+     `Float
+       (if arrived > 0 then float_of_int detections /. float_of_int arrived
+        else 0.0));
+    ("virtual_seconds", `Float (virtual_seconds_of total_cycles));
+    ("last",
+     match last with Some o -> Serve_obs.to_json o | None -> `Null);
+    ("windows",
+     `Assoc
+       (List.filter_map
+          (fun w ->
+            Option.map
+              (fun a -> (string_of_int w, Window.agg_to_json a))
+              (Window.get wins w))
+          window_sizes));
+    ("alerts",
+     `Assoc
+       [ ("rules",
+          `List
+            (List.map
+               (fun r -> (`String (Alert.to_spec r) : Obs_json.t))
+               (Alert.rules alerts)));
+         ("firing",
+          `List
+            (List.map
+               (fun ((r : Alert.rule), since) ->
+                 (`Assoc
+                    [ ("spec", `String (Alert.to_spec r));
+                      ("since", `Int since) ]
+                   : Obs_json.t))
+               (Alert.firing alerts))) ]) ]
+
+let status_json t : Obs_json.t =
+  `Assoc
+    (status_core ~epoch:(Fleet.epoch t.fleet) ~arrived:t.arrived
+       ~detections:t.detections ~total_cycles:t.total_cycles ~last:t.last_obs
+       ~wins:t.wins ~alerts:t.alerts ~window_sizes:t.cfg.windows
+    @ [ ("wall",
+         `Assoc
+           [ ("domains", `Int t.cfg.domains);
+             ("wall_seconds", `Float (Unix.gettimeofday () -. t.t_start));
+             ("unix_time", `Float (Unix.gettimeofday ())) ]) ])
+
+let publish_status t =
+  match t.cfg.status_path with
+  | None -> ()
+  | Some path -> atomic_write path (Obs_json.to_string (status_json t) ^ "\n")
+
+(* ---- checkpoint ---- *)
+
+let checkpoint_json t : Obs_json.t =
+  `Assoc
+    [ ("schema", `String checkpoint_schema);
+      ("epoch", `Int (Fleet.epoch t.fleet));
+      ("next_uid", `Int (Fleet.next_uid t.fleet));
+      ("arrived", `Int t.arrived); ("detections", `Int t.detections);
+      ("total_cycles", `Int t.total_cycles); ("degraded", `Int t.degraded);
+      ("worker_crashes", `Int t.worker_crashes);
+      ("snapshots", `Int t.snapshots);
+      ("faults",
+       `Assoc (List.map (fun (k, v) -> (k, `Int v)) t.faults_cum));
+      ("store",
+       `List
+         (List.map
+            (fun (a, b) -> (`List [ `Int a; `Int b ] : Obs_json.t))
+            (Persist.keys (Fleet.store t.fleet))));
+      ("windows", Window.set_to_json t.wins);
+      ("alerts", Alert.states_to_json t.alerts);
+      ("history",
+       match t.hist with
+       | Some w ->
+         `Assoc
+           [ ("seq", `Int (History.seq w));
+             ("segment", `Int (History.segment w));
+             ("lines", `Int (History.lines_in_segment w)) ]
+       | None -> `Null) ]
+
+let publish_checkpoint t =
+  match t.cfg.checkpoint_path with
+  | None -> ()
+  | Some path ->
+    atomic_write path (Obs_json.to_string (checkpoint_json t) ^ "\n")
+
+(* ---- start / resume ---- *)
+
+let fresh cfg ~execute =
+  let hist =
+    Option.map (fun dir -> History.writer ~rotate:cfg.rotate dir)
+      cfg.history_dir
+  in
+  let t =
+    { cfg;
+      fleet = Fleet.start ~lean:true (Fleet.config ~domains:cfg.domains
+                ~epoch_size:cfg.epoch_size ?faults:cfg.faults cfg.workload)
+                ~execute;
+      wins = Window.set (all_window_sizes cfg);
+      alerts = Alert.engine cfg.rules;
+      hist;
+      t_start = Unix.gettimeofday ();
+      arrived = 0; detections = 0; total_cycles = 0; degraded = 0;
+      worker_crashes = 0; snapshots = 0; faults_cum = [];
+      prev_degraded = 0; prev_crashes = 0; prev_snapshots = 0;
+      prev_faults = []; last_obs = None }
+  in
+  (* The meta record leads the history; only the first session writes it
+     (seq 0), so a resumed run's segments stay byte-identical to an
+     uninterrupted one's. *)
+  (match t.hist with
+  | Some w when History.seq w = 0 ->
+    ignore (History.append w History.Meta (meta_body cfg))
+  | _ -> ());
+  t
+
+let resume cfg ~execute json =
+  let ( let* ) = Option.bind in
+  let int k = Option.bind (Obs_json.member k json) Obs_json.to_int in
+  let parsed =
+    let* schema =
+      match Obs_json.member "schema" json with
+      | Some (`String s) -> Some s
+      | _ -> None
+    in
+    if schema <> checkpoint_schema then None
+    else
+      let* epoch = int "epoch" in
+      let* next_uid = int "next_uid" in
+      let* arrived = int "arrived" in
+      let* detections = int "detections" in
+      let* total_cycles = int "total_cycles" in
+      let* degraded = int "degraded" in
+      let* worker_crashes = int "worker_crashes" in
+      let* snapshots = int "snapshots" in
+      let* faults_cum =
+        match Obs_json.member "faults" json with
+        | Some (`Assoc kvs) ->
+          let parsed =
+            List.filter_map
+              (fun (k, v) -> Option.map (fun n -> (k, n)) (Obs_json.to_int v))
+              kvs
+          in
+          if List.length parsed = List.length kvs then Some parsed else None
+        | _ -> None
+      in
+      let* store_keys =
+        match Obs_json.member "store" json with
+        | Some (`List l) ->
+          let key = function
+            | `List [ a; b ] -> (
+              match (Obs_json.to_int a, Obs_json.to_int b) with
+              | Some a, Some b -> Some (a, b)
+              | _ -> None)
+            | _ -> None
+          in
+          let parsed = List.filter_map key l in
+          if List.length parsed = List.length l then Some parsed else None
+        | _ -> None
+      in
+      let* wins =
+        Option.bind (Obs_json.member "windows" json) Window.set_of_json
+      in
+      let* history =
+        match Obs_json.member "history" json with
+        | Some `Null -> Some None
+        | Some h ->
+          let hint k = Option.bind (Obs_json.member k h) Obs_json.to_int in
+          let* seq = hint "seq" in
+          let* segment = hint "segment" in
+          let* lines = hint "lines" in
+          Some (Some (seq, segment, lines))
+        | None -> None
+      in
+      Some
+        ( epoch, next_uid, arrived, detections, total_cycles, degraded,
+          worker_crashes, snapshots, faults_cum, store_keys, wins, history )
+  in
+  match parsed with
+  | None -> Error "malformed checkpoint"
+  | Some
+      ( epoch, next_uid, arrived, detections, total_cycles, degraded,
+        worker_crashes, snapshots, faults_cum, store_keys, wins, history ) ->
+    let alerts = Alert.engine cfg.rules in
+    let ok =
+      match Obs_json.member "alerts" json with
+      | Some states -> Alert.restore_states alerts states
+      | None -> false
+    in
+    if not ok then Error "checkpoint alert states do not match the rule set"
+    else if Window.sizes wins <> all_window_sizes cfg then
+      Error "checkpoint window sizes do not match the configuration"
+    else begin
+      let store = Persist.create () in
+      List.iter (Persist.add store) store_keys;
+      let hist =
+        match (cfg.history_dir, history) with
+        | Some dir, Some (seq, segment, lines) ->
+          History.truncate dir ~segment ~lines;
+          Some (History.writer ~rotate:cfg.rotate ~seq ~segment ~lines dir)
+        | Some dir, None -> Some (History.writer ~rotate:cfg.rotate dir)
+        | None, _ -> None
+      in
+      Ok
+        { cfg;
+          fleet =
+            Fleet.start ~store ~lean:true ~epoch0:epoch ~uid0:next_uid
+              (Fleet.config ~domains:cfg.domains ~epoch_size:cfg.epoch_size
+                 ?faults:cfg.faults cfg.workload)
+              ~execute;
+          wins; alerts; hist;
+          t_start = Unix.gettimeofday ();
+          arrived; detections; total_cycles; degraded; worker_crashes;
+          snapshots; faults_cum;
+          prev_degraded = 0; prev_crashes = 0; prev_snapshots = 0;
+          prev_faults = []; last_obs = None }
+    end
+
+let start cfg ~execute =
+  match cfg.checkpoint_path with
+  | Some path when Sys.file_exists path -> (
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let content = really_input_string ic len in
+    close_in ic;
+    match Obs_json.of_string (String.trim content) with
+    | Error e -> Error (Printf.sprintf "checkpoint %s: %s" path e)
+    | Ok json -> resume cfg ~execute json)
+  | _ -> Ok (fresh cfg ~execute)
+
+(* ---- the epoch ---- *)
+
+type outcome = { obs : Serve_obs.t; events : Alert.event list }
+
+let delta_faults ~prev now =
+  List.filter_map
+    (fun (k, v) ->
+      let d = v - Option.value ~default:0 (List.assoc_opt k prev) in
+      if d <> 0 then Some (k, d) else None)
+    now
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let add_faults cum delta =
+  List.fold_left
+    (fun acc (k, d) ->
+      let v = Option.value ~default:0 (List.assoc_opt k acc) + d in
+      (k, v) :: List.remove_assoc k acc)
+    cum delta
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let step t =
+  let e = Fleet.epoch t.fleet in
+  let remaining = t.cfg.workload.Workload.users - t.arrived in
+  let n =
+    min remaining (Workload.rate t.cfg.workload ~epoch_size:t.cfg.epoch_size e)
+  in
+  let n = max 0 n in
+  let r = Fleet.step t.fleet ~arrivals:n in
+  let s = r.Fleet.sample in
+  (* The sample's tallies are fleet-session cumulatives; the observation
+     wants this epoch's deltas (and a resumed session's registries
+     restart at zero, so deltas are the only thing that survives a
+     checkpoint boundary unchanged). *)
+  let crashes_now = s.Health.worker_crashes in
+  let d_degraded = s.Health.degraded - t.prev_degraded in
+  let d_crashes = crashes_now - t.prev_crashes in
+  let d_snapshots = s.Health.snapshots - t.prev_snapshots in
+  let d_faults = delta_faults ~prev:t.prev_faults s.Health.faults in
+  t.prev_degraded <- s.Health.degraded;
+  t.prev_crashes <- crashes_now;
+  t.prev_snapshots <- s.Health.snapshots;
+  t.prev_faults <- s.Health.faults;
+  t.arrived <- t.arrived + n;
+  t.detections <- t.detections + s.Health.detections;
+  t.total_cycles <- t.total_cycles + r.Fleet.epoch_cycles;
+  t.degraded <- t.degraded + d_degraded;
+  t.worker_crashes <- t.worker_crashes + d_crashes;
+  t.snapshots <- t.snapshots + d_snapshots;
+  t.faults_cum <- add_faults t.faults_cum d_faults;
+  let obs =
+    { Serve_obs.epoch = e; arrivals = n; arrived = t.arrived;
+      detections = s.Health.detections; cumulative = t.detections;
+      cdf =
+        (if t.arrived > 0 then
+           float_of_int t.detections /. float_of_int t.arrived
+         else 0.0);
+      store_contexts = s.Health.store_contexts; degraded = d_degraded;
+      worker_crashes = d_crashes; faults = d_faults; snapshots = d_snapshots;
+      cycles = r.Fleet.epoch_cycles;
+      virtual_seconds = virtual_seconds_of t.total_cycles;
+      cycle_skew = r.Fleet.cycle_skew }
+  in
+  Window.push_set t.wins obs;
+  let events = Alert.observe t.alerts t.wins ~epoch:e in
+  (match t.hist with
+  | Some w ->
+    ignore (History.append w History.Health (Serve_obs.to_json obs));
+    List.iter
+      (fun ev -> ignore (History.append w History.Alert (Alert.event_to_json ev)))
+      events
+  | None -> ());
+  t.last_obs <- Some obs;
+  let completed = e + 1 in
+  if completed mod t.cfg.status_every = 0 then publish_status t;
+  if t.cfg.checkpoint_every > 0 && completed mod t.cfg.checkpoint_every = 0
+  then publish_checkpoint t;
+  { obs; events }
+
+let finish t =
+  publish_status t;
+  publish_checkpoint t;
+  (match t.hist with Some w -> History.close w | None -> ());
+  Fleet.finish t.fleet
+
+let epoch t = Fleet.epoch t.fleet
+let arrived t = t.arrived
+let detections t = t.detections
+let virtual_seconds t = virtual_seconds_of t.total_cycles
+let last t = t.last_obs
+let windows t = t.wins
+let alert_engine t = t.alerts
+
+(* ---- rendering ---- *)
+
+let render_status ?(color = true) json =
+  match Obs_json.member "schema" json with
+  | Some (`String s) when s = status_schema ->
+    let c code s = if color then Printf.sprintf "\x1b[%sm%s\x1b[0m" code s else s in
+    let int k = Option.value ~default:0 (Option.bind (Obs_json.member k json) Obs_json.to_int) in
+    let flt k =
+      Option.value ~default:0.0 (Option.bind (Obs_json.member k json) Obs_json.to_float)
+    in
+    let b = Buffer.create 1024 in
+    Buffer.add_string b
+      (Printf.sprintf "%s  epoch %d  virtual %.1f s\n"
+         (c "1" "csod serve") (int "epoch") (flt "virtual_seconds"));
+    Buffer.add_string b
+      (Printf.sprintf
+         "arrived %d  detections %d  cdf %.2f%%  store %s\n"
+         (int "arrived") (int "detections")
+         (100.0 *. flt "cdf")
+         (match
+            Option.bind (Obs_json.member "last" json) (fun l ->
+                Obs_json.member "store_contexts" l)
+          with
+         | Some (`Int n) -> string_of_int n
+         | _ -> "-"));
+    (match Obs_json.member "windows" json with
+    | Some (`Assoc wins) when wins <> [] ->
+      Buffer.add_string b
+        (c "2"
+           "window   epochs  arrivals  detect  degraded  crashes   skew     cdf\n");
+      List.iter
+        (fun (w, agg) ->
+          match Window.agg_of_json agg with
+          | Some a ->
+            Buffer.add_string b
+              (Printf.sprintf
+                 "%6s  %7d  %8d  %6d  %8d  %7d  %5.2f  %5.2f%%\n" w
+                 a.Window.epochs a.Window.arrivals a.Window.detections
+                 a.Window.degraded a.Window.worker_crashes a.Window.skew_max
+                 (100.0 *. a.Window.cdf_last))
+          | None -> ())
+        wins
+    | _ -> ());
+    (match Obs_json.member "alerts" json with
+    | Some alerts ->
+      let firing =
+        match Obs_json.member "firing" alerts with
+        | Some (`List l) -> l
+        | _ -> []
+      in
+      let rules =
+        match Obs_json.member "rules" alerts with
+        | Some (`List l) ->
+          List.filter_map
+            (function `String s -> Some s | _ -> None)
+            l
+        | _ -> []
+      in
+      let firing_specs =
+        List.filter_map
+          (fun f ->
+            match (Obs_json.member "spec" f, Obs_json.member "since" f) with
+            | Some (`String s), Some since ->
+              Some (s, Option.value ~default:0 (Obs_json.to_int since))
+            | _ -> None)
+          firing
+      in
+      Buffer.add_string b "alerts: ";
+      if rules = [] then Buffer.add_string b "(none)"
+      else
+        Buffer.add_string b
+          (String.concat "  "
+             (List.map
+                (fun spec ->
+                  match List.assoc_opt spec firing_specs with
+                  | Some since ->
+                    c "31;1"
+                      (Printf.sprintf "%s FIRING since %d" spec since)
+                  | None -> Printf.sprintf "%s %s" spec (c "32" "ok"))
+                rules));
+      Buffer.add_char b '\n'
+    | None -> ());
+    Some (Buffer.contents b)
+  | _ -> None
+
+(* ---- offline replay ---- *)
+
+type replay = {
+  meta : Obs_json.t option;
+  observations : Serve_obs.t list;
+  recorded : Obs_json.t list;
+  recomputed : Obs_json.t list;
+  mismatches : string list;
+  read_errors : string list;
+  status : Obs_json.t;
+}
+
+let replay dir =
+  let records, read_errors = History.read dir in
+  let meta =
+    List.find_map
+      (fun (r : History.record) ->
+        if r.kind = History.Meta then Some r.body else None)
+      records
+  in
+  match meta with
+  | None -> Error (Printf.sprintf "%s: no meta record in history" dir)
+  | Some meta_json -> (
+    let rules =
+      match Obs_json.member "alerts" meta_json with
+      | Some (`List l) ->
+        let specs =
+          List.filter_map (function `String s -> Some s | _ -> None) l
+        in
+        Result.value ~default:Alert.defaults
+          (Alert.parse (String.concat "," specs))
+      | _ -> Alert.defaults
+    in
+    let window_sizes =
+      match Obs_json.member "windows" meta_json with
+      | Some (`List l) -> List.filter_map Obs_json.to_int l
+      | _ -> [ 1; 10; 100 ]
+    in
+    let observations =
+      List.filter_map
+        (fun (r : History.record) ->
+          if r.kind = History.Health then Serve_obs.of_json r.body else None)
+        records
+    in
+    let recorded =
+      List.filter_map
+        (fun (r : History.record) ->
+          if r.kind = History.Alert then Some r.body else None)
+        records
+    in
+    (* Re-drive the windows and rules over the recorded health stream:
+       the alert stream is a pure function of it. *)
+    let all_sizes =
+      List.sort_uniq compare
+        (window_sizes @ List.map (fun (r : Alert.rule) -> r.window) rules)
+    in
+    let wins = Window.set all_sizes in
+    let alerts = Alert.engine rules in
+    let recomputed =
+      List.concat_map
+        (fun (o : Serve_obs.t) ->
+          Window.push_set wins o;
+          List.map Alert.event_to_json
+            (Alert.observe alerts wins ~epoch:o.Serve_obs.epoch))
+        observations
+    in
+    let rec diff i rec_l comp_l acc =
+      match (rec_l, comp_l) with
+      | [], [] -> List.rev acc
+      | r :: rt, c :: ct ->
+        let acc =
+          if Obs_json.to_string r = Obs_json.to_string c then acc
+          else
+            Printf.sprintf "alert %d differs: recorded %s, recomputed %s" i
+              (Obs_json.to_string r) (Obs_json.to_string c)
+            :: acc
+        in
+        diff (i + 1) rt ct acc
+      | r :: rt, [] ->
+        diff (i + 1) rt []
+          (Printf.sprintf "alert %d only recorded: %s" i
+             (Obs_json.to_string r)
+          :: acc)
+      | [], c :: ct ->
+        diff (i + 1) [] ct
+          (Printf.sprintf "alert %d only recomputed: %s" i
+             (Obs_json.to_string c)
+          :: acc)
+    in
+    let mismatches = diff 0 recorded recomputed [] in
+    let last_obs =
+      match List.rev observations with [] -> None | o :: _ -> Some o
+    in
+    let epoch, arrived, detections, total_cycles =
+      match last_obs with
+      | Some o ->
+        ( o.Serve_obs.epoch + 1, o.Serve_obs.arrived, o.Serve_obs.cumulative,
+          List.fold_left (fun s (o : Serve_obs.t) -> s + o.cycles) 0
+            observations )
+      | None -> (0, 0, 0, 0)
+    in
+    let status : Obs_json.t =
+      `Assoc
+        (status_core ~epoch ~arrived ~detections ~total_cycles ~last:last_obs
+           ~wins ~alerts ~window_sizes)
+    in
+    Ok
+      { meta = Some meta_json; observations; recorded; recomputed;
+        mismatches; read_errors; status })

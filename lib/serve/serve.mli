@@ -1,0 +1,122 @@
+(** The service loop: a long-running fleet driver in virtual time.
+
+    [csod_run serve] wraps this module: it drives {!Fleet.step} epoch by
+    epoch under an open-ended {!Workload.rate} arrival process, and at
+    every barrier
+
+    - projects the epoch into a deterministic {!Serve_obs.t},
+    - pushes it through the rolling {!Window.set},
+    - evaluates the {!Alert} rules and logs fire/clear transitions,
+    - appends health and alert records to the durable {!History},
+    - republishes the status snapshot and, periodically, a checkpoint.
+
+    Determinism contract: for a given workload (seed, schedule) the
+    history segments, the alert stream and the status document minus its
+    ["wall"] member are bit-identical at any [domains] count — pinned by
+    [test_serve].  Wall-clock facts exist only in the status ["wall"]
+    object, never in history.
+
+    The service is resumable: {!start} finding an intact checkpoint at
+    [config.checkpoint_path] reconstructs the store, windows, alert
+    states and history position and continues the {e same} deterministic
+    stream (fleet epoch/uid offsets keep fault draws aligned), so the
+    remaining history bytes match an uninterrupted run's. *)
+
+type config = {
+  workload : Workload.t;
+  domains : int;
+  epoch_size : int;
+  faults : Fault_plan.t option;
+  rules : Alert.rule list;
+  windows : int list;  (** dashboard window sizes; rule windows are added *)
+  history_dir : string option;
+  rotate : int;  (** history lines per segment *)
+  status_path : string option;
+  status_every : int;  (** epochs between status republications *)
+  checkpoint_path : string option;
+  checkpoint_every : int;  (** epochs between checkpoints; 0 = only final *)
+}
+
+val config :
+  ?domains:int ->
+  ?epoch_size:int ->
+  ?faults:Fault_plan.t ->
+  ?rules:Alert.rule list ->
+  ?windows:int list ->
+  ?history_dir:string ->
+  ?rotate:int ->
+  ?status_path:string ->
+  ?status_every:int ->
+  ?checkpoint_path:string ->
+  ?checkpoint_every:int ->
+  Workload.t ->
+  config
+(** Defaults: [domains = Pool.default_domains ()], [epoch_size = 32],
+    no faults, [rules = Alert.defaults], [windows = \[1; 10; 100\]],
+    no history/status/checkpoint files, [rotate = 4096],
+    [status_every = 1], [checkpoint_every = 0]. *)
+
+type 'a t
+
+val start : config -> execute:'a Fleet.executor -> ('a t, string) result
+(** A fresh service — unless [config.checkpoint_path] names an existing
+    file, in which case the service resumes from it ([Error] if the
+    checkpoint is unreadable or inconsistent, rather than silently
+    restarting the stream from epoch 0).  On resume the history
+    directory is truncated back to the checkpointed position, so a crash
+    after the last checkpoint cannot leave duplicate records. *)
+
+type outcome = {
+  obs : Serve_obs.t;           (** the epoch's deterministic record *)
+  events : Alert.event list;   (** alert transitions at this barrier *)
+}
+
+val step : 'a t -> outcome
+(** Run the next epoch: arrivals are [Workload.rate] at the current
+    epoch, clamped to the unserved population (0 once everyone has
+    arrived — the service keeps observing an idle fleet). *)
+
+val finish : 'a t -> 'a Fleet.report
+(** Close out: publish the final status and checkpoint (if configured),
+    close the history writer, and return the underlying fleet report
+    (lean: first catch, merged registries, store). *)
+
+val epoch : 'a t -> int
+val arrived : 'a t -> int
+val detections : 'a t -> int
+val virtual_seconds : 'a t -> float
+val last : 'a t -> Serve_obs.t option
+val windows : 'a t -> Window.set
+val alert_engine : 'a t -> Alert.t
+
+val status_json : 'a t -> Obs_json.t
+(** The live status document (schema [csod.serve.status/1]):
+    deterministic run state, window aggregates, alert states, plus the
+    ["wall"] sub-object (domain count, wall seconds, unix time) — the
+    only nondeterministic member. *)
+
+val render_status : ?color:bool -> Obs_json.t -> string option
+(** One-screen dashboard for a [csod.serve.status/1] document — used by
+    [serve --live], [top] on a status file, and [replay].  [None] if the
+    document is not a status snapshot. *)
+
+(** {2 Offline replay}
+
+    [csod_run replay] rebuilds the service's view from the history
+    directory alone: windows and alert rules are re-evaluated over the
+    recorded health bodies and the recomputed alert stream is compared,
+    JSON-for-JSON, against the recorded one. *)
+
+type replay = {
+  meta : Obs_json.t option;        (** the run's meta record *)
+  observations : Serve_obs.t list; (** health bodies, epoch order *)
+  recorded : Obs_json.t list;      (** alert bodies as written *)
+  recomputed : Obs_json.t list;    (** alert bodies re-derived offline *)
+  mismatches : string list;        (** recorded/recomputed differences *)
+  read_errors : string list;       (** corrupt or checksum-failed lines *)
+  status : Obs_json.t;             (** final status rebuilt from history
+                                       (no ["wall"] member) *)
+}
+
+val replay : string -> (replay, string) result
+(** [Error] when the directory has no readable meta record. *)

@@ -1,0 +1,62 @@
+type t = {
+  epoch : int;
+  arrivals : int;
+  arrived : int;
+  detections : int;
+  cumulative : int;
+  cdf : float;
+  store_contexts : int;
+  degraded : int;
+  worker_crashes : int;
+  faults : (string * int) list;
+  snapshots : int;
+  cycles : int;
+  virtual_seconds : float;
+  cycle_skew : float;
+}
+
+let to_json o : Obs_json.t =
+  `Assoc
+    [ ("epoch", `Int o.epoch); ("arrivals", `Int o.arrivals);
+      ("arrived", `Int o.arrived); ("detections", `Int o.detections);
+      ("cumulative", `Int o.cumulative); ("cdf", `Float o.cdf);
+      ("store_contexts", `Int o.store_contexts);
+      ("degraded", `Int o.degraded);
+      ("worker_crashes", `Int o.worker_crashes);
+      ("faults", `Assoc (List.map (fun (k, v) -> (k, `Int v)) o.faults));
+      ("snapshots", `Int o.snapshots); ("cycles", `Int o.cycles);
+      ("virtual_seconds", `Float o.virtual_seconds);
+      ("cycle_skew", `Float o.cycle_skew) ]
+
+let of_json json =
+  let ( let* ) = Option.bind in
+  let int k = Option.bind (Obs_json.member k json) Obs_json.to_int in
+  let flt k = Option.bind (Obs_json.member k json) Obs_json.to_float in
+  let* epoch = int "epoch" in
+  let* arrivals = int "arrivals" in
+  let* arrived = int "arrived" in
+  let* detections = int "detections" in
+  let* cumulative = int "cumulative" in
+  let* cdf = flt "cdf" in
+  let* store_contexts = int "store_contexts" in
+  let* degraded = int "degraded" in
+  let* worker_crashes = int "worker_crashes" in
+  let* snapshots = int "snapshots" in
+  let* cycles = int "cycles" in
+  let* virtual_seconds = flt "virtual_seconds" in
+  let* cycle_skew = flt "cycle_skew" in
+  let* faults =
+    match Obs_json.member "faults" json with
+    | Some (`Assoc kvs) ->
+      let parsed =
+        List.filter_map
+          (fun (k, v) -> Option.map (fun n -> (k, n)) (Obs_json.to_int v))
+          kvs
+      in
+      if List.length parsed = List.length kvs then Some parsed else None
+    | _ -> None
+  in
+  Some
+    { epoch; arrivals; arrived; detections; cumulative; cdf; store_contexts;
+      degraded; worker_crashes; faults; snapshots; cycles; virtual_seconds;
+      cycle_skew }

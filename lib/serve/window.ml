@@ -1,0 +1,211 @@
+type agg = {
+  epochs : int;
+  first_epoch : int;
+  last_epoch : int;
+  arrivals : int;
+  detections : int;
+  degraded : int;
+  worker_crashes : int;
+  faults : (string * int) list;
+  snapshots : int;
+  cycles : int;
+  skew_max : float;
+  cdf_last : float;
+  store_last : int;
+  virtual_last : float;
+}
+
+let empty =
+  { epochs = 0; first_epoch = -1; last_epoch = -1; arrivals = 0;
+    detections = 0; degraded = 0; worker_crashes = 0; faults = [];
+    snapshots = 0; cycles = 0; skew_max = 0.; cdf_last = 0.; store_last = 0;
+    virtual_last = 0. }
+
+let of_obs (o : Serve_obs.t) =
+  { epochs = 1; first_epoch = o.epoch; last_epoch = o.epoch;
+    arrivals = o.arrivals; detections = o.detections; degraded = o.degraded;
+    worker_crashes = o.worker_crashes;
+    faults = List.sort (fun (a, _) (b, _) -> compare a b) o.faults;
+    snapshots = o.snapshots; cycles = o.cycles; skew_max = o.cycle_skew;
+    cdf_last = o.cdf; store_last = o.store_contexts;
+    virtual_last = o.virtual_seconds }
+
+(* Sum two name-sorted counter lists, keeping the result sorted — the
+   same merge a from-scratch fold would produce, so grouping doesn't
+   matter. *)
+let rec merge_faults a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | (ka, va) :: ta, (kb, vb) :: tb ->
+    let c = compare ka kb in
+    if c = 0 then (ka, va + vb) :: merge_faults ta tb
+    else if c < 0 then (ka, va) :: merge_faults ta b
+    else (kb, vb) :: merge_faults a tb
+
+let merge a b =
+  if a.epochs = 0 then b
+  else if b.epochs = 0 then a
+  else
+    { epochs = a.epochs + b.epochs; first_epoch = a.first_epoch;
+      last_epoch = b.last_epoch; arrivals = a.arrivals + b.arrivals;
+      detections = a.detections + b.detections;
+      degraded = a.degraded + b.degraded;
+      worker_crashes = a.worker_crashes + b.worker_crashes;
+      faults = merge_faults a.faults b.faults;
+      snapshots = a.snapshots + b.snapshots; cycles = a.cycles + b.cycles;
+      skew_max = Float.max a.skew_max b.skew_max; cdf_last = b.cdf_last;
+      store_last = b.store_last; virtual_last = b.virtual_last }
+
+let agg_to_json a : Obs_json.t =
+  `Assoc
+    [ ("epochs", `Int a.epochs); ("first_epoch", `Int a.first_epoch);
+      ("last_epoch", `Int a.last_epoch); ("arrivals", `Int a.arrivals);
+      ("detections", `Int a.detections); ("degraded", `Int a.degraded);
+      ("worker_crashes", `Int a.worker_crashes);
+      ("faults", `Assoc (List.map (fun (k, v) -> (k, `Int v)) a.faults));
+      ("snapshots", `Int a.snapshots); ("cycles", `Int a.cycles);
+      ("skew_max", `Float a.skew_max); ("cdf_last", `Float a.cdf_last);
+      ("store_last", `Int a.store_last);
+      ("virtual_last", `Float a.virtual_last) ]
+
+let agg_of_json json =
+  let ( let* ) = Option.bind in
+  let int k = Option.bind (Obs_json.member k json) Obs_json.to_int in
+  let flt k = Option.bind (Obs_json.member k json) Obs_json.to_float in
+  let* epochs = int "epochs" in
+  let* first_epoch = int "first_epoch" in
+  let* last_epoch = int "last_epoch" in
+  let* arrivals = int "arrivals" in
+  let* detections = int "detections" in
+  let* degraded = int "degraded" in
+  let* worker_crashes = int "worker_crashes" in
+  let* snapshots = int "snapshots" in
+  let* cycles = int "cycles" in
+  let* skew_max = flt "skew_max" in
+  let* cdf_last = flt "cdf_last" in
+  let* store_last = int "store_last" in
+  let* virtual_last = flt "virtual_last" in
+  let* faults =
+    match Obs_json.member "faults" json with
+    | Some (`Assoc kvs) ->
+      let parsed =
+        List.filter_map
+          (fun (k, v) -> Option.map (fun n -> (k, n)) (Obs_json.to_int v))
+          kvs
+      in
+      if List.length parsed = List.length kvs then Some parsed else None
+    | _ -> None
+  in
+  Some
+    { epochs; first_epoch; last_epoch; arrivals; detections; degraded;
+      worker_crashes; faults; snapshots; cycles; skew_max; cdf_last;
+      store_last; virtual_last }
+
+type t = {
+  win : int;
+  ring : agg array;  (* slot = epoch index mod win *)
+  mutable count : int;  (* lifetime pushes *)
+}
+
+let create ~size =
+  if size < 1 then invalid_arg "Window.create: size must be >= 1";
+  { win = size; ring = Array.make size empty; count = 0 }
+
+let size t = t.win
+let pushed t = t.count
+
+let push t o =
+  t.ring.(t.count mod t.win) <- of_obs o;
+  t.count <- t.count + 1
+
+(* The ring's occupied slots in epoch order: oldest first. *)
+let ordered t =
+  let n = min t.count t.win in
+  let start = if t.count <= t.win then 0 else t.count mod t.win in
+  Array.init n (fun i -> t.ring.((start + i) mod t.win))
+
+let aggregate t =
+  let slots = ordered t in
+  let n = Array.length slots in
+  if n = 0 then empty
+  else begin
+    (* Pairwise tree-fold over adjacent spans, the stride-doubling shape
+       of Metrics_shard.reduce_into.  merge is associative over adjacent
+       groupings, so this equals the linear fold — pinned in
+       test_serve. *)
+    let stride = ref 1 in
+    while !stride < n do
+      let i = ref 0 in
+      while !i + !stride < n do
+        slots.(!i) <- merge slots.(!i) slots.(!i + !stride);
+        i := !i + (2 * !stride)
+      done;
+      stride := 2 * !stride
+    done;
+    slots.(0)
+  end
+
+type set = { windows : (int * t) list (* size-sorted *) }
+
+let set sizes =
+  let sizes = List.sort_uniq compare sizes in
+  { windows = List.map (fun w -> (w, create ~size:w)) sizes }
+
+let sizes s = List.map fst s.windows
+
+let rows s =
+  match s.windows with [] -> 0 | (_, t) :: _ -> t.count
+
+let push_set s o = List.iter (fun (_, t) -> push t o) s.windows
+
+let get s w =
+  Option.map aggregate (List.assoc_opt w s.windows)
+
+let set_to_json s : Obs_json.t =
+  let win (w, t) : string * Obs_json.t =
+    ( string_of_int w,
+      `Assoc
+        [ ("count", `Int t.count);
+          ("slots", `List (Array.to_list (Array.map agg_to_json (ordered t))))
+        ] )
+  in
+  `Assoc [ ("windows", `Assoc (List.map win s.windows)) ]
+
+let set_of_json json =
+  let ( let* ) = Option.bind in
+  match Obs_json.member "windows" json with
+  | Some (`Assoc kvs) ->
+    let parse_one (k, v) =
+      let* w = int_of_string_opt k in
+      if w < 1 then None
+      else
+        let* count = Option.bind (Obs_json.member "count" v) Obs_json.to_int in
+        let* slots =
+          match Obs_json.member "slots" v with
+          | Some (`List l) ->
+            let parsed = List.filter_map agg_of_json l in
+            if List.length parsed = List.length l && List.length l <= w then
+              Some parsed
+            else None
+          | _ -> None
+        in
+        let t = create ~size:w in
+        (* Refill the ring at the positions the live service had them:
+           the oldest restored slot sits at index [count - n]. *)
+        let n = List.length slots in
+        List.iteri
+          (fun i a -> t.ring.((count - n + i) mod w) <- a)
+          slots;
+        t.count <- count;
+        Some (w, t)
+    in
+    let parsed = List.filter_map parse_one kvs in
+    if List.length parsed <> List.length kvs then None
+    else
+      let counts = List.map (fun (_, t) -> t.count) parsed in
+      (match counts with
+       | [] -> Some { windows = [] }
+       | c :: rest when List.for_all (( = ) c) rest ->
+         Some { windows = List.sort (fun (a, _) (b, _) -> compare a b) parsed }
+       | _ -> None)
+  | _ -> None

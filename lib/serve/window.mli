@@ -1,0 +1,84 @@
+(** Bounded-memory rolling windows over the service observation stream.
+
+    A window of size [W] holds per-epoch aggregates for the last [W]
+    epochs in a ring and reduces them on demand — O(W) memory however
+    long the service runs.  The reduction has {e exact merge semantics}:
+    {!merge} over adjacent spans is associative, delta fields are plain
+    sums, so {!aggregate} — computed as a pairwise tree over the ring,
+    the same shape {!Metrics_shard.reduce_into} uses at epoch barriers —
+    is bit-identical to a from-scratch linear fold over the same epochs
+    (pinned by [test_serve]).  Windowed numbers read off a dashboard are
+    therefore never "approximately" the last [W] epochs: they are exactly
+    the fold of those epochs' records. *)
+
+type agg = {
+  epochs : int;        (** epochs covered; 0 for {!empty} *)
+  first_epoch : int;   (** lowest epoch in the span (-1 when empty) *)
+  last_epoch : int;    (** highest epoch in the span (-1 when empty) *)
+  arrivals : int;      (** summed over the span *)
+  detections : int;
+  degraded : int;
+  worker_crashes : int;
+  faults : (string * int) list;  (** summed per counter, name-sorted *)
+  snapshots : int;
+  cycles : int;
+  skew_max : float;    (** max per-epoch virtual straggler skew *)
+  cdf_last : float;    (** the span's most recent cdf *)
+  store_last : int;    (** the span's most recent store size *)
+  virtual_last : float;  (** virtual clock at the span's last barrier *)
+}
+
+val empty : agg
+
+val of_obs : Serve_obs.t -> agg
+(** The single-epoch aggregate. *)
+
+val merge : agg -> agg -> agg
+(** [merge a b] with [a] covering the epochs just before [b].
+    Associative over any adjacent grouping; [empty] is the identity. *)
+
+val agg_to_json : agg -> Obs_json.t
+val agg_of_json : Obs_json.t -> agg option
+
+type t
+(** One rolling window: a ring of the last [size] per-epoch aggregates. *)
+
+val create : size:int -> t
+(** Raises [Invalid_argument] if [size < 1]. *)
+
+val size : t -> int
+
+val pushed : t -> int
+(** Epochs pushed over the window's lifetime (not capped at [size]). *)
+
+val push : t -> Serve_obs.t -> unit
+
+val aggregate : t -> agg
+(** Pairwise tree-reduction of the ring in epoch order — provably equal
+    to folding the covered epochs' records from scratch. *)
+
+(** {2 Window sets}
+
+    The service keeps one ring per distinct window size (the dashboard's
+    1/10/100 plus every alert rule's); a set pushes each observation into
+    all of them and tracks the stream position for rule eligibility. *)
+
+type set
+
+val set : int list -> set
+(** Deduplicates and sorts the sizes; raises on any size < 1. *)
+
+val sizes : set -> int list
+val rows : set -> int
+(** Observations pushed into the set over its lifetime (survives
+    checkpoint/resume). *)
+
+val push_set : set -> Serve_obs.t -> unit
+val get : set -> int -> agg option
+(** The aggregate of the window of that exact size, if the set has one. *)
+
+val set_to_json : set -> Obs_json.t
+val set_of_json : Obs_json.t -> set option
+(** Checkpoint round-trip: ring contents, push counts and stream
+    position are all restored, so a resumed service aggregates exactly
+    as the uninterrupted one. *)

@@ -256,6 +256,98 @@ let test_burst_boundaries () =
   Alcotest.(check int) "epoch_size 1: sums to users" 7
     (Array.fold_left ( + ) 0 tiny)
 
+(* Regression: a wave whose period exceeds the run length must still
+   admit its launch cohort at epoch 0.  Before the heavy-half-first fix a
+   long-period wave opened with its trough, so a service driving
+   Workload.rate spent the first half-period at the floor rate. *)
+let test_wave_period_longer_than_run () =
+  let w =
+    Workload.make ~burst:Workload.Wave ~wave_period:1000 ~users:100 ()
+  in
+  Alcotest.(check int) "rate at epoch 0 is the heavy phase" 48
+    (Workload.rate w ~epoch_size:32 0);
+  let a = Workload.arrivals w ~epoch_size:32 in
+  Alcotest.(check int) "epoch 0 admits the launch cohort" 48 a.(0);
+  (* The whole run fits inside the heavy half-period: 48 + 48 + 4. *)
+  Alcotest.(check int) "drains in 3 epochs" 3 (Array.length a);
+  (* General period: heavy half first, then light, repeating. *)
+  let p6 = Workload.make ~burst:Workload.Wave ~wave_period:6 ~users:1000 () in
+  Alcotest.(check (list int)) "period 6: 3 heavy then 3 light"
+    [ 48; 48; 48; 16; 16; 16; 48 ]
+    (List.init 7 (Workload.rate p6 ~epoch_size:32));
+  (* Odd period: the odd epoch lands on the heavy side. *)
+  let p3 = Workload.make ~burst:Workload.Wave ~wave_period:3 ~users:1000 () in
+  Alcotest.(check (list int)) "period 3: 2 heavy then 1 light"
+    [ 48; 48; 16; 48 ]
+    (List.init 4 (Workload.rate p3 ~epoch_size:32));
+  (* wave_period 2 is the legacy alternating shape — unchanged. *)
+  let legacy = Workload.make ~burst:Workload.Wave ~users:200 () in
+  Alcotest.(check int) "default period is 2" 2 legacy.Workload.wave_period
+
+(* The stepping API is the run loop, exposed: driving start/step/finish
+   by hand must reproduce Fleet.run exactly, and lean mode must drop only
+   the O(users) accumulation. *)
+let test_stepping_equals_run () =
+  let w = Workload.make ~benign_frac:0.2 ~burst:Workload.Wave ~users:137 () in
+  let cfg = Fleet.config ~domains:2 ~epoch_size:20 w in
+  let r = Fleet.run cfg ~execute:synthetic in
+  let arrivals = Workload.arrivals w ~epoch_size:20 in
+  let total = Array.fold_left ( + ) 0 arrivals in
+  let t = Fleet.start ~expected_users:total cfg ~execute:synthetic in
+  let cycles = ref 0 in
+  Array.iter
+    (fun n ->
+      let er = Fleet.step t ~arrivals:n in
+      cycles := !cycles + er.Fleet.epoch_cycles)
+    arrivals;
+  let r' = Fleet.finish t in
+  Alcotest.(check (list int)) "same detection set" (Fleet.detection_uids r)
+    (Fleet.detection_uids r');
+  Alcotest.(check int) "same seat count" (Array.length r.Fleet.seats)
+    (Array.length r'.Fleet.seats);
+  Alcotest.(check string) "same merged metrics"
+    (Obs_json.to_string (Metrics.to_json r.Fleet.metrics))
+    (Obs_json.to_string (Metrics.to_json r'.Fleet.metrics));
+  Alcotest.(check (list int)) "same health stream (epoch detections)"
+    (List.map (fun (h : Health.sample) -> h.Health.detections) r.Fleet.health)
+    (List.map (fun (h : Health.sample) -> h.Health.detections) r'.Fleet.health);
+  (* epoch_cycles sums to the executor's total virtual cycles: the
+     synthetic executor charges 1 cycle per user. *)
+  Alcotest.(check int) "epoch_cycles sum to the fleet's virtual work" 137
+    !cycles;
+  (* Lean mode: same tallies and first catch, no per-user accumulation. *)
+  let tl = Fleet.start ~lean:true ~expected_users:total cfg ~execute:synthetic in
+  Array.iter (fun n -> ignore (Fleet.step tl ~arrivals:n)) arrivals;
+  let rl = Fleet.finish tl in
+  Alcotest.(check int) "lean: same detections" r.Fleet.detections
+    rl.Fleet.detections;
+  Alcotest.(check int) "lean: no seats kept" 0 (Array.length rl.Fleet.seats);
+  Alcotest.(check bool) "lean: health not accumulated" true
+    (rl.Fleet.health = []);
+  (match (r.Fleet.first_catch, rl.Fleet.first_catch) with
+  | Some a, Some b ->
+    Alcotest.(check int) "lean: same first catch"
+      a.Fleet.user.Workload.uid b.Fleet.user.Workload.uid
+  | _ -> Alcotest.fail "first catch expected in both");
+  (* epoch0/uid0 offsets: serving epochs [k..] with uids [m..] is the
+     tail of the same stream. *)
+  let t2 = Fleet.start ~expected_users:total cfg ~execute:synthetic in
+  let split = 2 in
+  Array.iteri
+    (fun e n -> if e < split then ignore (Fleet.step t2 ~arrivals:n))
+    arrivals;
+  let resumed =
+    Fleet.start ~store:(Fleet.store t2) ~expected_users:total
+      ~epoch0:(Fleet.epoch t2) ~uid0:(Fleet.next_uid t2) cfg
+      ~execute:synthetic
+  in
+  Array.iteri
+    (fun e n -> if e >= split then ignore (Fleet.step resumed ~arrivals:n))
+    arrivals;
+  Alcotest.(check int) "offset resume: same total detections"
+    r.Fleet.detections
+    (Fleet.detections t2 + Fleet.detections resumed)
+
 (* ---------- Per-worker locals and load stats ---------- *)
 
 let test_map_local_stats () =
@@ -457,6 +549,10 @@ let suite =
     Alcotest.test_case "edge: empty fleet" `Quick test_empty_fleet;
     Alcotest.test_case "edge: single-user fleet" `Quick test_single_user_fleet;
     Alcotest.test_case "edge: burst boundaries" `Quick test_burst_boundaries;
+    Alcotest.test_case "wave period longer than the run" `Quick
+      test_wave_period_longer_than_run;
+    Alcotest.test_case "stepping API equals run" `Quick
+      test_stepping_equals_run;
     Alcotest.test_case "pool: map_local worker stats" `Quick test_map_local_stats;
     Alcotest.test_case "sharded telemetry: synthetic equivalence" `Quick
       test_sharded_equivalence_synthetic;

@@ -19,6 +19,7 @@ let () =
       ("asan", Test_asan.suite);
       ("apps", Test_apps.suite);
       ("fleet", Test_fleet.suite);
+      ("serve", Test_serve.suite);
       ("faults", Test_faults.suite);
       ("harness", Test_harness.suite);
       ("misc", Test_misc.suite);

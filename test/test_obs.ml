@@ -821,6 +821,76 @@ let test_health_skew_and_render () =
   Alcotest.(check bool) "empty stream renders a placeholder" true
     (String.length (Health.render ~color:false []) > 0)
 
+(* The serve history format stores every rate and skew as a JSON float, so
+   the parser's float edges are load-bearing: non-finite tokens must be
+   rejected (JSON has no nan/inf), and exponent forms must survive a
+   to_string/of_string cycle at the encoder's %.12g precision. *)
+let test_obs_json_float_edges () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" bad)
+        true
+        (match Obs_json.of_string bad with Ok _ -> false | Error _ -> true))
+    [ "nan"; "inf"; "-inf"; "NaN"; "Infinity"; "-Infinity";
+      "{\"x\": nan}"; "[inf]"; "1e"; "1e+"; "0x10"; "1e999e";
+      (* overflowing exponents must not smuggle in an infinity *)
+      "1e999"; "-1e999"; "[2e308]" ];
+  (* Exponent forms round-trip through the encoder: re-encoding the parse
+     of an encoded float reproduces the same document bytes. *)
+  List.iter
+    (fun x ->
+      let doc = Obs_json.to_string (`List [ `Float x ]) in
+      match Obs_json.of_string doc with
+      | Ok j ->
+        Alcotest.(check string)
+          (Printf.sprintf "%.17g round-trip stable" x)
+          doc
+          (Obs_json.to_string j)
+      | Error msg ->
+        Alcotest.fail (Printf.sprintf "%.17g failed to parse: %s" x msg))
+    [ 2.5e-7; 1e3; 1.0; 0.1; -0.25; 6.02214076e23; 1e300; 1e-300;
+      4.9406564584124654e-324; 1.7976931348623157e308; 3.14159265358979 ];
+  (* Literal exponent spellings parse to the same value however written. *)
+  match Obs_json.of_string "[1e3, 1E3, 10e2, 1000.0, 0.1e4]" with
+  | Ok (`List vals) ->
+    List.iter
+      (fun v ->
+        Alcotest.(check (option (float 0.0))) "exponent spelling" (Some 1000.0)
+          (Obs_json.to_float v))
+      vals
+  | _ -> Alcotest.fail "exponent list failed to parse"
+
+(* An epoch where nobody ran: the drained-fleet steady state that serve
+   produces once the population is exhausted.  Every derived statistic
+   must stay finite and the record must survive its own encoding. *)
+let test_health_zero_executed () =
+  Alcotest.(check (float 1e-9)) "skew of all-idle workers" 1.0
+    (Health.straggler_skew [ 0.0; 0.0; 0.0 ]);
+  let idle =
+    { Health.epoch = 9; arrivals = 0; detections = 0; cumulative = 19;
+      users = 1000; cdf = 0.019; store_contexts = 2; degraded = 1;
+      worker_crashes = 2; faults = []; snapshots = 12;
+      epoch_seconds = 0.0001; merge_seconds = 0.0; observer_seconds = 0.0;
+      execs_per_sec = 0.0; straggler_skew = 1.0; telemetry = "sharded";
+      domains =
+        [ { Health.slot = 0; executed = 0; busy_seconds = 0.0 };
+          { Health.slot = 1; executed = 0; busy_seconds = 0.0 } ] }
+  in
+  (match Obs_json.of_string (Obs_json.to_string (Health.to_json idle)) with
+  | Ok j -> (
+    match Health.of_json j with
+    | Some s -> Alcotest.(check bool) "idle epoch round-trips" true (s = idle)
+    | None -> Alcotest.fail "of_json rejected an idle epoch")
+  | Error msg -> Alcotest.fail ("idle epoch does not parse: " ^ msg));
+  let plain = Health.render ~color:false [ idle ] in
+  Alcotest.(check bool) "idle epoch renders" true
+    (String.starts_with ~prefix:"CSOD FLEET" plain);
+  (* An empty fleet (users = 0) must not divide by zero anywhere. *)
+  let empty = { idle with Health.users = 0; cumulative = 0; cdf = 0.0 } in
+  Alcotest.(check bool) "empty fleet renders" true
+    (String.length (Health.render ~color:false [ empty ]) > 0)
+
 (* ---------- Fleet span export ---------- *)
 
 let test_fleet_span_export () =
@@ -920,5 +990,8 @@ let suite =
     Alcotest.test_case "health record round-trip" `Quick test_health_roundtrip;
     Alcotest.test_case "health skew and renderer" `Quick
       test_health_skew_and_render;
+    Alcotest.test_case "json float edges" `Quick test_obs_json_float_edges;
+    Alcotest.test_case "health with zero executed users" `Quick
+      test_health_zero_executed;
     Alcotest.test_case "fleet span export structure" `Quick
       test_fleet_span_export ]

@@ -1,0 +1,514 @@
+(* Tests for the service layer: rolling windows with exact merge
+   semantics, the alert rule engine, durable checksummed history, and the
+   serve loop's headline guarantees — history/alerts/status bit-identical
+   across domain counts, offline replay equivalence, and checkpoint
+   resume continuing the same deterministic stream. *)
+
+(* A deterministic pseudo-observation stream: every field is a pure
+   function of the index, with enough variety to exercise every merge
+   rule (max, last, per-name counter sums). *)
+let obs i : Serve_obs.t =
+  let fault_names = [ "trap.dropped"; "runtime.degraded"; "persist.corrupt_lines" ] in
+  { Serve_obs.epoch = i;
+    arrivals = 10 + (i mod 7);
+    arrived = (i + 1) * 12;
+    detections = i mod 3;
+    cumulative = i * 2;
+    cdf = float_of_int (i mod 50) /. 50.0;
+    store_contexts = i / 4;
+    degraded = i mod 2;
+    worker_crashes = (if i mod 5 = 0 then 1 else 0);
+    faults =
+      List.filteri (fun j _ -> (i + j) mod 3 = 0) fault_names
+      |> List.map (fun n -> (n, 1 + (i mod 4)));
+    snapshots = i mod 6;
+    cycles = 1000 + (i * 17);
+    virtual_seconds = float_of_int i *. 0.5;
+    cycle_skew = 1.0 +. (float_of_int (i mod 9) /. 3.0) }
+
+(* The specification: a linear left fold over the covered epochs. *)
+let linear_fold os =
+  List.fold_left
+    (fun acc o -> Window.merge acc (Window.of_obs o))
+    Window.empty os
+
+let agg = Alcotest.testable (fun ppf a ->
+    Fmt.string ppf (Obs_json.to_string (Window.agg_to_json a)))
+    ( = )
+
+(* Aggregates compared across a serialization boundary: floats print at
+   %.12g, so "equal" means "serialize to the same document" — exactly the
+   bit-identical-files contract the service makes. *)
+let agg_doc =
+  Alcotest.testable
+    (fun ppf a -> Fmt.string ppf (Obs_json.to_string (Window.agg_to_json a)))
+    (fun a b ->
+      Obs_json.to_string (Window.agg_to_json a)
+      = Obs_json.to_string (Window.agg_to_json b))
+
+let last_n n l =
+  let len = List.length l in
+  List.filteri (fun i _ -> i >= len - n) l
+
+(* ---------- Window ---------- *)
+
+let test_window_tree_equals_fold () =
+  List.iter
+    (fun size ->
+      let w = Window.create ~size in
+      let seen = ref [] in
+      for i = 0 to 137 do
+        let o = obs i in
+        seen := o :: !seen;
+        Window.push w o;
+        let covered = last_n size (List.rev !seen) in
+        Alcotest.check agg
+          (Printf.sprintf "size %d at push %d" size i)
+          (linear_fold covered) (Window.aggregate w)
+      done)
+    [ 1; 2; 3; 7; 10; 64; 100 ]
+
+let test_window_merge_properties () =
+  let a = linear_fold (List.init 5 obs) in
+  Alcotest.check agg "empty is left identity" a (Window.merge Window.empty a);
+  Alcotest.check agg "empty is right identity" a (Window.merge a Window.empty);
+  (* Associativity over adjacent groupings: fold the same 12 epochs with
+     every split point and compare. *)
+  let os = List.init 12 (fun i -> Window.of_obs (obs i)) in
+  let whole = List.fold_left Window.merge Window.empty os in
+  for split = 0 to 12 do
+    let left = List.filteri (fun i _ -> i < split) os in
+    let right = List.filteri (fun i _ -> i >= split) os in
+    Alcotest.check agg
+      (Printf.sprintf "split at %d" split)
+      whole
+      (Window.merge
+         (List.fold_left Window.merge Window.empty left)
+         (List.fold_left Window.merge Window.empty right))
+  done
+
+let test_window_agg_json_roundtrip () =
+  let a = linear_fold (List.init 23 obs) in
+  (match Window.agg_of_json (Window.agg_to_json a) with
+  | Some b -> Alcotest.check agg "agg round-trips" a b
+  | None -> Alcotest.fail "agg_of_json failed");
+  Alcotest.(check (option reject)) "garbage rejected" None
+    (Option.map ignore (Window.agg_of_json (`Assoc [ ("epochs", `String "x") ])))
+
+let test_window_set_roundtrip () =
+  let s = Window.set [ 1; 10; 100; 10 ] in
+  Alcotest.(check (list int)) "sizes deduped and sorted" [ 1; 10; 100 ]
+    (Window.sizes s);
+  for i = 0 to 57 do
+    Window.push_set s (obs i)
+  done;
+  let json = Window.set_to_json s in
+  match Window.set_of_json json with
+  | None -> Alcotest.fail "set_of_json failed"
+  | Some s' ->
+    Alcotest.(check int) "rows restored" (Window.rows s) (Window.rows s');
+    List.iter
+      (fun w ->
+        Alcotest.(check (option agg_doc))
+          (Printf.sprintf "window %d aggregate restored" w)
+          (Window.get s w) (Window.get s' w))
+      (Window.sizes s);
+    (* The restored set keeps aggregating identically as the stream
+       continues — the checkpoint/resume property at the window level. *)
+    for i = 58 to 80 do
+      Window.push_set s (obs i);
+      Window.push_set s' (obs i)
+    done;
+    List.iter
+      (fun w ->
+        Alcotest.(check (option agg_doc))
+          (Printf.sprintf "window %d tracks after restore" w)
+          (Window.get s w) (Window.get s' w))
+      (Window.sizes s)
+
+(* ---------- Alert ---------- *)
+
+let specs_of rules = List.map Alert.to_spec rules
+
+let test_alert_parse () =
+  (match Alert.parse "stall@50,degraded>0.1@10" with
+  | Ok rules ->
+    Alcotest.(check (list string)) "parses and echoes"
+      [ "stall@50"; "degraded>0.1@10" ] (specs_of rules)
+  | Error m -> Alcotest.fail m);
+  (match Alert.parse "stall, skew>3\n# a comment\ncdf<0.5@30\nfaults@5" with
+  | Ok rules ->
+    Alcotest.(check (list string)) "newlines, comments, defaults"
+      [ "stall@50"; "skew>3@10"; "cdf<0.5@30"; "faults>1@5" ] (specs_of rules)
+  | Error m -> Alcotest.fail m);
+  Alcotest.(check (list string)) "defaults"
+    [ "stall@50"; "degraded>0.1@10"; "skew>3@10" ] (specs_of Alert.defaults);
+  List.iter
+    (fun bad ->
+      match Alert.parse bad with
+      | Ok _ -> Alcotest.failf "%S should not parse" bad
+      | Error _ -> ())
+    [ "bogus"; "stall>3"; "cdf>0.5"; "degraded<0.1"; "skew>wat"; "stall@0";
+      "skew>-1"; "degraded>0.1@x" ];
+  (* Every canonical spec re-parses to itself. *)
+  List.iter
+    (fun spec ->
+      match Alert.parse spec with
+      | Ok [ r ] -> Alcotest.(check string) "round-trip" spec (Alert.to_spec r)
+      | _ -> Alcotest.failf "%S did not parse to one rule" spec)
+    [ "stall@50"; "degraded>0.25@10"; "skew>3@7"; "faults>0.5@20";
+      "cdf<0.9@30" ]
+
+(* Feed an engine a hand-built observation stream and collect the
+   transitions. *)
+let drive rules stream =
+  let wins =
+    Window.set (List.map (fun (r : Alert.rule) -> r.Alert.window) rules)
+  in
+  let eng = Alert.engine rules in
+  List.concat_map
+    (fun (o : Serve_obs.t) ->
+      Window.push_set wins o;
+      Alert.observe eng wins ~epoch:o.Serve_obs.epoch)
+    stream
+
+let flat i detections : Serve_obs.t =
+  { Serve_obs.epoch = i; arrivals = 10; arrived = (i + 1) * 10; detections;
+    cumulative = 0; cdf = 0.0; store_contexts = 0; degraded = 0;
+    worker_crashes = 0; faults = []; snapshots = 0; cycles = 100;
+    virtual_seconds = 0.0; cycle_skew = 1.0 }
+
+let test_alert_fire_clear () =
+  let rules = Result.get_ok (Alert.parse "stall@3") in
+  (* detections: 1 1 0 0 0 0 1 0 0 0 — stall = 3 consecutive zero-detection
+     epochs; not before the window is full. *)
+  let stream =
+    List.mapi (fun i d -> flat i d) [ 1; 1; 0; 0; 0; 0; 1; 0; 0; 0 ]
+  in
+  let events = drive rules stream in
+  Alcotest.(check (list (pair bool int)))
+    "fires at 4 (first all-zero window), clears at 6, refires at 9"
+    [ (true, 4); (false, 6); (true, 9) ]
+    (List.map (fun (e : Alert.event) -> (e.Alert.firing, e.Alert.epoch)) events);
+  (match events with
+  | first :: _ ->
+    Alcotest.(check int) "event window covers 3 epochs" 3
+      first.Alert.window.Window.epochs;
+    Alcotest.(check int) "since = fire epoch" 4 first.Alert.since
+  | [] -> Alcotest.fail "no events");
+  (* A rule never fires while its window is filling, even on a stream that
+     would satisfy it from epoch 0. *)
+  let quiet = List.init 2 (fun i -> flat i 0) in
+  Alcotest.(check int) "cold start: no eligibility before the window fills" 0
+    (List.length (drive rules quiet))
+
+let test_alert_states_roundtrip () =
+  let rules = Result.get_ok (Alert.parse "stall@3,degraded>0.1@2") in
+  let stream = List.init 8 (fun i -> flat i 0) in
+  let wins =
+    Window.set (List.map (fun (r : Alert.rule) -> r.Alert.window) rules)
+  in
+  let eng = Alert.engine rules in
+  List.iter
+    (fun (o : Serve_obs.t) ->
+      Window.push_set wins o;
+      ignore (Alert.observe eng wins ~epoch:o.Serve_obs.epoch))
+    stream;
+  let eng' = Alert.engine rules in
+  Alcotest.(check bool) "restore accepts matching rules" true
+    (Alert.restore_states eng' (Alert.states_to_json eng));
+  Alcotest.(check (list (pair string int)))
+    "firing state restored"
+    (List.map (fun ((r : Alert.rule), s) -> (Alert.to_spec r, s))
+       (Alert.firing eng))
+    (List.map (fun ((r : Alert.rule), s) -> (Alert.to_spec r, s))
+       (Alert.firing eng'));
+  let other = Alert.engine (Result.get_ok (Alert.parse "skew>3@4")) in
+  Alcotest.(check bool) "restore rejects a different rule set" false
+    (Alert.restore_states other (Alert.states_to_json eng))
+
+(* ---------- History ---------- *)
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o755;
+  d
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let replace_once s ~sub ~by =
+  match find_sub s sub with
+  | None -> Alcotest.failf "substring %S not found" sub
+  | Some i ->
+    String.sub s 0 i ^ by
+    ^ String.sub s (i + String.length sub)
+        (String.length s - i - String.length sub)
+
+let test_history_roundtrip_and_corruption () =
+  let dir = temp_dir "csod_hist" in
+  let w = History.writer ~rotate:3 dir in
+  let bodies = List.init 8 (fun i -> Serve_obs.to_json (obs i)) in
+  List.iteri
+    (fun i b ->
+      let kind = if i = 0 then History.Meta else History.Health in
+      Alcotest.(check int) "monotonic seq" i (History.append w kind b))
+    bodies;
+  History.close w;
+  Alcotest.(check int) "rotation: 8 lines / 3 per segment = 3 files" 3
+    (List.length (History.segments dir));
+  let records, errors = History.read dir in
+  Alcotest.(check int) "all records back" 8 (List.length records);
+  Alcotest.(check (list string)) "no errors" [] errors;
+  List.iteri
+    (fun i (r : History.record) ->
+      Alcotest.(check int) "seq order" i r.History.seq;
+      Alcotest.(check string) "body round-trips"
+        (Obs_json.to_string (List.nth bodies i))
+        (Obs_json.to_string r.History.body))
+    records;
+  (* Flip one byte inside a body: the checksum must catch it, the reader
+     must skip the line and keep everything else. *)
+  let seg = List.nth (History.segments dir) 1 in
+  let content = In_channel.with_open_text seg In_channel.input_all in
+  let corrupted =
+    replace_once content ~sub:"\"arrivals\":1" ~by:"\"arrivals\":9"
+  in
+  Out_channel.with_open_text seg (fun oc -> output_string oc corrupted);
+  let records', errors' = History.read dir in
+  Alcotest.(check int) "corrupt line skipped" 7 (List.length records');
+  Alcotest.(check int) "one error reported" 1 (List.length errors');
+  Alcotest.(check bool) "error names the checksum" true
+    (find_sub (List.hd errors') "checksum" <> None)
+
+let test_history_resume_position () =
+  let dir = temp_dir "csod_hist" in
+  let w = History.writer ~rotate:4 dir in
+  for i = 0 to 5 do
+    ignore (History.append w History.Health (Serve_obs.to_json (obs i)))
+  done;
+  let seq = History.seq w
+  and segment = History.segment w
+  and lines = History.lines_in_segment w in
+  (* A crashed session appends two more lines after the checkpoint... *)
+  ignore (History.append w History.Health (Serve_obs.to_json (obs 6)));
+  ignore (History.append w History.Health (Serve_obs.to_json (obs 7)));
+  History.close w;
+  (* ...and the resume truncates back and rewrites them identically. *)
+  History.truncate dir ~segment ~lines;
+  let w' = History.writer ~rotate:4 ~seq ~segment ~lines dir in
+  for i = 6 to 7 do
+    ignore (History.append w' History.Health (Serve_obs.to_json (obs i)))
+  done;
+  History.close w';
+  let records, errors = History.read dir in
+  Alcotest.(check (list string)) "no errors after resume" [] errors;
+  Alcotest.(check (list int)) "contiguous seqs" [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.map (fun (r : History.record) -> r.History.seq) records)
+
+(* ---------- Serve ---------- *)
+
+(* Synthetic executor with evidence flow (detections ramp as the store
+   fills), virtual-cycle variety (skew), and periodic degradation. *)
+let serve_exec ~user ~store =
+  let uid = user.Workload.uid in
+  let key = (uid mod 5, 7) in
+  let detected = uid mod 23 = 3 || Persist.mem store key in
+  if uid mod 23 = 3 then Persist.add store key;
+  { Fleet.payload = ();
+    detected;
+    source = None;
+    cycles = (100 + (uid mod 7 * 40) + if uid mod 13 = 0 then 4000 else 0);
+    telemetry = None;
+    degraded = uid mod 11 = 0 }
+
+let serve_workload users =
+  Workload.make ~base_seed:5 ~burst:Workload.Wave ~wave_period:8 ~users ()
+
+let serve_cfg ?(domains = 2) ?checkpoint_path ?(checkpoint_every = 0) ~dir ()
+    =
+  Serve.config ~domains ~epoch_size:16
+    ~rules:
+      (Result.get_ok (Alert.parse "stall@5,degraded>0.05@4,cdf<0.6@6,skew>3@4"))
+    ~windows:[ 1; 4; 16 ] ~history_dir:dir ~rotate:7
+    ~status_path:(Filename.concat dir "status.json")
+    ?checkpoint_path ~checkpoint_every (serve_workload 300)
+
+let run_serve cfg ~epochs =
+  match Serve.start cfg ~execute:serve_exec with
+  | Error m -> Alcotest.fail m
+  | Ok t ->
+    let events = ref [] in
+    while Serve.epoch t < epochs do
+      let o = Serve.step t in
+      events := List.rev_append o.Serve.events !events
+    done;
+    let report = Serve.finish t in
+    (t, List.rev !events, report)
+
+let read_file f = In_channel.with_open_text f In_channel.input_all
+
+let dir_contents dir =
+  History.segments dir
+  |> List.map (fun p -> (Filename.basename p, read_file p))
+
+let strip_wall json =
+  match json with
+  | `Assoc kvs -> (`Assoc (List.remove_assoc "wall" kvs) : Obs_json.t)
+  | j -> j
+
+let test_serve_deterministic_across_domains () =
+  let runs =
+    List.map
+      (fun domains ->
+        let dir = temp_dir "csod_serve" in
+        let t, events, _ = run_serve (serve_cfg ~domains ~dir ()) ~epochs:40 in
+        let status = strip_wall (Serve.status_json t) in
+        (domains, dir_contents dir, events, status))
+      [ 1; 2; 4 ]
+  in
+  match runs with
+  | (_, hist1, events1, status1) :: rest ->
+    Alcotest.(check bool) "the run produced history" true (hist1 <> []);
+    Alcotest.(check bool) "alerts actually fired" true (events1 <> []);
+    List.iter
+      (fun (domains, hist, events, status) ->
+        Alcotest.(check (list (pair string string)))
+          (Printf.sprintf "history bytes identical at %d domains" domains)
+          hist1 hist;
+        Alcotest.(check (list string))
+          (Printf.sprintf "alert stream identical at %d domains" domains)
+          (List.map (fun e -> Obs_json.to_string (Alert.event_to_json e)) events1)
+          (List.map (fun e -> Obs_json.to_string (Alert.event_to_json e)) events);
+        Alcotest.(check string)
+          (Printf.sprintf "status minus wall identical at %d domains" domains)
+          (Obs_json.to_string status1)
+          (Obs_json.to_string status))
+      rest
+  | [] -> assert false
+
+let test_serve_windows_match_history_fold () =
+  let dir = temp_dir "csod_serve" in
+  let t, _, _ = run_serve (serve_cfg ~dir ()) ~epochs:40 in
+  let records, errors = History.read dir in
+  Alcotest.(check (list string)) "clean history" [] errors;
+  let os =
+    List.filter_map
+      (fun (r : History.record) ->
+        if r.History.kind = History.Health then Serve_obs.of_json r.History.body
+        else None)
+      records
+  in
+  Alcotest.(check int) "one health record per epoch" 40 (List.length os);
+  (* The live rolling windows equal a from-scratch fold over the durable
+     history — the dashboard's numbers are exactly reconstructible. *)
+  List.iter
+    (fun w ->
+      Alcotest.(check (option agg_doc))
+        (Printf.sprintf "window %d = fold of last %d history records" w w)
+        (Some (linear_fold (last_n w os)))
+        (Window.get (Serve.windows t) w))
+    [ 1; 4; 16 ]
+
+let test_serve_replay_equivalence () =
+  let dir = temp_dir "csod_serve" in
+  let t, events, _ = run_serve (serve_cfg ~dir ()) ~epochs:40 in
+  match Serve.replay dir with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+    Alcotest.(check (list string)) "no corrupt lines" [] r.Serve.read_errors;
+    Alcotest.(check (list string)) "no mismatches" [] r.Serve.mismatches;
+    Alcotest.(check int) "all health records replayed" 40
+      (List.length r.Serve.observations);
+    Alcotest.(check (list string))
+      "recomputed alerts equal the live transitions"
+      (List.map (fun e -> Obs_json.to_string (Alert.event_to_json e)) events)
+      (List.map Obs_json.to_string r.Serve.recomputed);
+    (* The offline status equals the live one on every deterministic
+       field (the live one additionally carries "wall"). *)
+    Alcotest.(check string) "replayed status = live status minus wall"
+      (Obs_json.to_string (strip_wall (Serve.status_json t)))
+      (Obs_json.to_string r.Serve.status)
+
+let test_serve_checkpoint_resume () =
+  (* Reference: one uninterrupted 40-epoch service. *)
+  let ref_dir = temp_dir "csod_serve" in
+  let ref_t, ref_events, _ = run_serve (serve_cfg ~dir:ref_dir ()) ~epochs:40 in
+  (* Interrupted: 22 epochs, checkpoint on exit, then a second service
+     resumes from the file and serves the rest. *)
+  let dir = temp_dir "csod_serve" in
+  let ckpt = Filename.concat dir "ckpt.json" in
+  let cfg = serve_cfg ~dir ~checkpoint_path:ckpt () in
+  let _, events_a, _ = run_serve cfg ~epochs:22 in
+  Alcotest.(check bool) "checkpoint published" true (Sys.file_exists ckpt);
+  let t, events_b, _ = run_serve cfg ~epochs:40 in
+  Alcotest.(check int) "resumed service continued at epoch 22+" 40
+    (Serve.epoch t);
+  Alcotest.(check (list (pair string string)))
+    "history bytes identical to the uninterrupted run"
+    (dir_contents ref_dir) (dir_contents dir);
+  Alcotest.(check (list string)) "alert transitions identical"
+    (List.map (fun e -> Obs_json.to_string (Alert.event_to_json e)) ref_events)
+    (List.map
+       (fun e -> Obs_json.to_string (Alert.event_to_json e))
+       (events_a @ events_b));
+  Alcotest.(check string) "final status identical minus wall"
+    (Obs_json.to_string (strip_wall (Serve.status_json ref_t)))
+    (Obs_json.to_string (strip_wall (Serve.status_json t)))
+
+let test_serve_population_drain () =
+  (* A tiny population drains quickly; the service keeps stepping an idle
+     fleet (0 arrivals) without dividing by zero or firing spurious
+     degradation alerts, and the stall rule eventually fires. *)
+  let dir = temp_dir "csod_serve" in
+  let cfg =
+    Serve.config ~domains:2 ~epoch_size:16
+      ~rules:(Result.get_ok (Alert.parse "stall@4"))
+      ~windows:[ 1; 4 ] ~history_dir:dir (serve_workload 30)
+  in
+  let t, events, _ = run_serve cfg ~epochs:12 in
+  Alcotest.(check int) "population fully admitted" 30 (Serve.arrived t);
+  (match Serve.last t with
+  | Some o ->
+    Alcotest.(check int) "idle epochs admit nobody" 0 o.Serve_obs.arrivals;
+    Alcotest.(check bool) "virtual clock still advances monotonically" true
+      (o.Serve_obs.virtual_seconds >= 0.0)
+  | None -> Alcotest.fail "no observation");
+  Alcotest.(check bool) "stall fired once the fleet went quiet" true
+    (List.exists (fun (e : Alert.event) -> e.Alert.firing) events)
+
+let suite =
+  [ Alcotest.test_case "window: tree-reduce = from-scratch fold" `Quick
+      test_window_tree_equals_fold;
+    Alcotest.test_case "window: merge identity and associativity" `Quick
+      test_window_merge_properties;
+    Alcotest.test_case "window: agg JSON round-trip" `Quick
+      test_window_agg_json_roundtrip;
+    Alcotest.test_case "window: set checkpoint round-trip" `Quick
+      test_window_set_roundtrip;
+    Alcotest.test_case "alert: spec grammar" `Quick test_alert_parse;
+    Alcotest.test_case "alert: fire/clear transitions" `Quick
+      test_alert_fire_clear;
+    Alcotest.test_case "alert: state checkpoint round-trip" `Quick
+      test_alert_states_roundtrip;
+    Alcotest.test_case "history: round-trip, rotation, corruption" `Quick
+      test_history_roundtrip_and_corruption;
+    Alcotest.test_case "history: resume position and truncation" `Quick
+      test_history_resume_position;
+    Alcotest.test_case "serve: bit-identical across domains" `Slow
+      test_serve_deterministic_across_domains;
+    Alcotest.test_case "serve: windows = fold of durable history" `Quick
+      test_serve_windows_match_history_fold;
+    Alcotest.test_case "serve: offline replay equivalence" `Quick
+      test_serve_replay_equivalence;
+    Alcotest.test_case "serve: checkpoint resume, same stream" `Slow
+      test_serve_checkpoint_resume;
+    Alcotest.test_case "serve: population drain and idle epochs" `Quick
+      test_serve_population_drain ]

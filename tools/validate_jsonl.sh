@@ -20,7 +20,9 @@ fi
 
 input="${1:--}"
 
-exec python3 - "$input" "$schema" <<'EOF'
+# The program is passed via -c (not a heredoc on stdin) so that stdin
+# stays available for piped JSONL when input is "-".
+program=$(cat <<'EOF'
 import json
 import numbers
 import sys
@@ -75,7 +77,90 @@ KNOWN = {
         "telemetry": str,
         "domains": list,
     },
+    "csod.fleet.alert/1": {
+        "alert": str,
+        "spec": str,
+        "state": str,
+        "epoch": int,
+        "since": int,
+        "window": dict,
+    },
+    "csod.serve.history/1": {
+        "seq": int,
+        "kind": str,
+        "crc": str,
+        "body": dict,
+    },
 }
+
+# ---- Stateful checks for the serve streams -------------------------------
+#
+# Alert transitions must alternate fire -> clear per spec (the engine only
+# emits transitions), and the window snapshot on each event must describe a
+# span that ends at or before the event's epoch.  History lines must carry
+# contiguous sequence numbers and a well-formed 64-bit checksum.
+
+alert_states = {}    # spec -> last seen state ("fire" | "clear")
+history_next = None  # expected next seq, once the first line fixes the origin
+mid_stream = False   # history segment starting past seq 0: prior alert
+                     # state is unknown, so an initial clear is legal
+
+def check_alert(obj, where):
+    for key, ty in KNOWN["csod.fleet.alert/1"].items():
+        if key not in obj:
+            sys.exit(f"{where}: alert record missing field {key!r}")
+        if not isinstance(obj[key], ty) or isinstance(obj[key], bool):
+            sys.exit(f"{where}: alert field {key!r} has type "
+                     f"{type(obj[key]).__name__}")
+    spec, state = obj["spec"], obj["state"]
+    if state not in ("fire", "clear"):
+        sys.exit(f"{where}: alert state {state!r} is not fire/clear")
+    w = obj["window"]
+    for key in ("epochs", "first_epoch", "last_epoch"):
+        v = w.get(key)
+        if not isinstance(v, int) or isinstance(v, bool):
+            sys.exit(f"{where}: alert window lacks int field {key!r}")
+    if not w["first_epoch"] <= w["last_epoch"] <= obj["epoch"]:
+        sys.exit(f"{where}: alert window [{w['first_epoch']}, "
+                 f"{w['last_epoch']}] outside epoch {obj['epoch']}")
+    if w["epochs"] < 1:
+        sys.exit(f"{where}: alert window covers {w['epochs']} epochs")
+    prev = alert_states.get(spec)
+    if state == "fire" and prev == "fire":
+        sys.exit(f"{where}: {spec} fired twice without clearing")
+    if state == "clear" and prev != "fire" \
+            and not (mid_stream and prev is None):
+        sys.exit(f"{where}: {spec} cleared without firing")
+    if state == "fire" and obj["since"] != obj["epoch"]:
+        sys.exit(f"{where}: fire event since {obj['since']} != "
+                 f"epoch {obj['epoch']}")
+    if state == "clear" and not 0 <= obj["since"] <= obj["epoch"]:
+        sys.exit(f"{where}: clear event since {obj['since']} "
+                 f"outside [0, {obj['epoch']}]")
+    alert_states[spec] = state
+
+def check_history(obj, where):
+    global history_next, mid_stream
+    if obj["kind"] not in ("meta", "health", "alert"):
+        sys.exit(f"{where}: unknown history kind {obj['kind']!r}")
+    if history_next is None and obj["seq"] != 0:
+        mid_stream = True
+    crc = obj["crc"]
+    if len(crc) != 16 or any(c not in "0123456789abcdef" for c in crc):
+        sys.exit(f"{where}: crc {crc!r} is not 16 lowercase hex digits")
+    if history_next is not None and obj["seq"] != history_next:
+        sys.exit(f"{where}: seq {obj['seq']}, expected {history_next}")
+    history_next = obj["seq"] + 1
+    body = obj["body"]
+    if obj["kind"] == "health":
+        for key in ("epoch", "arrivals", "detections", "cumulative"):
+            v = body.get(key)
+            if not isinstance(v, int) or isinstance(v, bool):
+                sys.exit(f"{where}: health body lacks int field {key!r}")
+        if not 0.0 <= body.get("cdf", -1.0) <= 1.0:
+            sys.exit(f"{where}: health body cdf out of [0, 1]")
+    elif obj["kind"] == "alert":
+        check_alert(body, where)
 
 fields = KNOWN.get(schema)
 
@@ -109,6 +194,10 @@ with stream:
             if fields and "cdf" in fields \
                     and not 0.0 <= obj["cdf"] <= 1.0:
                 sys.exit(f"{path}:{n}: cdf out of [0, 1]")
+            if schema == "csod.fleet.alert/1":
+                check_alert(obj, f"{path}:{n}")
+            elif schema == "csod.serve.history/1":
+                check_history(obj, f"{path}:{n}")
         lines += 1
 
 if not lines and schema:
@@ -116,3 +205,5 @@ if not lines and schema:
 print(f"{path}: {lines} valid JSONL line(s)"
       + (f" [{schema}]" if schema else ""))
 EOF
+)
+exec python3 -c "$program" "$input" "$schema"
