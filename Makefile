@@ -1,6 +1,6 @@
 # Convenience targets around dune.
 
-.PHONY: all build test check bench metrics fleet faults perf validate clean
+.PHONY: all build test check bench metrics fleet faults perf validate sim clean
 
 all: build
 
@@ -48,6 +48,15 @@ perf:
 validate:
 	dune exec bin/csod_run.exe -- run heartbleed --seed 3 --events /tmp/csod_events.jsonl > /dev/null
 	tools/validate_jsonl.sh /tmp/csod_events.jsonl
+
+# Bounded simulation sweep: ~2k weighted operation sequences across the
+# four stack-layer alphabets (heap+sparse memory, runtime, fleet, store),
+# model invariants checked after every step, counterexamples shrunk and
+# printed as runnable csod.sim.repro/1 lines (non-zero exit on failure).
+# The committed planted-bug repro must also keep replaying bit-identically.
+sim:
+	dune exec bin/csod_run.exe -- sim --seed 1 --runs 500 --ops 60
+	dune exec bin/csod_run.exe -- sim --replay examples/sim/planted.repro.jsonl
 
 clean:
 	dune clean

@@ -926,6 +926,150 @@ let top_cmd =
              states, throughput, straggler skew, per-domain load bars.")
     Term.(const run $ file_arg $ follow_arg $ interval_arg $ no_color_arg)
 
+(* ---- sim: deterministic simulation testing with shrinking ---- *)
+
+let sim_cmd =
+  let alphabet_arg =
+    Arg.(value & opt_all string []
+         & info [ "alphabet" ] ~docv:"NAME"
+             ~doc:"Alphabet to sweep (repeatable).  Default: every \
+                   real-system alphabet (heap, runtime, fleet, store).  The \
+                   planted-bug alphabets (store-buggy-merge, \
+                   fleet-evidence-bug) are reachable only by explicit name.")
+  in
+  let sim_runs_arg =
+    Arg.(value & opt int 100
+         & info [ "runs" ] ~docv:"N"
+             ~doc:"Operation sequences per alphabet (seeds $(b,--seed), \
+                   $(b,--seed)+1, ...).")
+  in
+  let ops_arg =
+    Arg.(value & opt int 60
+         & info [ "ops" ] ~docv:"N" ~doc:"Maximum operations per sequence.")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag
+         & info [ "no-shrink" ]
+             ~doc:"Report the first failing sequence as generated, without \
+                   minimizing it.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Append each counterexample as one csod.sim.repro/1 JSONL \
+                   line to $(docv).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Re-execute every csod.sim.repro/1 record in $(docv) and \
+                   verify each fails at the recorded step with the recorded \
+                   message and replay hash (bit-identical trace).  Non-zero \
+                   exit on any divergence.")
+  in
+  let replay_file file =
+    let lines =
+      In_channel.with_open_text file In_channel.input_lines
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    if lines = [] then begin
+      Printf.eprintf "replay: %s holds no repro records\n" file;
+      exit 1
+    end;
+    let bad = ref 0 in
+    List.iteri
+      (fun i line ->
+        let fail msg =
+          incr bad;
+          Printf.printf "record %d: FAIL %s\n" (i + 1) msg
+        in
+        match Obs_json.of_string line with
+        | Error m -> fail ("unparsable JSON: " ^ m)
+        | Ok json -> (
+          match Sim.of_json json with
+          | Error m -> fail ("bad repro record: " ^ m)
+          | Ok f -> (
+            match Sim.replay Sim_registry.all f with
+            | Ok msg ->
+              Printf.printf "record %d: ok %s/%d %s\n" (i + 1) f.Sim.alphabet
+                f.Sim.seed msg
+            | Error m -> fail m)))
+      lines;
+    if !bad > 0 then begin
+      Printf.eprintf "replay: %d of %d records diverged\n" !bad
+        (List.length lines);
+      exit 1
+    end;
+    Printf.printf "replay: %d records re-executed bit-identically\n"
+      (List.length lines)
+  in
+  let run alphabets seed runs ops no_shrink out replay =
+    match replay with
+    | Some file -> replay_file file
+    | None ->
+      let packs =
+        match alphabets with
+        | [] -> Sim_registry.default
+        | names ->
+          List.map
+            (fun n ->
+              match Sim_registry.find n with
+              | Some p -> p
+              | None ->
+                Printf.eprintf "unknown alphabet %S (have: %s)\n" n
+                  (String.concat ", " Sim_registry.names);
+                exit 1)
+            names
+      in
+      let out_oc =
+        Option.map (fun f -> open_out_gen [ Open_append; Open_creat ] 0o644 f) out
+      in
+      let failures = ref 0 in
+      List.iter
+        (fun pack ->
+          let fs =
+            Sim.run_packed ~shrink_failures:(not no_shrink) pack ~seed ~runs
+              ~ops
+          in
+          (match fs with
+          | [] ->
+            Printf.printf "%-18s %d runs x %d ops: ok\n" (Sim.name_of pack)
+              runs ops
+          | fs ->
+            List.iter
+              (fun f ->
+                incr failures;
+                Printf.printf "%-18s FAILED\n%s" (Sim.name_of pack)
+                  (Sim.summary f);
+                match out_oc with
+                | Some oc ->
+                  output_string oc (Sim.repro_line f);
+                  output_char oc '\n'
+                | None -> ())
+              fs);
+          flush stdout)
+        packs;
+      Option.iter close_out out_oc;
+      (match (out, !failures) with
+      | Some file, n when n > 0 ->
+        Printf.printf "%d counterexample%s appended to %s\n" n
+          (if n = 1 then "" else "s")
+          file
+      | _ -> ());
+      if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Deterministic simulation testing: draw weighted operation \
+             sequences over a stack layer (heap, runtime, fleet, store), \
+             check a model-based invariant after every step, shrink any \
+             counterexample to a minimal operation list, and emit it as a \
+             runnable csod.sim.repro/1 record.  $(b,--replay FILE) \
+             re-executes recorded counterexamples bit-identically (replay \
+             hash over ops, arguments and per-step state digests).")
+    Term.(const run $ alphabet_arg $ seed_arg $ sim_runs_arg $ ops_arg
+          $ no_shrink_arg $ out_arg $ replay_arg)
+
 (* ---- exec: user-supplied MiniC program ---- *)
 
 let exec_cmd =
@@ -1063,4 +1207,4 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group info
           [ list_cmd; run_cmd; explain_cmd; fleet_cmd; serve_cmd; replay_cmd;
-            top_cmd; exec_cmd ]))
+            top_cmd; sim_cmd; exec_cmd ]))

@@ -7,6 +7,7 @@ type t = {
   salt : int;
   rng : Prng.t;
   mutable pending : (Fault_plan.point * float) list; (* unfired one-shots *)
+  mutable forced : Fault_plan.point list; (* deterministic single-shots *)
   counts : (Fault_plan.point, int) Hashtbl.t;
 }
 
@@ -24,6 +25,7 @@ let create ~plan ~salt =
     salt;
     rng = Prng.create ~seed:(mix plan.Fault_plan.seed salt);
     pending = plan.Fault_plan.oneshots;
+    forced = [];
     counts = Hashtbl.create 8 }
 
 let plan t = t.plan
@@ -48,12 +50,26 @@ let take_oneshot t ?now point =
   in
   go [] t.pending
 
-let fire ?now t point =
-  let oneshot =
-    t.pending <> [] && take_oneshot t ?now point
+let force t point = t.forced <- t.forced @ [ point ]
+
+let take_forced t point =
+  let rec go acc = function
+    | [] -> false
+    | p :: rest when p = point ->
+      t.forced <- List.rev_append acc rest;
+      true
+    | p :: rest -> go (p :: acc) rest
   in
+  go [] t.forced
+
+let fire ?now t point =
+  (* Forced single-shots are consumed first and, like zero-rate points,
+     perform no draw — firing a forced fault leaves the plan's PRNG stream
+     exactly where it was. *)
+  let forced = t.forced <> [] && take_forced t point in
   let hit =
-    oneshot
+    forced
+    || (t.pending <> [] && take_oneshot t ?now point)
     ||
     let r = Fault_plan.rate t.plan point in
     r > 0.0 && Prng.float t.rng < r

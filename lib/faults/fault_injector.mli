@@ -18,6 +18,13 @@ val create : plan:Fault_plan.t -> salt:int -> t
 
 val plan : t -> Fault_plan.t
 
+val force : t -> Fault_plan.point -> unit
+(** [force t point] schedules a deterministic single-shot: the next
+    {!fire} at [point] returns true, consuming the forced shot instead of
+    drawing — the plan's PRNG stream does not advance, so a forced fault
+    perturbs no later rate decision.  Multiple forces queue.  This is the
+    simulation harness's hook for firing a fault at an exact step. *)
+
 val fire : ?now:float -> t -> Fault_plan.point -> bool
 (** Should this opportunity fail?  True consumes a pending one-shot due at
     virtual second [now] (any pending one-shot when [now] is not supplied —

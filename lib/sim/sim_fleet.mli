@@ -1,0 +1,21 @@
+(** Simulation alphabet over the incremental fleet:
+    {!Fleet.start}/{!Fleet.step}/{!Fleet.finish} with a synthetic executor
+    whose behaviour is a pure function of (uid, fault state), raced against
+    an exact model of detections, arrivals, uid assignment and the shared
+    evidence store.
+
+    Ops: epoch barriers with a chosen arrival count, a trap-drop fault that
+    suppresses the watchpoint detections of the {e next} barrier (the
+    interleaving GWP-ASan-style samplers must survive), store checkpoints
+    ([persist-save]), service crash + deterministic resume from the last
+    checkpoint ([crash]), and an offline [persist-load] audit.
+
+    [~plant:true] plants a known bug behind a flag: under a trap-drop the
+    executor still records its evidence key into the shared store even
+    though the detection was lost — evidence without detection, the exact
+    corruption an epoch-barrier merge then propagates fleet-wide.  Only
+    the ["fleet-evidence-bug"] alphabet is wired that way. *)
+
+val alphabet : ?plant:bool -> unit -> Sim.packed
+(** Registered as ["fleet"], or ["fleet-evidence-bug"] with the planted
+    bug. *)

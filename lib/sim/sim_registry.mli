@@ -1,0 +1,20 @@
+(** Registry of every simulation alphabet the harness ships.
+
+    {!default} is the sweep set (the four real-system alphabets);
+    {!all} additionally exposes the planted-bug variants
+    (["store-buggy-merge"], ["fleet-evidence-bug"]) so the shrinking
+    regression tests and the CLI can reach them by explicit name, while
+    the CI sweep never trips over a bug that was planted on purpose. *)
+
+val default : Sim.packed list
+(** ["heap"; "runtime"; "fleet"; "store"] — every alphabet expected to
+    hold its invariants. *)
+
+val all : Sim.packed list
+(** {!default} plus the planted-bug alphabets. *)
+
+val find : string -> Sim.packed option
+(** Look up any alphabet (planted ones included) by registered name. *)
+
+val names : string list
+(** Registered names of {!all}, in registry order. *)

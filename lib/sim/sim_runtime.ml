@@ -1,0 +1,202 @@
+(* Alphabet over the assembled CSOD runtime.  The machine carries a
+   zero-rate injector purely as a vehicle for [Fault_injector.force]: a
+   fault op schedules a single-shot at an exact step, so interleavings like
+   "drop the trap of the very next overflow" are explored systematically
+   instead of by rate.  A zero plan with no pending shot draws nothing, so
+   an op sequence without fault ops is bit-identical to an unfaulted run. *)
+
+type obj = { ptr : int; size : int }
+
+type state = {
+  machine : Machine.t;
+  heap : Heap.t;
+  rt : Runtime.t;
+  tool : Tool.t;
+  inj : Fault_injector.t;
+  mutable live : obj list; (* allocation order, oldest first *)
+  mutable last_detections : int;
+}
+
+let nth_obj st idx = List.nth st.live (idx mod List.length st.live)
+
+let force point =
+  (fun st (_ : int list) ->
+    Fault_injector.force st.inj point;
+    Ok ())
+
+let fault_op name point =
+  { Sim.op_name = name;
+    weight = 1;
+    pre = (fun (_ : state) -> true);
+    gen = (fun _ _ -> []);
+    apply = force point }
+
+let ops : state Sim.op list =
+  [ { Sim.op_name = "alloc";
+      weight = 6;
+      pre = (fun _ -> true);
+      gen =
+        (fun _ g -> [ 8 + Prng.int g 128; Prng.int g 16; Prng.int g 4 ]);
+      apply =
+        (fun st args ->
+          let size, callsite, soff =
+            match args with
+            | s :: c :: o :: _ -> (max 1 s, c mod 16, o mod 4)
+            | _ -> (8, 0, 0)
+          in
+          let ctx = Alloc_ctx.synthetic ~callsite ~stack_offset:soff () in
+          let p = st.tool.Tool.malloc ~size ~ctx in
+          st.live <- st.live @ [ { ptr = p; size } ];
+          Ok ()) };
+    { Sim.op_name = "free";
+      weight = 4;
+      pre = (fun st -> st.live <> []);
+      gen = (fun st g -> [ Prng.int g (max 1 (List.length st.live)) ]);
+      apply =
+        (fun st args ->
+          let idx = match args with i :: _ -> i | [] -> 0 in
+          let o = nth_obj st idx in
+          st.live <- List.filter (fun o' -> o'.ptr <> o.ptr) st.live;
+          st.tool.Tool.free ~ptr:o.ptr;
+          Ok ()) };
+    { Sim.op_name = "write";
+      weight = 3;
+      pre = (fun st -> st.live <> []);
+      gen =
+        (fun st g ->
+          [ Prng.int g (max 1 (List.length st.live)); Prng.int g 128;
+            Prng.int g 64 ]);
+      apply =
+        (fun st args ->
+          (* In-bounds store through the checked machine path: never a
+             detection, but it exercises the armed debug registers. *)
+          let idx, off, pc =
+            match args with
+            | i :: o :: p :: _ -> (i, o, p)
+            | _ -> (0, 0, 0)
+          in
+          let o = nth_obj st idx in
+          Machine.set_pc st.machine (0x400 + (pc mod 64));
+          Machine.store_byte st.machine (o.ptr + (off mod o.size)) 0x41;
+          Ok ()) };
+    { Sim.op_name = "read";
+      weight = 2;
+      pre = (fun st -> st.live <> []);
+      gen =
+        (fun st g ->
+          [ Prng.int g (max 1 (List.length st.live)); Prng.int g 128;
+            Prng.int g 64 ]);
+      apply =
+        (fun st args ->
+          let idx, off, pc =
+            match args with
+            | i :: o :: p :: _ -> (i, o, p)
+            | _ -> (0, 0, 0)
+          in
+          let o = nth_obj st idx in
+          Machine.set_pc st.machine (0x400 + (pc mod 64));
+          ignore (Machine.load_byte st.machine (o.ptr + (off mod o.size)));
+          Ok ()) };
+    { Sim.op_name = "overflow";
+      weight = 2;
+      pre = (fun st -> st.live <> []);
+      gen =
+        (fun st g ->
+          [ Prng.int g (max 1 (List.length st.live)); Prng.int g 64 ]);
+      apply =
+        (fun st args ->
+          (* One past the end: trips the boundary watchpoint if this object
+             is watched (a trap-drop single-shot suppresses exactly that),
+             or corrupts the canary for the free-time check.  Detections
+             may only ever grow — checked as an invariant. *)
+          let idx, pc =
+            match args with i :: p :: _ -> (i, p) | _ -> (0, 0)
+          in
+          let o = nth_obj st idx in
+          Machine.set_pc st.machine (0x800 + (pc mod 64));
+          Machine.store_byte st.machine (o.ptr + o.size) 0x42;
+          Ok ()) };
+    { Sim.op_name = "disarm";
+      weight = 1;
+      pre =
+        (fun st -> Watch_table.live (Runtime.watch_table st.rt) <> []);
+      gen =
+        (fun st g ->
+          [ Prng.int g
+              (max 1
+                 (List.length (Watch_table.live (Runtime.watch_table st.rt))))
+          ]);
+      apply =
+        (fun st args ->
+          (* Policy-external removal — a debugger stealing the slot.  The
+             table and the hardware must stay in agreement. *)
+          let idx = match args with i :: _ -> i | [] -> 0 in
+          let wt = Runtime.watch_table st.rt in
+          let wps = Watch_table.live wt in
+          let wp = List.nth wps (idx mod List.length wps) in
+          Watch_table.remove wt wp;
+          Ok ()) };
+    fault_op "fault-ebusy" Fault_plan.Perf_ebusy;
+    fault_op "fault-eacces" Fault_plan.Perf_eacces;
+    fault_op "fault-trap-drop" Fault_plan.Trap_drop;
+    fault_op "fault-trap-delay" Fault_plan.Trap_delay ]
+
+let check st =
+  let armed = Hw_breakpoint.armed_count (Machine.hw st.machine) in
+  let entries = List.length (Watch_table.live (Runtime.watch_table st.rt)) in
+  let detections = List.length (Runtime.detections st.rt) in
+  if armed > 4 then Some (Printf.sprintf "%d armed watchpoints" armed)
+  else if entries <> armed then
+    Some
+      (Printf.sprintf "watch table holds %d, hardware arms %d" entries armed)
+  else if Heap.live_objects st.heap <> List.length st.live then
+    Some
+      (Printf.sprintf "heap live count %d, model %d"
+         (Heap.live_objects st.heap) (List.length st.live))
+  else if detections < st.last_detections then
+    Some
+      (Printf.sprintf "detections went backwards: %d after %d" detections
+         st.last_detections)
+  else begin
+    st.last_detections <- detections;
+    None
+  end
+
+let digest st =
+  let h = ref 0x9E3779B97F4A7C15L in
+  let mix v = h := Int64.mul (Int64.logxor !h (Int64.of_int v)) 0x100000001B3L in
+  let s = Runtime.stats st.rt in
+  mix s.Runtime.contexts;
+  mix s.Runtime.allocations;
+  mix s.Runtime.watched_times;
+  mix s.Runtime.traps;
+  mix s.Runtime.canary_checks;
+  mix s.Runtime.live_objects;
+  mix (Hw_breakpoint.armed_count (Machine.hw st.machine));
+  mix (List.length (Runtime.detections st.rt));
+  mix (if Runtime.degraded st.rt then 1 else 0);
+  !h
+
+let alphabet () =
+  Sim.Packed
+    { Sim.name = "runtime";
+      ops;
+      init =
+        (fun ~seed ->
+          let inj = Fault_injector.create ~plan:Fault_plan.zero ~salt:seed in
+          let machine = Machine.create ~seed ~faults:inj () in
+          let heap = Heap.create machine in
+          let rt = Runtime.create ~seed ~machine ~heap () in
+          { machine;
+            heap;
+            rt;
+            tool = Runtime.tool rt;
+            inj;
+            live = [];
+            last_detections = 0 });
+      check;
+      digest;
+      teardown =
+        (fun st ->
+          Runtime.finish st.rt;
+          Sparse_mem.release (Machine.mem st.machine)) }

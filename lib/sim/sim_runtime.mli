@@ -1,0 +1,14 @@
+(** Simulation alphabet over the full CSOD detection stack: {!Runtime} on a
+    {!Machine} armed with a zero-rate {!Fault_injector} so every fault
+    point is a first-class, deterministically forced operation.
+
+    Ops: allocate/free through the interposition surface, in-bounds and
+    one-past-the-end accesses (the latter may trap or corrupt a canary),
+    policy-external disarm of a live watchpoint, and forced faults
+    (EBUSY/EACCES on watchpoint installation, SIGTRAP drop/delay).
+    Invariants after every step: never more than four armed hardware
+    watchpoints, the watch table and the debug registers agree exactly,
+    and the heap's live accounting matches the model. *)
+
+val alphabet : unit -> Sim.packed
+(** Registered as ["runtime"]. *)

@@ -1,0 +1,21 @@
+(** Simulation alphabet over the persistent evidence store: {!Persist}
+    save/load/merge against a key-set model, with the persistence fault
+    points (torn write, ENOSPC) as first-class forced operations.
+
+    Invariants after every step: each store's key set equals its model,
+    [Persist.merge] is commutative and a key-set union (probed with fresh
+    copies), and a load observes exactly what the last successful save
+    published (after a torn save: the salvaged keys, which are the
+    published ones plus at most one key fabricated by the tear's final
+    partial line still parsing as a pair).
+
+    [~buggy_merge:true] plants a known bug behind a flag — the merge
+    operation silently drops the largest key of the source store whenever
+    the source holds at least two keys, breaking union and commutativity —
+    as the seeded target for the shrinking regression test.  Only the
+    ["store-buggy-merge"] alphabet is wired that way; the default
+    ["store"] alphabet exercises the real, correct merge. *)
+
+val alphabet : ?buggy_merge:bool -> unit -> Sim.packed
+(** Registered as ["store"], or ["store-buggy-merge"] with the planted
+    bug. *)

@@ -19,6 +19,14 @@ val split : t -> t
     each simulated thread its own stream, mirroring the paper's per-thread
     generators. *)
 
+val fork : t -> string -> t
+(** [fork t label] derives a substream keyed on [label], advancing [t] by
+    exactly one draw.  Forks with distinct labels from the same parent
+    state are independent; the same (parent state, label) pair always
+    yields the same stream — the named-substream idiom the simulation
+    harness uses to keep its generation stream separate from the system
+    under test's. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 

@@ -68,6 +68,40 @@ let test_injector_determinism () =
   Alcotest.(check bool) "attempts draw independently" true
     (List.exists (fun i -> d i 1 <> d i 2) (List.init 30 Fun.id))
 
+(* ---------- Forced single-shots (the simulation harness's hook) ---------- *)
+
+let test_force_draws_nothing () =
+  (* A forced fire must consume no draw from the plan's PRNG stream: an
+     injector that served a forced shot stays bit-identical to a twin that
+     never saw one, for every later rate decision. *)
+  let p = plan "seed=3,ebusy=0.5" in
+  let forced = Fault_injector.create ~plan:p ~salt:1 in
+  let twin = Fault_injector.create ~plan:p ~salt:1 in
+  Fault_injector.force forced Fault_plan.Perf_ebusy;
+  Alcotest.(check bool) "forced shot fires" true
+    (Fault_injector.fire forced Fault_plan.Perf_ebusy);
+  let later inj =
+    List.init 100 (fun _ -> Fault_injector.fire inj Fault_plan.Perf_ebusy)
+  in
+  Alcotest.(check bool) "later rate decisions unperturbed" true
+    (later forced = later twin)
+
+let test_force_is_per_point_and_queued () =
+  let inj = Fault_injector.create ~plan:Fault_plan.zero ~salt:1 in
+  Fault_injector.force inj Fault_plan.Trap_drop;
+  Fault_injector.force inj Fault_plan.Trap_drop;
+  (* A different point does not consume the queued shots. *)
+  Alcotest.(check bool) "other point unaffected" false
+    (Fault_injector.fire inj Fault_plan.Perf_eacces);
+  Alcotest.(check bool) "first queued shot fires" true
+    (Fault_injector.fire inj Fault_plan.Trap_drop);
+  Alcotest.(check bool) "second queued shot fires" true
+    (Fault_injector.fire inj Fault_plan.Trap_drop);
+  Alcotest.(check bool) "queue exhausted" false
+    (Fault_injector.fire inj Fault_plan.Trap_drop);
+  Alcotest.(check int) "both shots tallied" 2
+    (Fault_injector.count inj Fault_plan.Trap_drop)
+
 (* ---------- No-perturbation pin (mirrors test_obs) ---------- *)
 
 (* Same operation stream against a machine with no injector and a machine
@@ -455,6 +489,10 @@ let test_fleet_faults_deterministic_across_domains () =
 let suite =
   [ Alcotest.test_case "plan: parse and round-trip" `Quick test_plan_parser;
     Alcotest.test_case "injector: determinism" `Quick test_injector_determinism;
+    Alcotest.test_case "force: draws nothing from the plan stream" `Quick
+      test_force_draws_nothing;
+    Alcotest.test_case "force: per-point, queued, tallied" `Quick
+      test_force_is_per_point_and_queued;
     Alcotest.test_case "zero plan: prng stream untouched" `Quick
       test_zero_plan_preserves_prng_stream;
     Alcotest.test_case "zero plan: outcome identical" `Quick

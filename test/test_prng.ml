@@ -25,6 +25,42 @@ let test_split_diverges () =
   let ys = List.init 20 (fun _ -> Prng.bits64 b) in
   Alcotest.(check bool) "split stream differs" true (xs <> ys)
 
+let test_fork_deterministic () =
+  let stream label =
+    let parent = Prng.create ~seed:11 in
+    let g = Prng.fork parent label in
+    List.init 20 (fun _ -> Prng.bits64 g)
+  in
+  Alcotest.(check bool) "same (parent, label): same substream" true
+    (stream "sim:heap" = stream "sim:heap");
+  Alcotest.(check bool) "different labels: different substreams" true
+    (stream "sim:heap" <> stream "sim:store")
+
+let test_fork_advances_parent_once () =
+  let a = Prng.create ~seed:11 and b = Prng.create ~seed:11 in
+  ignore (Prng.fork a "anything");
+  ignore (Prng.bits64 b);
+  Alcotest.(check int64) "parent advanced exactly one draw" (Prng.bits64 a)
+    (Prng.bits64 b)
+
+let test_fork_independent_of_parent_continuation () =
+  (* The substream must not share state with the parent: draws on one do
+     not perturb the other. *)
+  let parent = Prng.create ~seed:3 in
+  let g = Prng.fork parent "child" in
+  let head = Prng.bits64 g in
+  let parent' = Prng.create ~seed:3 in
+  let g' = Prng.fork parent' "child" in
+  for _ = 1 to 50 do
+    ignore (Prng.bits64 parent')
+  done;
+  Alcotest.(check int64) "substream unaffected by parent draws" head
+    (Prng.bits64 g');
+  (* And statistically disjoint from the parent's own continuation. *)
+  let xs = List.init 20 (fun _ -> Prng.bits64 parent) in
+  let ys = List.init 20 (fun _ -> Prng.bits64 g) in
+  Alcotest.(check bool) "fork stream differs from parent stream" true (xs <> ys)
+
 let test_int_bound_edge () =
   let g = Prng.create ~seed:1 in
   for _ = 1 to 100 do
@@ -91,6 +127,12 @@ let suite =
     Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
     Alcotest.test_case "copy preserves state" `Quick test_copy_preserves;
     Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "fork: label-salted determinism" `Quick
+      test_fork_deterministic;
+    Alcotest.test_case "fork: parent advances one draw" `Quick
+      test_fork_advances_parent_once;
+    Alcotest.test_case "fork: substream independence" `Quick
+      test_fork_independent_of_parent_continuation;
     Alcotest.test_case "int bound 1" `Quick test_int_bound_edge;
     Alcotest.test_case "int rejects bound 0" `Quick test_int_rejects_nonpositive;
     Alcotest.test_case "below_percent extremes" `Quick test_below_percent_extremes;

@@ -1,21 +1,39 @@
-(* Property-based tests driven by the repo's own deterministic PRNG — no
-   external generator framework.  Each property runs a batch of randomized
-   cases; every case derives its whole sequence from one integer seed, and
-   a failing check names that seed, so the exact case replays by
-   constructing [Prng.create ~seed] with the printed value.
+(* Property-based tests, driven by the csod_sim simulation harness.
 
-   The properties guard the invariants the hot-path optimizations lean on:
-   the heap rejects double frees, sparse memory round-trips reads through
-   writes with the chunk cache in any state (and the page pool hands back
-   zeroed pages), the watch table never holds more armed watchpoints than
-   the four debug registers, and the persistent evidence store's
-   save/load/merge behave as a set. *)
+   Each former hand-rolled generator loop is now an alphabet sweep: the
+   operations, their weights and their model live in lib/sim (Sim_heap,
+   Sim_runtime, Sim_fleet, Sim_store), the engine draws the sequences from
+   a dedicated PRNG stream, checks the model invariant after every step,
+   and a failing sweep prints the automatically shrunk minimal repro as a
+   runnable csod.sim.repro/1 line — paste it into a file and re-execute it
+   with `csod_run sim --replay FILE`.
+
+   The invariants covered are the same ones the old loops guarded: the
+   heap honours a free exactly once and rejects double frees, sparse
+   memory round-trips reads through writes with the chunk cache in any
+   state (and the page pool hands back zeroed pages — the heap alphabet's
+   recycle op), the watch table never holds more armed watchpoints than
+   the four debug registers, the persistent store's save/load/merge behave
+   as a set, and the fleet's barriers/checkpoint/crash-resume agree with
+   an exact model. *)
+
+let sweep pack ~seed ~runs ~ops =
+  match Sim.run_packed pack ~seed ~runs ~ops with
+  | [] -> ()
+  | f :: _ -> Alcotest.failf "%s" (Sim.summary f)
+
+let prop_heap () = sweep (Sim_heap.alphabet ()) ~seed:1000 ~runs:40 ~ops:150
+let prop_runtime () = sweep (Sim_runtime.alphabet ()) ~seed:3000 ~runs:25 ~ops:120
+let prop_fleet () = sweep (Sim_fleet.alphabet ()) ~seed:5000 ~runs:15 ~ops:60
+let prop_store () = sweep (Sim_store.alphabet ()) ~seed:4000 ~runs:25 ~ops:100
 
 (* ------------------------------------------------------------------ *)
-(* Heap: a free is honoured exactly once                               *)
+(* Legacy regression pin: one hand-rolled seed-printing loop survives, so
+   the pre-sim test style (derive everything from one integer, print the
+   failing seed) keeps a guard — and so does the exact op mix it used. *)
 
-let prop_heap_no_double_free () =
-  for case = 0 to 39 do
+let legacy_heap_no_double_free () =
+  for case = 0 to 9 do
     let seed = 1000 + case in
     let g = Prng.create ~seed in
     let machine = Machine.create ~seed () in
@@ -51,179 +69,16 @@ let prop_heap_no_double_free () =
           | exception Heap.Error _ -> ())
       end
     done;
-    Hashtbl.iter
-      (fun p _ ->
-        if not (Heap.is_live heap p) then
-          Alcotest.failf "live pointer %#x lost (repro seed=%d)" p seed)
-      live;
     if Heap.live_objects heap <> Hashtbl.length live then
       Alcotest.failf "live count %d, model %d (repro seed=%d)"
         (Heap.live_objects heap) (Hashtbl.length live) seed
   done
 
-(* ------------------------------------------------------------------ *)
-(* Sparse memory: reads round-trip writes, cache on, off, or toggling  *)
-
-let prop_sparse_roundtrip () =
-  for case = 0 to 29 do
-    let seed = 2000 + case in
-    let g = Prng.create ~seed in
-    let mem = Sparse_mem.create () in
-    let model = Hashtbl.create 256 in
-    let byte a = try Hashtbl.find model a with Not_found -> 0 in
-    (* Cluster addresses near chunk boundaries so word reads and writes
-       regularly straddle two chunks. *)
-    let rand_addr () =
-      let base = Prng.int g 4 * 65536 in
-      let off =
-        match Prng.int g 3 with
-        | 0 -> Prng.int g 65536
-        | 1 -> 65528 + Prng.int g 16
-        | _ -> Prng.int g 256
-      in
-      base + off
-    in
-    for step = 1 to 600 do
-      (* The cache must be semantically invisible: flip it at random. *)
-      if Prng.int g 100 < 5 then Sparse_mem.set_cache mem (Prng.bool g);
-      match Prng.int g 5 with
-      | 0 ->
-        let a = rand_addr () and v = Prng.int g 256 in
-        Sparse_mem.write_u8 mem a v;
-        Hashtbl.replace model a v
-      | 1 ->
-        let a = rand_addr () and v = Prng.bits64 g in
-        Sparse_mem.write_u64 mem a v;
-        for i = 0 to 7 do
-          Hashtbl.replace model (a + i)
-            (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
-        done
-      | 2 ->
-        let a = rand_addr () in
-        let got = Sparse_mem.read_u8 mem a in
-        if got <> byte a then
-          Alcotest.failf "step %d: read_u8 %#x = %d, model %d (repro seed=%d)"
-            step a got (byte a) seed
-      | 3 ->
-        let a = rand_addr () in
-        let got = Sparse_mem.read_u64 mem a in
-        let expect = ref 0L in
-        for i = 7 downto 0 do
-          expect := Int64.logor (Int64.shift_left !expect 8) (Int64.of_int (byte (a + i)))
-        done;
-        if got <> !expect then
-          Alcotest.failf "step %d: read_u64 %#x = %Ld, model %Ld (repro seed=%d)"
-            step a got !expect seed
-      | _ ->
-        let a = rand_addr () and len = Prng.int g 300 and v = Prng.int g 256 in
-        Sparse_mem.fill mem a len v;
-        for i = 0 to len - 1 do
-          Hashtbl.replace model (a + i) v
-        done
-    done;
-    (* Pool hygiene: release this memory's (dirty) chunks, then force a
-       fresh memory to materialize chunks — which reuses pooled pages —
-       and check untouched bytes still read as zero. *)
-    Sparse_mem.release mem;
-    let m2 = Sparse_mem.create () in
-    for _ = 1 to 8 do
-      let a = rand_addr () in
-      Sparse_mem.write_u8 m2 a 0x5A;
-      for _ = 1 to 16 do
-        let b = (a / 65536 * 65536) + Prng.int g 65536 in
-        if b <> a && Sparse_mem.read_u8 m2 b <> 0 then
-          Alcotest.failf "pooled page not zeroed at %#x (repro seed=%d)" b seed
-      done
-    done;
-    Sparse_mem.release m2
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Watch table: never more armed watchpoints than debug registers      *)
-
-let prop_watch_slots_bounded () =
-  for case = 0 to 19 do
-    let seed = 3000 + case in
-    let g = Prng.create ~seed in
-    let machine = Machine.create ~seed () in
-    let heap = Heap.create machine in
-    let rt = Runtime.create ~seed ~machine ~heap () in
-    let tool = Runtime.tool rt in
-    let live = ref [] in
-    for step = 1 to 300 do
-      (if Prng.int g 100 < 60 || !live = [] then begin
-         let ctx =
-           Alloc_ctx.synthetic ~callsite:(Prng.int g 16)
-             ~stack_offset:(Prng.int g 4) ()
-         in
-         let p = tool.Tool.malloc ~size:(8 + Prng.int g 128) ~ctx in
-         live := p :: !live
-       end
-       else begin
-         let n = Prng.int g (List.length !live) in
-         let p = List.nth !live n in
-         live := List.filteri (fun i _ -> i <> n) !live;
-         tool.Tool.free ~ptr:p
-       end);
-      let armed = Hw_breakpoint.armed_count (Machine.hw machine) in
-      if armed > 4 then
-        Alcotest.failf "step %d: %d armed watchpoints (repro seed=%d)" step
-          armed seed;
-      let entries = List.length (Watch_table.live (Runtime.watch_table rt)) in
-      if entries <> armed then
-        Alcotest.failf
-          "step %d: watch table holds %d, hardware arms %d (repro seed=%d)"
-          step entries armed seed
-    done
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Persist: save/load round-trips; merge behaves as key-set union      *)
-
-let prop_persist_roundtrip () =
-  let tmp = Filename.temp_file "csod_prop" ".store" in
-  Fun.protect
-    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
-    (fun () ->
-      for case = 0 to 19 do
-        let seed = 4000 + case in
-        let g = Prng.create ~seed in
-        let fill s n =
-          for _ = 1 to n do
-            Persist.add s (Prng.int g 1000, Prng.int g 64)
-          done
-        in
-        let s1 = Persist.create () and s2 = Persist.create () in
-        fill s1 (Prng.int g 40);
-        fill s2 (Prng.int g 40);
-        Persist.save s1 tmp;
-        let loaded = Persist.load tmp in
-        if Persist.keys loaded <> Persist.keys s1 then
-          Alcotest.failf "save/load changed the key set (repro seed=%d)" seed;
-        let a = Persist.copy s1 and b = Persist.copy s2 in
-        Persist.merge a s2;
-        Persist.merge b s1;
-        if Persist.keys a <> Persist.keys b then
-          Alcotest.failf "merge is not commutative (repro seed=%d)" seed;
-        let union = List.sort_uniq compare (Persist.keys s1 @ Persist.keys s2) in
-        if Persist.keys a <> union then
-          Alcotest.failf "merge is not the key-set union (repro seed=%d)" seed;
-        Persist.merge a s2;
-        if Persist.keys a <> union then
-          Alcotest.failf "merge is not idempotent (repro seed=%d)" seed;
-        List.iter
-          (fun k ->
-            if not (Persist.mem a k) then
-              Alcotest.failf "merged store misses a key (repro seed=%d)" seed)
-          union
-      done)
-
 let suite =
-  [ Alcotest.test_case "heap: free honoured exactly once" `Quick
-      prop_heap_no_double_free;
-    Alcotest.test_case "sparse memory: reads round-trip writes" `Quick
-      prop_sparse_roundtrip;
-    Alcotest.test_case "watch table: at most 4 armed" `Quick
-      prop_watch_slots_bounded;
-    Alcotest.test_case "persist: save/load/merge as a set" `Quick
-      prop_persist_roundtrip ]
+  [ Alcotest.test_case "sim sweep: heap + sparse memory" `Quick prop_heap;
+    Alcotest.test_case "sim sweep: runtime watchpoints" `Quick prop_runtime;
+    Alcotest.test_case "sim sweep: fleet barriers + crash-resume" `Quick
+      prop_fleet;
+    Alcotest.test_case "sim sweep: persist save/load/merge" `Quick prop_store;
+    Alcotest.test_case "legacy pin: heap free honoured exactly once" `Quick
+      legacy_heap_no_double_free ]

@@ -91,7 +91,61 @@ KNOWN = {
         "crc": str,
         "body": dict,
     },
+    "csod.sim.repro/1": {
+        "alphabet": str,
+        "seed": int,
+        "ops": list,
+        "failed_at": int,
+        "failure": str,
+        "replay_hash": str,
+        "shrunk_from": int,
+    },
 }
+
+# Operation vocabulary of each simulation alphabet (lib/sim): a repro may
+# only name ops its alphabet declares.  Planted-bug variants share their
+# base alphabet's vocabulary.
+SIM_OPS = {
+    "heap": {"alloc", "free", "double-free", "write-u8", "write-u64",
+             "read-u8", "read-u64", "fill", "cache", "recycle"},
+    "runtime": {"alloc", "free", "write", "read", "overflow", "disarm",
+                "fault-ebusy", "fault-eacces", "fault-trap-drop",
+                "fault-trap-delay"},
+    "store": {"add1", "add2", "merge", "persist-save", "persist-load",
+              "fault-persist-torn", "fault-persist-enospc"},
+    "fleet": {"barrier", "fault-trap-drop", "persist-save", "persist-load",
+              "crash"},
+}
+SIM_OPS["store-buggy-merge"] = SIM_OPS["store"]
+SIM_OPS["fleet-evidence-bug"] = SIM_OPS["fleet"]
+
+def check_sim_repro(obj, where):
+    alphabet = obj["alphabet"]
+    ops = SIM_OPS.get(alphabet)
+    if ops is None:
+        sys.exit(f"{where}: unknown alphabet {alphabet!r}")
+    if not obj["ops"]:
+        sys.exit(f"{where}: empty op sequence")
+    for i, step in enumerate(obj["ops"]):
+        if not isinstance(step, dict):
+            sys.exit(f"{where}: op {i} is not an object")
+        name = step.get("op")
+        if name not in ops:
+            sys.exit(f"{where}: op {i} {name!r} is not in the "
+                     f"{alphabet} alphabet")
+        args = step.get("args")
+        if not isinstance(args, list) or any(
+                not isinstance(a, int) or isinstance(a, bool) for a in args):
+            sys.exit(f"{where}: op {i} args are not a list of ints")
+    if not 0 <= obj["failed_at"] < len(obj["ops"]):
+        sys.exit(f"{where}: failed_at {obj['failed_at']} outside the "
+                 f"{len(obj['ops'])}-op sequence")
+    h = obj["replay_hash"]
+    if len(h) != 16 or any(c not in "0123456789abcdef" for c in h):
+        sys.exit(f"{where}: replay_hash {h!r} is not 16 lowercase hex digits")
+    if obj["shrunk_from"] < len(obj["ops"]):
+        sys.exit(f"{where}: shrunk_from {obj['shrunk_from']} below the kept "
+                 f"{len(obj['ops'])} ops")
 
 # ---- Stateful checks for the serve streams -------------------------------
 #
@@ -198,6 +252,8 @@ with stream:
                 check_alert(obj, f"{path}:{n}")
             elif schema == "csod.serve.history/1":
                 check_history(obj, f"{path}:{n}")
+            elif schema == "csod.sim.repro/1":
+                check_sim_repro(obj, f"{path}:{n}")
         lines += 1
 
 if not lines and schema:
