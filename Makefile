@@ -1,6 +1,7 @@
 # Convenience targets around dune.
 
-.PHONY: all build test check bench metrics fleet faults perf validate sim clean
+.PHONY: all build test check bench metrics fleet faults perf validate sim \
+	respond clean
 
 all: build
 
@@ -50,13 +51,27 @@ validate:
 	tools/validate_jsonl.sh /tmp/csod_events.jsonl
 
 # Bounded simulation sweep: ~2k weighted operation sequences across the
-# four stack-layer alphabets (heap+sparse memory, runtime, fleet, store),
+# five stack-layer alphabets (heap+sparse memory, runtime, fleet, store,
+# respond),
 # model invariants checked after every step, counterexamples shrunk and
 # printed as runnable csod.sim.repro/1 lines (non-zero exit on failure).
 # The committed planted-bug repro must also keep replaying bit-identically.
 sim:
 	dune exec bin/csod_run.exe -- sim --seed 1 --runs 500 --ops 60
 	dune exec bin/csod_run.exe -- sim --replay examples/sim/planted.repro.jsonl
+
+# Survival smoke: Heartbleed under the failure-oblivious policy must run
+# to completion (exit 0) with at least one redirect recorded as a
+# csod.respond.event/1 line, and a short zziplib service with code-less
+# patching armed must fire and then clear a patch alert once fleet
+# evidence convicts the overflowing context.
+respond:
+	dune exec bin/csod_run.exe -- run heartbleed --seed 1 --respond oblivious --events /tmp/csod_respond.jsonl > /dev/null
+	grep -q '"kind":"redirect-' /tmp/csod_respond.jsonl
+	tools/validate_jsonl.sh /tmp/csod_respond.jsonl
+	dune exec bin/csod_run.exe -- serve zziplib --users 200 --epoch 32 --epochs 12 --domains 2 --seed 1 --respond patch=3 --alerts 'patch>0@2' > /tmp/csod_respond_serve.out
+	grep -q 'patch>0@2 FIRING' /tmp/csod_respond_serve.out
+	grep -q 'patch>0@2 cleared' /tmp/csod_respond_serve.out
 
 clean:
 	dune clean

@@ -364,6 +364,111 @@ let fleet_bench () =
    how much detection survives when perf_event_open is contended, traps
    are dropped, and worker domains crash.  Schema: csod.bench.resilience/1. *)
 
+(* Active response rows, riding the resilience target: how many buggy
+   executions run to completion under the failure-oblivious policy, and
+   what the armed squash/override hooks cost when nothing overflows.
+   Schema: csod.bench.respond/1. *)
+
+let respond_schema = "csod.bench.respond/1"
+
+let respond_survival () =
+  let config = Config.csod_default in
+  let runs = 10 in
+  List.iter
+    (fun (app : Buggy_app.t) ->
+      progress "respond: %s, %d oblivious executions" app.Buggy_app.name runs;
+      let outcomes =
+        List.init runs (fun i ->
+            Execution.run ~app ~config ~seed:(i + 1)
+              ~respond:Respond.Oblivious ())
+      in
+      let count p = List.length (List.filter p outcomes) in
+      let survived = count (fun (o : Execution.outcome) -> o.Execution.survived) in
+      let detected = count (fun (o : Execution.outcome) -> o.Execution.detected) in
+      let sum f =
+        List.fold_left
+          (fun acc (o : Execution.outcome) ->
+            acc + match o.Execution.respond with Some s -> f s | None -> 0)
+          0 outcomes
+      in
+      print_endline
+        (Obs_json.to_string
+           (`Assoc
+             [ ("schema", `String respond_schema);
+               ("metric", `String "survival");
+               ("app", `String app.Buggy_app.name);
+               ("mode", `String "oblivious");
+               ("runs", `Int runs);
+               ("survived", `Int survived);
+               ("survival_rate", `Float (float_of_int survived /. float_of_int runs));
+               ("detections", `Int detected);
+               ("redirected_reads",
+                `Int (sum (fun s -> s.Respond.redirected_reads)));
+               ("redirected_writes",
+                `Int (sum (fun s -> s.Respond.redirected_writes)));
+               ("escapes", `Int (sum (fun s -> s.Respond.escapes))) ])))
+    (Buggy_app.all ())
+
+(* The purity pin guarantees oblivious mode changes no virtual cycle, so
+   its cost is purely host-side: the armed pre-store value capture on every
+   write.  Measured serially on benign input — no overflow, no redirects —
+   normalized per machine memory access. *)
+let respond_overhead () =
+  let config = Config.csod_default in
+  let app = Option.get (Buggy_app.by_name "Memcached") in
+  let runs = 30 in
+  progress "respond: overhead, %s benign, %d serial runs per mode"
+    app.Buggy_app.name runs;
+  let accesses_of (o : Execution.outcome) =
+    match
+      List.assoc_opt "machine.accesses"
+        (Metrics.counters_list (Telemetry.metrics o.Execution.telemetry))
+    with
+    | Some n -> n
+    | None -> 0
+  in
+  let one ?respond seed =
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Execution.run ~app ~config ~input:Execution.Benign ~seed ?respond ()
+    in
+    (Unix.gettimeofday () -. t0, accesses_of o)
+  in
+  (* Warm both paths, then interleave the modes per seed so host drift
+     (frequency scaling, page cache) cancels out of each pair; the median
+     over the paired per-seed ratios shrugs off GC and scheduler
+     outliers.  Oblivious mode is observably pure, so both runs of a pair
+     perform the identical access sequence. *)
+  ignore (one 1);
+  ignore (one ~respond:Respond.Oblivious 1);
+  let median a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let pairs =
+    Array.init runs (fun i ->
+        let seed = i + 1 in
+        let bs, ops = one seed in
+        let os, _ = one ~respond:Respond.Oblivious seed in
+        let ops = float_of_int (max 1 ops) in
+        (bs *. 1e9 /. ops, os *. 1e9 /. ops))
+  in
+  let baseline_ns = median (Array.map fst pairs) in
+  let oblivious_ns = median (Array.map snd pairs) in
+  let ratio = median (Array.map (fun (b, o) -> o /. b) pairs) in
+  print_endline
+    (Obs_json.to_string
+       (`Assoc
+         [ ("schema", `String respond_schema);
+           ("metric", `String "overhead");
+           ("app", `String app.Buggy_app.name);
+           ("mode", `String "oblivious");
+           ("runs", `Int runs);
+           ("ns_per_op", `Float oblivious_ns);
+           ("baseline_ns_per_op", `Float baseline_ns);
+           ("overhead_frac", `Float (ratio -. 1.0)) ]))
+
 let resilience_schema = "csod.bench.resilience/1"
 
 let resilience () =
@@ -434,7 +539,9 @@ let resilience () =
     (fun name ->
       let app = Option.get (Buggy_app.by_name name) in
       List.iter (fun rate -> bench_one app rate) rates)
-    [ "Zziplib"; "Gzip" ]
+    [ "Zziplib"; "Gzip" ];
+  respond_survival ();
+  respond_overhead ()
 
 (* ------------------------------------------------------------------ *)
 (* Ablation                                                            *)

@@ -85,6 +85,27 @@ let faults_arg =
                  own PRNG stream, so a plan of $(b,none) is bit-identical \
                  to no plan.")
 
+let respond_conv =
+  let parse s =
+    match Respond.mode_of_string s with
+    | Ok m -> Ok m
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf m = Fmt.string ppf (Respond.mode_to_string m) in
+  Arg.conv (parse, print)
+
+let respond_arg =
+  Arg.(value & opt respond_conv Respond.Off
+       & info [ "respond" ] ~docv:"MODE"
+           ~doc:"Active response to detected overflows: $(b,off) (default — \
+                 report only), $(b,oblivious) (failure-oblivious execution: \
+                 out-of-bounds writes land in a per-allocation shadow slab, \
+                 out-of-bounds reads return manufactured values, the program \
+                 keeps running), or $(b,patch)[=$(i,N)] (code-less patching: \
+                 once a context has accumulated $(i,N) evidence hits — \
+                 default 3 — its allocation sites are over-allocated and \
+                 redzoned so the overflow becomes harmless).")
+
 (* Telemetry options *)
 let metrics_arg =
   Arg.(value & flag
@@ -254,6 +275,16 @@ let print_outcome app (o : Execution.outcome) =
       s.Runtime.traps s.Runtime.canary_checks
   | None -> ());
   print_fault_summary o.Execution.faults;
+  (match o.Execution.respond with
+  | Some s when s.Respond.smode <> Respond.Off ->
+    Printf.printf "respond: %s\n" (Format.asprintf "%a" Respond.pp_summary s);
+    if s.Respond.smode = Respond.Oblivious then
+      Printf.printf
+        (if o.Execution.survived then
+           "survived: execution ran to completion with every detected \
+            out-of-bounds access redirected\n"
+         else "not survived\n")
+  | _ -> ());
   if o.Execution.degraded then
     Printf.printf
       "! degraded: watchpoint installation kept failing; fell back to \
@@ -265,7 +296,8 @@ let run_cmd =
          & info [] ~docv:"APP" ~doc:"Application name (see $(b,list)).")
   in
   let run name tool policy no_evidence benign seed runs store_file faults
-      metrics profile metrics_json events snapshot_sec flight trace_out =
+      respond metrics profile metrics_json events snapshot_sec flight
+      trace_out =
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S; try 'csod_run list'\n" name;
@@ -277,13 +309,14 @@ let run_cmd =
       let snapshot_cycles = snapshot_cycles_of snapshot_sec in
       let cap = recorder_capacity ~flight ~trace_out in
       let detected = ref 0 in
+      let survived = ref 0 in
       let last = ref None in
       let last_rec = ref None in
       with_events events (fun () ->
           for s = seed to seed + runs - 1 do
             let execute () =
-              Execution.run ~app ~config ~input ~seed:s ~store ~snapshot_cycles
-                ?faults ()
+              Execution.run ~app ~config ~input ~seed:s ~store ~respond
+                ~snapshot_cycles ?faults ()
             in
             let o =
               match cap with
@@ -297,11 +330,15 @@ let run_cmd =
             in
             if runs = 1 then print_outcome app o;
             if o.Execution.detected then incr detected;
+            if o.Execution.survived then incr survived;
             last := Some o
           done);
       if runs > 1 then begin
         Printf.printf "%s: detected in %d/%d executions (%s)\n" app.Buggy_app.name
           !detected runs (Config.label config);
+        if respond = Respond.Oblivious then
+          Printf.printf "%s: survived %d/%d executions under oblivious mode\n"
+            app.Buggy_app.name !survived runs;
         match !last with
         | Some o ->
           print_fault_summary o.Execution.faults;
@@ -337,9 +374,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a bundled buggy application under a detection tool.")
     Term.(const run $ app_arg $ tool_arg $ policy_arg $ no_evidence_arg $ benign_arg
-          $ seed_arg $ runs_arg $ store_arg $ faults_arg $ metrics_arg
-          $ profile_arg $ metrics_json_arg $ events_arg $ snapshot_arg
-          $ flight_arg $ trace_out_arg)
+          $ seed_arg $ runs_arg $ store_arg $ faults_arg $ respond_arg
+          $ metrics_arg $ profile_arg $ metrics_json_arg $ events_arg
+          $ snapshot_arg $ flight_arg $ trace_out_arg)
 
 (* ---- explain: post-mortem diagnosis ---- *)
 
@@ -470,7 +507,7 @@ let fleet_cmd =
                    ui.perfetto.dev.")
   in
   let run name users domains epoch benign_frac burst wave_period seed policy
-      no_evidence store_file faults json live no_sharded trace_out =
+      no_evidence store_file faults respond json live no_sharded trace_out =
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S\n" name;
@@ -506,14 +543,17 @@ let fleet_cmd =
             Fleet.config ~domains ~epoch_size:epoch ?faults
               ~sharded:(not no_sharded)
               ~trace:(trace_out <> None)
-              ?on_health workload
+              ?on_health
+              ?patch_threshold:
+                (match respond with Respond.Patch n -> Some n | _ -> None)
+              workload
           in
           let store =
             match store_file with Some f -> Some (Persist.load f) | None -> None
           in
           let report =
             Fleet.run ?store cfg
-              ~execute:(Execution.executor ~app ~config ?faults ())
+              ~execute:(Execution.executor ~app ~config ~respond ?faults ())
           in
           save_store ?faults:report.Fleet.faults report.Fleet.store store_file;
           (match trace_out with
@@ -552,8 +592,9 @@ let fleet_cmd =
              overflow evidence at epoch barriers.")
     Term.(const run $ app_arg $ users_arg $ domains_arg $ epoch_arg
           $ benign_frac_arg $ burst_arg $ wave_period_arg $ seed_arg
-          $ policy_arg $ no_evidence_arg $ store_arg $ faults_arg $ json_arg
-          $ live_arg $ no_sharded_arg $ fleet_trace_arg)
+          $ policy_arg $ no_evidence_arg $ store_arg $ faults_arg
+          $ respond_arg $ json_arg $ live_arg $ no_sharded_arg
+          $ fleet_trace_arg)
 
 (* ---- serve: long-running service loop over the fleet ---- *)
 
@@ -610,7 +651,7 @@ let serve_cmd =
          & info [ "alerts" ] ~docv:"SPEC"
              ~doc:"Alert rules, comma-separated: \
                    $(i,name)[>$(i,LIMIT)|<$(i,LIMIT)][\\@$(i,WINDOW)] with \
-                   names stall, degraded, skew, faults, cdf — e.g. \
+                   names stall, degraded, skew, faults, cdf, patch — e.g. \
                    $(b,stall\\@50,degraded>0.1\\@10).  Default \
                    $(b,stall,degraded,skew).")
   in
@@ -677,8 +718,9 @@ let serve_cmd =
     else Some ints
   in
   let run name users domains epoch epochs benign_frac burst wave_period seed
-      policy no_evidence faults alerts alerts_file windows history rotate
-      status_file status_every checkpoint checkpoint_every live no_color =
+      policy no_evidence faults respond alerts alerts_file windows history
+      rotate status_file status_every checkpoint checkpoint_every live
+      no_color =
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S\n" name;
@@ -715,12 +757,16 @@ let serve_cmd =
           ()
       in
       let cfg =
-        Serve.config ~domains ~epoch_size:epoch ?faults ~rules ~windows
-          ?history_dir:history ~rotate ?status_path:status_file ~status_every
-          ?checkpoint_path:checkpoint ~checkpoint_every workload
+        Serve.config ~domains ~epoch_size:epoch ?faults
+          ?patch_threshold:
+            (match respond with Respond.Patch n -> Some n | _ -> None)
+          ~rules ~windows ?history_dir:history ~rotate
+          ?status_path:status_file ~status_every ?checkpoint_path:checkpoint
+          ~checkpoint_every workload
       in
       (match
-         Serve.start cfg ~execute:(Execution.executor ~app ~config ?faults ())
+         Serve.start cfg
+           ~execute:(Execution.executor ~app ~config ~respond ?faults ())
        with
       | Error m ->
         Printf.eprintf "serve: %s\n" m;
@@ -779,7 +825,8 @@ let serve_cmd =
              $(b,--domains).")
     Term.(const run $ app_arg $ users_arg $ domains_arg $ epoch_arg
           $ epochs_arg $ benign_frac_arg $ burst_arg $ wave_period_arg
-          $ seed_arg $ policy_arg $ no_evidence_arg $ faults_arg $ alerts_arg
+          $ seed_arg $ policy_arg $ no_evidence_arg $ faults_arg
+          $ respond_arg $ alerts_arg
           $ alerts_file_arg $ windows_arg $ history_arg $ rotate_arg
           $ status_file_arg $ status_every_arg $ checkpoint_file_arg
           $ checkpoint_every_arg $ live_arg $ no_color_arg)
@@ -1090,8 +1137,8 @@ let exec_cmd =
          & info [ "dump" ] ~doc:"Pretty-print the checked program and exit.")
   in
   let run file inputs module_name tool policy no_evidence seed store_file
-      faults dump metrics profile metrics_json events snapshot_sec flight
-      trace_out =
+      faults respond dump metrics profile metrics_json events snapshot_sec
+      flight trace_out =
     let source = In_channel.with_open_text file In_channel.input_all in
     match Program.load [ { Program.file; module_name; source } ] with
     | Error errs ->
@@ -1111,7 +1158,9 @@ let exec_cmd =
       let heap = Heap.create machine in
       let store = load_store store_file in
       let config = config_of ~tool ~policy ~no_evidence in
-      let inst = Config.instantiate config ~machine ~heap ~store ~seed () in
+      let inst =
+        Config.instantiate config ~machine ~heap ~store ~respond ~seed ()
+      in
       let recorder =
         Option.map
           (fun capacity -> Flight_recorder.create ~capacity ())
@@ -1168,6 +1217,11 @@ let exec_cmd =
       if not (inst.Config.detected ()) then
         Printf.printf "no overflow detected in this execution\n";
       print_fault_summary injector;
+      (match inst.Config.respond with
+      | Some r ->
+        Printf.printf "respond: %s\n"
+          (Format.asprintf "%a" Respond.pp_summary (Respond.summary r))
+      | None -> ());
       (match inst.Config.csod with
       | Some rt when Runtime.degraded rt ->
         Printf.printf
@@ -1187,9 +1241,9 @@ let exec_cmd =
   Cmd.v
     (Cmd.info "exec" ~doc:"Run a MiniC source file under a detection tool.")
     Term.(const run $ file_arg $ inputs_arg $ module_arg $ tool_arg $ policy_arg
-          $ no_evidence_arg $ seed_arg $ store_arg $ faults_arg $ dump_arg
-          $ metrics_arg $ profile_arg $ metrics_json_arg $ events_arg
-          $ snapshot_arg $ flight_arg $ trace_out_arg)
+          $ no_evidence_arg $ seed_arg $ store_arg $ faults_arg $ respond_arg
+          $ dump_arg $ metrics_arg $ profile_arg $ metrics_json_arg
+          $ events_arg $ snapshot_arg $ flight_arg $ trace_out_arg)
 
 let () =
   (* --trace anywhere on the command line streams the runtime's sampling

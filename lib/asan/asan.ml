@@ -9,6 +9,7 @@ type t = {
   quarantine : Quarantine.t;
   redzone : int;
   instrumented : int -> bool;
+  respond : Respond.t option;
   registry : (int, live) Hashtbl.t; (* app ptr -> block info *)
   c_shadow_checks : Metrics.counter;
   c_detections : Metrics.counter;
@@ -17,16 +18,20 @@ type t = {
 }
 
 let create ?(redzone = 16) ?(quarantine_budget = 98_304) ?(instrumented = fun _ -> true)
-    ~machine ~heap () =
+    ?respond ~machine ~heap () =
   if redzone < 16 || redzone mod 8 <> 0 then
     invalid_arg "Asan.create: redzone must be a multiple of 8, at least 16";
   let reg = Machine.registry machine in
+  (match respond with
+  | Some r when Respond.oblivious r -> Respond.attach r machine
+  | _ -> ());
   { machine;
     heap;
     shadow = Shadow.create ();
     quarantine = Quarantine.create ~budget_bytes:quarantine_budget;
     redzone;
     instrumented;
+    respond;
     registry = Hashtbl.create 1024;
     c_shadow_checks = Metrics.counter reg "asan.shadow_checks";
     c_detections = Metrics.counter reg "asan.detections";
@@ -69,6 +74,19 @@ let asan_free t ~ptr =
       let evicted = t.quarantine |> fun q -> Quarantine.push q { base = l.base; bytes = l.request } in
       List.iter (release t) evicted
 
+(* The allocation whose block (object + redzones) contains [addr], if it
+   is still live.  A linear scan, but it runs only on a detection — the
+   no-overflow path never reaches it. *)
+let owning_block t addr =
+  Hashtbl.fold
+    (fun app l acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if addr >= l.base && addr < l.base + l.request then Some (app, l)
+        else None)
+    t.registry None
+
 let on_access t ~addr ~len ~kind ~site =
   if t.instrumented site then begin
     Metrics.incr t.c_shadow_checks;
@@ -77,7 +95,19 @@ let on_access t ~addr ~len ~kind ~site =
       Metrics.incr t.c_detections;
       t.detections <-
         { kind; addr; site; at_sec = Clock.seconds (Machine.clock t.machine) }
-        :: t.detections
+        :: t.detections;
+      (* Oblivious response: the shadow check runs {e before} the machine
+         access, so the redirect is armed ahead of it — the pending
+         squash/override is consumed by the very next load/store. *)
+      match t.respond with
+      | Some r when Respond.oblivious r ->
+        let obj =
+          match owning_block t addr with Some (app, _) -> app | None -> addr
+        in
+        Respond.redirect r t.machine ~source:Respond.Asan_shadow ~kind ~site
+          ~ctx:(site, 0) ~obj ~addr ~len
+          ~at_sec:(Clock.seconds (Machine.clock t.machine))
+      | _ -> ()
     end
   end
 

@@ -31,6 +31,7 @@ val create :
   ?redzone:int ->
   ?quarantine_budget:int ->
   ?instrumented:(int -> bool) ->
+  ?respond:Respond.t ->
   machine:Machine.t ->
   heap:Heap.t ->
   unit ->
@@ -40,7 +41,10 @@ val create :
     series uses 128).  [quarantine_budget] bounds the bytes retained by
     the deallocation quarantine (default 96 KiB).  [instrumented] decides,
     from a code address, whether the access was compiled with
-    instrumentation (default: everything). *)
+    instrumentation (default: everything).  [respond] in oblivious mode
+    redirects each access whose shadow check fails: since the check runs
+    before the machine access, the redirect is armed ahead of the
+    load/store it compensates. *)
 
 val tool : t -> Tool.t
 val detections : t -> detection list

@@ -1,17 +1,51 @@
-type t = (Alloc_ctx.key, unit) Hashtbl.t
+(* A store maps each convicted context key to its evidence hit count.  The
+   key set is what pins contexts at 100% watch probability; the counts feed
+   the code-less patching policy (a context is patched once its count
+   reaches the conviction threshold).  The on-disk format is unchanged —
+   counts are an in-memory, mergeable refinement. *)
+type t = (Alloc_ctx.key, int) Hashtbl.t
 
 let create () : t = Hashtbl.create 16
 let mem t key = Hashtbl.mem t key
-let add t key = if not (Hashtbl.mem t key) then Hashtbl.add t key ()
-let count t = Hashtbl.length t
-let keys t = Hashtbl.fold (fun k () acc -> k :: acc) t [] |> List.sort compare
 
-let merge dst src = Hashtbl.iter (fun k () -> add dst k) src
+let add t key =
+  match Hashtbl.find_opt t key with
+  | Some n -> Hashtbl.replace t key (n + 1)
+  | None -> Hashtbl.add t key 1
+
+let hits t key = match Hashtbl.find_opt t key with Some n -> n | None -> 0
+let count t = Hashtbl.length t
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort compare
+
+let merge dst src =
+  Hashtbl.iter
+    (fun k n ->
+      match Hashtbl.find_opt dst k with
+      | Some m -> Hashtbl.replace dst k (m + n)
+      | None -> Hashtbl.add dst k n)
+    src
 
 let copy t =
   let c = create () in
   merge c t;
   c
+
+(* Fold [src] into [dst] counting only the evidence [src] gained over
+   [base].  The fleet snapshots the shared store into [base] at each epoch
+   barrier and hands executions full copies (hit counts included, so patch
+   conviction sees real evidence); merging back the {e delta} keeps the
+   shared counts exact — evidence inherited from the snapshot is never
+   counted twice, while every key set operation stays a plain merge. *)
+let merge_delta dst ~base src =
+  Hashtbl.iter
+    (fun k n ->
+      let b = hits base k in
+      if n > b then begin
+        match Hashtbl.find_opt dst k with
+        | Some m -> Hashtbl.replace dst k (m + n - b)
+        | None -> Hashtbl.add dst k (n - b)
+      end)
+    src
 
 (* ---------- on-disk format ----------
 
@@ -117,17 +151,25 @@ let parse_footer line =
     | _ -> None)
   | _ -> None
 
+(* Read the whole file and split on '\n' ourselves rather than looping over
+   [input_line]: a tear can cut a data line mid-token ("12345 6" out of
+   "12345 67\n"), and the truncated tail still parses as a well-formed —
+   but fabricated — context key.  [input_line] hides the missing
+   terminator, so the only reliable tear signal is the raw final byte. *)
 let read_lines path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line -> go (line :: acc)
-        | exception End_of_file -> List.rev acc
-      in
-      go [])
+  let ic = open_in_bin path in
+  let raw =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lines = String.split_on_char '\n' raw in
+  (* A terminated file ends "...\n" and splits into lines @ [""]; drop the
+     empty sentinel.  Anything else means the last line was torn. *)
+  match List.rev lines with
+  | "" :: rev -> (List.rev rev, None)
+  | torn :: rev -> (List.rev rev, Some torn)
+  | [] -> ([], None)
 
 let load_result ?metrics path =
   if not (Sys.file_exists path) then (create (), Missing)
@@ -136,6 +178,7 @@ let load_result ?metrics path =
     let corrupt = ref 0 in
     let footer = ref None in
     let data = ref [] in
+    let lines, torn = read_lines path in
     List.iter
       (fun line ->
         if String.length line > 0 && line.[0] = '#' then
@@ -154,7 +197,14 @@ let load_result ?metrics path =
               data := Printf.sprintf "%d %d" a b :: !data
             | _ -> incr corrupt)
           | _ -> incr corrupt)
-      (read_lines path);
+      lines;
+    (* An unterminated final line is a tear by definition (the writer always
+       terminates every line, footer included).  Even when the fragment
+       parses as two integers it must not enter the store — it would pin a
+       context that never produced evidence. *)
+    (match torn with
+    | Some frag -> if String.length frag > 0 then incr corrupt
+    | None -> ());
     let data = List.rev !data in
     let intact =
       !corrupt = 0

@@ -8,6 +8,13 @@
     Context keys are stable across executions because code addresses are
     assigned deterministically by the loader.
 
+    Each key additionally carries an evidence {e hit count} — how many
+    detections have accused that context.  The key set drives pinning as
+    before; the counts drive the code-less patching policy (a context is
+    patched once its count reaches the conviction threshold).  The on-disk
+    format is unchanged: counts are an in-memory, mergeable refinement, and
+    a loaded file seeds every key at one hit.
+
     Stores live in memory (the fleet/crowdsourcing simulations share one
     per simulated user) and can be saved to and loaded from a real file
     (the CLI's behaviour, matching the paper's). *)
@@ -16,21 +23,35 @@ type t
 
 val create : unit -> t
 val mem : t -> Alloc_ctx.key -> bool
+
 val add : t -> Alloc_ctx.key -> unit
-(** Idempotent. *)
+(** Records one piece of evidence: inserts the key if absent, and
+    increments its hit count either way. *)
+
+val hits : t -> Alloc_ctx.key -> int
+(** Evidence count for the key; 0 when absent. *)
 
 val count : t -> int
 val keys : t -> Alloc_ctx.key list
 (** Sorted, for deterministic output. *)
 
 val merge : t -> t -> unit
-(** [merge dst src] adds every context of [src] to [dst].  Commutative and
-    idempotent in the resulting key {e set} — the fleet's epoch barriers
-    rely on this to fold per-user stores into the shared one in any
-    grouping.  [src] is untouched. *)
+(** [merge dst src] adds every context of [src] to [dst], {e summing} hit
+    counts.  Commutative and idempotent in the resulting key {e set} — the
+    fleet's epoch barriers rely on this to fold per-user stores into the
+    shared one in any grouping.  [src] is untouched. *)
 
 val copy : t -> t
-(** Snapshot; the copy and the original evolve independently. *)
+(** Snapshot; the copy and the original evolve independently.  Hit counts
+    are preserved. *)
+
+val merge_delta : t -> base:t -> t -> unit
+(** [merge_delta dst ~base src] folds into [dst] only the evidence [src]
+    gained over [base]: for every key, [max 0 (hits src - hits base)] is
+    added.  The fleet hands each execution a {!copy} of the shared store
+    (hit counts included, so patch conviction sees real evidence) and
+    merges the {e delta} against the epoch-start baseline back — inherited
+    evidence is never counted twice. *)
 
 val save : ?faults:Fault_injector.t -> t -> string -> unit
 (** One ["callsite stack_offset"] line per context, sorted, followed by a
@@ -47,17 +68,21 @@ type load_outcome =
   | Missing  (** no file at that path — a first run, not an empty store *)
   | Clean of int  (** intact store with this many entries (possibly 0) *)
   | Recovered of { entries : int; corrupt_lines : int }
-      (** integrity failure — unparsable lines, or a footer whose count or
-          checksum disagrees; [entries] valid contexts were salvaged *)
+      (** integrity failure — unparsable lines, a torn (unterminated) final
+          line, or a footer whose count or checksum disagrees; [entries]
+          valid contexts were salvaged *)
 
 val load_result : ?metrics:Metrics.t -> string -> t * load_outcome
 (** Failure-oblivious load.  Missing file yields an empty store and
     [Missing].  Blank lines and extra whitespace are tolerated; lines that
     do not hold exactly two integers are {e skipped}, not fatal — every
     parsable context is salvaged so past evidence keeps pinning contexts
-    even when the store was torn mid-write.  A footer-less file (the
-    pre-footer format) loads cleanly with no integrity check.  When
-    [metrics] is given, recovery bumps the ["persist.corrupt_lines"] and
+    even when the store was torn mid-write.  A final line not terminated by
+    ['\n'] is rejected outright (and counted corrupt) even when its
+    fragment parses: a tear can truncate ["12345 67"] to ["12345 6"], a
+    well-formed but fabricated key.  A footer-less file (the pre-footer
+    format) loads cleanly with no integrity check.  When [metrics] is
+    given, recovery bumps the ["persist.corrupt_lines"] and
     ["persist.recovered"] counters. *)
 
 val load : ?metrics:Metrics.t -> string -> t

@@ -22,6 +22,12 @@ type t = {
   c_corruptions : Metrics.counter;
   c_install_failures : Metrics.counter;
   c_degraded : Metrics.counter;
+  respond : Respond.t option;
+  (* Objects already reported, keyed (obj_addr, installed_at): under the
+     oblivious policy a watchpoint stays armed after its first hit (every
+     later out-of-bounds access must still be redirected), so the one-
+     report-per-object rule needs its own memory. *)
+  reported : (int * float, unit) Hashtbl.t;
   mutable reports : Report.t list; (* newest first *)
   mutable traps : int;
   mutable canary_checks : int;
@@ -48,40 +54,71 @@ let record_overflow t (entry : Context_table.entry) report =
   Context_table.pin t.contexts entry;
   Persist.add t.store entry.Context_table.key
 
+(* Under the oblivious policy, compensate for the access that just trapped:
+   the write is squashed into the shadow slab, the read is overridden with
+   the slab value.  No PRNG draw, no extra clock charge — response must not
+   perturb the sampling stream. *)
+let redirect_trap t r (wp : Watch_table.wp) (info : Machine.trap_info) =
+  Respond.redirect r t.machine ~source:Respond.Watchpoint
+    ~kind:
+      (match info.Machine.access_kind with
+      | Hw_breakpoint.Read -> Tool.Read
+      | Hw_breakpoint.Write -> Tool.Write)
+    ~site:(fst wp.Watch_table.entry.Context_table.key)
+    ~ctx:wp.Watch_table.entry.Context_table.key ~obj:wp.Watch_table.obj_addr
+    ~addr:info.Machine.access_addr ~len:info.Machine.access_len ~at_sec:(now t)
+
 let handle_trap t (info : Machine.trap_info) =
   t.traps <- t.traps + 1;
   match Watch_table.find_by_fd t.watches info.Machine.fd with
   | None -> () (* stale descriptor: the watchpoint raced with removal *)
   | Some wp ->
-    (* The paper reports the statement and full calling context of the
-       access (via backtrace in the handler) plus the allocation calling
-       context saved at install time. *)
-    Machine.work t.machine Cost.backtrace_full;
-    let access_bt = Machine.backtrace t.machine in
-    let kind =
-      match info.Machine.access_kind with
-      | Hw_breakpoint.Read -> Report.Over_read
-      | Hw_breakpoint.Write -> Report.Over_write
+    let oblivious =
+      match t.respond with Some r -> Respond.oblivious r | None -> false
     in
-    Trace.trap ~addr:info.Machine.access_addr ~kind:(Report.kind_name kind)
-      ~tid:info.Machine.tid;
-    let report =
-      { Report.kind;
-        source = Report.Watchpoint;
-        access_backtrace = access_bt;
-        alloc_backtrace = wp.Watch_table.alloc_backtrace;
-        ctx_key = wp.Watch_table.entry.Context_table.key;
-        object_addr = wp.Watch_table.obj_addr;
-        watch_addr = wp.Watch_table.watch_addr;
-        tid = info.Machine.tid;
-        at_sec = now t }
-    in
-    record_overflow t wp.Watch_table.entry report;
-    (* One report per object: release the slot so other objects can be
-       watched for the remainder of the execution. *)
-    Watch_table.remove t.watches wp
+    let wp_id = (wp.Watch_table.obj_addr, wp.Watch_table.installed_at) in
+    let first_hit = not (oblivious && Hashtbl.mem t.reported wp_id) in
+    if first_hit then begin
+      (* The paper reports the statement and full calling context of the
+         access (via backtrace in the handler) plus the allocation calling
+         context saved at install time. *)
+      Machine.work t.machine Cost.backtrace_full;
+      let access_bt = Machine.backtrace t.machine in
+      let kind =
+        match info.Machine.access_kind with
+        | Hw_breakpoint.Read -> Report.Over_read
+        | Hw_breakpoint.Write -> Report.Over_write
+      in
+      Trace.trap ~addr:info.Machine.access_addr ~kind:(Report.kind_name kind)
+        ~tid:info.Machine.tid;
+      let report =
+        { Report.kind;
+          source = Report.Watchpoint;
+          access_backtrace = access_bt;
+          alloc_backtrace = wp.Watch_table.alloc_backtrace;
+          ctx_key = wp.Watch_table.entry.Context_table.key;
+          object_addr = wp.Watch_table.obj_addr;
+          watch_addr = wp.Watch_table.watch_addr;
+          tid = info.Machine.tid;
+          at_sec = now t }
+      in
+      record_overflow t wp.Watch_table.entry report
+    end;
+    match t.respond with
+    | Some r when Respond.oblivious r ->
+      (* Keep the watchpoint armed: the object's later out-of-bounds
+         accesses must be redirected too, or the execution corrupts memory
+         it already proved it overflows.  [reported] keeps the one-report-
+         per-object discipline instead of slot release. *)
+      if first_hit then Hashtbl.replace t.reported wp_id ();
+      redirect_trap t r wp info
+    | _ ->
+      (* One report per object: release the slot so other objects can be
+         watched for the remainder of the execution. *)
+      Watch_table.remove t.watches wp
 
-let create ?(params = Params.default) ?store ?(seed = 0) ~machine ~heap () =
+let create ?(params = Params.default) ?store ?respond ?(seed = 0) ~machine
+    ~heap () =
   let root = Machine.rng machine in
   (* Offset the streams by [seed] so distinct executions sample differently. *)
   let mk () =
@@ -109,6 +146,8 @@ let create ?(params = Params.default) ?store ?(seed = 0) ~machine ~heap () =
       c_corruptions = Metrics.counter reg "canary.corruptions";
       c_install_failures = Metrics.counter reg "runtime.install_failures";
       c_degraded = Metrics.counter reg "runtime.degraded";
+      respond;
+      reported = Hashtbl.create 16;
       reports = [];
       traps = 0;
       canary_checks = 0;
@@ -116,6 +155,9 @@ let create ?(params = Params.default) ?store ?(seed = 0) ~machine ~heap () =
       degraded = false;
       finished = false }
   in
+  (match respond with
+  | Some r when Respond.oblivious r -> Respond.attach r machine
+  | _ -> ());
   Machine.set_trap_handler machine (handle_trap t);
   t
 
@@ -191,38 +233,87 @@ let consider_watch t (entry : Context_table.entry) ~app ~watch_addr =
     watched
   end
 
+(* Guard slack a code-less patch adds past the object.  Overflows of up to
+   this many bytes land in memory the allocation owns — below the canary,
+   past the reach of any neighbour — so the bug becomes harmless without a
+   report, a watchpoint or a code change. *)
+let patch_pad = 64
+
+(* Code-less patching: is this context convicted?  Pure store arithmetic —
+   no draws, no clock — so patch decisions are identical on every domain
+   that sees the same store. *)
+let patch_convicted t (entry : Context_table.entry) =
+  match t.respond with
+  | Some r -> (
+    match Respond.patch_threshold r with
+    | Some threshold ->
+      Persist.hits t.store entry.Context_table.key >= threshold
+    | None -> false)
+  | None -> false
+
 let csod_malloc t ~size ~ctx =
   let entry = Context_table.on_allocation t.contexts ctx in
-  (* Most runs carry no persisted evidence: skip the per-allocation store
-     probe entirely when the store is empty or the entry already pinned. *)
-  if
-    (not entry.Context_table.pinned)
-    && Persist.count t.store > 0
-    && Persist.mem t.store entry.Context_table.key
-  then Context_table.pin t.contexts entry;
-  let request = Canary.padded_request ~evidence:(evidence t) size in
-  let base = Heap.malloc t.heap request in
-  let app =
-    if evidence t then
-      Canary.plant t.machine ~base ~size ~ctx_id:entry.Context_table.id
-        ~canary:t.canary
-    else base
-  in
-  let watch_addr = Canary.boundary_addr ~app ~size in
-  if Flight_recorder.active () then begin
-    let site, off = entry.Context_table.key in
-    Flight_recorder.alloc ~at:(cycles t) ~addr:app ~size
-      ~ctx:entry.Context_table.id ~site ~off
-  end;
-  let watched = consider_watch t entry ~app ~watch_addr in
-  if watched then begin
-    Metrics.incr t.c_watched;
-    Context_table.note_watched t.contexts entry
-  end;
-  Trace.decision ~watched
-    ~prob:(Context_table.effective_prob t.contexts entry)
-    ~key:entry.Context_table.key ~addr:app;
-  app
+  if patch_convicted t entry then begin
+    (* Convicted context: over-allocate with guard slack and plant the
+       canary past it.  The object is deliberately not watched and not
+       pinned — the whole point of the patch is that this context's
+       overflow no longer needs (or produces) evidence. *)
+    let padded = size + patch_pad in
+    let request = Canary.padded_request ~evidence:(evidence t) padded in
+    let base = Heap.malloc t.heap request in
+    let app =
+      if evidence t then
+        Canary.plant t.machine ~base ~size:padded
+          ~ctx_id:entry.Context_table.id ~canary:t.canary
+      else base
+    in
+    if Flight_recorder.active () then begin
+      let site, off = entry.Context_table.key in
+      Flight_recorder.alloc ~at:(cycles t) ~addr:app ~size:padded
+        ~ctx:entry.Context_table.id ~site ~off
+    end;
+    (match t.respond with
+    | Some r ->
+      Respond.record_patch r ~site:(fst entry.Context_table.key)
+        ~ctx:entry.Context_table.key ~addr:app ~at_sec:(now t)
+    | None -> ());
+    Trace.decision ~watched:false
+      ~prob:(Context_table.effective_prob t.contexts entry)
+      ~key:entry.Context_table.key ~addr:app;
+    app
+  end
+  else begin
+    (* Most runs carry no persisted evidence: skip the per-allocation store
+       probe entirely when the store is empty or the entry already pinned. *)
+    if
+      (not entry.Context_table.pinned)
+      && Persist.count t.store > 0
+      && Persist.mem t.store entry.Context_table.key
+    then Context_table.pin t.contexts entry;
+    let request = Canary.padded_request ~evidence:(evidence t) size in
+    let base = Heap.malloc t.heap request in
+    let app =
+      if evidence t then
+        Canary.plant t.machine ~base ~size ~ctx_id:entry.Context_table.id
+          ~canary:t.canary
+      else base
+    in
+    let watch_addr = Canary.boundary_addr ~app ~size in
+    if Flight_recorder.active () then begin
+      let site, off = entry.Context_table.key in
+      Flight_recorder.alloc ~at:(cycles t) ~addr:app ~size
+        ~ctx:entry.Context_table.id ~site ~off
+    end;
+    let watched = consider_watch t entry ~app ~watch_addr in
+    if watched then begin
+      Metrics.incr t.c_watched;
+      Context_table.note_watched t.contexts entry
+    end;
+    Trace.decision ~watched
+      ~prob:(Context_table.effective_prob t.contexts entry)
+      ~key:entry.Context_table.key ~addr:app;
+    app
+  end
 
 (* Evidence mode: everything [free] needs is in the object header the
    allocation path planted (Figure 5) — no side table exists. *)
@@ -246,7 +337,18 @@ let check_canary t ~app ~size ~ctx_id ~source =
           tid = Threads.current (Machine.threads t.machine);
           at_sec = now t }
       in
-      record_overflow t entry report
+      record_overflow t entry report;
+      (* A corrupted canary means the overflow already escaped into
+         adjacent memory before any redirect could happen — e.g. the
+         watchpoint was never installed, or its trap was dropped by a fault
+         plan.  Under the oblivious policy this disqualifies the execution
+         from claiming survival: a dropped trap must not fake one. *)
+      match t.respond with
+      | Some r when Respond.oblivious r ->
+        Respond.record_escape r ~source:Respond.Canary
+          ~site:(fst entry.Context_table.key) ~ctx:entry.Context_table.key
+          ~addr:app ~at_sec:(now t)
+      | _ -> ()
   end
 
 let csod_free t ~ptr =
@@ -254,6 +356,9 @@ let csod_free t ~ptr =
   else begin
     if Watch_table.on_free t.watches ~obj_addr:ptr then
       Trace.removed_on_free ~addr:ptr;
+    (match t.respond with
+    | Some r when Respond.oblivious r -> Respond.release r ~obj:ptr
+    | _ -> ());
     (if evidence t then
        match Canary.read_header t.machine ~app:ptr with
        | Some (base, size, ctx_id) ->
@@ -295,6 +400,7 @@ let tool t =
 
 let params t = t.params
 let store t = t.store
+let respond t = t.respond
 let degraded t = t.degraded
 let detections t = List.rev t.reports
 let detected t = t.reports <> []

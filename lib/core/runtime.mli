@@ -29,6 +29,7 @@ type stats = {
 val create :
   ?params:Params.t ->
   ?store:Persist.t ->
+  ?respond:Respond.t ->
   ?seed:int ->
   machine:Machine.t ->
   heap:Heap.t ->
@@ -37,13 +38,31 @@ val create :
 (** Build the runtime: splits per-runtime PRNGs off the machine generator
     (offset by [seed], default 0, so repeated executions differ), installs
     the SIGTRAP handler, subscribes to thread events, and pre-pins every
-    context found in [store] (default: fresh empty store). *)
+    context found in [store] (default: fresh empty store).
+
+    [respond] selects the active-response policy (default none — identical
+    behaviour to a build without the layer).  Oblivious mode arms the
+    machine's squash/override hooks and redirects every detected
+    out-of-bounds access into the response layer's shadow slab; the
+    watchpoint then {e stays armed} (the object's later accesses need
+    redirecting too), with reports still limited to one per object.  Patch
+    mode consults the store's evidence counts on every allocation and
+    gives convicted contexts' objects guard slack instead of a watchpoint.
+    Neither policy draws from any PRNG. *)
 
 val tool : t -> Tool.t
 (** The interposition surface to run applications against. *)
 
 val params : t -> Params.t
 val store : t -> Persist.t
+
+val respond : t -> Respond.t option
+(** The active-response layer this runtime was built with, if any. *)
+
+val patch_pad : int
+(** Guard slack (bytes) a code-less patch adds past a convicted context's
+    object: overflows up to this size land in owned memory, below the
+    canary. *)
 
 val degraded : t -> bool
 (** True once the runtime has fallen back to canary-only mode: after

@@ -34,16 +34,23 @@ type config = {
   sharded : bool;
   trace : bool;
   on_health : (Health.sample -> unit) option;
+  patch_threshold : int option;
+      (* evidence hits at which the shared store convicts a context; drives
+         the per-epoch [patched] tally in health records *)
 }
 
 let config ?domains ?(epoch_size = 32) ?faults ?(sharded = true)
-    ?(trace = false) ?on_health workload =
+    ?(trace = false) ?on_health ?patch_threshold workload =
   let domains =
     match domains with Some d -> d | None -> Pool.default_domains ()
   in
   if domains < 1 then invalid_arg "Fleet.config: domains < 1";
   if epoch_size < 1 then invalid_arg "Fleet.config: epoch_size < 1";
-  { workload; domains; epoch_size; faults; sharded; trace; on_health }
+  (match patch_threshold with
+  | Some n when n < 1 -> invalid_arg "Fleet.config: patch_threshold < 1"
+  | _ -> ());
+  { workload; domains; epoch_size; faults; sharded; trace; on_health;
+    patch_threshold }
 
 (* Fault/degradation counters surfaced per health record; only names the
    merged registry has actually seen appear in the stream. *)
@@ -150,7 +157,9 @@ let step t ~arrivals:n =
   t.arrived <- t.arrived + n;
   (* Snapshots are taken in the main domain, before any worker starts:
      every execution of this epoch sees exactly the evidence uploaded by
-     previous epochs, no more. *)
+     previous epochs, no more.  [base] pins that evidence level so the
+     barrier can merge back only what each execution added. *)
+  let base = Persist.copy t.shared in
   let locals = Array.map (fun _ -> Persist.copy t.shared) users in
   let execs, workers =
     Pool.map_local ?faults:t.pool_faults ~index_base:(uid_base - 1)
@@ -175,7 +184,7 @@ let step t ~arrivals:n =
   let epoch_cycles = ref 0 in
   Array.iteri
     (fun i exec ->
-      Persist.merge t.shared locals.(i);
+      Persist.merge_delta t.shared ~base locals.(i);
       (match exec.telemetry with
       | Some tele ->
         t.snapshots_total <- t.snapshots_total + Telemetry.snapshot_count tele
@@ -243,6 +252,17 @@ let step t ~arrivals:n =
            float_of_int t.detections /. float_of_int users_total
          else 0.0);
       store_contexts = Persist.count t.shared;
+      patched =
+        (* Convicted (= patchable) contexts at this barrier, from the
+           shared store only — every domain ordering sees the same store
+           after the uid-ordered merge, so the tally is deterministic. *)
+        (match cfg.patch_threshold with
+        | Some threshold ->
+          List.fold_left
+            (fun acc k ->
+              if Persist.hits t.shared k >= threshold then acc + 1 else acc)
+            0 (Persist.keys t.shared)
+        | None -> 0);
       degraded = t.degraded_total;
       worker_crashes =
         (match t.pool_faults with

@@ -87,6 +87,12 @@ type config = {
           main domain (all workers joined) — safe to write to a channel
           or the installed {!Event_sink}.  Independently of the callback,
           the fleet emits each sample to the installed sink, if any. *)
+  patch_threshold : int option;
+      (** evidence hits at which the shared store convicts a context.
+          Only feeds the [patched] tally of health samples — the actual
+          mitigation lives in the executor's response mode, which consults
+          the same store snapshots, so tally and behaviour agree.  Default
+          [None] (tally stays 0). *)
 }
 
 val config :
@@ -96,10 +102,12 @@ val config :
   ?sharded:bool ->
   ?trace:bool ->
   ?on_health:(Health.sample -> unit) ->
+  ?patch_threshold:int ->
   Workload.t ->
   config
 (** Defaults: [domains = Pool.default_domains ()], [epoch_size = 32], no
-    fault plan, [sharded = true], [trace = false], no health callback. *)
+    fault plan, [sharded = true], [trace = false], no health callback, no
+    patch threshold. *)
 
 val run : ?store:Persist.t -> config -> execute:'a executor -> 'a report
 (** Simulate the whole fleet.  [store] seeds the shared store (default

@@ -27,10 +27,15 @@ type instance = {
   detected : unit -> bool;
   csod : Runtime.t option;
   asan : Asan.t option;
+  respond : Respond.t option;
   startup_cycles : int;
 }
 
-let instantiate t ~machine ~heap ?(instrumented = fun _ -> true) ?store ?(seed = 0) () =
+let instantiate t ~machine ~heap ?(instrumented = fun _ -> true) ?store
+    ?(respond = Respond.Off) ?(seed = 0) () =
+  (* [Off] constructs no layer at all: the tools receive [None] and behave
+     bit-identically to a build that predates the response code. *)
+  let rsp = match respond with Respond.Off -> None | m -> Some (Respond.create m) in
   match t with
   | Baseline ->
     { tool = Tool.baseline heap;
@@ -38,20 +43,23 @@ let instantiate t ~machine ~heap ?(instrumented = fun _ -> true) ?store ?(seed =
       detected = (fun () -> false);
       csod = None;
       asan = None;
+      respond = None;
       startup_cycles = 0 }
   | Csod params ->
-    let rt = Runtime.create ~params ?store ~seed ~machine ~heap () in
+    let rt = Runtime.create ~params ?store ?respond:rsp ~seed ~machine ~heap () in
     { tool = Runtime.tool rt;
       finish = (fun () -> Runtime.finish rt);
       detected = (fun () -> Runtime.detected rt);
       csod = Some rt;
       asan = None;
+      respond = rsp;
       startup_cycles = Cost.csod_init }
   | Asan { redzone } ->
-    let a = Asan.create ~redzone ~instrumented ~machine ~heap () in
+    let a = Asan.create ~redzone ~instrumented ?respond:rsp ~machine ~heap () in
     { tool = Asan.tool a;
       finish = (fun () -> ());
       detected = (fun () -> Asan.detected a);
       csod = None;
       asan = Some a;
+      respond = rsp;
       startup_cycles = Cost.asan_init }

@@ -28,6 +28,9 @@ type instance = {
       (** any overflow detected so far, by whichever mechanism the tool has *)
   csod : Runtime.t option;
   asan : Asan.t option;
+  respond : Respond.t option;
+      (** the active-response layer, when a mode other than [Off] was
+          requested (present for CSOD and ASan configurations) *)
   startup_cycles : int;
       (** one-time initialization cost this configuration charges *)
 }
@@ -38,9 +41,12 @@ val instantiate :
   heap:Heap.t ->
   ?instrumented:(int -> bool) ->
   ?store:Persist.t ->
+  ?respond:Respond.mode ->
   ?seed:int ->
   unit ->
   instance
 (** Build the tool.  [instrumented] is consulted by ASan only (default:
     everything is instrumented); [store] and [seed] are CSOD's persistence
-    and per-execution sampling offset. *)
+    and per-execution sampling offset.  [respond] (default [Off]) selects
+    the active-response policy; [Off] constructs no layer at all, keeping
+    the instance bit-identical to a build without one. *)

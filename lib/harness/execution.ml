@@ -12,6 +12,10 @@ type outcome = {
   degraded : bool;
   faults : Fault_injector.t option;
   telemetry : Telemetry.t;
+  respond : Respond.summary option;
+  survived : bool;
+      (* oblivious mode only: ran to completion with every detected
+         out-of-bounds access redirected and no corruption escaping *)
 }
 
 let instrumented_pred (app : Buggy_app.t) program site =
@@ -20,7 +24,7 @@ let instrumented_pred (app : Buggy_app.t) program site =
   | None -> false
 
 let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store
-    ?(snapshot_cycles = 0) ?faults () =
+    ?(respond = Respond.Off) ?(snapshot_cycles = 0) ?faults () =
   let program = Buggy_app.program app in
   (* One injector per execution, salted by the execution seed: a fleet of
      executions sharing one plan still faults each user differently, and
@@ -36,7 +40,7 @@ let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store
   let inst =
     Config.instantiate config ~machine ~heap
       ~instrumented:(instrumented_pred app program)
-      ?store ~seed ()
+      ?store ~respond ~seed ()
   in
   let inputs =
     match input with Buggy -> app.Buggy_app.buggy_inputs | Benign -> app.Buggy_app.benign_inputs
@@ -74,14 +78,19 @@ let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store
       | Some rt -> Runtime.degraded rt
       | None -> false);
     faults = injector;
-    telemetry = Machine.telemetry machine }
+    telemetry = Machine.telemetry machine;
+    respond = Option.map Respond.summary inst.Config.respond;
+    survived =
+      (match inst.Config.respond with
+      | Some r -> Respond.survived r && crashed = None
+      | None -> false) }
   in
   (* All outcome fields are computed; hand the chunk storage back to the
      domain-local page pool for the next execution. *)
   Sparse_mem.release (Machine.mem machine);
   outcome
 
-let executor ~app ~config ?input_of ?faults () =
+let executor ~app ~config ?input_of ?(respond = Respond.Off) ?faults () =
   (* Force the program memo now: fleet workers may call the executor from
      several domains at once, and the memo table is not synchronized. *)
   ignore (Buggy_app.program app);
@@ -93,7 +102,7 @@ let executor ~app ~config ?input_of ?faults () =
   fun ~(user : Workload.user) ~store ->
     let o =
       run ~app ~config ~input:(input_of user) ~seed:user.Workload.seed ~store
-        ?faults ()
+        ~respond ?faults ()
     in
     { Fleet.payload = o;
       detected = o.detected;

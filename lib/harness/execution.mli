@@ -19,6 +19,13 @@ type outcome = {
       (** this execution's injector, carrying per-point fired counts *)
   telemetry : Telemetry.t;         (** the machine's metrics registry and
                                        cycle-attribution profile for this run *)
+  respond : Respond.summary option;
+      (** active-response tallies, when a mode other than [Off] ran *)
+  survived : bool;
+      (** oblivious mode only: the execution ran to completion with every
+          detected out-of-bounds access redirected and no corruption
+          escaping past a canary.  Always false when the response layer is
+          off — an undetected silent run is not a survival claim. *)
 }
 
 val run :
@@ -27,6 +34,7 @@ val run :
   ?input:input_choice ->
   ?seed:int ->
   ?store:Persist.t ->
+  ?respond:Respond.mode ->
   ?snapshot_cycles:int ->
   ?faults:Fault_plan.t ->
   unit ->
@@ -47,6 +55,7 @@ val executor :
   app:Buggy_app.t ->
   config:Config.t ->
   ?input_of:(Workload.user -> input_choice) ->
+  ?respond:Respond.mode ->
   ?faults:Fault_plan.t ->
   unit ->
   outcome Fleet.executor

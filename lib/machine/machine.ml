@@ -2,6 +2,7 @@ type trap_info = {
   fd : Hw_breakpoint.fd;
   trap_addr : int;
   access_addr : int;
+  access_len : int;
   access_kind : Hw_breakpoint.access_kind;
   tid : Threads.tid;
   pc : int;
@@ -32,6 +33,15 @@ type t = {
   mutable trap_handler : (trap_info -> unit) option;
   mutable in_trap : bool;
   mutable backtrace_provider : (unit -> int list) option;
+  (* Active-response plumbing (failure-oblivious mode).  Armed explicitly by
+     the response layer; every field below is dead — never read, never
+     written — while [respond_armed] is false, so an un-armed machine stays
+     bit-identical to one built before the fields existed. *)
+  mutable respond_armed : bool;
+  mutable squash_old : int;      (** pre-write value, captured only when armed *)
+  mutable squash_pending : bool; (** response layer asked to undo the write *)
+  mutable read_override : int option; (** response layer's substitute load value *)
+  mutable on_squash : (addr:int -> len:int -> value:int -> unit) option;
 }
 
 let heap_base = 0x1000_0000
@@ -58,7 +68,12 @@ let create ?(seed = 42) ?faults () =
     brk = heap_base;
     trap_handler = None;
     in_trap = false;
-    backtrace_provider = None }
+    backtrace_provider = None;
+    respond_armed = false;
+    squash_old = 0;
+    squash_pending = false;
+    read_override = None;
+    on_squash = None }
 
 let mem t = t.mem
 let clock t = t.clock
@@ -129,7 +144,7 @@ let fault_fires t point =
   | None -> false
   | Some inj -> Fault_injector.fire ~now:(Clock.seconds t.clock) inj point
 
-let deliver_trap t ~fd ~access_addr ~kind =
+let deliver_trap t ~fd ~access_addr ~len ~kind =
   if fault_fires t Fault_plan.Trap_drop then begin
     (* The SIGTRAP was lost in delivery: the hardware fired but the handler
        never runs.  Counted, recorded, and otherwise costless — the kernel
@@ -164,6 +179,7 @@ let deliver_trap t ~fd ~access_addr ~kind =
             { fd;
               trap_addr = access_addr;
               access_addr;
+              access_len = len;
               access_kind = kind;
               tid = Threads.current t.threads;
               pc = t.pc }
@@ -181,25 +197,81 @@ let checked_access t addr len kind =
         ~tid:(Threads.current t.threads)
     with
     | None -> ()
-    | Some fd -> deliver_trap t ~fd ~access_addr:addr ~kind
+    | Some fd -> deliver_trap t ~fd ~access_addr:addr ~len ~kind
+
+(* Failure-oblivious hooks.  Like a real data breakpoint, the watchpoint
+   trap fires {e after} the access completes — so redirection is
+   compensation, not prevention: the response layer (from the trap handler
+   running inside [checked_access], or from a tool's pre-access shadow
+   check) requests a squash or an override, and the access path applies it
+   on the way out.  A squashed store restores the pre-write value and
+   reports the discarded value through [on_squash] (the response layer's
+   shadow slab); an overridden load returns the substitute value (the slab
+   lookup).  Every conditional below is on [respond_armed], a plain field
+   read with no clock charge, keeping the un-armed machine observably
+   identical. *)
+
+let arm_respond t ~on_squash =
+  t.respond_armed <- true;
+  t.on_squash <- Some on_squash
+
+let squash_write t = if t.respond_armed then t.squash_pending <- true
+let override_read t v = if t.respond_armed then t.read_override <- Some v
+
+let resolve_read t v =
+  match t.read_override with
+  | None -> v
+  | Some v' ->
+    t.read_override <- None;
+    v'
+
+(* The pending-squash flag is {e not} reset on store entry: a tool whose
+   shadow check runs before the machine access (ASan) arms it ahead of the
+   store it wants undone, and the flag is always consumed by that store. *)
+let apply_squash t addr len read write =
+  let value = read t.mem addr in
+  write t.mem addr t.squash_old;
+  t.squash_pending <- false;
+  match t.on_squash with
+  | Some f -> f ~addr ~len ~value
+  | None -> ()
 
 let load_word t addr =
   let v = Sparse_mem.read_int t.mem addr in
   checked_access t addr 8 Hw_breakpoint.Read;
-  v
+  if t.respond_armed then resolve_read t v else v
 
 let store_word t addr v =
-  Sparse_mem.write_int t.mem addr v;
-  checked_access t addr 8 Hw_breakpoint.Write
+  if t.respond_armed && not t.in_trap then begin
+    (* The pre-write capture rides the write itself (one chunk lookup, not
+       a read followed by a write), so arming costs the unfaulted path
+       almost nothing. *)
+    t.squash_old <- Sparse_mem.exchange_int t.mem addr v;
+    checked_access t addr 8 Hw_breakpoint.Write;
+    if t.squash_pending then
+      apply_squash t addr 8 Sparse_mem.read_int Sparse_mem.write_int
+  end
+  else begin
+    Sparse_mem.write_int t.mem addr v;
+    checked_access t addr 8 Hw_breakpoint.Write
+  end
 
 let load_byte t addr =
   let v = Sparse_mem.read_u8 t.mem addr in
   checked_access t addr 1 Hw_breakpoint.Read;
-  v
+  if t.respond_armed then resolve_read t v else v
 
 let store_byte t addr v =
-  Sparse_mem.write_u8 t.mem addr v;
-  checked_access t addr 1 Hw_breakpoint.Write
+  if t.respond_armed && not t.in_trap then begin
+    t.squash_old <- Sparse_mem.exchange_u8 t.mem addr v;
+    checked_access t addr 1 Hw_breakpoint.Write;
+    if t.squash_pending then
+      apply_squash t addr 1 Sparse_mem.read_u8 Sparse_mem.write_u8
+  end
+  else begin
+    Sparse_mem.write_u8 t.mem addr v;
+    checked_access t addr 1 Hw_breakpoint.Write
+  end
 
 let load_word_unwatched t addr = Sparse_mem.read_int t.mem addr
 let store_word_unwatched t addr v = Sparse_mem.write_int t.mem addr v

@@ -14,6 +14,7 @@ type trap_info = {
   fd : Hw_breakpoint.fd;        (** which perf event fired (paper: read from [siginfo_t]) *)
   trap_addr : int;              (** the watched address that was hit *)
   access_addr : int;            (** address of the offending access *)
+  access_len : int;             (** width of the access in bytes (1 or 8) *)
   access_kind : Hw_breakpoint.access_kind;
   tid : Threads.tid;            (** thread that performed the access *)
   pc : int;                     (** code address of the faulting statement *)
@@ -82,6 +83,33 @@ val load_word : t -> int -> int
 val store_word : t -> int -> int -> unit
 val load_byte : t -> int -> int
 val store_byte : t -> int -> int -> unit
+
+(** {2 Active response (failure-oblivious mode)}
+
+    Like a real data breakpoint, the watchpoint trap fires {e after} the
+    access completes, so the response layer compensates rather than
+    prevents: during the access — from the trap handler, or from a tool's
+    pre-access shadow check — it may ask the machine to squash the store
+    (restore the pre-write value) or override the load (return a substitute
+    value).  All response state is dead while unarmed: a machine never
+    offered {!arm_respond} is bit-identical to one built before these hooks
+    existed. *)
+
+val arm_respond :
+  t -> on_squash:(addr:int -> len:int -> value:int -> unit) -> unit
+(** Enable the response hooks.  [on_squash] receives every squashed store —
+    the discarded value and its address/width — so the response layer can
+    preserve it in a shadow slab.  Arming captures the pre-write value on
+    every subsequent store (an unwatched shadow read, no clock charge). *)
+
+val squash_write : t -> unit
+(** Request that the store currently in flight (the one whose trap is being
+    handled, or the next store when called from a pre-access check) be
+    undone after its access check completes.  No-op unless armed. *)
+
+val override_read : t -> int -> unit
+(** Request that the load currently in flight return this value instead of
+    the one read from memory.  No-op unless armed. *)
 
 val load_word_unwatched : t -> int -> int
 (** Runtime-internal access: no debug-register check, no cost.  Used by the

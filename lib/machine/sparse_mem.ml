@@ -135,6 +135,33 @@ let write_u64 t addr v =
 let read_int t addr = Int64.to_int (read_u64 t addr)
 let write_int t addr v = write_u64 t addr (Int64.of_int v)
 
+(* Store returning the displaced value: the armed response layer's
+   pre-write capture folded into the write itself, so the squash path
+   costs one chunk lookup instead of a separate read followed by a
+   write. *)
+let exchange_u8 t addr v =
+  check addr;
+  let b = chunk_for t addr in
+  let off = addr mod chunk_size in
+  let old = Char.code (Bytes.unsafe_get b off) in
+  Bytes.unsafe_set b off (Char.unsafe_chr (v land 0xff));
+  old
+
+let exchange_int t addr v =
+  check addr;
+  let off = addr mod chunk_size in
+  if off <= chunk_size - 8 then begin
+    let b = chunk_for t addr in
+    let old = Bytes.get_int64_le b off in
+    Bytes.set_int64_le b off (Int64.of_int v);
+    Int64.to_int old
+  end
+  else begin
+    let old = read_int t addr in
+    write_int t addr v;
+    old
+  end
+
 let fill t addr len v =
   if len < 0 then invalid_arg "Sparse_mem.fill: negative length";
   if len > 0 then begin

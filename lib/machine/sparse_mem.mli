@@ -31,6 +31,14 @@ val read_int : t -> addr -> int
 
 val write_int : t -> addr -> int -> unit
 
+val exchange_u8 : t -> addr -> int -> int
+(** [exchange_u8 t a v] stores the low 8 bits of [v] and returns the byte
+    it displaced — a write and the pre-write capture in one chunk lookup,
+    for the armed response layer's squash path. *)
+
+val exchange_int : t -> addr -> int -> int
+(** Word-sized {!exchange_u8}. *)
+
 val fill : t -> addr -> int -> int -> unit
 (** [fill t a len v] sets [len] bytes starting at [a] to byte [v]. *)
 

@@ -8,6 +8,9 @@ type sample = {
   users : int;
   cdf : float;
   store_contexts : int;
+  patched : int;
+      (* contexts whose accumulated evidence has crossed the code-less
+         patching conviction threshold; 0 when no patch policy is active *)
   degraded : int;
   worker_crashes : int;
   faults : (string * int) list;
@@ -45,6 +48,7 @@ let fields s =
     ("arrivals", `Int s.arrivals); ("detections", `Int s.detections);
     ("cumulative", `Int s.cumulative); ("users", `Int s.users);
     ("cdf", `Float s.cdf); ("store_contexts", `Int s.store_contexts);
+    ("patched", `Int s.patched);
     ("degraded", `Int s.degraded); ("worker_crashes", `Int s.worker_crashes);
     ("faults", `Assoc (List.map (fun (k, v) -> (k, `Int v)) s.faults));
     ("snapshots", `Int s.snapshots);
@@ -75,6 +79,7 @@ let of_json json =
   let* users = int "users" in
   let* cdf = flt "cdf" in
   let* store_contexts = int "store_contexts" in
+  let* patched = int "patched" in
   let* degraded = int "degraded" in
   let* worker_crashes = int "worker_crashes" in
   let* snapshots = int "snapshots" in
@@ -114,7 +119,7 @@ let of_json json =
   in
   Some
     { epoch; arrivals; detections; cumulative; users; cdf; store_contexts;
-      degraded; worker_crashes; faults; snapshots; epoch_seconds;
+      patched; degraded; worker_crashes; faults; snapshots; epoch_seconds;
       merge_seconds; observer_seconds; execs_per_sec; straggler_skew;
       telemetry; domains }
 
@@ -160,8 +165,10 @@ let render ?(color = true) samples =
     in
     let det = if last.cumulative > 0 then good det else dim det in
     Buffer.add_string b
-      (Printf.sprintf "%s  epoch %d   users %d   detections %s   store %d\n"
-         (bold "CSOD FLEET") last.epoch last.users det last.store_contexts);
+      (Printf.sprintf "%s  epoch %d   users %d   detections %s   store %d%s\n"
+         (bold "CSOD FLEET") last.epoch last.users det last.store_contexts
+         (if last.patched > 0 then Printf.sprintf "   patched %d" last.patched
+          else ""));
     let tail =
       let all = List.map (fun s -> s.cdf) samples in
       let n = List.length all in

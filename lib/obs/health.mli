@@ -31,6 +31,9 @@ type sample = {
   users : int;  (** total fleet size *)
   cdf : float;  (** [cumulative / users]; 0 for an empty fleet *)
   store_contexts : int;  (** shared store size after the barrier *)
+  patched : int;
+      (** contexts whose accumulated evidence has crossed the code-less
+          patching conviction threshold; 0 when no patch policy is active *)
   degraded : int;  (** executions so far that fell back to canary-only *)
   worker_crashes : int;  (** injected pool crashes so far *)
   faults : (string * int) list;

@@ -4,6 +4,7 @@ type condition =
   | Skew_above of float
   | Fault_burn_above of float
   | Cdf_below of float
+  | Patch_above of float
 
 type rule = { name : string; window : int; cond : condition }
 
@@ -22,6 +23,7 @@ let to_spec r =
     | Skew_above l -> "skew>" ^ limit_str l
     | Fault_burn_above l -> "faults>" ^ limit_str l
     | Cdf_below l -> "cdf<" ^ limit_str l
+    | Patch_above l -> "patch>" ^ limit_str l
   in
   Printf.sprintf "%s@%d" body r.window
 
@@ -66,7 +68,9 @@ let parse_rule tok =
       Result.map (fun l -> (Fault_burn_above l, 10)) (limit_of 1.)
     | "cdf", (' ' | '<') ->
       Result.map (fun l -> (Cdf_below l, 10)) (limit_of 0.5)
-    | ("degraded" | "skew" | "faults"), '<' | "cdf", '>' ->
+    | "patch", (' ' | '>') ->
+      Result.map (fun l -> (Patch_above l, 10)) (limit_of 0.)
+    | ("degraded" | "skew" | "faults" | "patch"), '<' | "cdf", '>' ->
       err "alert %S: comparator points the wrong way" tok
     | _ -> err "unknown alert %S" tok
   in
@@ -113,6 +117,7 @@ let holds r (a : Window.agg) =
     in
     a.epochs > 0 && float_of_int burns /. float_of_int a.epochs > l
   | Cdf_below l -> a.cdf_last < l
+  | Patch_above l -> float_of_int a.patched > l
 
 type event = {
   rule : rule;

@@ -20,6 +20,7 @@ type condition =
   | Skew_above of float        (** max virtual cycle-skew > limit *)
   | Fault_burn_above of float  (** (crashes + fault counters) / epoch > limit *)
   | Cdf_below of float         (** detection CDF at window end < limit *)
+  | Patch_above of float       (** contexts newly convicted in window > limit *)
 
 type rule = { name : string; window : int; cond : condition }
 
@@ -29,11 +30,12 @@ val to_spec : rule -> string
 val parse : string -> (rule list, string) result
 (** Parse an alert spec: rules separated by commas or newlines, [#]
     comment lines ignored.  Each rule is [name[>limit|<limit][@window]]
-    with names [stall], [degraded], [skew], [faults], [cdf] — e.g.
-    ["stall@50,degraded>0.1@10"].  Omitted limits and windows take the
-    rule's defaults ([stall@50]; [degraded>0.1@10]; [skew>3@10];
-    [faults>1@10]; [cdf<0.5@10]).  [cdf] takes [<], the others [>];
-    [stall] takes no limit.  [Error] names the offending token. *)
+    with names [stall], [degraded], [skew], [faults], [cdf], [patch] —
+    e.g. ["stall@50,degraded>0.1@10"].  Omitted limits and windows take
+    the rule's defaults ([stall@50]; [degraded>0.1@10]; [skew>3@10];
+    [faults>1@10]; [cdf<0.5@10]; [patch>0@10]).  [cdf] takes [<], the
+    others [>]; [stall] takes no limit.  [Error] names the offending
+    token. *)
 
 val defaults : rule list
 (** The rules [parse "stall,degraded,skew"] yields — the service's

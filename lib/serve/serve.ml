@@ -6,6 +6,7 @@ type config = {
   domains : int;
   epoch_size : int;
   faults : Fault_plan.t option;
+  patch_threshold : int option;
   rules : Alert.rule list;
   windows : int list;
   history_dir : string option;
@@ -16,20 +17,25 @@ type config = {
   checkpoint_every : int;
 }
 
-let config ?domains ?(epoch_size = 32) ?faults ?(rules = Alert.defaults)
-    ?(windows = [ 1; 10; 100 ]) ?history_dir ?(rotate = 4096) ?status_path
-    ?(status_every = 1) ?checkpoint_path ?(checkpoint_every = 0) workload =
+let config ?domains ?(epoch_size = 32) ?faults ?patch_threshold
+    ?(rules = Alert.defaults) ?(windows = [ 1; 10; 100 ]) ?history_dir
+    ?(rotate = 4096) ?status_path ?(status_every = 1) ?checkpoint_path
+    ?(checkpoint_every = 0) workload =
   let domains =
     match domains with Some d -> d | None -> Pool.default_domains ()
   in
+  (match patch_threshold with
+  | Some n when n < 1 -> invalid_arg "Serve.config: patch_threshold < 1"
+  | _ -> ());
   if rotate < 1 then invalid_arg "Serve.config: rotate < 1";
   if status_every < 1 then invalid_arg "Serve.config: status_every < 1";
   if checkpoint_every < 0 then invalid_arg "Serve.config: checkpoint_every < 0";
   List.iter
     (fun w -> if w < 1 then invalid_arg "Serve.config: window < 1")
     windows;
-  { workload; domains; epoch_size; faults; rules; windows; history_dir;
-    rotate; status_path; status_every; checkpoint_path; checkpoint_every }
+  { workload; domains; epoch_size; faults; patch_threshold; rules; windows;
+    history_dir; rotate; status_path; status_every; checkpoint_path;
+    checkpoint_every }
 
 (* Dashboard sizes plus every rule's judging window: one ring each. *)
 let all_window_sizes cfg =
@@ -48,11 +54,13 @@ type 'a t = {
   mutable arrived : int;
   mutable detections : int;
   mutable total_cycles : int;
+  mutable patched : int;
   mutable degraded : int;
   mutable worker_crashes : int;
   mutable snapshots : int;
   mutable faults_cum : (string * int) list;
   (* Previous barrier's fleet-session cumulatives, for per-epoch deltas. *)
+  mutable prev_patched : int;
   mutable prev_degraded : int;
   mutable prev_crashes : int;
   mutable prev_snapshots : int;
@@ -81,6 +89,8 @@ let meta_body cfg : Obs_json.t =
        match cfg.faults with
        | Some p -> `String (Fault_plan.to_string p)
        | None -> `Null);
+      ("patch_threshold",
+       match cfg.patch_threshold with Some n -> `Int n | None -> `Null);
       ("alerts",
        `List (List.map (fun r -> `String (Alert.to_spec r)) cfg.rules));
       ("windows", `List (List.map (fun w -> `Int w) cfg.windows)) ]
@@ -94,10 +104,11 @@ let atomic_write path content =
 
 (* ---- status ---- *)
 
-let status_core ~epoch ~arrived ~detections ~total_cycles ~last ~wins ~alerts
-    ~window_sizes : (string * Obs_json.t) list =
+let status_core ~epoch ~arrived ~detections ~patched ~total_cycles ~last ~wins
+    ~alerts ~window_sizes : (string * Obs_json.t) list =
   [ ("schema", `String status_schema); ("epoch", `Int epoch);
     ("arrived", `Int arrived); ("detections", `Int detections);
+    ("patched", `Int patched);
     ("cdf",
      `Float
        (if arrived > 0 then float_of_int detections /. float_of_int arrived
@@ -133,8 +144,9 @@ let status_core ~epoch ~arrived ~detections ~total_cycles ~last ~wins ~alerts
 let status_json t : Obs_json.t =
   `Assoc
     (status_core ~epoch:(Fleet.epoch t.fleet) ~arrived:t.arrived
-       ~detections:t.detections ~total_cycles:t.total_cycles ~last:t.last_obs
-       ~wins:t.wins ~alerts:t.alerts ~window_sizes:t.cfg.windows
+       ~detections:t.detections ~patched:t.patched ~total_cycles:t.total_cycles
+       ~last:t.last_obs ~wins:t.wins ~alerts:t.alerts
+       ~window_sizes:t.cfg.windows
     @ [ ("wall",
          `Assoc
            [ ("domains", `Int t.cfg.domains);
@@ -154,16 +166,22 @@ let checkpoint_json t : Obs_json.t =
       ("epoch", `Int (Fleet.epoch t.fleet));
       ("next_uid", `Int (Fleet.next_uid t.fleet));
       ("arrived", `Int t.arrived); ("detections", `Int t.detections);
-      ("total_cycles", `Int t.total_cycles); ("degraded", `Int t.degraded);
+      ("total_cycles", `Int t.total_cycles); ("patched", `Int t.patched);
+      ("degraded", `Int t.degraded);
       ("worker_crashes", `Int t.worker_crashes);
       ("snapshots", `Int t.snapshots);
       ("faults",
        `Assoc (List.map (fun (k, v) -> (k, `Int v)) t.faults_cum));
       ("store",
+       (* [site; off; hits]: evidence counts survive the checkpoint so a
+          resumed service keeps its convictions. *)
        `List
-         (List.map
-            (fun (a, b) -> (`List [ `Int a; `Int b ] : Obs_json.t))
-            (Persist.keys (Fleet.store t.fleet))));
+         (let store = Fleet.store t.fleet in
+          List.map
+            (fun (a, b) ->
+              (`List [ `Int a; `Int b; `Int (Persist.hits store (a, b)) ]
+                : Obs_json.t))
+            (Persist.keys store)));
       ("windows", Window.set_to_json t.wins);
       ("alerts", Alert.states_to_json t.alerts);
       ("history",
@@ -191,16 +209,17 @@ let fresh cfg ~execute =
   let t =
     { cfg;
       fleet = Fleet.start ~lean:true (Fleet.config ~domains:cfg.domains
-                ~epoch_size:cfg.epoch_size ?faults:cfg.faults cfg.workload)
+                ~epoch_size:cfg.epoch_size ?faults:cfg.faults
+                ?patch_threshold:cfg.patch_threshold cfg.workload)
                 ~execute;
       wins = Window.set (all_window_sizes cfg);
       alerts = Alert.engine cfg.rules;
       hist;
       t_start = Unix.gettimeofday ();
-      arrived = 0; detections = 0; total_cycles = 0; degraded = 0;
-      worker_crashes = 0; snapshots = 0; faults_cum = [];
-      prev_degraded = 0; prev_crashes = 0; prev_snapshots = 0;
-      prev_faults = []; last_obs = None }
+      arrived = 0; detections = 0; total_cycles = 0; patched = 0;
+      degraded = 0; worker_crashes = 0; snapshots = 0; faults_cum = [];
+      prev_patched = 0; prev_degraded = 0; prev_crashes = 0;
+      prev_snapshots = 0; prev_faults = []; last_obs = None }
   in
   (* The meta record leads the history; only the first session writes it
      (seq 0), so a resumed run's segments stay byte-identical to an
@@ -227,6 +246,8 @@ let resume cfg ~execute json =
       let* arrived = int "arrived" in
       let* detections = int "detections" in
       let* total_cycles = int "total_cycles" in
+      (* Absent in pre-respond checkpoints: read as 0. *)
+      let patched = Option.value ~default:0 (int "patched") in
       let* degraded = int "degraded" in
       let* worker_crashes = int "worker_crashes" in
       let* snapshots = int "snapshots" in
@@ -244,10 +265,16 @@ let resume cfg ~execute json =
       let* store_keys =
         match Obs_json.member "store" json with
         | Some (`List l) ->
+          (* [site; off] (pre-respond, hits = 1) or [site; off; hits]. *)
           let key = function
             | `List [ a; b ] -> (
               match (Obs_json.to_int a, Obs_json.to_int b) with
-              | Some a, Some b -> Some (a, b)
+              | Some a, Some b -> Some (a, b, 1)
+              | _ -> None)
+            | `List [ a; b; h ] -> (
+              match (Obs_json.to_int a, Obs_json.to_int b, Obs_json.to_int h)
+              with
+              | Some a, Some b, Some h when h >= 1 -> Some (a, b, h)
               | _ -> None)
             | _ -> None
           in
@@ -270,13 +297,14 @@ let resume cfg ~execute json =
         | None -> None
       in
       Some
-        ( epoch, next_uid, arrived, detections, total_cycles, degraded,
-          worker_crashes, snapshots, faults_cum, store_keys, wins, history )
+        ( epoch, next_uid, arrived, detections, total_cycles, patched,
+          degraded, worker_crashes, snapshots, faults_cum, store_keys, wins,
+          history )
   in
   match parsed with
   | None -> Error "malformed checkpoint"
   | Some
-      ( epoch, next_uid, arrived, detections, total_cycles, degraded,
+      ( epoch, next_uid, arrived, detections, total_cycles, patched, degraded,
         worker_crashes, snapshots, faults_cum, store_keys, wins, history ) ->
     let alerts = Alert.engine cfg.rules in
     let ok =
@@ -289,7 +317,19 @@ let resume cfg ~execute json =
       Error "checkpoint window sizes do not match the configuration"
     else begin
       let store = Persist.create () in
-      List.iter (Persist.add store) store_keys;
+      List.iter
+        (fun (a, b, h) ->
+          for _ = 1 to h do Persist.add store (a, b) done)
+        store_keys;
+      (* The fleet's [patched] tally is a state count over the shared
+         store; seed the delta baseline from the restored evidence so the
+         first resumed epoch reports only {e new} convictions. *)
+      let prev_patched =
+        match cfg.patch_threshold with
+        | None -> 0
+        | Some th ->
+          List.length (List.filter (fun (_, _, h) -> h >= th) store_keys)
+      in
       let hist =
         match (cfg.history_dir, history) with
         | Some dir, Some (seq, segment, lines) ->
@@ -303,14 +343,15 @@ let resume cfg ~execute json =
           fleet =
             Fleet.start ~store ~lean:true ~epoch0:epoch ~uid0:next_uid
               (Fleet.config ~domains:cfg.domains ~epoch_size:cfg.epoch_size
-                 ?faults:cfg.faults cfg.workload)
+                 ?faults:cfg.faults ?patch_threshold:cfg.patch_threshold
+                 cfg.workload)
               ~execute;
           wins; alerts; hist;
           t_start = Unix.gettimeofday ();
-          arrived; detections; total_cycles; degraded; worker_crashes;
-          snapshots; faults_cum;
-          prev_degraded = 0; prev_crashes = 0; prev_snapshots = 0;
-          prev_faults = []; last_obs = None }
+          arrived; detections; total_cycles; patched; degraded;
+          worker_crashes; snapshots; faults_cum;
+          prev_patched; prev_degraded = 0; prev_crashes = 0;
+          prev_snapshots = 0; prev_faults = []; last_obs = None }
     end
 
 let start cfg ~execute =
@@ -359,10 +400,14 @@ let step t =
      restart at zero, so deltas are the only thing that survives a
      checkpoint boundary unchanged). *)
   let crashes_now = s.Health.worker_crashes in
+  (* [patched] is a state count (convictions only accumulate), so the
+     delta is never negative. *)
+  let d_patched = max 0 (s.Health.patched - t.prev_patched) in
   let d_degraded = s.Health.degraded - t.prev_degraded in
   let d_crashes = crashes_now - t.prev_crashes in
   let d_snapshots = s.Health.snapshots - t.prev_snapshots in
   let d_faults = delta_faults ~prev:t.prev_faults s.Health.faults in
+  t.prev_patched <- s.Health.patched;
   t.prev_degraded <- s.Health.degraded;
   t.prev_crashes <- crashes_now;
   t.prev_snapshots <- s.Health.snapshots;
@@ -370,6 +415,7 @@ let step t =
   t.arrived <- t.arrived + n;
   t.detections <- t.detections + s.Health.detections;
   t.total_cycles <- t.total_cycles + r.Fleet.epoch_cycles;
+  t.patched <- t.patched + d_patched;
   t.degraded <- t.degraded + d_degraded;
   t.worker_crashes <- t.worker_crashes + d_crashes;
   t.snapshots <- t.snapshots + d_snapshots;
@@ -381,7 +427,8 @@ let step t =
         (if t.arrived > 0 then
            float_of_int t.detections /. float_of_int t.arrived
          else 0.0);
-      store_contexts = s.Health.store_contexts; degraded = d_degraded;
+      store_contexts = s.Health.store_contexts; patched = d_patched;
+      degraded = d_degraded;
       worker_crashes = d_crashes; faults = d_faults; snapshots = d_snapshots;
       cycles = r.Fleet.epoch_cycles;
       virtual_seconds = virtual_seconds_of t.total_cycles;
@@ -433,7 +480,7 @@ let render_status ?(color = true) json =
          (c "1" "csod serve") (int "epoch") (flt "virtual_seconds"));
     Buffer.add_string b
       (Printf.sprintf
-         "arrived %d  detections %d  cdf %.2f%%  store %s\n"
+         "arrived %d  detections %d  cdf %.2f%%  store %s%s\n"
          (int "arrived") (int "detections")
          (100.0 *. flt "cdf")
          (match
@@ -441,7 +488,9 @@ let render_status ?(color = true) json =
                 Obs_json.member "store_contexts" l)
           with
          | Some (`Int n) -> string_of_int n
-         | _ -> "-"));
+         | _ -> "-")
+         (let p = int "patched" in
+          if p > 0 then Printf.sprintf "  patched %d" p else ""));
     (match Obs_json.member "windows" json with
     | Some (`Assoc wins) when wins <> [] ->
       Buffer.add_string b
@@ -603,10 +652,13 @@ let replay dir =
             observations )
       | None -> (0, 0, 0, 0)
     in
+    let patched =
+      List.fold_left (fun s (o : Serve_obs.t) -> s + o.patched) 0 observations
+    in
     let status : Obs_json.t =
       `Assoc
-        (status_core ~epoch ~arrived ~detections ~total_cycles ~last:last_obs
-           ~wins ~alerts ~window_sizes)
+        (status_core ~epoch ~arrived ~detections ~patched ~total_cycles
+           ~last:last_obs ~wins ~alerts ~window_sizes)
     in
     Ok
       { meta = Some meta_json; observations; recorded; recomputed;

@@ -27,6 +27,11 @@ type config = {
   domains : int;
   epoch_size : int;
   faults : Fault_plan.t option;
+  patch_threshold : int option;
+      (** evidence hits at which a context counts as convicted — threaded
+          to {!Fleet.config} so the health stream's [patched] tally (and
+          this module's per-epoch deltas) track the executor's code-less
+          patching policy *)
   rules : Alert.rule list;
   windows : int list;  (** dashboard window sizes; rule windows are added *)
   history_dir : string option;
@@ -41,6 +46,7 @@ val config :
   ?domains:int ->
   ?epoch_size:int ->
   ?faults:Fault_plan.t ->
+  ?patch_threshold:int ->
   ?rules:Alert.rule list ->
   ?windows:int list ->
   ?history_dir:string ->
@@ -52,7 +58,8 @@ val config :
   Workload.t ->
   config
 (** Defaults: [domains = Pool.default_domains ()], [epoch_size = 32],
-    no faults, [rules = Alert.defaults], [windows = \[1; 10; 100\]],
+    no faults, no patch threshold, [rules = Alert.defaults],
+    [windows = \[1; 10; 100\]],
     no history/status/checkpoint files, [rotate = 4096],
     [status_every = 1], [checkpoint_every = 0]. *)
 

@@ -6,6 +6,7 @@ type t = {
   cumulative : int;
   cdf : float;
   store_contexts : int;
+  patched : int;
   degraded : int;
   worker_crashes : int;
   faults : (string * int) list;
@@ -21,6 +22,7 @@ let to_json o : Obs_json.t =
       ("arrived", `Int o.arrived); ("detections", `Int o.detections);
       ("cumulative", `Int o.cumulative); ("cdf", `Float o.cdf);
       ("store_contexts", `Int o.store_contexts);
+      ("patched", `Int o.patched);
       ("degraded", `Int o.degraded);
       ("worker_crashes", `Int o.worker_crashes);
       ("faults", `Assoc (List.map (fun (k, v) -> (k, `Int v)) o.faults));
@@ -39,6 +41,8 @@ let of_json json =
   let* cumulative = int "cumulative" in
   let* cdf = flt "cdf" in
   let* store_contexts = int "store_contexts" in
+  (* Absent in pre-respond histories: read as 0 so old segments replay. *)
+  let patched = Option.value ~default:0 (int "patched") in
   let* degraded = int "degraded" in
   let* worker_crashes = int "worker_crashes" in
   let* snapshots = int "snapshots" in
@@ -58,5 +62,5 @@ let of_json json =
   in
   Some
     { epoch; arrivals; arrived; detections; cumulative; cdf; store_contexts;
-      degraded; worker_crashes; faults; snapshots; cycles; virtual_seconds;
-      cycle_skew }
+      patched; degraded; worker_crashes; faults; snapshots; cycles;
+      virtual_seconds; cycle_skew }

@@ -24,6 +24,9 @@ type t = {
   cumulative : int;        (** detections so far *)
   cdf : float;             (** [cumulative / arrived]; 0 for an empty fleet *)
   store_contexts : int;    (** shared store size after the barrier *)
+  patched : int;
+      (** contexts newly convicted (evidence crossed the patch threshold)
+          this epoch; 0 when no patch policy is active *)
   degraded : int;          (** canary-only fallbacks this epoch *)
   worker_crashes : int;    (** injected pool crashes this epoch *)
   faults : (string * int) list;

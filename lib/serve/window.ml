@@ -4,6 +4,7 @@ type agg = {
   last_epoch : int;
   arrivals : int;
   detections : int;
+  patched : int;
   degraded : int;
   worker_crashes : int;
   faults : (string * int) list;
@@ -17,13 +18,14 @@ type agg = {
 
 let empty =
   { epochs = 0; first_epoch = -1; last_epoch = -1; arrivals = 0;
-    detections = 0; degraded = 0; worker_crashes = 0; faults = [];
+    detections = 0; patched = 0; degraded = 0; worker_crashes = 0; faults = [];
     snapshots = 0; cycles = 0; skew_max = 0.; cdf_last = 0.; store_last = 0;
     virtual_last = 0. }
 
 let of_obs (o : Serve_obs.t) =
   { epochs = 1; first_epoch = o.epoch; last_epoch = o.epoch;
-    arrivals = o.arrivals; detections = o.detections; degraded = o.degraded;
+    arrivals = o.arrivals; detections = o.detections; patched = o.patched;
+    degraded = o.degraded;
     worker_crashes = o.worker_crashes;
     faults = List.sort (fun (a, _) (b, _) -> compare a b) o.faults;
     snapshots = o.snapshots; cycles = o.cycles; skew_max = o.cycle_skew;
@@ -49,6 +51,7 @@ let merge a b =
     { epochs = a.epochs + b.epochs; first_epoch = a.first_epoch;
       last_epoch = b.last_epoch; arrivals = a.arrivals + b.arrivals;
       detections = a.detections + b.detections;
+      patched = a.patched + b.patched;
       degraded = a.degraded + b.degraded;
       worker_crashes = a.worker_crashes + b.worker_crashes;
       faults = merge_faults a.faults b.faults;
@@ -60,7 +63,8 @@ let agg_to_json a : Obs_json.t =
   `Assoc
     [ ("epochs", `Int a.epochs); ("first_epoch", `Int a.first_epoch);
       ("last_epoch", `Int a.last_epoch); ("arrivals", `Int a.arrivals);
-      ("detections", `Int a.detections); ("degraded", `Int a.degraded);
+      ("detections", `Int a.detections); ("patched", `Int a.patched);
+      ("degraded", `Int a.degraded);
       ("worker_crashes", `Int a.worker_crashes);
       ("faults", `Assoc (List.map (fun (k, v) -> (k, `Int v)) a.faults));
       ("snapshots", `Int a.snapshots); ("cycles", `Int a.cycles);
@@ -77,6 +81,8 @@ let agg_of_json json =
   let* last_epoch = int "last_epoch" in
   let* arrivals = int "arrivals" in
   let* detections = int "detections" in
+  (* Absent in pre-respond checkpoints: read as 0. *)
+  let patched = Option.value ~default:0 (int "patched") in
   let* degraded = int "degraded" in
   let* worker_crashes = int "worker_crashes" in
   let* snapshots = int "snapshots" in
@@ -97,8 +103,8 @@ let agg_of_json json =
     | _ -> None
   in
   Some
-    { epochs; first_epoch; last_epoch; arrivals; detections; degraded;
-      worker_crashes; faults; snapshots; cycles; skew_max; cdf_last;
+    { epochs; first_epoch; last_epoch; arrivals; detections; patched;
+      degraded; worker_crashes; faults; snapshots; cycles; skew_max; cdf_last;
       store_last; virtual_last }
 
 type t = {

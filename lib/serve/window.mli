@@ -17,6 +17,7 @@ type agg = {
   last_epoch : int;    (** highest epoch in the span (-1 when empty) *)
   arrivals : int;      (** summed over the span *)
   detections : int;
+  patched : int;       (** contexts newly convicted over the span *)
   degraded : int;
   worker_crashes : int;
   faults : (string * int) list;  (** summed per counter, name-sorted *)

@@ -1,14 +1,15 @@
 (** Registry of every simulation alphabet the harness ships.
 
-    {!default} is the sweep set (the four real-system alphabets);
+    {!default} is the sweep set (the five real-system alphabets);
     {!all} additionally exposes the planted-bug variants
-    (["store-buggy-merge"], ["fleet-evidence-bug"]) so the shrinking
-    regression tests and the CLI can reach them by explicit name, while
-    the CI sweep never trips over a bug that was planted on purpose. *)
+    (["store-buggy-merge"], ["fleet-evidence-bug"],
+    ["respond-lost-conviction"]) so the shrinking regression tests and the
+    CLI can reach them by explicit name, while the CI sweep never trips
+    over a bug that was planted on purpose. *)
 
 val default : Sim.packed list
-(** ["heap"; "runtime"; "fleet"; "store"] — every alphabet expected to
-    hold its invariants. *)
+(** ["heap"; "runtime"; "fleet"; "store"; "respond"] — every alphabet
+    expected to hold its invariants. *)
 
 val all : Sim.packed list
 (** {!default} plus the planted-bug alphabets. *)

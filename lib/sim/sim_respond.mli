@@ -1,0 +1,28 @@
+(** Simulation alphabet over the active-response layer ({!Respond}): a
+    failure-oblivious runtime and a code-less-patching runtime evolve side
+    by side, the latter sharing a real {!Persist} evidence store with a
+    hit-count model.
+
+    Operations: [respond-oblivious-read] / [respond-oblivious-write]
+    allocate, access one past the end, and free on the oblivious runtime —
+    every such overflow must be redirected into the shadow slab (reads
+    return the manufactured zero, writes are captured verbatim) and must
+    never escape into an adjacent canary.  [convict-context] adds one
+    evidence hit for a context to both the real store and the model;
+    [apply-patch] allocates from a context on the patch runtime and
+    overflows it, asserting the patching contract: once the model convicts
+    a context (hits reach the threshold, 2 here), its allocations are
+    padded and the overflow produces {e no new evidence} — no watchpoint
+    trap, no canary report.
+
+    [~plant:true] plants a known bug behind a flag — the store write that
+    crosses the conviction threshold is silently lost, so the model
+    convicts a context the real store never did, and the next
+    [apply-patch] on it detects — as the seeded target for the shrinking
+    regression test (minimal repro: two convictions and a patch).  Only
+    the ["respond-lost-conviction"] alphabet is wired that way; the
+    default ["respond"] alphabet exercises the real, correct flow. *)
+
+val alphabet : ?plant:bool -> unit -> Sim.packed
+(** Registered as ["respond"], or ["respond-lost-conviction"] with the
+    planted bug. *)

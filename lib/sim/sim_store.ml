@@ -110,10 +110,10 @@ let ops : state Sim.op list =
                 (Printf.sprintf "load found %d keys, save published %d"
                    (KeySet.cardinal got) (KeySet.cardinal ks))
           | Subset ks ->
-            (* A tear cuts at a byte offset, so the final partial line can
-               still parse as a (different) valid key — failure-oblivious
-               salvage may fabricate at most that one. *)
-            if KeySet.cardinal (KeySet.diff got ks) <= 1 then Ok ()
+            (* A tear cuts at a byte offset; the loader rejects the final
+               unterminated line outright, so salvage can never fabricate
+               a key that was not published. *)
+            if KeySet.is_empty (KeySet.diff got ks) then Ok ()
             else Error "torn save loaded keys that were never published") };
     { Sim.op_name = "fault-persist-torn";
       weight = 1;

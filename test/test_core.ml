@@ -393,6 +393,85 @@ let test_persist_load_tolerant () =
   | _, Persist.Missing -> ()
   | _, _ -> Alcotest.fail "missing file must be distinguished from empty"
 
+let test_persist_torn_tail () =
+  let file = Filename.temp_file "csod_store" ".txt" in
+  (* A torn write: the process died mid-line, so the tail has no
+     terminating newline.  "30 4" parses as a well-formed entry, but the
+     writer was emitting "30 45" — salvaging the fragment would fabricate
+     evidence for key (30, 4), a context that never overflowed. *)
+  let oc = open_out_bin file in
+  output_string oc "10 2\n30 4";
+  close_out oc;
+  let reg = Metrics.create () in
+  (match Persist.load_result ~metrics:reg file with
+  | s, Persist.Recovered { entries = 1; corrupt_lines = 1 } ->
+    Alcotest.(check bool) "intact line salvaged" true (Persist.mem s (10, 2));
+    Alcotest.(check bool) "fabricated key rejected" true
+      (not (Persist.mem s (30, 4)))
+  | _, _ -> Alcotest.fail "unterminated tail must count as corrupt");
+  Alcotest.(check bool) "tear counted under persist.corrupt_lines" true
+    (List.assoc_opt "persist.corrupt_lines" (Metrics.counters_list reg)
+     = Some 1);
+  (* The same bytes with the terminator are a clean two-entry store. *)
+  let oc = open_out_bin file in
+  output_string oc "10 2\n30 4\n";
+  close_out oc;
+  (match Persist.load_result file with
+  | s, Persist.Clean 2 ->
+    Alcotest.(check bool) "terminated line loads" true (Persist.mem s (30, 4))
+  | _, _ -> Alcotest.fail "terminated store should load clean");
+  (* A torn footer is recovery, not corruption of the data lines. *)
+  let s = Persist.create () in
+  Persist.add s (7, 8);
+  Persist.save s file;
+  let full = In_channel.with_open_bin file In_channel.input_all in
+  let oc = open_out_bin file in
+  output_string oc (String.sub full 0 (String.length full - 3));
+  close_out oc;
+  (match Persist.load_result file with
+  | s2, Persist.Recovered { entries = 1; corrupt_lines = 1 } ->
+    Alcotest.(check bool) "entries survive a torn footer" true
+      (Persist.mem s2 (7, 8))
+  | _, _ -> Alcotest.fail "torn footer should recover the data lines");
+  Sys.remove file
+
+let test_persist_hits () =
+  let a = Persist.create () in
+  Persist.add a (1, 2);
+  Persist.add a (1, 2);
+  Persist.add a (1, 2);
+  Persist.add a (3, 4);
+  Alcotest.(check int) "hits accumulate" 3 (Persist.hits a (1, 2));
+  Alcotest.(check int) "single hit" 1 (Persist.hits a (3, 4));
+  Alcotest.(check int) "absent key" 0 (Persist.hits a (9, 9));
+  Alcotest.(check int) "count is distinct keys" 2 (Persist.count a);
+  let b = Persist.create () in
+  Persist.add b (1, 2);
+  Persist.add b (5, 6);
+  let m = Persist.copy a in
+  Persist.merge m b;
+  Alcotest.(check int) "merge sums hits" 4 (Persist.hits m (1, 2));
+  Alcotest.(check int) "merge keeps src hits" 1 (Persist.hits m (5, 6));
+  (* merge_delta folds in only what [src] learned since [base]: the
+     fleet's epoch barrier must not re-count the snapshot the execution
+     started from. *)
+  let shared = Persist.create () in
+  Persist.add shared (1, 2);
+  Persist.add shared (1, 2);
+  let base = Persist.copy shared in
+  let local = Persist.copy shared in
+  Persist.add local (1, 2);
+  Persist.add local (7, 8);
+  Persist.merge_delta shared ~base local;
+  Alcotest.(check int) "delta adds only new evidence" 3
+    (Persist.hits shared (1, 2));
+  Alcotest.(check int) "delta carries new keys" 1 (Persist.hits shared (7, 8));
+  (* A second identical barrier from an unchanged local adds nothing. *)
+  let base2 = Persist.copy shared in
+  Persist.merge_delta shared ~base:base2 (Persist.copy shared);
+  Alcotest.(check int) "idempotent on unchanged local" 3
+    (Persist.hits shared (1, 2))
+
 (* ---------- Report ---------- *)
 
 let test_report_format () =
@@ -460,6 +539,10 @@ let suite =
     Alcotest.test_case "persist: roundtrip" `Quick test_persist_roundtrip;
     Alcotest.test_case "persist: merge" `Quick test_persist_merge;
     Alcotest.test_case "persist: tolerant load" `Quick test_persist_load_tolerant;
+    Alcotest.test_case "persist: torn tail rejected" `Quick
+      test_persist_torn_tail;
+    Alcotest.test_case "persist: hit counts and merge_delta" `Quick
+      test_persist_hits;
     Alcotest.test_case "report: formatting" `Quick test_report_format ]
 
 (* Combined-syscall extension (paper, Section V-B): same hardware

@@ -23,5 +23,6 @@ let () =
       ("serve", Test_serve.suite);
       ("faults", Test_faults.suite);
       ("harness", Test_harness.suite);
+      ("respond", Test_respond.suite);
       ("misc", Test_misc.suite);
       ("limitations", Test_limitations.suite) ]

@@ -776,7 +776,7 @@ let test_snapshot_seq_across_merge () =
 
 let health_sample : Health.sample =
   { Health.epoch = 3; arrivals = 32; detections = 4; cumulative = 19;
-    users = 1000; cdf = 0.019; store_contexts = 2; degraded = 1;
+    users = 1000; cdf = 0.019; store_contexts = 2; patched = 1; degraded = 1;
     worker_crashes = 2;
     faults = [ ("runtime.degraded", 1); ("trap.dropped", 5) ];
     snapshots = 12; epoch_seconds = 0.125; merge_seconds = 0.003;
@@ -869,7 +869,7 @@ let test_health_zero_executed () =
     (Health.straggler_skew [ 0.0; 0.0; 0.0 ]);
   let idle =
     { Health.epoch = 9; arrivals = 0; detections = 0; cumulative = 19;
-      users = 1000; cdf = 0.019; store_contexts = 2; degraded = 1;
+      users = 1000; cdf = 0.019; store_contexts = 2; patched = 1; degraded = 1;
       worker_crashes = 2; faults = []; snapshots = 12;
       epoch_seconds = 0.0001; merge_seconds = 0.0; observer_seconds = 0.0;
       execs_per_sec = 0.0; straggler_skew = 1.0; telemetry = "sharded";

@@ -16,6 +16,7 @@ let obs i : Serve_obs.t =
     cumulative = i * 2;
     cdf = float_of_int (i mod 50) /. 50.0;
     store_contexts = i / 4;
+    patched = (if i mod 11 = 0 then 1 else 0);
     degraded = i mod 2;
     worker_crashes = (if i mod 5 = 0 then 1 else 0);
     faults =
@@ -174,7 +175,7 @@ let drive rules stream =
 
 let flat i detections : Serve_obs.t =
   { Serve_obs.epoch = i; arrivals = 10; arrived = (i + 1) * 10; detections;
-    cumulative = 0; cdf = 0.0; store_contexts = 0; degraded = 0;
+    cumulative = 0; cdf = 0.0; store_contexts = 0; patched = 0; degraded = 0;
     worker_crashes = 0; faults = []; snapshots = 0; cycles = 100;
     virtual_seconds = 0.0; cycle_skew = 1.0 }
 

@@ -130,6 +130,32 @@ let test_planted_merge_bug_shrinks () =
   Alcotest.(check bool) "repro contains a merge" true
     (List.exists (fun (s : Sim.step) -> s.Sim.op = "merge") f.Sim.steps)
 
+let test_planted_respond_bug_shrinks () =
+  let f = shrunk_failure (Sim_respond.alphabet ~plant:true ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "minimal repro has %d ops (<= 6), shrunk from %d"
+       (List.length f.Sim.steps) f.Sim.shrunk_from)
+    true
+    (List.length f.Sim.steps <= 6);
+  (* The repro must walk the whole conviction pipeline: evidence hits
+     crossing the threshold, then a patch-mode allocation exposing the
+     lost store write. *)
+  Alcotest.(check bool) "repro convicts a context" true
+    (List.exists (fun (s : Sim.step) -> s.Sim.op = "convict-context")
+       f.Sim.steps);
+  Alcotest.(check bool) "repro applies a patch" true
+    (List.exists (fun (s : Sim.step) -> s.Sim.op = "apply-patch") f.Sim.steps)
+
+let test_respond_alphabet_holds () =
+  (* The unplanted respond alphabet must hold its invariants across a
+     sweep — every oblivious overflow redirected, every conviction
+     honoured. *)
+  match Sim.run_packed (Sim_respond.alphabet ()) ~seed:1 ~runs:10 ~ops:40 with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "respond alphabet violated: %s (%d steps)" f.Sim.message
+      (List.length f.Sim.steps)
+
 let test_planted_fleet_bug_shrinks () =
   let f = shrunk_failure (Sim_fleet.alphabet ~plant:true ()) in
   Alcotest.(check bool)
@@ -180,14 +206,14 @@ let test_registry () =
     (fun n ->
       Alcotest.(check bool) (n ^ " registered") true
         (Sim_registry.find n <> None))
-    [ "heap"; "runtime"; "fleet"; "store"; "store-buggy-merge";
-      "fleet-evidence-bug" ];
+    [ "heap"; "runtime"; "fleet"; "store"; "respond"; "store-buggy-merge";
+      "fleet-evidence-bug"; "respond-lost-conviction" ];
   Alcotest.(check bool) "unknown name rejected" true
     (Sim_registry.find "no-such-alphabet" = None);
   (* The default sweep set holds only the real-system alphabets: planted
      bugs never trip CI. *)
   Alcotest.(check (list string)) "default sweep set"
-    [ "heap"; "runtime"; "fleet"; "store" ]
+    [ "heap"; "runtime"; "fleet"; "store"; "respond" ]
     (List.map Sim.name_of Sim_registry.default)
 
 let suite =
@@ -205,6 +231,10 @@ let suite =
       test_planted_merge_bug_shrinks;
     Alcotest.test_case "shrink: planted fleet bug <= 6 ops" `Quick
       test_planted_fleet_bug_shrinks;
+    Alcotest.test_case "shrink: planted respond bug <= 6 ops" `Quick
+      test_planted_respond_bug_shrinks;
+    Alcotest.test_case "sweep: respond alphabet holds" `Quick
+      test_respond_alphabet_holds;
     Alcotest.test_case "repro: JSON round-trip" `Quick test_repro_json_roundtrip;
     Alcotest.test_case "repro: JSONL line carries the schema" `Quick
       test_repro_line_parses;

@@ -57,11 +57,28 @@ KNOWN = {
         "baseline_ops_per_sec": numbers.Real,
         "speedup": numbers.Real,
     },
+    "csod.respond.event/1": {
+        "kind": str,
+        "source": str,
+        "site": int,
+        "ctx": list,
+        "addr": int,
+        "offset": int,
+        "len": int,
+        "at_sec": numbers.Real,
+    },
+    "csod.bench.respond/1": {
+        "metric": str,
+        "app": str,
+        "mode": str,
+        "runs": int,
+    },
     "csod.fleet.health/1": {
         "epoch": int,
         "arrivals": int,
         "detections": int,
         "cumulative": int,
+        "patched": int,
         "users": int,
         "cdf": numbers.Real,
         "store_contexts": int,
@@ -115,9 +132,61 @@ SIM_OPS = {
               "fault-persist-torn", "fault-persist-enospc"},
     "fleet": {"barrier", "fault-trap-drop", "persist-save", "persist-load",
               "crash"},
+    "respond": {"respond-oblivious-read", "respond-oblivious-write",
+                "convict-context", "apply-patch"},
 }
 SIM_OPS["store-buggy-merge"] = SIM_OPS["store"]
 SIM_OPS["fleet-evidence-bug"] = SIM_OPS["fleet"]
+SIM_OPS["respond-lost-conviction"] = SIM_OPS["respond"]
+
+def check_respond_event(obj, where):
+    if obj["kind"] not in ("redirect-read", "redirect-write", "escape",
+                           "patch"):
+        sys.exit(f"{where}: unknown respond event kind {obj['kind']!r}")
+    if obj["source"] not in ("watchpoint", "asan", "canary"):
+        sys.exit(f"{where}: unknown respond source {obj['source']!r}")
+    ctx = obj["ctx"]
+    if len(ctx) != 2 or any(
+            not isinstance(c, int) or isinstance(c, bool) for c in ctx):
+        sys.exit(f"{where}: respond ctx {ctx!r} is not an [int, int] pair")
+
+# Per-metric required fields of csod.bench.respond/1: survival rows carry
+# the redirect tallies, the overhead row carries the paired timings.
+RESPOND_METRICS = {
+    "survival": {
+        "survived": int,
+        "survival_rate": numbers.Real,
+        "detections": int,
+        "redirected_reads": int,
+        "redirected_writes": int,
+        "escapes": int,
+    },
+    "overhead": {
+        "ns_per_op": numbers.Real,
+        "baseline_ns_per_op": numbers.Real,
+        "overhead_frac": numbers.Real,
+    },
+}
+
+def check_respond_bench(obj, where):
+    metric = obj["metric"]
+    extra = RESPOND_METRICS.get(metric)
+    if extra is None:
+        sys.exit(f"{where}: unknown respond bench metric {metric!r}")
+    for key, ty in extra.items():
+        if key not in obj:
+            sys.exit(f"{where}: {metric} row missing field {key!r}")
+        if not isinstance(obj[key], ty) or isinstance(obj[key], bool):
+            sys.exit(f"{where}: {metric} field {key!r} has type "
+                     f"{type(obj[key]).__name__}")
+    if metric == "survival":
+        if not 0 <= obj["survived"] <= obj["runs"]:
+            sys.exit(f"{where}: survived {obj['survived']} outside "
+                     f"[0, {obj['runs']}]")
+        if not 0.0 <= obj["survival_rate"] <= 1.0:
+            sys.exit(f"{where}: survival_rate out of [0, 1]")
+    elif metric == "overhead" and obj["baseline_ns_per_op"] <= 0:
+        sys.exit(f"{where}: non-positive baseline_ns_per_op")
 
 def check_sim_repro(obj, where):
     alphabet = obj["alphabet"]
@@ -254,6 +323,10 @@ with stream:
                 check_history(obj, f"{path}:{n}")
             elif schema == "csod.sim.repro/1":
                 check_sim_repro(obj, f"{path}:{n}")
+            elif schema == "csod.respond.event/1":
+                check_respond_event(obj, f"{path}:{n}")
+            elif schema == "csod.bench.respond/1":
+                check_respond_bench(obj, f"{path}:{n}")
         lines += 1
 
 if not lines and schema:
