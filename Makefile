@@ -1,7 +1,7 @@
 # Convenience targets around dune.
 
-.PHONY: all build test check bench metrics fleet faults perf validate sim \
-	respond clean
+.PHONY: all build test check bench metrics fleet faults perf engines \
+	validate sim respond clean
 
 all: build
 
@@ -43,6 +43,12 @@ faults:
 # (stdout only).  BENCH_THROUGHPUT.jsonl holds a committed baseline.
 perf:
 	@dune exec bench/main.exe -- throughput
+
+# Engine bench: end-to-end executions/sec of the AST interpreter vs the
+# bytecode VM over app and pure-compute kernel workloads, one
+# csod.bench.exec/1 JSONL row per (workload, mode) (stdout only).
+engines:
+	@dune exec bench/main.exe -- exec
 
 # Event-stream hygiene: the JSONL emitted by --events must be one JSON
 # object per line, never a torn line.

@@ -31,7 +31,13 @@
    shipped and with the hot-path optimizations toggled back to their
    reference implementations, and emits one csod.bench.throughput/1 row
    per (op, mode) with the measured speedup.  This is the `make perf`
-   target. *)
+   target.
+
+   `exec` (explicit-only, JSONL) times end-to-end executions/sec of the
+   AST interpreter against the bytecode VM over app and pure-compute
+   kernel workloads, serial and metrics modes, and emits one
+   csod.bench.exec/1 row per (workload, mode) with the vm-over-interp
+   speedup.  This is the `make engines` target. *)
 
 let progress fmt = Printf.ksprintf (fun s -> Printf.eprintf "  .. %s\n%!" s) fmt
 
@@ -354,6 +360,117 @@ let fleet_bench () =
     (fun (name, users) ->
       bench_one ~users (Option.get (Buggy_app.by_name name)))
     [ ("Zziplib", 1000); ("Memcached", 512); ("Heartbleed", 192) ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine bench: end-to-end executions/sec, interpreter vs VM (JSONL)  *)
+
+(* Explicit-only target.  Each row times complete executions of one
+   workload under both engines and records executions/sec plus the
+   vm-over-interp speedup.  Two workload kinds: "app" rows run a buggy
+   application through the full CSOD detection path (allocator-bound —
+   most of the time is malloc/canary/watchpoint work shared by both
+   engines, so the speedup is modest), "kernel" rows run a pure-compute
+   MiniC program where engine dispatch dominates and the VM's advantage
+   shows undiluted.  [mode] is "serial" (bare run) or "metrics" (flight
+   recorder armed; the kernel also takes telemetry snapshots).  Both
+   engines are checked to agree on the workload's observables before
+   timing and the row carries the verdict.  Schema: csod.bench.exec/1. *)
+
+let exec_schema = "csod.bench.exec/1"
+
+(* Integer-mixing kernel: tight loops, calls, branches and shifts, no
+   allocation — the dispatch-bound regime the bytecode VM targets. *)
+let exec_kernel_src =
+  "fn mix(a, b) {\n\
+  \  var h = a * 31 + b;\n\
+  \  h = h ^ (h >> 7);\n\
+  \  h = h + (h << 3);\n\
+  \  return h;\n\
+   }\n\
+   fn main() {\n\
+  \  var acc = 0;\n\
+  \  var i = 0;\n\
+  \  while (i < 20000) {\n\
+  \    var j = 0;\n\
+  \    for (j = 0; j < 5; j = j + 1) {\n\
+  \      acc = mix(acc, i + j);\n\
+  \      if (acc & 1) { acc = acc + 3; } else { acc = acc - 1; }\n\
+  \    }\n\
+  \    i = i + 1;\n\
+  \  }\n\
+  \  return acc;\n\
+   }\n"
+
+let exec_bench () =
+  let kernel_program =
+    Program.load_exn
+      [ { Program.file = "kernel.mc"; module_name = "kernel";
+          source = exec_kernel_src } ]
+  in
+  let kernel_once ~metrics engine =
+    let machine = Machine.create ~seed:1 () in
+    if metrics then
+      Telemetry.set_snapshot_interval (Machine.telemetry machine)
+        ~cycles:50_000_000;
+    let heap = Heap.create machine in
+    let r =
+      Engine.run ~engine ~machine ~tool:(Tool.baseline heap)
+        ~program:kernel_program ~app_seed:1 ()
+    in
+    Sparse_mem.release (Machine.mem machine);
+    (r.Interp.return_value, Clock.cycles (Machine.clock machine))
+  in
+  let app_once app ~metrics:_ engine =
+    let o = Execution.run ~app ~config:Config.csod_default ~engine ~seed:1 () in
+    ((if o.Execution.detected then 1 else 0), o.Execution.cycles)
+  in
+  let time ~mode ~runs once engine =
+    let body () =
+      (* warm run: the VM pays its one-time bytecode compile here *)
+      ignore (once ~metrics:(mode = `Metrics) engine);
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to runs do
+        ignore (once ~metrics:(mode = `Metrics) engine)
+      done;
+      Unix.gettimeofday () -. t0
+    in
+    match mode with
+    | `Serial -> body ()
+    | `Metrics -> Flight_recorder.with_recorder (Flight_recorder.create ()) body
+  in
+  let bench_one ~workload ~kind ~runs once =
+    let (vi, ci) = once ~metrics:false Engine.Interp in
+    let (vv, cv) = once ~metrics:false Engine.Vm in
+    let identical = vi = vv && ci = cv in
+    List.iter
+      (fun (mode_name, mode) ->
+        progress "exec: %s, %s, %d runs per engine" workload mode_name runs;
+        let wi = time ~mode ~runs once Engine.Interp in
+        let wv = time ~mode ~runs once Engine.Vm in
+        let rate w = float_of_int runs /. max 1e-9 w in
+        print_endline
+          (Obs_json.to_string
+             (`Assoc
+               [ ("schema", `String exec_schema);
+                 ("workload", `String workload);
+                 ("kind", `String kind);
+                 ("mode", `String mode_name);
+                 ("runs", `Int runs);
+                 ("cycles", `Int ci);
+                 ("deterministic", `Bool identical);
+                 ("interp_wall_seconds", `Float wi);
+                 ("vm_wall_seconds", `Float wv);
+                 ("interp_execs_per_sec", `Float (rate wi));
+                 ("vm_execs_per_sec", `Float (rate wv));
+                 ("speedup", `Float (wi /. max 1e-9 wv)) ])))
+      [ ("serial", `Serial); ("metrics", `Metrics) ]
+  in
+  bench_one ~workload:"kernel-mix" ~kind:"kernel" ~runs:10 kernel_once;
+  List.iter
+    (fun (name, runs) ->
+      let app = Option.get (Buggy_app.by_name name) in
+      bench_one ~workload:name ~kind:"app" ~runs (app_once app))
+    [ ("Zziplib", 400); ("LibHX", 1500); ("Heartbleed", 15) ]
 
 (* ------------------------------------------------------------------ *)
 (* Resilience: detection rate under injected faults (JSONL)            *)
@@ -901,11 +1018,13 @@ let () =
      but emits csod.bench.fleet/1 rows when requested by name. *)
   if List.mem "metrics" cmds then metrics ();
   if List.mem "fleet" cmds then fleet_bench ();
+  if List.mem "exec" cmds then exec_bench ();
   if List.mem "resilience" cmds then resilience ();
   if List.mem "throughput" cmds then throughput ();
   (* Keep stdout pure JSONL when a JSONL stream was requested. *)
   let jsonl =
     List.mem "metrics" cmds || List.mem "fleet" cmds
+    || List.mem "exec" cmds
     || List.mem "resilience" cmds || List.mem "throughput" cmds
   in
   let done_ch = if jsonl then stderr else stdout in

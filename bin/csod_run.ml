@@ -38,7 +38,51 @@ let tool_conv =
   in
   Arg.conv (parse, print)
 
+let engine_conv =
+  let parse = function
+    | "interp" -> Ok `Interp
+    | "vm" -> Ok `Vm
+    | "vm-buggy-cycles" -> Ok `Vm_buggy
+    | s ->
+      Error
+        (`Msg (Printf.sprintf "unknown engine %S (interp|vm|vm-buggy-cycles)" s))
+  in
+  let print ppf e =
+    Fmt.string ppf
+      (match e with
+      | `Interp -> "interp"
+      | `Vm -> "vm"
+      | `Vm_buggy -> "vm-buggy-cycles")
+  in
+  Arg.conv (parse, print)
+
+(* Resolve --engine into the process-wide default that Execution.run picks
+   up.  vm-buggy-cycles is the planted miscounting bug kept around for the
+   differential-testing net — a live demonstration that the golden pins
+   and the sweep catch a one-cycle divergence. *)
+let apply_engine = function
+  | `Interp ->
+    Vm.buggy_cycles := false;
+    Engine.set_default Engine.Interp
+  | `Vm ->
+    Vm.buggy_cycles := false;
+    Engine.set_default Engine.Vm
+  | `Vm_buggy ->
+    Vm.buggy_cycles := true;
+    Engine.set_default Engine.Vm
+
 (* Shared options *)
+let engine_arg =
+  Arg.(value & opt engine_conv `Vm
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"MiniC execution engine: $(b,vm) (default — compiled \
+                 bytecode, several times faster), $(b,interp) (the \
+                 reference AST interpreter), or $(b,vm-buggy-cycles) (the \
+                 VM with a deliberately planted cycle-miscounting bug, for \
+                 exercising the differential-testing net).  Both real \
+                 engines are observably bit-identical: same virtual \
+                 cycles, detections, output and PRNG stream.")
+
 let policy_arg =
   Arg.(value & opt policy_conv Params.Near_fifo
        & info [ "policy" ] ~docv:"POLICY" ~doc:"Watchpoint replacement policy.")
@@ -295,9 +339,10 @@ let run_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"APP" ~doc:"Application name (see $(b,list)).")
   in
-  let run name tool policy no_evidence benign seed runs store_file faults
-      respond metrics profile metrics_json events snapshot_sec flight
+  let run name engine tool policy no_evidence benign seed runs store_file
+      faults respond metrics profile metrics_json events snapshot_sec flight
       trace_out =
+    apply_engine engine;
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S; try 'csod_run list'\n" name;
@@ -373,7 +418,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a bundled buggy application under a detection tool.")
-    Term.(const run $ app_arg $ tool_arg $ policy_arg $ no_evidence_arg $ benign_arg
+    Term.(const run $ app_arg $ engine_arg $ tool_arg $ policy_arg $ no_evidence_arg $ benign_arg
           $ seed_arg $ runs_arg $ store_arg $ faults_arg $ respond_arg
           $ metrics_arg $ profile_arg $ metrics_json_arg $ events_arg
           $ snapshot_arg $ flight_arg $ trace_out_arg)
@@ -506,8 +551,10 @@ let fleet_cmd =
                    to $(docv) ($(b,-) for stdout) — open it in \
                    ui.perfetto.dev.")
   in
-  let run name users domains epoch benign_frac burst wave_period seed policy
-      no_evidence store_file faults respond json live no_sharded trace_out =
+  let run name engine users domains epoch benign_frac burst wave_period seed
+      policy no_evidence store_file faults respond json live no_sharded
+      trace_out =
+    apply_engine engine;
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S\n" name;
@@ -590,9 +637,9 @@ let fleet_cmd =
     (Cmd.info "fleet"
        ~doc:"Crowdsourcing simulation: a parallel fleet of users sharing \
              overflow evidence at epoch barriers.")
-    Term.(const run $ app_arg $ users_arg $ domains_arg $ epoch_arg
-          $ benign_frac_arg $ burst_arg $ wave_period_arg $ seed_arg
-          $ policy_arg $ no_evidence_arg $ store_arg $ faults_arg
+    Term.(const run $ app_arg $ engine_arg $ users_arg $ domains_arg
+          $ epoch_arg $ benign_frac_arg $ burst_arg $ wave_period_arg
+          $ seed_arg $ policy_arg $ no_evidence_arg $ store_arg $ faults_arg
           $ respond_arg $ json_arg $ live_arg $ no_sharded_arg
           $ fleet_trace_arg)
 
@@ -717,10 +764,11 @@ let serve_cmd =
     then None
     else Some ints
   in
-  let run name users domains epoch epochs benign_frac burst wave_period seed
-      policy no_evidence faults respond alerts alerts_file windows history
-      rotate status_file status_every checkpoint checkpoint_every live
+  let run name engine users domains epoch epochs benign_frac burst wave_period
+      seed policy no_evidence faults respond alerts alerts_file windows
+      history rotate status_file status_every checkpoint checkpoint_every live
       no_color =
+    apply_engine engine;
     match Buggy_app.by_name name with
     | None ->
       Printf.eprintf "unknown application %S\n" name;
@@ -823,8 +871,9 @@ let serve_cmd =
              checkpoint/resume.  Deterministic: the same seed and schedule \
              produce bit-identical history and alerts at any \
              $(b,--domains).")
-    Term.(const run $ app_arg $ users_arg $ domains_arg $ epoch_arg
-          $ epochs_arg $ benign_frac_arg $ burst_arg $ wave_period_arg
+    Term.(const run $ app_arg $ engine_arg $ users_arg $ domains_arg
+          $ epoch_arg $ epochs_arg $ benign_frac_arg $ burst_arg
+          $ wave_period_arg
           $ seed_arg $ policy_arg $ no_evidence_arg $ faults_arg
           $ respond_arg $ alerts_arg
           $ alerts_file_arg $ windows_arg $ history_arg $ rotate_arg
@@ -1050,7 +1099,8 @@ let sim_cmd =
     Printf.printf "replay: %d records re-executed bit-identically\n"
       (List.length lines)
   in
-  let run alphabets seed runs ops no_shrink out replay =
+  let run engine alphabets seed runs ops no_shrink out replay =
+    apply_engine engine;
     match replay with
     | Some file -> replay_file file
     | None ->
@@ -1114,8 +1164,8 @@ let sim_cmd =
              runnable csod.sim.repro/1 record.  $(b,--replay FILE) \
              re-executes recorded counterexamples bit-identically (replay \
              hash over ops, arguments and per-step state digests).")
-    Term.(const run $ alphabet_arg $ seed_arg $ sim_runs_arg $ ops_arg
-          $ no_shrink_arg $ out_arg $ replay_arg)
+    Term.(const run $ engine_arg $ alphabet_arg $ seed_arg $ sim_runs_arg
+          $ ops_arg $ no_shrink_arg $ out_arg $ replay_arg)
 
 (* ---- exec: user-supplied MiniC program ---- *)
 
@@ -1136,9 +1186,10 @@ let exec_cmd =
     Arg.(value & flag
          & info [ "dump" ] ~doc:"Pretty-print the checked program and exit.")
   in
-  let run file inputs module_name tool policy no_evidence seed store_file
-      faults respond dump metrics profile metrics_json events snapshot_sec
-      flight trace_out =
+  let run file inputs module_name engine tool policy no_evidence seed
+      store_file faults respond dump metrics profile metrics_json events
+      snapshot_sec flight trace_out =
+    apply_engine engine;
     let source = In_channel.with_open_text file In_channel.input_all in
     match Program.load [ { Program.file; module_name; source } ] with
     | Error errs ->
@@ -1177,7 +1228,9 @@ let exec_cmd =
                 let crashed =
                   try
                     let r =
-                      Interp.run ~machine ~tool:inst.Config.tool ~program
+                      Engine.run
+                        ~engine:(Engine.current_default ())
+                        ~machine ~tool:inst.Config.tool ~program
                         ~inputs:(Array.of_list inputs) ~app_seed:seed ()
                     in
                     print_string r.Interp.output;
@@ -1240,7 +1293,8 @@ let exec_cmd =
   in
   Cmd.v
     (Cmd.info "exec" ~doc:"Run a MiniC source file under a detection tool.")
-    Term.(const run $ file_arg $ inputs_arg $ module_arg $ tool_arg $ policy_arg
+    Term.(const run $ file_arg $ inputs_arg $ module_arg $ engine_arg
+          $ tool_arg $ policy_arg
           $ no_evidence_arg $ seed_arg $ store_arg $ faults_arg $ respond_arg
           $ dump_arg $ metrics_arg $ profile_arg $ metrics_json_arg
           $ events_arg $ snapshot_arg $ flight_arg $ trace_out_arg)

@@ -23,8 +23,11 @@ let instrumented_pred (app : Buggy_app.t) program site =
   | Some m -> List.mem m app.Buggy_app.instrumented_modules
   | None -> false
 
-let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store
-    ?(respond = Respond.Off) ?(snapshot_cycles = 0) ?faults () =
+let run ~(app : Buggy_app.t) ~config ?engine ?(input = Buggy) ?(seed = 1)
+    ?store ?(respond = Respond.Off) ?(snapshot_cycles = 0) ?faults () =
+  let engine =
+    match engine with Some e -> e | None -> Engine.current_default ()
+  in
   let program = Buggy_app.program app in
   (* One injector per execution, salted by the execution seed: a fleet of
      executions sharing one plan still faults each user differently, and
@@ -49,7 +52,8 @@ let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store
   let crashed =
     try
       let r =
-        Interp.run ~machine ~tool:inst.Config.tool ~program ~inputs ~app_seed:seed ()
+        Engine.run ~engine ~machine ~tool:inst.Config.tool ~program ~inputs
+          ~app_seed:seed ()
       in
       Buffer.add_string output r.Interp.output;
       None
@@ -90,10 +94,18 @@ let run ~(app : Buggy_app.t) ~config ?(input = Buggy) ?(seed = 1) ?store
   Sparse_mem.release (Machine.mem machine);
   outcome
 
-let executor ~app ~config ?input_of ?(respond = Respond.Off) ?faults () =
-  (* Force the program memo now: fleet workers may call the executor from
-     several domains at once, and the memo table is not synchronized. *)
-  ignore (Buggy_app.program app);
+let executor ~app ~config ?engine ?input_of ?(respond = Respond.Off) ?faults ()
+    =
+  let engine =
+    match engine with Some e -> e | None -> Engine.current_default ()
+  in
+  (* Force the program memo (and, for the VM, the bytecode cache) now:
+     fleet workers may call the executor from several domains at once, and
+     neither memo table is synchronized. *)
+  let program = Buggy_app.program app in
+  (match engine with
+  | Engine.Vm -> Engine.precompile program
+  | Engine.Interp -> ());
   let input_of =
     match input_of with
     | Some f -> f
@@ -101,8 +113,8 @@ let executor ~app ~config ?input_of ?(respond = Respond.Off) ?faults () =
   in
   fun ~(user : Workload.user) ~store ->
     let o =
-      run ~app ~config ~input:(input_of user) ~seed:user.Workload.seed ~store
-        ~respond ?faults ()
+      run ~app ~config ~engine ~input:(input_of user) ~seed:user.Workload.seed
+        ~store ~respond ?faults ()
     in
     { Fleet.payload = o;
       detected = o.detected;

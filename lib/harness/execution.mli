@@ -31,6 +31,7 @@ type outcome = {
 val run :
   app:Buggy_app.t ->
   config:Config.t ->
+  ?engine:Engine.t ->
   ?input:input_choice ->
   ?seed:int ->
   ?store:Persist.t ->
@@ -39,7 +40,10 @@ val run :
   ?faults:Fault_plan.t ->
   unit ->
   outcome
-(** Execute the app once on a fresh machine.  [seed] (default 1) varies
+(** Execute the app once on a fresh machine.  [engine] picks the MiniC
+    execution engine (default {!Engine.current_default}, i.e. the bytecode
+    VM unless the CLI overrode it); both engines are observably identical,
+    so the choice only affects host-time throughput.  [seed] (default 1) varies
     both the machine RNG (CSOD's sampling draws) and the program-visible
     [rand] (timing jitter), modeling distinct production executions.
     [input] defaults to [Buggy].  [snapshot_cycles] (default 0 = off)
@@ -54,6 +58,7 @@ val run :
 val executor :
   app:Buggy_app.t ->
   config:Config.t ->
+  ?engine:Engine.t ->
   ?input_of:(Workload.user -> input_choice) ->
   ?respond:Respond.mode ->
   ?faults:Fault_plan.t ->
@@ -63,8 +68,10 @@ val executor :
     the user's seed and input choice (default: [Benign] iff
     [user.benign]), against the store snapshot the fleet hands over.  The
     returned closure is safe to call from pool domains — the app's
-    program memo is forced eagerly, and each execution builds its own
-    machine, heap and tool. *)
+    program memo (and the VM's bytecode cache) is forced eagerly, and each
+    execution builds its own machine, heap and tool.  The engine is
+    resolved once, when the executor is built, so a fleet run is uniform
+    even if the process default changes mid-flight. *)
 
 val run_until_detected :
   app:Buggy_app.t -> config:Config.t -> max_runs:int -> (int * outcome) option

@@ -110,7 +110,8 @@ let first_overflow t = t.first
 let total_contexts t = Hashtbl.length t.contexts
 let total_allocations t = t.allocs
 
-let observe ?(seed = 1) ~(app : Buggy_app.t) ~input () =
+let observe ?(seed = 1) ?(engine = Engine.Interp) ~(app : Buggy_app.t) ~input
+    () =
   let program = Buggy_app.program app in
   let machine = Machine.create ~seed () in
   let heap = Heap.create machine in
@@ -121,8 +122,11 @@ let observe ?(seed = 1) ~(app : Buggy_app.t) ~input () =
     | Execution.Benign -> app.Buggy_app.benign_inputs
   in
   try
+    (* The oracle defaults to the AST interpreter: ground truth rides the
+       reference semantics, independent of the VM under test. *)
     let (_ : Interp.result) =
-      Interp.run ~machine ~tool:(tool t) ~program ~inputs ~app_seed:seed ()
+      Engine.run ~engine ~machine ~tool:(tool t) ~program ~inputs
+        ~app_seed:seed ()
     in
     Ok t
   with

@@ -36,10 +36,13 @@ val total_contexts : t -> int
 val total_allocations : t -> int
 
 val observe :
-  ?seed:int -> app:Buggy_app.t -> input:Execution.input_choice -> unit ->
-  (t, string) result
+  ?seed:int -> ?engine:Engine.t -> app:Buggy_app.t ->
+  input:Execution.input_choice -> unit -> (t, string) result
 (** Run the app once under the oracle and return it for inspection;
     [Error] carries a crash message if the program faulted.  [seed]
     (default 1) seeds both the machine and the program-visible [rand], so
     an oracle run can be paired with a detection run of the same seed for
-    allocation-index correlation. *)
+    allocation-index correlation.  [engine] defaults to {!Engine.Interp}
+    — unlike {!Execution.run}, the oracle ignores the process default, so
+    ground truth always rides the reference semantics unless a caller
+    explicitly opts into the VM (the engine A/B tests do). *)

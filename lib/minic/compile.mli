@@ -1,0 +1,88 @@
+(** MiniC AST -> flat bytecode.
+
+    Compilation resolves every variable to a static frame slot (Sema has
+    already proven the program well-scoped), turns structured control flow
+    into precomputed jump targets, and stamps each effectful instruction
+    with the code address and source location the interpreter would have
+    used — so the VM can replay the interpreter's machine interaction
+    bit-identically.  Compiled code is immutable once built and is cached
+    on the {!Program} via {!get}. *)
+
+type site = { addr : int; loc : Srcloc.t }
+
+type print_part = Lit of string | Val
+
+type func_info = {
+  fi_name : string;
+  fi_addr : int;          (** function entry code address *)
+  fi_nargs : int;
+  fi_nslots : int;        (** parameters + declaration sites *)
+  fi_frame_bytes : int;   (** simulated stack bytes per activation *)
+  mutable fi_entry : int; (** instruction index of the compiled body *)
+  mutable fi_max_stack : int;
+      (** bound on operand-stack growth while the function's own code runs;
+          lets the VM check capacity once per call *)
+}
+
+type binop_tag =
+  | TAdd | TSub | TMul
+  | TLt | TLe | TGt | TGe | TEq | TNe
+  | TBand | TBor | TBxor | TShl | TShr
+(** Operator tag carried by the fused operand-mode instructions; Div/Mod
+    are excluded (they carry a source location for the zero check). *)
+
+type instr =
+  | Stmt of int * Srcloc.t
+  | Jmp of int
+  | Jz of int
+  | Jnz of int
+  | Call of func_info * int
+  | Spawn of func_info * int
+  | Ret
+  | Push of int
+  | Pop
+  | Load of int
+  | Store of int
+  | Neg
+  | Not
+  | Bool
+  | Add | Sub | Mul
+  | Div of Srcloc.t
+  | Mod of Srcloc.t
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Band | Bor | Bxor | Shl | Shr
+  | Bin_si of binop_tag * int * int
+  | Bin_is of binop_tag * int * int
+  | Bin_ss of binop_tag * int * int
+  | Bin_ti of binop_tag * int
+  | Bin_ts of binop_tag * int
+  | Index of site
+  | Store_idx of site
+  | Malloc of site
+  | Calloc of site
+  | Free of site
+  | Print of print_part array
+  | Input of site
+  | Input_len
+  | Rand of site
+  | Memset of site
+  | Memcpy of site
+  | Load8 of site
+  | Store8 of site
+  | Sleep_ms of site
+  | Work of site
+  | Str_err of Srcloc.t
+
+type code = {
+  instrs : instr array;
+  funcs : (string, func_info) Hashtbl.t;
+}
+
+val compile : Program.t -> code
+(** Compile afresh, ignoring the cache. *)
+
+type Program.cached += Code of code
+
+val get : Program.t -> code
+(** Compile once and cache on the program.  Deterministic, so a cross-domain
+    race merely repeats work; see {!Engine.precompile} for eager warmup. *)

@@ -1,0 +1,40 @@
+(** Execution-engine selection.
+
+    Two engines execute MiniC programs: the AST-walking interpreter
+    ({!Interp}, the reference semantics) and the bytecode VM ({!Vm},
+    compiled via {!Compile}, several times faster).  Both present the
+    identical observable behaviour — virtual cycles, allocation/free
+    stream, tool callbacks, PRNG draws, output, errors — so callers pick
+    purely on speed versus pedigree.  The golden corpus and the
+    differential sweep in the test suite enforce the equivalence. *)
+
+type t = Interp | Vm
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val set_default : t -> unit
+(** Set the process-wide default engine (used by [Execution.run] when no
+    explicit engine is passed).  The CLI threads [--engine] through
+    this. *)
+
+val current_default : unit -> t
+(** The current default; [Vm] unless overridden. *)
+
+val run :
+  engine:t ->
+  machine:Machine.t ->
+  tool:Tool.t ->
+  program:Program.t ->
+  ?inputs:int array ->
+  ?app_seed:int ->
+  ?step_limit:int ->
+  unit ->
+  Interp.result
+(** Execute [main] on the chosen engine.  Same contract as {!Interp.run};
+    both engines raise {!Interp.Runtime_error} for dynamic faults. *)
+
+val precompile : Program.t -> unit
+(** Force the program's bytecode into {!Program}'s compiled-code cache.
+    Call before fanning executions out across domains so pool workers
+    never race on the (unsynchronized) cache slot. *)

@@ -19,6 +19,14 @@ exception Runtime_error of string * Srcloc.t
 (** Dynamic faults: division by zero, calling an integer as a pointer with a
     negative address, input index out of range, step-limit exhaustion, … *)
 
+val stack_base : int
+(** Simulated stack top: frame stack pointers grow down from here.  Shared
+    with the bytecode VM so both engines derive identical stack offsets. *)
+
+val statement_cost : int
+(** Virtual cycles charged per executed statement, identical across
+    engines. *)
+
 type result = {
   output : string;     (** everything printed by the program *)
   return_value : int;  (** [main]'s return value (0 if none) *)

@@ -4,12 +4,15 @@ type error = { msg : string; loc : Srcloc.t }
 
 type frame_info = { floc : Srcloc.t; in_func : string; in_module : string }
 
+type cached = ..
+
 type t = {
   funcs : (string, Ast.func) Hashtbl.t;
   order : Ast.func list;
   symtab : (int, frame_info) Hashtbl.t;
   frame_sizes : (string, int) Hashtbl.t;
   source_lines : int;
+  mutable compiled : cached option;
 }
 
 let pp_error ppf e = Format.fprintf ppf "%a: %s" Srcloc.pp e.loc e.msg
@@ -55,7 +58,8 @@ let load units =
           symtab = build_symtab all_funcs;
           frame_sizes;
           source_lines =
-            List.fold_left (fun acc u -> acc + count_lines u.source) 0 units }
+            List.fold_left (fun acc u -> acc + count_lines u.source) 0 units;
+          compiled = None }
   with
   | Lexer.Lex_error (msg, loc) -> Error [ { msg = "lexical error: " ^ msg; loc } ]
   | Parser.Parse_error (msg, loc) -> Error [ { msg = "parse error: " ^ msg; loc } ]
@@ -86,3 +90,6 @@ let module_of_addr t addr =
   Option.map (fun fi -> fi.in_module) (frame_of_addr t addr)
 
 let total_source_lines t = t.source_lines
+
+let compiled t = t.compiled
+let set_compiled t c = t.compiled <- Some c

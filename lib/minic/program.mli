@@ -48,3 +48,20 @@ val module_of_addr : t -> int -> string option
 
 val total_source_lines : t -> int
 (** Lines of MiniC across all units (the model's "LOC" for Table IV). *)
+
+(** {1 Compiled-code cache}
+
+    An execution engine may attach its compiled form of the program here so
+    repeated executions (the fleet's bread and butter) skip recompilation.
+    The slot is an extension point rather than a concrete type to keep
+    [Program] free of a dependency on any particular engine. *)
+
+type cached = ..
+
+val compiled : t -> cached option
+
+val set_compiled : t -> cached -> unit
+(** Publish a compiled form.  Compilation is deterministic, so a benign
+    race between domains at worst repeats the work; callers that fan out
+    across domains should compile eagerly first (see
+    [Execution.executor]). *)

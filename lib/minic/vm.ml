@@ -1,0 +1,556 @@
+(* Bytecode VM.  Executes Compile.code against the same Machine/Tool
+   surface as the AST interpreter, replaying its observable behaviour
+   bit-identically: the same set_pc sites, the same Machine.work charges,
+   the same tool malloc/free/on_access sequence (with identical
+   Alloc_ctx contents), the same app-PRNG draws, the same error messages
+   at the same source locations, and the same step accounting.  The
+   interpreter (lib/minic/interp.ml) is the reference; any observable
+   divergence is a VM bug — the differential sweep in test/test_prop.ml
+   exists to find exactly that.
+
+   The dispatch loop is a tail-recursive match over the instruction
+   array.  Operand-stack capacity is verified once per frame push
+   against the callee's statically computed [fi_max_stack], so the
+   per-instruction stack operations are unchecked array accesses. *)
+
+let buggy_cycles = ref false
+(* Planted bug for the differential-testing net: when set, every taken
+   backward jump charges one extra virtual cycle, silently inflating the
+   cycle total of any program with a loop.  The sweep must catch it and
+   test/test_minic.ml pins a shrunk repro. *)
+
+type vframe = {
+  callsite : int;    (* code address of the call expression *)
+  vsp : int;         (* simulated stack pointer of this activation *)
+  ret_pc : int;      (* instruction index to resume; -1 = host boundary *)
+  saved_base : int;  (* caller's locals window base *)
+}
+
+type st = {
+  m : Machine.t;
+  tool : Tool.t;
+  code : Compile.code;
+  inputs : int array;
+  app_rng : Prng.t;
+  buf : Buffer.t;
+  buggy : bool;      (* buggy_cycles snapshot, taken once per run *)
+  mutable frames : vframe list; (* innermost first *)
+  mutable steps : int;
+  step_limit : int;
+  mutable stack : int array;    (* operand stack *)
+  mutable sp : int;
+  mutable locals : int array;   (* per-frame slot windows, bump-allocated *)
+  mutable lbase : int;
+  mutable ltop : int;
+}
+
+let error loc fmt =
+  Printf.ksprintf (fun msg -> raise (Interp.Runtime_error (msg, loc))) fmt
+
+let stack_base = Interp.stack_base
+let statement_cost = Interp.statement_cost
+
+let backtrace_of_frames frames pc =
+  pc :: List.map (fun f -> f.callsite) frames
+
+let make_ctx st callsite : Alloc_ctx.t =
+  let frames = st.frames in
+  let sp = (List.hd frames).vsp in
+  { Alloc_ctx.callsite;
+    stack_offset = stack_base - sp;
+    backtrace =
+      (fun () ->
+        Machine.work st.m Cost.backtrace_full;
+        backtrace_of_frames frames callsite) }
+
+let of_bool b = if b then 1 else 0
+
+(* semantics of the fused-operator tags; must agree with the unfused
+   opcodes (and Compile.eval_tag's constant folding) bit-for-bit *)
+let[@inline] binop tag a b =
+  match (tag : Compile.binop_tag) with
+  | Compile.TAdd -> a + b
+  | Compile.TSub -> a - b
+  | Compile.TMul -> a * b
+  | Compile.TLt -> of_bool (a < b)
+  | Compile.TLe -> of_bool (a <= b)
+  | Compile.TGt -> of_bool (a > b)
+  | Compile.TGe -> of_bool (a >= b)
+  | Compile.TEq -> of_bool (a = b)
+  | Compile.TNe -> of_bool (a <> b)
+  | Compile.TBand -> a land b
+  | Compile.TBor -> a lor b
+  | Compile.TBxor -> a lxor b
+  | Compile.TShl -> a lsl (b land 62)
+  | Compile.TShr -> a lsr (b land 62)
+
+let grow_stack st needed =
+  let cap = ref (2 * Array.length st.stack) in
+  while needed > !cap do cap := 2 * !cap done;
+  let arr = Array.make !cap 0 in
+  Array.blit st.stack 0 arr 0 st.sp;
+  st.stack <- arr
+
+let grow_locals st needed =
+  let cap = ref (2 * Array.length st.locals) in
+  while needed > !cap do cap := 2 * !cap done;
+  let arr = Array.make !cap 0 in
+  Array.blit st.locals 0 arr 0 st.ltop;
+  st.locals <- arr
+
+(* Push a frame for [f]: pop its arguments (pushed left-to-right) into
+   slots 0..nargs-1 and guarantee operand-stack headroom for the whole of
+   [f]'s own code — nested calls re-check at their own push. *)
+let push_frame st (f : Compile.func_info) ~callsite ~ret_pc =
+  let parent_sp =
+    match st.frames with [] -> stack_base | fr :: _ -> fr.vsp
+  in
+  if st.sp + f.Compile.fi_max_stack > Array.length st.stack then
+    grow_stack st (st.sp + f.Compile.fi_max_stack);
+  let base = st.ltop in
+  if base + f.Compile.fi_nslots > Array.length st.locals then
+    grow_locals st (base + f.Compile.fi_nslots);
+  let stack = st.stack and locals = st.locals in
+  let sp = st.sp - f.Compile.fi_nargs in
+  for j = 0 to f.Compile.fi_nargs - 1 do
+    Array.unsafe_set locals (base + j) (Array.unsafe_get stack (sp + j))
+  done;
+  st.sp <- sp;
+  st.frames <-
+    { callsite;
+      vsp = parent_sp - f.Compile.fi_frame_bytes;
+      ret_pc;
+      saved_base = st.lbase }
+    :: st.frames;
+  st.lbase <- base;
+  st.ltop <- base + f.Compile.fi_nslots
+
+let word_access st ~addr ~site ~loc =
+  if addr < 0 then error loc "invalid address %d" addr;
+  Machine.set_pc st.m site;
+  st.tool.Tool.on_access ~addr ~len:8 ~kind:Tool.Read ~site;
+  Machine.load_word st.m addr
+
+let word_store st ~addr ~site ~loc v =
+  if addr < 0 then error loc "invalid address %d" addr;
+  Machine.set_pc st.m site;
+  st.tool.Tool.on_access ~addr ~len:8 ~kind:Tool.Write ~site;
+  Machine.store_word st.m addr v
+
+let byte_read st ~addr ~site ~loc =
+  if addr < 0 then error loc "invalid address %d" addr;
+  Machine.set_pc st.m site;
+  st.tool.Tool.on_access ~addr ~len:1 ~kind:Tool.Read ~site;
+  Machine.load_byte st.m addr
+
+let byte_write st ~addr ~site ~loc v =
+  if addr < 0 then error loc "invalid address %d" addr;
+  Machine.set_pc st.m site;
+  st.tool.Tool.on_access ~addr ~len:1 ~kind:Tool.Write ~site;
+  Machine.store_byte st.m addr v
+
+(* Run [f] to completion (its arguments are already on the operand stack)
+   and return its value.  Used for [main] and for [spawn] bodies; ordinary
+   calls stay inside the dispatch loop. *)
+let rec run_call st (f : Compile.func_info) ~callsite : int =
+  push_frame st f ~callsite ~ret_pc:(-1);
+  dispatch st st.code.Compile.instrs f.Compile.fi_entry
+
+and dispatch st code i : int =
+  match Array.unsafe_get code i with
+  | Compile.Stmt (saddr, loc) ->
+    let steps = st.steps + 1 in
+    st.steps <- steps;
+    if steps > st.step_limit then
+      error loc "step limit exceeded (%d statements)" st.step_limit;
+    Machine.set_pc st.m saddr;
+    Machine.work st.m statement_cost;
+    dispatch st code (i + 1)
+  | Compile.Jmp t ->
+    if st.buggy && t <= i then Machine.work st.m 1;
+    dispatch st code t
+  | Compile.Jz t ->
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    dispatch st code (if Array.unsafe_get st.stack sp = 0 then t else i + 1)
+  | Compile.Jnz t ->
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    dispatch st code (if Array.unsafe_get st.stack sp <> 0 then t else i + 1)
+  | Compile.Call (callee, callsite) ->
+    push_frame st callee ~callsite ~ret_pc:(i + 1);
+    dispatch st code callee.Compile.fi_entry
+  | Compile.Spawn (callee, callsite) ->
+    let threads = Machine.threads st.m in
+    let parent = Threads.current threads in
+    let tid = Threads.spawn threads ~name:callee.Compile.fi_name in
+    Threads.set_current threads tid;
+    let r =
+      Fun.protect
+        ~finally:(fun () ->
+          Threads.exit_thread threads tid;
+          Threads.set_current threads parent)
+        (fun () -> run_call st callee ~callsite)
+    in
+    Array.unsafe_set st.stack st.sp r;
+    st.sp <- st.sp + 1;
+    dispatch st code (i + 1)
+  | Compile.Ret -> (
+    match st.frames with
+    | fr :: rest ->
+      st.frames <- rest;
+      st.ltop <- st.lbase;
+      st.lbase <- fr.saved_base;
+      if fr.ret_pc < 0 then begin
+        let sp = st.sp - 1 in
+        st.sp <- sp;
+        Array.unsafe_get st.stack sp
+      end
+      else dispatch st code fr.ret_pc
+    | [] -> assert false)
+  | Compile.Push n ->
+    Array.unsafe_set st.stack st.sp n;
+    st.sp <- st.sp + 1;
+    dispatch st code (i + 1)
+  | Compile.Pop ->
+    st.sp <- st.sp - 1;
+    dispatch st code (i + 1)
+  | Compile.Load slot ->
+    Array.unsafe_set st.stack st.sp
+      (Array.unsafe_get st.locals (st.lbase + slot));
+    st.sp <- st.sp + 1;
+    dispatch st code (i + 1)
+  | Compile.Store slot ->
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set st.locals (st.lbase + slot) (Array.unsafe_get st.stack sp);
+    dispatch st code (i + 1)
+  | Compile.Neg ->
+    let stack = st.stack and top = st.sp - 1 in
+    Array.unsafe_set stack top (-Array.unsafe_get stack top);
+    dispatch st code (i + 1)
+  | Compile.Not ->
+    let stack = st.stack and top = st.sp - 1 in
+    Array.unsafe_set stack top (of_bool (Array.unsafe_get stack top = 0));
+    dispatch st code (i + 1)
+  | Compile.Bool ->
+    let stack = st.stack and top = st.sp - 1 in
+    Array.unsafe_set stack top (of_bool (Array.unsafe_get stack top <> 0));
+    dispatch st code (i + 1)
+  | Compile.Add ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (Array.unsafe_get stack (sp - 1) + Array.unsafe_get stack sp);
+    dispatch st code (i + 1)
+  | Compile.Sub ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (Array.unsafe_get stack (sp - 1) - Array.unsafe_get stack sp);
+    dispatch st code (i + 1)
+  | Compile.Mul ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (Array.unsafe_get stack (sp - 1) * Array.unsafe_get stack sp);
+    dispatch st code (i + 1)
+  | Compile.Div loc ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    let b = Array.unsafe_get stack sp in
+    if b = 0 then error loc "division by zero";
+    Array.unsafe_set stack (sp - 1) (Array.unsafe_get stack (sp - 1) / b);
+    dispatch st code (i + 1)
+  | Compile.Mod loc ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    let b = Array.unsafe_get stack sp in
+    if b = 0 then error loc "modulo by zero";
+    Array.unsafe_set stack (sp - 1) (Array.unsafe_get stack (sp - 1) mod b);
+    dispatch st code (i + 1)
+  | Compile.Lt ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (of_bool (Array.unsafe_get stack (sp - 1) < Array.unsafe_get stack sp));
+    dispatch st code (i + 1)
+  | Compile.Le ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (of_bool (Array.unsafe_get stack (sp - 1) <= Array.unsafe_get stack sp));
+    dispatch st code (i + 1)
+  | Compile.Gt ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (of_bool (Array.unsafe_get stack (sp - 1) > Array.unsafe_get stack sp));
+    dispatch st code (i + 1)
+  | Compile.Ge ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (of_bool (Array.unsafe_get stack (sp - 1) >= Array.unsafe_get stack sp));
+    dispatch st code (i + 1)
+  | Compile.Eq ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (of_bool (Array.unsafe_get stack (sp - 1) = Array.unsafe_get stack sp));
+    dispatch st code (i + 1)
+  | Compile.Ne ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (of_bool (Array.unsafe_get stack (sp - 1) <> Array.unsafe_get stack sp));
+    dispatch st code (i + 1)
+  | Compile.Band ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (Array.unsafe_get stack (sp - 1) land Array.unsafe_get stack sp);
+    dispatch st code (i + 1)
+  | Compile.Bor ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (Array.unsafe_get stack (sp - 1) lor Array.unsafe_get stack sp);
+    dispatch st code (i + 1)
+  | Compile.Bxor ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (Array.unsafe_get stack (sp - 1) lxor Array.unsafe_get stack sp);
+    dispatch st code (i + 1)
+  | Compile.Shl ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (Array.unsafe_get stack (sp - 1) lsl (Array.unsafe_get stack sp land 62));
+    dispatch st code (i + 1)
+  | Compile.Shr ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    Array.unsafe_set stack (sp - 1)
+      (Array.unsafe_get stack (sp - 1) lsr (Array.unsafe_get stack sp land 62));
+    dispatch st code (i + 1)
+  | Compile.Bin_si (tag, s, n) ->
+    Array.unsafe_set st.stack st.sp
+      (binop tag (Array.unsafe_get st.locals (st.lbase + s)) n);
+    st.sp <- st.sp + 1;
+    dispatch st code (i + 1)
+  | Compile.Bin_is (tag, n, s) ->
+    Array.unsafe_set st.stack st.sp
+      (binop tag n (Array.unsafe_get st.locals (st.lbase + s)));
+    st.sp <- st.sp + 1;
+    dispatch st code (i + 1)
+  | Compile.Bin_ss (tag, s1, s2) ->
+    let locals = st.locals and lbase = st.lbase in
+    Array.unsafe_set st.stack st.sp
+      (binop tag
+         (Array.unsafe_get locals (lbase + s1))
+         (Array.unsafe_get locals (lbase + s2)));
+    st.sp <- st.sp + 1;
+    dispatch st code (i + 1)
+  | Compile.Bin_ti (tag, n) ->
+    let stack = st.stack and top = st.sp - 1 in
+    Array.unsafe_set stack top (binop tag (Array.unsafe_get stack top) n);
+    dispatch st code (i + 1)
+  | Compile.Bin_ts (tag, s) ->
+    let stack = st.stack and top = st.sp - 1 in
+    Array.unsafe_set stack top
+      (binop tag (Array.unsafe_get stack top)
+         (Array.unsafe_get st.locals (st.lbase + s)));
+    dispatch st code (i + 1)
+  | Compile.Index { addr = site; loc } ->
+    let stack = st.stack in
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    let idx = Array.unsafe_get stack sp in
+    let base = Array.unsafe_get stack (sp - 1) in
+    Array.unsafe_set stack (sp - 1)
+      (word_access st ~addr:(base + (8 * idx)) ~site ~loc);
+    dispatch st code (i + 1)
+  | Compile.Store_idx { addr = site; loc } ->
+    let stack = st.stack in
+    let sp = st.sp - 3 in
+    st.sp <- sp;
+    let v = Array.unsafe_get stack (sp + 2) in
+    let idx = Array.unsafe_get stack (sp + 1) in
+    let base = Array.unsafe_get stack sp in
+    word_store st ~addr:(base + (8 * idx)) ~site ~loc v;
+    dispatch st code (i + 1)
+  | Compile.Malloc { addr = site; loc } ->
+    let top = st.sp - 1 in
+    let size = st.stack.(top) in
+    if size < 0 then error loc "malloc of negative size %d" size;
+    Machine.set_pc st.m site;
+    st.stack.(top) <- st.tool.Tool.malloc ~size ~ctx:(make_ctx st site);
+    dispatch st code (i + 1)
+  | Compile.Calloc { addr = site; loc } ->
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    let size = st.stack.(sp) in
+    let count = st.stack.(sp - 1) in
+    if count < 0 || size < 0 then error loc "calloc with negative argument";
+    let total = count * size in
+    Machine.set_pc st.m site;
+    let p = st.tool.Tool.malloc ~size:total ~ctx:(make_ctx st site) in
+    (* zeroing is in-bounds by definition; modeled as one bulk operation *)
+    Sparse_mem.fill (Machine.mem st.m) p total 0;
+    Machine.work st.m total;
+    st.stack.(sp - 1) <- p;
+    dispatch st code (i + 1)
+  | Compile.Free { addr = site; loc = _ } ->
+    let top = st.sp - 1 in
+    let ptr = st.stack.(top) in
+    Machine.set_pc st.m site;
+    st.tool.Tool.free ~ptr;
+    st.stack.(top) <- 0;
+    dispatch st code (i + 1)
+  | Compile.Print parts ->
+    let nvals =
+      Array.fold_left
+        (fun n p -> match p with Compile.Val -> n + 1 | Compile.Lit _ -> n)
+        0 parts
+    in
+    let sp = st.sp - nvals in
+    st.sp <- sp;
+    let k = ref 0 in
+    let rendered =
+      Array.map
+        (fun p ->
+          match p with
+          | Compile.Lit s -> s
+          | Compile.Val ->
+            let s = string_of_int st.stack.(sp + !k) in
+            incr k;
+            s)
+        parts
+    in
+    Buffer.add_string st.buf (String.concat " " (Array.to_list rendered));
+    Buffer.add_char st.buf '\n';
+    st.stack.(sp) <- 0;
+    st.sp <- sp + 1;
+    dispatch st code (i + 1)
+  | Compile.Input { addr = _; loc } ->
+    let top = st.sp - 1 in
+    let idx = st.stack.(top) in
+    if idx < 0 || idx >= Array.length st.inputs then
+      error loc "input index %d out of range (have %d)" idx
+        (Array.length st.inputs);
+    st.stack.(top) <- st.inputs.(idx);
+    dispatch st code (i + 1)
+  | Compile.Input_len ->
+    Array.unsafe_set st.stack st.sp (Array.length st.inputs);
+    st.sp <- st.sp + 1;
+    dispatch st code (i + 1)
+  | Compile.Rand { addr = _; loc } ->
+    let top = st.sp - 1 in
+    let n = st.stack.(top) in
+    if n <= 0 then error loc "rand bound must be positive";
+    st.stack.(top) <- Prng.int st.app_rng n;
+    dispatch st code (i + 1)
+  | Compile.Memset { addr = site; loc } ->
+    let sp = st.sp - 2 in
+    st.sp <- sp;
+    let n = st.stack.(sp + 1) in
+    let v = st.stack.(sp) in
+    let p = st.stack.(sp - 1) in
+    if n < 0 then error loc "memset with negative length";
+    for j = 0 to n - 1 do
+      byte_write st ~addr:(p + j) ~site ~loc (v land 0xff)
+    done;
+    st.stack.(sp - 1) <- 0;
+    dispatch st code (i + 1)
+  | Compile.Memcpy { addr = site; loc } ->
+    let sp = st.sp - 2 in
+    st.sp <- sp;
+    let n = st.stack.(sp + 1) in
+    let s = st.stack.(sp) in
+    let d = st.stack.(sp - 1) in
+    if n < 0 then error loc "memcpy with negative length";
+    for j = 0 to n - 1 do
+      let byte = byte_read st ~addr:(s + j) ~site ~loc in
+      byte_write st ~addr:(d + j) ~site ~loc byte
+    done;
+    st.stack.(sp - 1) <- 0;
+    dispatch st code (i + 1)
+  | Compile.Load8 { addr = site; loc } ->
+    let sp = st.sp - 1 in
+    st.sp <- sp;
+    let off = st.stack.(sp) in
+    let p = st.stack.(sp - 1) in
+    st.stack.(sp - 1) <- byte_read st ~addr:(p + off) ~site ~loc;
+    dispatch st code (i + 1)
+  | Compile.Store8 { addr = site; loc } ->
+    let sp = st.sp - 2 in
+    st.sp <- sp;
+    let v = st.stack.(sp + 1) in
+    let off = st.stack.(sp) in
+    let p = st.stack.(sp - 1) in
+    byte_write st ~addr:(p + off) ~site ~loc (v land 0xff);
+    st.stack.(sp - 1) <- 0;
+    dispatch st code (i + 1)
+  | Compile.Sleep_ms { addr = _; loc } ->
+    let top = st.sp - 1 in
+    let ms = st.stack.(top) in
+    if ms < 0 then error loc "sleep_ms with negative duration";
+    Machine.work st.m (ms * (Cost.cycles_per_second / 1000));
+    st.stack.(top) <- 0;
+    dispatch st code (i + 1)
+  | Compile.Work { addr = _; loc } ->
+    let top = st.sp - 1 in
+    let n = st.stack.(top) in
+    if n < 0 then error loc "work with negative cycles";
+    Machine.work st.m n;
+    st.stack.(top) <- 0;
+    dispatch st code (i + 1)
+  | Compile.Str_err loc -> error loc "string literal used as a value"
+
+let run ~machine ~tool ~program ?(inputs = [||]) ?(app_seed = 1)
+    ?(step_limit = 50_000_000) () =
+  let code = Compile.get program in
+  let main =
+    match Hashtbl.find_opt code.Compile.funcs "main" with
+    | Some f -> f
+    | None -> failwith "Vm.run: program has no main (did Sema run?)"
+  in
+  let st =
+    { m = machine;
+      tool;
+      code;
+      inputs;
+      app_rng = Prng.create ~seed:app_seed;
+      buf = Buffer.create 256;
+      buggy = !buggy_cycles;
+      frames = [];
+      steps = 0;
+      step_limit;
+      stack = Array.make 1024 0;
+      sp = 0;
+      locals = Array.make 1024 0;
+      lbase = 0;
+      ltop = 0 }
+  in
+  Machine.set_backtrace_provider machine (fun () ->
+      backtrace_of_frames st.frames (Machine.pc machine));
+  let rv = run_call st main ~callsite:main.Compile.fi_addr in
+  { Interp.output = Buffer.contents st.buf; return_value = rv; steps = st.steps }

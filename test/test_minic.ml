@@ -479,3 +479,105 @@ let suite =
   suite
   @ [ Alcotest.test_case "interp corners" `Quick test_interp_corners;
       Alcotest.test_case "interp deep recursion" `Quick test_interp_deep_recursion ]
+
+(* ---------- Bytecode VM ---------- *)
+
+let run_engine ?(inputs = [||]) engine src =
+  let machine = Machine.create ~seed:1 () in
+  let heap = Heap.create machine in
+  let program =
+    Program.load_exn [ { Program.file = "t.mc"; module_name = "t"; source = src } ]
+  in
+  let r = Engine.run ~engine ~machine ~tool:(Tool.baseline heap) ~program ~inputs () in
+  (r, Clock.cycles (Machine.clock machine))
+
+(* Every semantics program above, replayed on the VM: return value, output,
+   step count and virtual-cycle total must match the interpreter exactly. *)
+let test_vm_matches_interp () =
+  let programs =
+    [ "fn main() { return (2 + 3) * 4 - 20 / 2 + (17 % 5); }";
+      "fn main() { return (1 << 4) + (256 >> 2) + (6 & 3) + (4 | 1) + (5 ^ 1); }";
+      "fn boom() { return 1 / 0; }\n\
+       fn main() { if (0 && boom()) { return 1; } if (1 || boom()) { return 2; } return 3; }";
+      "fn main() { var s = 0; for (var i = 0; i < 10; i = i + 1) { \
+       if (i == 3) { continue; } if (i == 7) { break; } s = s + i; } return s; }";
+      "fn fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }\n\
+       fn main() { return fib(15); }";
+      "fn main() { var p = malloc(64); p[0] = 11; p[7] = 22; store8(p, 9, 255); \
+       var v = p[0] + p[7] + load8(p, 9); free(p); return v; }";
+      "fn main() { var a = malloc(32); var b = malloc(32); memset(a, 7, 32); \
+       memcpy(b, a, 32); var v = load8(b, 0) + load8(b, 31); free(a); free(b); return v; }";
+      "fn main() { return rand(1000) + rand(1000); }";
+      "fn worker(n) { return n * 2; }\n\
+       fn main() { var a = spawn(\"worker\", 21); return a; }";
+      "fn main() { var a = malloc(32); memset(a, 255, 32); free(a); \
+       var b = calloc(4, 8); var v = load8(b, 0) + load8(b, 31) + b[2]; \
+       free(b); return v; }";
+      "fn main() { while (1) { if (1) { return 7; } } return 0; }";
+      "fn main() { return (0 - 7) % 3; }";
+      "fn main() { return (0 - 7) / 2; }";
+      "fn f(a) { a = a + 1; return a; }\n\
+       fn main() { var x = 5; var y = f(x); return x * 100 + y; }";
+      "fn main() { var n = 0; for (var i = 0; i < 3; i = i + 1) { \
+       for (var j = 0; j < 3; j = j + 1) { if (j == 1) { break; } n = n + 1; } } return n; }";
+      "fn main() { var x = 1; if (x == 1) { var x = 2; x = x + 1; } return x; }";
+      "fn down(n) { if (n == 0) { return 0; } return down(n - 1) + 1; }\n\
+       fn main() { return down(5000); }" ]
+  in
+  List.iteri
+    (fun i src ->
+      let tag fmt = Printf.sprintf ("program %d " ^^ fmt) i in
+      let ri, ci = run_engine Engine.Interp src in
+      let rv, cv = run_engine Engine.Vm src in
+      Alcotest.(check int) (tag "return value") ri.Interp.return_value rv.Interp.return_value;
+      Alcotest.(check string) (tag "output") ri.Interp.output rv.Interp.output;
+      Alcotest.(check int) (tag "steps") ri.Interp.steps rv.Interp.steps;
+      Alcotest.(check int) (tag "cycles") ci cv)
+    programs
+
+(* the VM raises the interpreter's error type with the same message *)
+let test_vm_runtime_errors () =
+  List.iter
+    (fun src ->
+      let msg engine =
+        try
+          ignore (run_engine engine src);
+          Alcotest.fail "expected a runtime error"
+        with Interp.Runtime_error (m, loc) -> Srcloc.to_string loc ^ ": " ^ m
+      in
+      Alcotest.(check string) src (msg Engine.Interp) (msg Engine.Vm))
+    [ "fn main() { return 1 / 0; }";
+      "fn main() { return 1 % 0; }";
+      "fn main() { return input(0); }";
+      "fn main() { var p = malloc(0 - 8); return 0; }";
+      "fn main() { return rand(0); }";
+      "fn main() { var p = 0 - 5; return p[0]; }" ]
+
+(* Pinned repro for the planted vm-buggy-cycles bug, shrunk from the
+   differential sweep's catch in test_prop.ml: one extra virtual cycle is
+   charged per taken backward jump, so a 3-iteration while loop runs 3
+   cycles hot on the buggy VM while agreeing everywhere else. *)
+let test_vm_buggy_cycles_repro () =
+  let src = "fn main() { var i = 0; while (i < 3) { i = i + 1; } return i; }" in
+  let ri, ci = run_engine Engine.Interp src in
+  let rv, cv = run_engine Engine.Vm src in
+  Alcotest.(check int) "clean vm agrees on cycles" ci cv;
+  Alcotest.(check int) "clean vm agrees on return" ri.Interp.return_value
+    rv.Interp.return_value;
+  Fun.protect
+    ~finally:(fun () -> Vm.buggy_cycles := false)
+    (fun () ->
+      Vm.buggy_cycles := true;
+      let rb, cb = run_engine Engine.Vm src in
+      Alcotest.(check int) "buggy vm still computes the right answer"
+        ri.Interp.return_value rb.Interp.return_value;
+      Alcotest.(check int) "one extra cycle per taken backward jump" (ci + 3) cb)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "vm matches interp on semantics corpus" `Quick
+        test_vm_matches_interp;
+      Alcotest.test_case "vm runtime errors match interp" `Quick
+        test_vm_runtime_errors;
+      Alcotest.test_case "vm-buggy-cycles pinned repro" `Quick
+        test_vm_buggy_cycles_repro ]

@@ -74,6 +74,350 @@ let legacy_heap_no_double_free () =
         (Heap.live_objects heap) (Hashtbl.length live) seed
   done
 
+(* ------------------------------------------------------------------ *)
+(* Differential-testing net: random well-typed MiniC programs executed
+   under both engines (AST interpreter vs bytecode VM), asserting every
+   observable is bit-identical — stdout, cycle total, allocation/free
+   stream (sizes, callsites, stack offsets, returned pointers), detection
+   reports, machine-PRNG position, access/trap counts, step count, return
+   value, and any crash message.  A failure prints the repro seed and the
+   full generated program. *)
+
+(* Seeded generator.  Programs are built scope-correctly (declarations
+   tracked per block, calls only to earlier-defined functions, loops
+   bounded by a fresh counter), then Sema filters the rest: a generated
+   program that fails to load is skipped, and the sweep asserts the yield
+   stays high enough to mean something. *)
+let gen_program ~seed =
+  let g = Prng.create ~seed in
+  let buf = Buffer.create 1024 in
+  let fresh = ref 0 in
+  let name p =
+    incr fresh;
+    Printf.sprintf "%s%d" p !fresh
+  in
+  let pick xs = List.nth xs (Prng.int g (List.length xs)) in
+  let binops =
+    [| "+"; "-"; "*"; "<"; "<="; ">"; ">="; "=="; "!="; "&"; "|"; "^";
+       "<<"; ">>"; "&&"; "||" |]
+  in
+  let rec expr vars ptrs funcs depth =
+    let leaf () =
+      match Prng.int g 10 with
+      | 0 | 1 | 2 | 3 -> string_of_int (Prng.int g 64)
+      | 4 | 5 | 6 -> (match vars with [] -> string_of_int (Prng.int g 8) | _ -> pick vars)
+      | 7 -> Printf.sprintf "input(%d)" (Prng.int g 4)
+      | 8 -> "input_len()"
+      | _ -> Printf.sprintf "rand(%d)" (1 + Prng.int g 9)
+    in
+    if depth = 0 then leaf ()
+    else
+      match Prng.int g 16 with
+      | 0 | 1 | 2 | 3 | 4 | 5 ->
+        Printf.sprintf "(%s %s %s)"
+          (expr vars ptrs funcs (depth - 1))
+          binops.(Prng.int g (Array.length binops))
+          (expr vars ptrs funcs (depth - 1))
+      | 6 ->
+        (* division / modulo: mostly-safe denominators, occasionally an
+           arbitrary expression — a zero crashes both engines at the same
+           location with the same message, which the sweep checks too *)
+        let den =
+          if Prng.int g 5 = 0 then expr vars ptrs funcs (depth - 1)
+          else string_of_int (1 + Prng.int g 9)
+        in
+        Printf.sprintf "(%s %s %s)"
+          (expr vars ptrs funcs (depth - 1))
+          (if Prng.int g 2 = 0 then "/" else "%")
+          den
+      | 7 -> Printf.sprintf "(-%s)" (expr vars ptrs funcs (depth - 1))
+      | 8 -> Printf.sprintf "(!%s)" (expr vars ptrs funcs (depth - 1))
+      | 9 when ptrs <> [] -> Printf.sprintf "%s[%d]" (pick ptrs) (Prng.int g 5)
+      | 10 when ptrs <> [] ->
+        Printf.sprintf "load8(%s, %d)" (pick ptrs) (Prng.int g 16)
+      | 11 when funcs <> [] ->
+        let f, arity = pick funcs in
+        Printf.sprintf "%s(%s)" f
+          (String.concat ", "
+             (List.init arity (fun _ -> expr vars ptrs funcs (depth - 1))))
+      | _ -> leaf ()
+  in
+  (* One block: vars/ptrs snapshots from the enclosing scope, own
+     declarations kept local so nothing leaks into a sibling block. *)
+  let rec gen_block vars0 ptrs0 funcs ~in_loop ~depth =
+    let vars = ref vars0 and ptrs = ref ptrs0 in
+    let e d = expr !vars !ptrs funcs d in
+    for _ = 1 to 1 + Prng.int g 4 do
+      match Prng.int g 21 with
+      | 0 | 1 | 2 ->
+        let v = name "v" in
+        Buffer.add_string buf (Printf.sprintf "var %s = %s;\n" v (e 2));
+        vars := v :: !vars
+      | 3 | 4 when !vars <> [] ->
+        Buffer.add_string buf (Printf.sprintf "%s = %s;\n" (pick !vars) (e 2))
+      | 5 ->
+        let p = name "p" in
+        Buffer.add_string buf
+          (if Prng.int g 3 = 0 then
+             Printf.sprintf "var %s = calloc(%d, 8);\n" p (4 + Prng.int g 5)
+           else Printf.sprintf "var %s = malloc(%d);\n" p (32 + (8 * Prng.int g 8)));
+        ptrs := p :: !ptrs;
+        vars := p :: !vars
+      | 6 when !ptrs <> [] ->
+        (* index 0..5 on a >=32-byte object: mostly in bounds, sometimes
+           past the end — the detection paths must agree too *)
+        Buffer.add_string buf
+          (Printf.sprintf "%s[%d] = %s;\n" (pick !ptrs) (Prng.int g 6) (e 2))
+      | 7 when !ptrs <> [] ->
+        Buffer.add_string buf
+          (Printf.sprintf "store8(%s, %d, %s);\n" (pick !ptrs) (Prng.int g 16) (e 1))
+      | 8 when !ptrs <> [] ->
+        Buffer.add_string buf
+          (Printf.sprintf "memset(%s, %s, %d);\n" (pick !ptrs) (e 1) (Prng.int g 16))
+      | 9 when List.length !ptrs >= 2 ->
+        Buffer.add_string buf
+          (Printf.sprintf "memcpy(%s, %s, %d);\n" (pick !ptrs) (pick !ptrs)
+             (Prng.int g 16))
+      | 10 when !ptrs <> [] ->
+        let p = pick !ptrs in
+        Buffer.add_string buf (Printf.sprintf "free(%s);\n" p);
+        ptrs := List.filter (( <> ) p) !ptrs
+      | 11 ->
+        Buffer.add_string buf
+          (Printf.sprintf "print(\"t%d\", %s);\n" (Prng.int g 10) (e 1))
+      | 12 ->
+        Buffer.add_string buf (Printf.sprintf "sleep_ms(%d);\n" (Prng.int g 3))
+      | 13 ->
+        Buffer.add_string buf (Printf.sprintf "work(%d);\n" (Prng.int g 64))
+      | 14 when depth > 0 ->
+        Buffer.add_string buf (Printf.sprintf "if (%s) {\n" (e 2));
+        gen_block !vars !ptrs funcs ~in_loop ~depth:(depth - 1);
+        if Prng.int g 2 = 0 then begin
+          Buffer.add_string buf "} else {\n";
+          gen_block !vars !ptrs funcs ~in_loop ~depth:(depth - 1)
+        end;
+        Buffer.add_string buf "}\n"
+      | 15 when depth > 0 ->
+        (* bounded while: the counter increments first thing, so a
+           continue in the body cannot stall the loop *)
+        let w = name "w" in
+        Buffer.add_string buf
+          (Printf.sprintf "var %s = 0;\nwhile (%s < %d) {\n%s = %s + 1;\n" w w
+             (1 + Prng.int g 5) w w);
+        gen_block (w :: !vars) !ptrs funcs ~in_loop:true ~depth:(depth - 1);
+        Buffer.add_string buf "}\n"
+      | 16 when depth > 0 ->
+        let i = name "i" in
+        Buffer.add_string buf
+          (Printf.sprintf "for (var %s = 0; %s < %d; %s = %s + 1) {\n" i i
+             (1 + Prng.int g 5) i i);
+        gen_block (i :: !vars) !ptrs funcs ~in_loop:true ~depth:(depth - 1);
+        Buffer.add_string buf "}\n"
+      | 17 when in_loop ->
+        Buffer.add_string buf
+          (if Prng.int g 2 = 0 then "break;\n" else "continue;\n")
+      | 18 when funcs <> [] ->
+        let f, arity = pick funcs in
+        let args =
+          String.concat ", " (List.init arity (fun _ -> e 1))
+        in
+        Buffer.add_string buf
+          (if Prng.int g 3 = 0 then
+             Printf.sprintf "spawn(\"%s\"%s);\n" f
+               (if arity = 0 then "" else ", " ^ args)
+           else Printf.sprintf "%s(%s);\n" f args)
+      | 19 when vars0 <> [] && Prng.int g 2 = 0 && depth > 0 ->
+        (* shadow an enclosing-scope variable in a nested block: the VM's
+           static slot resolution must agree with the interpreter's scope
+           chain *)
+        let v = pick vars0 in
+        Buffer.add_string buf
+          (Printf.sprintf "if (1) {\nvar %s = %s;\nprint(\"s\", %s);\n}\n" v
+             (e 1) v)
+      | _ -> Buffer.add_string buf (Printf.sprintf "%s;\n" (e 2))
+    done
+  in
+  let funcs = ref [] in
+  for i = 1 to Prng.int g 3 do
+    let fname = Printf.sprintf "f%d" i in
+    let arity = Prng.int g 3 in
+    let params = List.init arity (fun j -> Printf.sprintf "a%d_%d" i j) in
+    Buffer.add_string buf
+      (Printf.sprintf "fn %s(%s) {\n" fname (String.concat ", " params));
+    gen_block params [] !funcs ~in_loop:false ~depth:1;
+    Buffer.add_string buf
+      (Printf.sprintf "return %s;\n}\n" (expr params [] !funcs 1));
+    funcs := (fname, arity) :: !funcs
+  done;
+  Buffer.add_string buf "fn main() {\n";
+  gen_block [] [] !funcs ~in_loop:false ~depth:2;
+  Buffer.add_string buf
+    (Printf.sprintf "return %s;\n}\n" (expr [] [] !funcs 1));
+  Buffer.contents buf
+
+(* Everything both engines are contractually required to agree on. *)
+type dobs = {
+  d_cycles : int;
+  d_output : string;
+  d_crashed : string option;
+  d_steps : int;
+  d_rv : int;
+  d_allocs : (int * int * int * int) list;
+      (* size, callsite, stack offset, returned pointer *)
+  d_frees : int list;
+  d_reports : string list;
+  d_prng : int64; (* machine-PRNG position: same draws in the same order *)
+  d_accesses : int;
+  d_traps : int;
+}
+
+let d_observe engine program ~inputs ~seed ~step_limit =
+  let machine = Machine.create ~seed () in
+  let heap = Heap.create machine in
+  let inst = Config.instantiate Config.csod_default ~machine ~heap ~seed () in
+  let allocs = ref [] and frees = ref [] in
+  let tool = inst.Config.tool in
+  let rec_tool =
+    { tool with
+      Tool.malloc =
+        (fun ~size ~ctx ->
+          let p = tool.Tool.malloc ~size ~ctx in
+          allocs :=
+            (size, ctx.Alloc_ctx.callsite, ctx.Alloc_ctx.stack_offset, p)
+            :: !allocs;
+          p);
+      free =
+        (fun ~ptr ->
+          frees := ptr :: !frees;
+          tool.Tool.free ~ptr) }
+  in
+  let buf = Buffer.create 64 in
+  let rv = ref 0 and steps = ref 0 in
+  let crashed =
+    try
+      let r =
+        Engine.run ~engine ~machine ~tool:rec_tool ~program ~inputs
+          ~app_seed:seed ~step_limit ()
+      in
+      Buffer.add_string buf r.Interp.output;
+      rv := r.Interp.return_value;
+      steps := r.Interp.steps;
+      None
+    with
+    | Interp.Runtime_error (msg, loc) ->
+      Some (Printf.sprintf "%s: %s" (Srcloc.to_string loc) msg)
+    | Heap.Error msg -> Some msg
+  in
+  inst.Config.finish ();
+  let reports =
+    match inst.Config.csod with
+    | Some rt ->
+      List.map
+        (fun r ->
+          Format.asprintf "%a"
+            (Report.pp ~symbolize:(Program.symbolize program))
+            r)
+        (Runtime.detections rt)
+    | None -> []
+  in
+  let o =
+    { d_cycles = Clock.cycles (Machine.clock machine);
+      d_output = Buffer.contents buf;
+      d_crashed = crashed;
+      d_steps = !steps;
+      d_rv = !rv;
+      d_allocs = List.rev !allocs;
+      d_frees = List.rev !frees;
+      d_reports = reports;
+      d_prng = Prng.bits64 (Machine.rng machine);
+      d_accesses = Machine.access_count machine;
+      d_traps = Machine.trap_count machine }
+  in
+  Sparse_mem.release (Machine.mem machine);
+  o
+
+let describe_diff a b =
+  let out = Buffer.create 128 in
+  let p fmt = Printf.ksprintf (Buffer.add_string out) fmt in
+  if a.d_cycles <> b.d_cycles then p "\n  cycles %d vs %d" a.d_cycles b.d_cycles;
+  if a.d_output <> b.d_output then p "\n  output %S vs %S" a.d_output b.d_output;
+  if a.d_crashed <> b.d_crashed then
+    p "\n  crash %s vs %s"
+      (Option.value ~default:"-" a.d_crashed)
+      (Option.value ~default:"-" b.d_crashed);
+  if a.d_steps <> b.d_steps then p "\n  steps %d vs %d" a.d_steps b.d_steps;
+  if a.d_rv <> b.d_rv then p "\n  return %d vs %d" a.d_rv b.d_rv;
+  if a.d_allocs <> b.d_allocs then
+    p "\n  alloc streams differ (%d vs %d allocations)"
+      (List.length a.d_allocs) (List.length b.d_allocs);
+  if a.d_frees <> b.d_frees then p "\n  free streams differ";
+  if a.d_reports <> b.d_reports then
+    p "\n  reports differ (%d vs %d)" (List.length a.d_reports)
+      (List.length b.d_reports);
+  if a.d_prng <> b.d_prng then
+    p "\n  machine PRNG position %Ld vs %Ld" a.d_prng b.d_prng;
+  if a.d_accesses <> b.d_accesses then
+    p "\n  access counts %d vs %d" a.d_accesses b.d_accesses;
+  if a.d_traps <> b.d_traps then p "\n  trap counts %d vs %d" a.d_traps b.d_traps;
+  Buffer.contents out
+
+let load_gen source =
+  Program.load [ { Program.file = "gen.mc"; module_name = "gen"; source } ]
+
+let gen_inputs ~seed =
+  let gi = Prng.create ~seed:(seed lxor 0x5eed) in
+  Array.init 4 (fun _ -> Prng.int gi 256)
+
+let diff_sweep_engines () =
+  let compared = ref 0 and rejected = ref 0 in
+  for seed = 9000 to 9079 do
+    let source = gen_program ~seed in
+    match load_gen source with
+    | Error _ -> incr rejected
+    | Ok program ->
+      incr compared;
+      let inputs = gen_inputs ~seed in
+      let a = d_observe Engine.Interp program ~inputs ~seed ~step_limit:50_000 in
+      let b = d_observe Engine.Vm program ~inputs ~seed ~step_limit:50_000 in
+      if a <> b then
+        Alcotest.failf
+          "engines diverge (repro seed=%d):%s\n--- program ---\n%s" seed
+          (describe_diff a b) source
+  done;
+  (* The generator is scope-correct by construction; if Sema starts
+     rejecting most of its output, the sweep is no longer testing much. *)
+  if !compared < 60 then
+    Alcotest.failf "generator yield too low: %d/80 programs passed Sema (%d rejected)"
+      !compared !rejected
+
+(* The same sweep must catch the planted vm-buggy-cycles bug (one extra
+   cycle per taken backward jump): proof the net is tight enough to see a
+   single-cycle divergence.  test_minic.ml pins the shrunk repro. *)
+let diff_sweep_catches_planted_bug () =
+  Vm.buggy_cycles := true;
+  Fun.protect ~finally:(fun () -> Vm.buggy_cycles := false) @@ fun () ->
+  let caught = ref false in
+  (try
+     for seed = 9000 to 9029 do
+       let source = gen_program ~seed in
+       match load_gen source with
+       | Error _ -> ()
+       | Ok program ->
+         let inputs = gen_inputs ~seed in
+         let a =
+           d_observe Engine.Interp program ~inputs ~seed ~step_limit:50_000
+         in
+         let b = d_observe Engine.Vm program ~inputs ~seed ~step_limit:50_000 in
+         if a <> b then begin
+           caught := true;
+           raise Exit
+         end
+     done
+   with Exit -> ());
+  if not !caught then
+    Alcotest.fail
+      "differential sweep failed to catch the planted vm-buggy-cycles bug"
+
 let suite =
   [ Alcotest.test_case "sim sweep: heap + sparse memory" `Quick prop_heap;
     Alcotest.test_case "sim sweep: runtime watchpoints" `Quick prop_runtime;
@@ -81,4 +425,8 @@ let suite =
       prop_fleet;
     Alcotest.test_case "sim sweep: persist save/load/merge" `Quick prop_store;
     Alcotest.test_case "legacy pin: heap free honoured exactly once" `Quick
-      legacy_heap_no_double_free ]
+      legacy_heap_no_double_free;
+    Alcotest.test_case "differential sweep: interp vs vm bit-identical" `Quick
+      diff_sweep_engines;
+    Alcotest.test_case "differential sweep catches vm-buggy-cycles" `Quick
+      diff_sweep_catches_planted_bug ]

@@ -209,21 +209,112 @@ let formatted_reports app (o : Execution.outcome) =
        (Report.format ~symbolize:(Execution.symbolizer app))
        o.Execution.reports)
 
+(* The pins were captured on the AST interpreter before the VM existed;
+   requiring both engines to hit them makes the golden corpus itself an
+   engine-equivalence gate. *)
 let test_golden_corpus () =
   List.iter
-    (fun (name, seed, detected, cycles, nreports, reports_md5, output_md5) ->
-      let app = Option.get (Buggy_app.by_name name) in
-      let o = Execution.run ~app ~config:Config.csod_default ~seed () in
-      let tag fmt = Printf.sprintf "%s seed=%d: %s" name seed fmt in
-      Alcotest.(check bool) (tag "detected") detected o.Execution.detected;
-      Alcotest.(check int) (tag "cycles") cycles o.Execution.cycles;
-      Alcotest.(check int) (tag "reports") nreports
-        (List.length o.Execution.reports);
-      Alcotest.(check string) (tag "reports digest") reports_md5
-        (digest (formatted_reports app o));
-      Alcotest.(check string) (tag "output digest") output_md5
-        (digest o.Execution.output))
-    golden
+    (fun engine ->
+      List.iter
+        (fun (name, seed, detected, cycles, nreports, reports_md5, output_md5) ->
+          let app = Option.get (Buggy_app.by_name name) in
+          let o = Execution.run ~app ~config:Config.csod_default ~engine ~seed () in
+          let tag fmt =
+            Printf.sprintf "%s seed=%d engine=%s: %s" name seed
+              (Engine.to_string engine) fmt
+          in
+          Alcotest.(check bool) (tag "detected") detected o.Execution.detected;
+          Alcotest.(check int) (tag "cycles") cycles o.Execution.cycles;
+          Alcotest.(check int) (tag "reports") nreports
+            (List.length o.Execution.reports);
+          Alcotest.(check string) (tag "reports digest") reports_md5
+            (digest (formatted_reports app o));
+          Alcotest.(check string) (tag "output digest") output_md5
+            (digest o.Execution.output))
+        golden)
+    [ Engine.Interp; Engine.Vm ]
+
+(* The full nine-app corpus, one execution per engine, comparing the two
+   engines' outcomes field by field (no pinned constants: this guards the
+   pairs the golden list doesn't pin). *)
+let test_engine_ab_all_apps () =
+  List.iter
+    (fun (app : Buggy_app.t) ->
+      let obs engine =
+        let o =
+          Execution.run ~app ~config:Config.csod_default ~engine ~seed:1 ()
+        in
+        ( o.Execution.detected,
+          o.Execution.cycles,
+          formatted_reports app o,
+          o.Execution.output,
+          o.Execution.crashed,
+          o.Execution.degraded )
+      in
+      let d1, c1, r1, o1, cr1, g1 = obs Engine.Interp in
+      let d2, c2, r2, o2, cr2, g2 = obs Engine.Vm in
+      let tag fmt = Printf.sprintf "%s: %s" app.Buggy_app.name fmt in
+      Alcotest.(check bool) (tag "detected") d1 d2;
+      Alcotest.(check int) (tag "cycles") c1 c2;
+      Alcotest.(check string) (tag "reports") r1 r2;
+      Alcotest.(check string) (tag "output") o1 o2;
+      Alcotest.(check (option string)) (tag "crash") cr1 cr2;
+      Alcotest.(check bool) (tag "degraded") g1 g2)
+    (Buggy_app.all ())
+
+(* Interp-vs-vm A/B over the zziplib fleet: the whole crowdsourcing layer
+   (epoch barriers, store merges, detection seats) must not notice which
+   engine ran the users — and, per the fleet's own determinism contract,
+   neither may the domain count. *)
+let test_engine_ab_fleet () =
+  let app = Option.get (Buggy_app.by_name "Zziplib") in
+  let fleet_obs ~engine ~domains =
+    let workload = Workload.make ~users:200 ~base_seed:1 () in
+    let cfg = Fleet.config ~domains ~epoch_size:32 workload in
+    let report =
+      Fleet.run cfg
+        ~execute:(Execution.executor ~app ~config:Config.csod_default ~engine ())
+    in
+    let detected_uids =
+      Array.to_list report.Fleet.seats
+      |> List.filter (fun s -> s.Fleet.exec.Fleet.detected)
+      |> List.map (fun s -> s.Fleet.user.Workload.uid)
+    in
+    let cycle_sum =
+      Array.fold_left
+        (fun acc s -> acc + s.Fleet.exec.Fleet.cycles)
+        0 report.Fleet.seats
+    in
+    ( report.Fleet.detections,
+      detected_uids,
+      (match report.Fleet.first_catch with
+      | Some s -> Some (s.Fleet.epoch, s.Fleet.user.Workload.uid)
+      | None -> None),
+      cycle_sum,
+      Persist.count report.Fleet.store,
+      List.sort compare (Persist.keys report.Fleet.store) )
+  in
+  let reference = fleet_obs ~engine:Engine.Interp ~domains:1 in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun engine ->
+          let d, uids, catch, cycles, stored, keys =
+            fleet_obs ~engine ~domains
+          in
+          let rd, ruids, rcatch, rcycles, rstored, rkeys = reference in
+          let tag fmt =
+            Printf.sprintf "engine=%s domains=%d: %s" (Engine.to_string engine)
+              domains fmt
+          in
+          Alcotest.(check int) (tag "detections") rd d;
+          Alcotest.(check (list int)) (tag "detected uids") ruids uids;
+          Alcotest.(check bool) (tag "first catch") true (catch = rcatch);
+          Alcotest.(check int) (tag "total cycles") rcycles cycles;
+          Alcotest.(check int) (tag "store size") rstored stored;
+          Alcotest.(check bool) (tag "store keys") true (keys = rkeys))
+        [ Engine.Interp; Engine.Vm ])
+    [ 1; 2; 4 ]
 
 (* Run one app manually (so the machine stays accessible) with the
    optimizations either as shipped or toggled to the reference
@@ -305,5 +396,9 @@ let suite =
     Alcotest.test_case "seed changes sampling" `Quick test_seed_changes_sampling;
     Alcotest.test_case "golden corpus pin (cycles, reports, output)" `Quick
       test_golden_corpus;
+    Alcotest.test_case "engine A/B: nine apps bit-identical" `Quick
+      test_engine_ab_all_apps;
+    Alcotest.test_case "engine A/B: zziplib fleet at 1/2/4 domains" `Quick
+      test_engine_ab_fleet;
     Alcotest.test_case "optimizations vs reference: bit-identical" `Quick
       test_reference_equivalence ]

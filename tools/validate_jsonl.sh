@@ -57,6 +57,18 @@ KNOWN = {
         "baseline_ops_per_sec": numbers.Real,
         "speedup": numbers.Real,
     },
+    "csod.bench.exec/1": {
+        "workload": str,
+        "kind": str,
+        "mode": str,
+        "runs": int,
+        "cycles": int,
+        "interp_wall_seconds": numbers.Real,
+        "vm_wall_seconds": numbers.Real,
+        "interp_execs_per_sec": numbers.Real,
+        "vm_execs_per_sec": numbers.Real,
+        "speedup": numbers.Real,
+    },
     "csod.respond.event/1": {
         "kind": str,
         "source": str,
@@ -187,6 +199,20 @@ def check_respond_bench(obj, where):
             sys.exit(f"{where}: survival_rate out of [0, 1]")
     elif metric == "overhead" and obj["baseline_ns_per_op"] <= 0:
         sys.exit(f"{where}: non-positive baseline_ns_per_op")
+
+def check_exec_bench(obj, where):
+    if obj["kind"] not in ("app", "kernel"):
+        sys.exit(f"{where}: unknown exec workload kind {obj['kind']!r}")
+    if obj["mode"] not in ("serial", "metrics"):
+        sys.exit(f"{where}: unknown exec mode {obj['mode']!r}")
+    if obj["runs"] < 1:
+        sys.exit(f"{where}: non-positive run count")
+    if not isinstance(obj.get("deterministic"), bool):
+        sys.exit(f"{where}: missing bool field 'deterministic'")
+    for key in ("interp_wall_seconds", "vm_wall_seconds",
+                "interp_execs_per_sec", "vm_execs_per_sec", "speedup"):
+        if obj[key] <= 0:
+            sys.exit(f"{where}: non-positive {key}")
 
 def check_sim_repro(obj, where):
     alphabet = obj["alphabet"]
@@ -325,6 +351,8 @@ with stream:
                 check_sim_repro(obj, f"{path}:{n}")
             elif schema == "csod.respond.event/1":
                 check_respond_event(obj, f"{path}:{n}")
+            elif schema == "csod.bench.exec/1":
+                check_exec_bench(obj, f"{path}:{n}")
             elif schema == "csod.bench.respond/1":
                 check_respond_bench(obj, f"{path}:{n}")
         lines += 1
